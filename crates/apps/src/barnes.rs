@@ -1,0 +1,286 @@
+//! Barnes-Hut: the SPLASH-2 N-body codes, original and restructured.
+//!
+//! **Barnes-original** builds the shared octree with fine-grained cell
+//! locks (lots of short critical sections with scattered writes) and
+//! computes forces by walking bodies/cells scattered across the whole
+//! address space at small granularity — the page-granularity
+//! fragmentation the paper highlights in §3.4. Lock time stays high
+//! even under GeNIMA (contention, not mechanism cost).
+//!
+//! **Barnes-spatial** is the restructured version: few locks, but its
+//! update phase writes **many small scattered runs within each shared
+//! page**. Under direct diffs every run becomes its own message — a
+//! >30× message blow-up that fills the NI post queue and makes DD (and
+//! > hence GeNIMA) *slower* than DW+RF for this application (§3.3, the
+//! > one regression in Figure 2).
+//!
+//! Paper sizes: 32K / 128K particles. Defaults: 8K particles, 2 steps.
+
+use genima_proto::Topology;
+
+use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::App;
+
+/// Bytes per body record.
+const BODY_BYTES: u64 = 108;
+/// Bytes per tree cell.
+const CELL_BYTES: u64 = 88;
+
+/// Barnes-original: locked octree build, fragmented force reads.
+#[derive(Debug, Clone)]
+pub struct BarnesOriginal {
+    /// Body count.
+    pub bodies: usize,
+    /// Timesteps.
+    pub steps: usize,
+    paper_label: &'static str,
+}
+
+impl BarnesOriginal {
+    /// The paper's configuration (scaled).
+    pub fn paper() -> BarnesOriginal {
+        BarnesOriginal {
+            bodies: 8192,
+            steps: 2,
+            paper_label: "32K particles (scaled: 8K)",
+        }
+    }
+
+    /// A custom size.
+    pub fn with_bodies(bodies: usize, steps: usize) -> BarnesOriginal {
+        BarnesOriginal {
+            bodies,
+            steps,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for BarnesOriginal {
+    fn name(&self) -> &'static str {
+        "Barnes-original"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let n = self.bodies;
+        let nlocks = 128;
+        let mut layout = Layout::new();
+        let bodies = layout.alloc_bytes(n as u64 * BODY_BYTES);
+        let cells = layout.alloc_bytes((n / 2) as u64 * CELL_BYTES);
+
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut rng = proc_rng("barnes-orig", genima_proto::ProcId::new(me));
+            let mut ops = OpsBuilder::new();
+            let my_bodies = bodies.chunk(me, p);
+            ops.write(my_bodies.base(), my_bodies.bytes() as u32);
+            ops.barrier(0);
+
+            let mut bar = 1;
+            for _step in 0..self.steps {
+                // Tree build: insert each owned body under a cell lock,
+                // writing a scattered cell record.
+                for _i in 0..n / p / 2 {
+                    let cell = rng.next_below(cells.bytes() - 32);
+                    let lock = (cell / CELL_BYTES) as usize % nlocks;
+                    ops.acquire(lock);
+                    ops.write(cells.addr(cell), 32);
+                    ops.release(lock);
+                    ops.compute_us(8.0);
+                }
+                ops.barrier(bar);
+                bar += 1;
+                // Force computation: scattered small-granularity reads
+                // of remote bodies/cells — page-grain fragmentation.
+                for _b in 0..n / p / 4 {
+                    for _ in 0..2 {
+                        let off = rng.next_below(bodies.bytes() - 256);
+                        ops.read(bodies.addr(off), 256);
+                    }
+                    let off = rng.next_below(cells.bytes() - 256);
+                    ops.read(cells.addr(off), 256);
+                    ops.compute_us(120.0);
+                }
+                ops.barrier(bar);
+                bar += 1;
+                // Update phase: advance own bodies.
+                ops.compute_us((n / p) as f64 * 4.0);
+                ops.write(my_bodies.base(), my_bodies.bytes() as u32);
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        let mut homes = bodies.homes_blocked(topo);
+        homes.extend(cells.homes_blocked(topo));
+        WorkloadSpec {
+            sources,
+            homes,
+            locks: nlocks,
+            bus_demand_per_proc: 25_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+/// Barnes-spatial: restructured — few locks, scattered in-page writes.
+#[derive(Debug, Clone)]
+pub struct BarnesSpatial {
+    /// Body count.
+    pub bodies: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Scattered write runs per shared boundary page in the update
+    /// phase (the direct-diff blow-up factor).
+    pub runs_per_page: usize,
+    paper_label: &'static str,
+}
+
+impl BarnesSpatial {
+    /// The paper's configuration (scaled).
+    pub fn paper() -> BarnesSpatial {
+        BarnesSpatial {
+            bodies: 8192,
+            steps: 2,
+            runs_per_page: 48,
+            paper_label: "128K particles (scaled: 8K)",
+        }
+    }
+
+    /// A custom size.
+    pub fn with_bodies(bodies: usize, steps: usize) -> BarnesSpatial {
+        BarnesSpatial {
+            bodies,
+            steps,
+            runs_per_page: 32,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for BarnesSpatial {
+    fn name(&self) -> &'static str {
+        "Barnes-spatial"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let n = self.bodies;
+        let nlocks = 16;
+        let mut layout = Layout::new();
+        let bodies = layout.alloc_bytes(n as u64 * BODY_BYTES);
+        // Boundary region updated by neighbours with scattered runs.
+        let boundary = layout.alloc_pages(3 * p);
+
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut rng = proc_rng("barnes-sp", genima_proto::ProcId::new(me));
+            let mut ops = OpsBuilder::new();
+            let my_bodies = bodies.chunk(me, p);
+            ops.write(my_bodies.base(), my_bodies.bytes() as u32);
+            ops.barrier(0);
+
+            let mut bar = 1;
+            for _step in 0..self.steps {
+                // Spatially local tree build: mostly local, a few locks.
+                ops.compute_us((n / p) as f64 * 6.0);
+                for _ in 0..4 {
+                    let l = rng.next_below(nlocks as u64) as usize;
+                    ops.acquire(l);
+                    ops.write(boundary.addr(rng.next_below(boundary.bytes() - 16)), 16);
+                    ops.release(l);
+                }
+                ops.barrier(bar);
+                bar += 1;
+                // Force phase: neighbour-region reads (coarser than
+                // the original, thanks to the spatial restructuring).
+                for nb in [(me + 1) % p, (me + p - 1) % p] {
+                    if nb != me {
+                        let r = bodies.chunk(nb, p);
+                        ops.read(r.base(), (r.bytes() / 4) as u32);
+                    }
+                }
+                ops.compute_us((n / p) as f64 * 35.0);
+                ops.barrier(bar);
+                bar += 1;
+                // Update: own bodies (contiguous) plus *scattered*
+                // 8-byte runs across the shared boundary pages — the
+                // direct-diff pathology (one message per run).
+                ops.write(my_bodies.base(), my_bodies.bytes() as u32);
+                let shared_pages = ((boundary.pages() / p).max(1) * 4).min(boundary.pages());
+                for pg in 0..shared_pages {
+                    let page = (me * 3 + pg * 7) % boundary.pages();
+                    for r in 0..self.runs_per_page {
+                        // Stride > one word so runs never coalesce.
+                        let off = page as u64 * 4096 + (r as u64 * 112) % 4080;
+                        ops.write(boundary.addr(off), 8);
+                    }
+                }
+                ops.compute_us((n / p) as f64 * 3.0);
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        let mut homes = bodies.homes_blocked(topo);
+        homes.extend(boundary.homes_blocked(topo));
+        WorkloadSpec {
+            sources,
+            homes,
+            locks: nlocks,
+            bus_demand_per_proc: 25_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::Op;
+
+    #[test]
+    fn original_takes_many_more_locks_than_spatial() {
+        let topo = Topology::new(4, 4);
+        let count = |spec: WorkloadSpec| {
+            let mut locks = 0;
+            for mut s in spec.sources {
+                while let Some(op) = s.next_op() {
+                    if matches!(op, Op::Acquire(_)) {
+                        locks += 1;
+                    }
+                }
+            }
+            locks
+        };
+        let orig = count(BarnesOriginal::paper().spec(topo));
+        let spatial = count(BarnesSpatial::paper().spec(topo));
+        assert!(
+            orig > spatial * 10,
+            "original {orig} vs spatial {spatial}"
+        );
+    }
+
+    #[test]
+    fn spatial_update_writes_use_non_coalescing_stride() {
+        // The 112-byte stride guarantees one run per write: no two
+        // writes are within a word of each other.
+        let offs: Vec<u64> = (0..32u64).map(|r| (r * 112) % 4080).collect();
+        for (i, a) in offs.iter().enumerate() {
+            for b in offs.iter().skip(i + 1) {
+                assert!(a.abs_diff(*b) > 12, "runs would coalesce: {a} {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! FFT: the SPLASH-2 radix-√n six-step FFT.
+//!
+//! Sharing pattern: three all-to-all matrix transposes separated by
+//! local computation phases, all synchronization via barriers. Each
+//! process owns `n/p` contiguous rows; a transpose reads one
+//! `n/p²`-point patch from every other process and writes the local
+//! destination rows. FFT is the paper's bandwidth-bound application:
+//! coarse-grained remote reads dominate, so remote fetch (RF) cuts its
+//! data-wait time dramatically (45%, §3.3) and the memory bus inside
+//! each SMP node is under real pressure (§3.4).
+//!
+//! Paper problem size: 4M points. Default here: 1M points (the
+//! per-transpose patch pattern is identical; only the patch count
+//! scales), which keeps a full five-protocol sweep fast.
+
+use genima_proto::Topology;
+
+use crate::common::{Layout, OpsBuilder, WorkloadSpec};
+use crate::App;
+
+/// Bytes per complex double-precision point.
+const POINT: u64 = 16;
+
+/// The FFT workload.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// Number of complex points (power of two).
+    pub points: u64,
+    /// Label for reports.
+    paper_label: &'static str,
+}
+
+impl Fft {
+    /// The paper's configuration (scaled; see module docs).
+    pub fn paper() -> Fft {
+        Fft {
+            points: 1 << 20,
+            paper_label: "4M points (scaled: 1M)",
+        }
+    }
+
+    /// A custom size (power of two recommended).
+    pub fn with_points(points: u64) -> Fft {
+        Fft {
+            points,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let n = self.points;
+        let mut layout = Layout::new();
+        let a = layout.alloc_bytes(n * POINT); // source matrix
+        let b = layout.alloc_bytes(n * POINT); // destination matrix
+
+        // Per-process compute per FFT phase: 2·(n/p)·log2(n) flops at
+        // ~50 MFLOPS on the Pentium Pro.
+        let log_n = 64 - n.leading_zeros() as u64 - 1;
+        let phase_us = (2.0 * (n as f64 / p as f64) * log_n as f64) / 50.0; // flops / (50 flops/us)
+        // Local data movement during a transpose: n/p points copied.
+        let local_copy_us = (n as f64 / p as f64) * POINT as f64 / 150.0; // ~150 MB/s memcpy
+
+        let patch_bytes = (n / (p as u64 * p as u64)) * POINT;
+
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut ops = OpsBuilder::new();
+            let my_a = a.chunk(me, p);
+            let my_b = b.chunk(me, p);
+
+            // Initialization: touch own rows of both matrices.
+            ops.write(my_a.base(), my_a.bytes() as u32);
+            ops.write(my_b.base(), my_b.bytes() as u32);
+            ops.barrier(0); // warmup barrier — stats reset here
+
+            let mut bar = 1;
+            for phase in 0..3 {
+                // Local 1-D FFTs on the owned rows.
+                ops.compute_us(phase_us);
+                ops.barrier(bar);
+                bar += 1;
+                // Transpose: read every other process's patch of the
+                // source, write the owned destination rows.
+                let (src, dst) = if phase % 2 == 0 {
+                    (&a, &my_b)
+                } else {
+                    (&b, &my_a)
+                };
+                for j in 0..p {
+                    if j == me {
+                        continue;
+                    }
+                    // Patch of process j destined for me.
+                    let patch_off = me as u64 * patch_bytes;
+                    ops.read(src.chunk(j, p).addr(patch_off), patch_bytes as u32);
+                }
+                ops.write(dst.base(), dst.bytes() as u32);
+                ops.compute_us(local_copy_us);
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        let mut homes = a.homes_blocked(topo);
+        homes.extend(b.homes_blocked(topo));
+        WorkloadSpec {
+            sources,
+            homes,
+            locks: 1,
+            // FFT streams memory: high per-processor bus demand.
+            bus_demand_per_proc: 60_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_reads_every_other_process() {
+        let topo = Topology::new(4, 4);
+        let spec = Fft::paper().spec(topo);
+        assert_eq!(spec.sources.len(), 16);
+        // Homes cover both matrices on all nodes.
+        assert_eq!(spec.homes.len(), 8);
+    }
+
+    #[test]
+    fn one_processor_degenerates_to_local_work() {
+        let topo = Topology::new(1, 1);
+        let mut spec = Fft::with_points(1 << 14).spec(topo);
+        let mut n_reads = 0;
+        while let Some(op) = spec.sources[0].next_op() {
+            if matches!(op, genima_proto::Op::Read { .. }) {
+                n_reads += 1;
+            }
+        }
+        assert_eq!(n_reads, 0, "uniprocessor FFT reads nothing remote");
+    }
+}

@@ -1,0 +1,155 @@
+//! Ocean-rowwise: the SPLASH-2 ocean current simulation with row-wise
+//! band decomposition.
+//!
+//! Sharing pattern: iterative near-neighbour stencil — each process
+//! owns a contiguous band of grid rows, reads the two boundary rows of
+//! its neighbours every sweep, and joins barriers between sweeps. A
+//! global reduction protected by a lock checks convergence. When 4-way
+//! SMP nodes are used this rowwise version behaves like SPLASH-2's
+//! Ocean-contiguous (§3.2, footnote).
+//!
+//! Paper problem size: 514×514. Default here: 512×512 (one page per
+//! row of doubles, which is also the paper's layout intent).
+
+use genima_proto::Topology;
+
+use crate::common::{Layout, OpsBuilder, WorkloadSpec};
+use crate::App;
+
+/// The Ocean workload.
+#[derive(Debug, Clone)]
+pub struct OceanRowwise {
+    /// Grid dimension (rows = columns).
+    pub grid: usize,
+    /// Stencil sweeps.
+    pub sweeps: usize,
+    paper_label: &'static str,
+}
+
+impl OceanRowwise {
+    /// The paper's configuration.
+    pub fn paper() -> OceanRowwise {
+        OceanRowwise {
+            grid: 512,
+            sweeps: 30,
+            paper_label: "514x514 ocean (512x512 grid)",
+        }
+    }
+
+    /// A custom size.
+    pub fn with_grid(grid: usize, sweeps: usize) -> OceanRowwise {
+        OceanRowwise {
+            grid,
+            sweeps,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for OceanRowwise {
+    fn name(&self) -> &'static str {
+        "Ocean-rowwise"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let row_bytes = (self.grid * 8) as u64;
+        let mut layout = Layout::new();
+        // Two grids (current and previous sweep), one page per row.
+        let u = layout.alloc_bytes(self.grid as u64 * row_bytes);
+        let v = layout.alloc_bytes(self.grid as u64 * row_bytes);
+        // Convergence accumulator, padded to one page per process so
+        // the locked update does not bounce a single page through
+        // every critical section (the usual SVM restructuring).
+        let reduction = layout.alloc_pages(p.max(1));
+
+        let rows_per = self.grid / p;
+        // 5-point stencil: ~10 flops/point at 50 MFLOPS.
+        let sweep_us = (rows_per * self.grid) as f64 * 10.0 / 50.0;
+
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut ops = OpsBuilder::new();
+            let first_row = me * rows_per;
+            let my_u = u.chunk(me, p);
+            let my_v = v.chunk(me, p);
+            ops.write(my_u.base(), my_u.bytes() as u32);
+            ops.write(my_v.base(), my_v.bytes() as u32);
+            ops.barrier(0);
+
+            let mut bar = 1;
+            for sweep in 0..self.sweeps {
+                let (src, dst) = if sweep % 2 == 0 { (&u, &my_v) } else { (&v, &my_u) };
+                // Halo rows from the neighbours.
+                if me > 0 {
+                    ops.read(src.addr((first_row as u64 - 1) * row_bytes), row_bytes as u32);
+                }
+                if me + 1 < p {
+                    ops.read(
+                        src.addr((first_row + rows_per) as u64 * row_bytes),
+                        row_bytes as u32,
+                    );
+                }
+                ops.compute_us(sweep_us);
+                ops.write(dst.base(), dst.bytes() as u32);
+                // Convergence reduction under a global lock.
+                ops.acquire(0);
+                ops.write(reduction.page(me).base(), 8);
+                ops.release(0);
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        let mut homes = u.homes_blocked(topo);
+        homes.extend(v.homes_blocked(topo));
+        homes.extend(reduction.homes_blocked(topo));
+        WorkloadSpec {
+            sources,
+            homes,
+            locks: 1,
+            // Stencils stream the grid: moderate-high bus pressure
+            // (the paper notes Ocean's compute inflates on the SMP bus).
+            bus_demand_per_proc: 55_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::Op;
+
+    #[test]
+    fn interior_processes_read_two_halos_per_sweep() {
+        let topo = Topology::new(4, 4);
+        let mut spec = OceanRowwise::with_grid(256, 4).spec(topo);
+        // Process 5 is interior: count its reads.
+        let mut reads = 0;
+        while let Some(op) = spec.sources[5].next_op() {
+            if matches!(op, Op::Read { .. }) {
+                reads += 1;
+            }
+        }
+        assert_eq!(reads, 2 * 4, "two halo rows per sweep");
+    }
+
+    #[test]
+    fn edge_processes_read_one_halo() {
+        let topo = Topology::new(2, 1);
+        let mut spec = OceanRowwise::with_grid(256, 3).spec(topo);
+        let mut reads = 0;
+        while let Some(op) = spec.sources[0].next_op() {
+            if matches!(op, Op::Read { .. }) {
+                reads += 1;
+            }
+        }
+        assert_eq!(reads, 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Raytrace: the SPLASH-2 ray tracer (car scene), with the global
+//! ray-ID lock removed as in the paper's version (§3.2).
+//!
+//! Sharing pattern: a large read-mostly scene database (BSP tree +
+//! primitives) fetched on demand, per-process tile queues with
+//! stealing under queue locks, and heavy load imbalance — reflective
+//! rays make some tiles far more expensive. Lock and data-wait time
+//! both improve strongly under GeNIMA.
+//!
+//! Paper problem size: 256×256 car. Default here: an 8 MB scene,
+//! 2 frames.
+
+use genima_proto::Topology;
+
+use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::App;
+
+/// The Raytrace workload.
+#[derive(Debug, Clone)]
+pub struct Raytrace {
+    /// Scene database bytes.
+    pub scene_bytes: u64,
+    /// Frames rendered.
+    pub frames: usize,
+    /// Total tiles per frame (divided among the processes).
+    pub tiles: usize,
+    paper_label: &'static str,
+}
+
+impl Raytrace {
+    /// The paper's configuration (scaled scene).
+    pub fn paper() -> Raytrace {
+        Raytrace {
+            scene_bytes: 8 << 20,
+            frames: 2,
+            tiles: 640,
+            paper_label: "256x256 car (scaled scene)",
+        }
+    }
+
+    /// A custom size.
+    pub fn with_scene(scene_bytes: u64, frames: usize, tiles: usize) -> Raytrace {
+        Raytrace {
+            scene_bytes,
+            frames,
+            tiles,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for Raytrace {
+    fn name(&self) -> &'static str {
+        "Raytrace"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let mut layout = Layout::new();
+        let scene = layout.alloc_bytes(self.scene_bytes);
+        let image = layout.alloc_bytes((p * 64 * 1024) as u64);
+        let queues = layout.alloc_pages(p.max(1));
+
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut rng = proc_rng("raytrace", genima_proto::ProcId::new(me));
+            let mut ops = OpsBuilder::new();
+            let my_image = image.chunk(me, p);
+            ops.write(my_image.base(), my_image.bytes() as u32);
+            ops.barrier(0);
+
+            // The BSP upper levels are a stable, shared working set;
+            // reflective rays add per-tile scattered leaf reads. The
+            // scene is read-only: pages cache after the first touch.
+            let working_set: Vec<u64> = (0..48)
+                .map(|_| rng.next_below(self.scene_bytes - 512))
+                .collect();
+            let my_scene = scene.chunk(me, p);
+            let my_tiles = (self.tiles / p).max(1);
+            let mut bar = 1;
+            for _frame in 0..self.frames {
+                // Ray-shooting imbalance is heavier than Volrend's:
+                // tile costs vary 4x.
+                let skew = 0.4 + 1.2 * rng.next_f64();
+                for t in 0..my_tiles {
+                    ops.read(my_scene.addr(rng.next_below(my_scene.bytes() - 512)), 512);
+                    for k in 0..3 {
+                        let off = working_set[(t * 3 + k) % working_set.len()];
+                        ops.read(scene.addr(off), 512);
+                    }
+                    ops.compute_us(700.0 * skew);
+                    ops.write(my_image.addr(rng.next_below(my_image.bytes() - 128)), 128);
+                }
+                // Tile stealing.
+                let steals = ((1.6 - skew) * my_tiles as f64).max(0.0) as usize;
+                for s in 0..steals {
+                    // Steals concentrate on the most loaded queues.
+                    let victim = (1 + s % 3) % p;
+                    ops.acquire(victim);
+                    ops.read(queues.addr((victim * 64) as u64), 64);
+                    ops.release(victim);
+                    for k in 0..3 {
+                        let off = working_set[(s * 3 + k) % working_set.len()];
+                        ops.read(scene.addr(off), 512);
+                    }
+                    ops.compute_us(700.0);
+                }
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        let mut homes = scene.homes_blocked(topo);
+        homes.extend(image.homes_blocked(topo));
+        homes.extend(queues.homes_blocked(topo));
+        WorkloadSpec {
+            sources,
+            homes,
+            locks: p.max(1),
+            bus_demand_per_proc: 30_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::Op;
+
+    #[test]
+    fn scene_reads_dominate_op_mix() {
+        let topo = Topology::new(4, 4);
+        let spec = Raytrace::paper().spec(topo);
+        let mut reads = 0;
+        let mut writes = 0;
+        for mut src in spec.sources {
+            while let Some(op) = src.next_op() {
+                match op {
+                    Op::Read { .. } => reads += 1,
+                    Op::Write { .. } => writes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(reads > writes * 3, "read-mostly: {reads} reads vs {writes} writes");
+    }
+}

@@ -1,0 +1,164 @@
+//! Volrend-stealing: the restructured SPLASH-2 volume renderer.
+//!
+//! Sharing pattern: a large **read-only volume** (fetched cold in the
+//! first frame, then cached — LRC never invalidates read-only pages),
+//! per-process task queues with **task stealing** under queue locks,
+//! and per-frame barriers. The restructured version's initial
+//! assignment is balanced, so stealing is the residual load balancer;
+//! its effectiveness hinges on cheap locks, which is why the paper
+//! reports stealing "becomes effective" only under GeNIMA (§3.3).
+//!
+//! Paper problem size: 256×256×256 head. Default here: the volume is
+//! scaled to 4 MB; ray/task counts per frame are preserved in shape.
+
+use genima_proto::Topology;
+
+use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::App;
+
+/// The Volrend workload.
+#[derive(Debug, Clone)]
+pub struct VolrendStealing {
+    /// Volume bytes.
+    pub volume_bytes: u64,
+    /// Rendered frames.
+    pub frames: usize,
+    /// Total tasks per frame (divided among the processes).
+    pub tasks: usize,
+    paper_label: &'static str,
+}
+
+impl VolrendStealing {
+    /// The paper's configuration (scaled volume).
+    pub fn paper() -> VolrendStealing {
+        VolrendStealing {
+            volume_bytes: 4 << 20,
+            frames: 3,
+            tasks: 768,
+            paper_label: "256x256x256 cst head (scaled volume)",
+        }
+    }
+
+    /// A custom size.
+    pub fn with_volume(volume_bytes: u64, frames: usize, tasks: usize) -> VolrendStealing {
+        VolrendStealing {
+            volume_bytes,
+            frames,
+            tasks,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for VolrendStealing {
+    fn name(&self) -> &'static str {
+        "Volrend-stealing"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let mut layout = Layout::new();
+        let volume = layout.alloc_bytes(self.volume_bytes);
+        let image = layout.alloc_bytes((p * 64 * 1024) as u64);
+        let queues = layout.alloc_pages(p.max(1));
+
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut rng = proc_rng("volrend", genima_proto::ProcId::new(me));
+            let mut ops = OpsBuilder::new();
+            let my_image = image.chunk(me, p);
+            ops.write(my_image.base(), my_image.bytes() as u32);
+            ops.barrier(0);
+
+            // Rays mostly traverse the process's own octant (homed
+            // locally); each also samples a small, *stable* set of
+            // remote pages — cold in the first frame, cached (and
+            // never invalidated, the volume is read-only) afterwards.
+            let my_volume = volume.chunk(me, p);
+            let working_set: Vec<u64> = (0..24)
+                .map(|_| rng.next_below(self.volume_bytes - 512))
+                .collect();
+            let my_tasks = (self.tasks / p).max(1);
+            let mut bar = 1;
+            for _frame in 0..self.frames {
+                // Own tasks: read volume, render. Imbalance: per-process
+                // task cost varies ±50%.
+                let skew = 0.5 + rng.next_f64();
+                for t in 0..my_tasks {
+                    ops.read(my_volume.addr(rng.next_below(my_volume.bytes() - 512)), 512);
+                    ops.read(volume.addr(working_set[t % working_set.len()]), 512);
+                    ops.compute_us(600.0 * skew);
+                    ops.write(my_image.addr(rng.next_below(my_image.bytes() - 64)), 64);
+                }
+                // Stealing: fast processes raid slow queues. The
+                // number of steal episodes mirrors the skew deficit.
+                let steals = ((1.5 - skew) * my_tasks as f64).max(0.0) as usize;
+                for s in 0..steals {
+                    // Steals concentrate on the most loaded queues.
+                    let victim = (3 + s % 3) % p;
+                    ops.acquire(victim);
+                    ops.read(queues.addr((victim * 64) as u64), 64);
+                    ops.release(victim);
+                    ops.read(volume.addr(working_set[s % working_set.len()]), 512);
+                    ops.compute_us(600.0);
+                    ops.write(my_image.addr(rng.next_below(my_image.bytes() - 64)), 64);
+                }
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        let mut homes = volume.homes_blocked(topo);
+        homes.extend(image.homes_blocked(topo));
+        homes.extend(queues.homes_blocked(topo));
+        WorkloadSpec {
+            sources,
+            homes,
+            locks: p.max(1),
+            bus_demand_per_proc: 30_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::Op;
+
+    #[test]
+    fn stealing_uses_victim_queue_locks() {
+        let topo = Topology::new(4, 4);
+        let spec = VolrendStealing::paper().spec(topo);
+        let mut any_steals = false;
+        for mut src in spec.sources {
+            while let Some(op) = src.next_op() {
+                if matches!(op, Op::Acquire(_)) {
+                    any_steals = true;
+                }
+            }
+        }
+        assert!(any_steals, "someone must steal");
+    }
+
+    #[test]
+    fn imbalance_is_deterministic() {
+        let topo = Topology::new(2, 2);
+        let a = VolrendStealing::paper().spec(topo);
+        let b = VolrendStealing::paper().spec(topo);
+        for (mut sa, mut sb) in a.sources.into_iter().zip(b.sources) {
+            loop {
+                let (oa, ob) = (sa.next_op(), sb.next_op());
+                assert_eq!(oa, ob);
+                if oa.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Water: the SPLASH-2 molecular dynamics codes.
+//!
+//! **Water-nsquared** computes all O(n²/2) pairwise interactions; each
+//! process accumulates forces privately, then updates the shared force
+//! array under **fine-grained per-molecule locks** — the paper's
+//! canonical victim of frequent lock/notice traffic: its eager-notice
+//! messages clog the NI FIFOs in DW, and only NI locks (whose messages
+//! never enter the host-bound FIFO) recover the loss (§3.3).
+//!
+//! **Water-spatial** decomposes space into cells; processes read the
+//! boundary cells of their neighbours and take far fewer locks, so it
+//! behaves like a stencil code with modest lock traffic.
+//!
+//! Paper sizes: 4096 molecules (nsquared), 32K (spatial... the text's
+//! table is truncated; we use 4096/8192). Defaults here: 2048/4096
+//! molecules with 2 timesteps — the per-molecule locking rate per unit
+//! compute, which drives the result, is preserved.
+
+use genima_proto::Topology;
+
+use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::App;
+
+/// Bytes per molecule record.
+const MOL_BYTES: u64 = 680;
+/// Bytes per force record (3×3 doubles).
+const FORCE_BYTES: u64 = 72;
+
+/// Water-nsquared: O(n²) interactions, per-molecule locks.
+#[derive(Debug, Clone)]
+pub struct WaterNsquared {
+    /// Molecule count.
+    pub molecules: usize,
+    /// Timesteps simulated.
+    pub steps: usize,
+    paper_label: &'static str,
+}
+
+impl WaterNsquared {
+    /// The paper's configuration (scaled; see module docs).
+    pub fn paper() -> WaterNsquared {
+        WaterNsquared {
+            molecules: 2048,
+            steps: 2,
+            paper_label: "4096 molecules (scaled: 2048)",
+        }
+    }
+
+    /// A custom size.
+    pub fn with_molecules(molecules: usize, steps: usize) -> WaterNsquared {
+        WaterNsquared {
+            molecules,
+            steps,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for WaterNsquared {
+    fn name(&self) -> &'static str {
+        "Water-nsquared"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let n = self.molecules;
+        let nlocks = 256.min(n);
+        let mut layout = Layout::new();
+        let mols = layout.alloc_bytes(n as u64 * MOL_BYTES);
+        let forces = layout.alloc_bytes(n as u64 * FORCE_BYTES);
+
+        // Pairwise interactions per process per step.
+        let pairs_per_proc = n * n / 2 / p;
+        // Each process updates roughly n/2 + n/p molecules' shared
+        // forces per step (SPLASH-2 Water's update pattern): one lock
+        // episode each.
+        let episodes = n / 2 + n / p;
+        // ~200 flops per pair at 50 MFLOPS → 4 us; batch pairs
+        // between lock episodes.
+        let compute_per_episode_us = (pairs_per_proc as f64 / episodes as f64) * 4.0;
+
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut rng = proc_rng("water-nsq", genima_proto::ProcId::new(me));
+            let mut ops = OpsBuilder::new();
+            let my_mols = mols.chunk(me, p);
+            ops.write(my_mols.base(), my_mols.bytes() as u32);
+            ops.barrier(0);
+
+            let mut bar = 1;
+            for _step in 0..self.steps {
+                // Intra-molecular phase: local compute.
+                ops.compute_us((n / p) as f64 * 20.0);
+                ops.barrier(bar);
+                bar += 1;
+                // Force phase: batched pair computation, then a
+                // fine-grained locked update of a molecule's force.
+                for e in 0..episodes {
+                    ops.compute_us(compute_per_episode_us);
+                    // The updated molecule walks the ring starting
+                    // after our own chunk (n/2 following molecules).
+                    let mol = (me * (n / p) + 1 + (e * 37 + rng.next_below(7) as usize) % (n / 2))
+                        % n;
+                    ops.acquire(mol % nlocks);
+                    ops.write(forces.addr(mol as u64 * FORCE_BYTES), 24);
+                    ops.release(mol % nlocks);
+                }
+                ops.barrier(bar);
+                bar += 1;
+                // Update phase: advance own molecules (home-local).
+                ops.compute_us((n / p) as f64 * 8.0);
+                ops.write(my_mols.base(), my_mols.bytes() as u32);
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        let mut homes = mols.homes_blocked(topo);
+        homes.extend(forces.homes_blocked(topo));
+        WorkloadSpec {
+            sources,
+            homes,
+            locks: nlocks,
+            bus_demand_per_proc: 25_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+/// Water-spatial: cell-list decomposition, boundary reads, few locks.
+#[derive(Debug, Clone)]
+pub struct WaterSpatial {
+    /// Molecule count.
+    pub molecules: usize,
+    /// Timesteps simulated.
+    pub steps: usize,
+    paper_label: &'static str,
+}
+
+impl WaterSpatial {
+    /// The paper's configuration (scaled).
+    pub fn paper() -> WaterSpatial {
+        WaterSpatial {
+            molecules: 4096,
+            steps: 3,
+            paper_label: "8192 molecules (scaled: 4096)",
+        }
+    }
+
+    /// A custom size.
+    pub fn with_molecules(molecules: usize, steps: usize) -> WaterSpatial {
+        WaterSpatial {
+            molecules,
+            steps,
+            paper_label: "custom",
+        }
+    }
+}
+
+impl App for WaterSpatial {
+    fn name(&self) -> &'static str {
+        "Water-spatial"
+    }
+
+    fn problem(&self) -> String {
+        self.paper_label.to_string()
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let p = topo.procs();
+        let n = self.molecules;
+        let nlocks = 64;
+        let mut layout = Layout::new();
+        let mols = layout.alloc_bytes(n as u64 * MOL_BYTES);
+
+        // Boundary exchange: each process reads a slab of its two
+        // neighbours' molecules (~1/8 of their chunk).
+        let mut sources = Vec::with_capacity(p);
+        for me in 0..p {
+            let mut rng = proc_rng("water-sp", genima_proto::ProcId::new(me));
+            let mut ops = OpsBuilder::new();
+            let my_mols = mols.chunk(me, p);
+            ops.write(my_mols.base(), my_mols.bytes() as u32);
+            ops.barrier(0);
+
+            let boundary = (my_mols.bytes() / 8).max(4096) as u32;
+            let mut bar = 1;
+            for _step in 0..self.steps {
+                // Read neighbour boundary slabs.
+                for nb in [
+                    (me + p - 1) % p,
+                    (me + 1) % p,
+                    (me + p - (4 % p)) % p, // 3-D decomposition: a "vertical" neighbour
+                ] {
+                    if nb != me {
+                        let r = mols.chunk(nb, p);
+                        ops.read(r.base(), boundary.min(r.bytes() as u32));
+                    }
+                }
+                // Pair computation within and across cells: O(n/p · k).
+                ops.compute_us((n / p) as f64 * 60.0);
+                // A few cell-ownership locks for molecules that cross
+                // cell boundaries.
+                for _ in 0..8 {
+                    let cell = rng.next_below(nlocks as u64) as usize;
+                    ops.acquire(cell);
+                    ops.write(
+                        mols.addr(rng.next_below(n as u64) * MOL_BYTES),
+                        16,
+                    );
+                    ops.release(cell);
+                    ops.compute_us(40.0);
+                }
+                ops.barrier(bar);
+                bar += 1;
+                // Update own molecules.
+                ops.compute_us((n / p) as f64 * 8.0);
+                ops.write(my_mols.base(), my_mols.bytes() as u32);
+                ops.barrier(bar);
+                bar += 1;
+            }
+            sources.push(ops.into_source());
+        }
+
+        WorkloadSpec {
+            sources,
+            homes: mols.homes_blocked(topo),
+            locks: nlocks,
+            bus_demand_per_proc: 25_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::Op;
+
+    #[test]
+    fn nsquared_takes_many_fine_grained_locks() {
+        let topo = Topology::new(4, 4);
+        let mut spec = WaterNsquared::with_molecules(512, 1).spec(topo);
+        let mut locks = 0;
+        while let Some(op) = spec.sources[0].next_op() {
+            if matches!(op, Op::Acquire(_)) {
+                locks += 1;
+            }
+        }
+        // episodes = n/2 + n/p = 256 + 32.
+        assert_eq!(locks, 288);
+    }
+
+    #[test]
+    fn spatial_takes_far_fewer_locks_than_nsquared() {
+        let topo = Topology::new(4, 4);
+        let count = |mut src: Box<dyn genima_proto::OpSource>| {
+            let mut locks = 0;
+            while let Some(op) = src.next_op() {
+                if matches!(op, Op::Acquire(_)) {
+                    locks += 1;
+                }
+            }
+            locks
+        };
+        let nsq = count(
+            WaterNsquared::with_molecules(1024, 1)
+                .spec(topo)
+                .sources
+                .remove(0),
+        );
+        let sp = count(
+            WaterSpatial::with_molecules(1024, 1)
+                .spec(topo)
+                .sources
+                .remove(0),
+        );
+        assert!(sp * 10 < nsq, "spatial {sp} vs nsquared {nsq}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Microbenchmarks of the simulation substrate: event queue, diff
+//! engine, dirty-range tracking, network timing, NI pipeline, and NI
+//! lock round trips.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use genima_mem::{compute_diff, DirtyRanges, Page, PAGE_SIZE};
+use genima_net::{NetConfig, Network, NicId};
+use genima_nic::{Comm, LockId, MsgKind, NicConfig, SendDesc, Tag};
+use genima_sim::{Dur, EventQueue, SplitMix64, Time};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event-queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push-pop-10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SplitMix64::new(7);
+            for i in 0..10_000u64 {
+                q.push(Time::from_ns(rng.next_below(1 << 30)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    // Sparse diff: a Barnes-spatial-like page with 48 scattered runs.
+    g.bench_function("compute-sparse-48-runs", |b| {
+        let twin = Page::zeroed();
+        let mut cur = twin.twin();
+        for r in 0..48u64 {
+            cur.write(((r * 112) % 4080) as usize, &[r as u8 + 1; 8]);
+        }
+        b.iter(|| compute_diff(&twin, &cur))
+    });
+    // Dense diff: a fully rewritten page (FFT/Radix-like).
+    g.bench_function("compute-dense-full-page", |b| {
+        let twin = Page::zeroed();
+        let mut cur = twin.twin();
+        cur.write(0, &[42u8; PAGE_SIZE]);
+        b.iter(|| compute_diff(&twin, &cur))
+    });
+    g.bench_function("apply-48-runs", |b| {
+        let twin = Page::zeroed();
+        let mut cur = twin.twin();
+        for r in 0..48u64 {
+            cur.write(((r * 112) % 4080) as usize, &[r as u8 + 1; 8]);
+        }
+        let d = compute_diff(&twin, &cur);
+        b.iter_batched(
+            || twin.clone(),
+            |mut p| d.apply(&mut p),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_dirty_ranges(c: &mut Criterion) {
+    c.bench_function("dirty-ranges/64-scattered-adds", |b| {
+        b.iter(|| {
+            let mut d = DirtyRanges::new();
+            for r in 0..64u32 {
+                d.add((r * 61) % 4000, 8);
+            }
+            d.runs()
+        })
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("transfer-4k", |b| {
+        let mut net = Network::new(NetConfig::myrinet(), 8);
+        let mut t = Time::ZERO;
+        b.iter(|| {
+            t += Dur::from_us(50);
+            net.transfer(t, NicId::new(0), NicId::new(1), 4096)
+        })
+    });
+    g.finish();
+}
+
+fn bench_nic_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nic");
+    g.bench_function("deposit-pipeline-4k", |b| {
+        b.iter_batched(
+            || Comm::new(NicConfig::default(), NetConfig::myrinet(), 2, 0),
+            |mut comm| {
+                let post = comm.post_send(
+                    Time::ZERO,
+                    NicId::new(0),
+                    SendDesc {
+                        dst: NicId::new(1),
+                        bytes: 4096,
+                        kind: MsgKind::Deposit,
+                        tag: Tag::new(1),
+                    },
+                );
+                let mut q = EventQueue::new();
+                for (t, e) in post.events {
+                    q.push(t, e);
+                }
+                while let Some((t, e)) = q.pop() {
+                    let s = comm.handle(t, e);
+                    for (t2, e2) in s.events {
+                        q.push(t2, e2);
+                    }
+                }
+                comm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ni-lock-round-trip", |b| {
+        b.iter_batched(
+            || Comm::new(NicConfig::default(), NetConfig::myrinet(), 2, 1),
+            |mut comm| {
+                let post = comm.lock_acquire(Time::ZERO, NicId::new(1), LockId::new(0), Tag::new(1));
+                let mut q = EventQueue::new();
+                for (t, e) in post.events {
+                    q.push(t, e);
+                }
+                while let Some((t, e)) = q.pop() {
+                    let s = comm.handle(t, e);
+                    for (t2, e2) in s.events {
+                        q.push(t2, e2);
+                    }
+                }
+                comm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_diff,
+    bench_dirty_ranges,
+    bench_network,
+    bench_nic_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Protocol-level benchmarks: simulator throughput for whole
+//! application runs — one bench per paper experiment family, so
+//! regressions in the engine show up against a stable baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genima::{run_app, FeatureSet, Topology};
+use genima_apps::{BarnesSpatial, OceanRowwise, WaterNsquared};
+
+fn bench_protocol_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svm-run");
+    g.sample_size(10);
+    let topo = Topology::new(4, 4);
+
+    // A barrier/stencil workload (Figure 2's left half).
+    let ocean = OceanRowwise::with_grid(256, 8);
+    for f in [FeatureSet::base(), FeatureSet::genima()] {
+        g.bench_function(format!("ocean-256/{}", f.name()), |b| {
+            b.iter(|| run_app(&ocean, topo, f))
+        });
+    }
+
+    // A lock-heavy workload (the NIL experiment).
+    let water = WaterNsquared::with_molecules(512, 1);
+    for f in [FeatureSet::base(), FeatureSet::genima()] {
+        g.bench_function(format!("water-512/{}", f.name()), |b| {
+            b.iter(|| run_app(&water, topo, f))
+        });
+    }
+
+    // The direct-diff stress case (the Barnes-spatial regression).
+    let barnes = BarnesSpatial::with_bodies(2048, 1);
+    for f in [FeatureSet::dw_rf(), FeatureSet::genima()] {
+        g.bench_function(format!("barnes-spatial-2k/{}", f.name()), |b| {
+            b.iter(|| run_app(&barnes, topo, f))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol_sweep);
+criterion_main!(benches);

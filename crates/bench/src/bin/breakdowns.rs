@@ -1,0 +1,32 @@
+//! `breakdowns` — developer tool: per-protocol execution-time
+//! breakdowns and protocol counters for one or more applications
+//! (all ten when run without arguments).
+
+use genima::{run_app, sequential_time, FeatureSet, Topology};
+use genima_apps::{all_apps, app_by_name};
+
+fn main() {
+    let topo = Topology::new(4, 4);
+    let args: Vec<String> = std::env::args().collect();
+    let apps = if args.len() > 1 {
+        args[1..].iter().map(|n| app_by_name(n).expect("app")).collect()
+    } else {
+        all_apps()
+    };
+    for app in apps {
+        let seq = sequential_time(app.as_ref());
+        println!("== {} (seq {:?})", app.name(), seq);
+        for f in FeatureSet::ALL {
+            let r = run_app(app.as_ref(), topo, f);
+            let b = r.report.mean_breakdown();
+            let c = r.report.counters;
+            println!(
+                "  {:9} su={:5.2} cmp={:7.1}ms dat={:7.1}ms lck={:7.1}ms ar={:6.1}ms bar={:7.1}ms bp={:6.1}ms | flt={} xfer={} retry={} int={} diffs={} runs={} ntc={} mpro={:5.1}ms",
+                f.name(), r.report.speedup(seq),
+                b.compute.as_ms(), b.data.as_ms(), b.lock.as_ms(), b.acqrel.as_ms(), b.barrier.as_ms(), b.barrier_protocol.as_ms(),
+                c.faults, c.page_transfers, c.fetch_retries, c.interrupts, c.diffs, c.diff_run_messages, c.notice_messages,
+                b.mprotect.as_ms(),
+            );
+        }
+    }
+}

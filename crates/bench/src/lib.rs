@@ -1,0 +1,9 @@
+//! Benchmark harness for the GeNIMA reproduction.
+//!
+//! The `repro` binary regenerates every table and figure of the
+//! paper's evaluation; the Criterion benches in `benches/` measure the
+//! substrate itself (event queue, diff engine, network, NI lock
+//! round-trips). This library exposes the ablation studies shared
+//! between the binary and the benches.
+
+pub mod ablations;

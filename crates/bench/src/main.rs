@@ -1,0 +1,142 @@
+//! `repro` — regenerates every table and figure of the GeNIMA paper.
+//!
+//! ```text
+//! repro all                 # everything, in paper order
+//! repro fig1 | fig2 | fig3 | fig4
+//! repro table1 | table2 | table3 | table4 | table5
+//! repro ablate-postqueue | ablate-pipelining | ablate-notices |
+//!       ablate-mprotect | ablate-interrupts | ablate-scattergather |
+//!       ablate-broadcast | ablate-homes
+//! ```
+
+use genima::experiments::{
+    evaluate_suite, fig1_base_vs_origin, fig2_speedups, fig3_breakdowns, fig4_final,
+    paper_topology, size_scaling, table1_appstats, table2_barrier, table34_contention,
+    table5_scaling,
+};
+use genima_bench::ablations;
+use genima_nic::SizeClass;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment>\n\
+         experiments: all fig1 fig2 fig3 fig4 table1 table2 table3 table4 table5\n\
+                      scaling-size\n\
+         ablations:   ablate-postqueue ablate-pipelining ablate-notices\n\
+                      ablate-mprotect ablate-interrupts ablate-scattergather\n\
+                      ablate-broadcast ablate-homes ablate-lockimpl"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let topo = paper_topology();
+    let needs_suite = matches!(
+        arg.as_str(),
+        "all" | "fig1" | "fig2" | "fig3" | "fig4" | "table1" | "table2"
+    );
+    let evals = if needs_suite {
+        eprintln!("running the 10-application suite across 5 protocols + Origin model ...");
+        evaluate_suite(topo)
+    } else {
+        Vec::new()
+    };
+
+    let emit = |title: &str, body: String| {
+        println!("== {title}\n{body}");
+    };
+
+    match arg.as_str() {
+        "all" => {
+            emit(
+                "Figure 1: speedups, hardware DSM (Origin 2000 model) vs Base SVM, 16 processors",
+                fig1_base_vs_origin(&evals).to_string(),
+            );
+            emit(
+                "Figure 2: application speedups per protocol, 16 processors",
+                fig2_speedups(&evals).to_string(),
+            );
+            emit(
+                "Figure 3: normalized execution time breakdowns (Base total = 1.0)",
+                fig3_breakdowns(&evals).to_string(),
+            );
+            emit(
+                "Figure 4: speedups, Origin vs Base vs GeNIMA",
+                fig4_final(&evals).to_string(),
+            );
+            emit("Table 1: application statistics", table1_appstats(&evals).to_string());
+            emit("Table 2: barrier time", table2_barrier(&evals).to_string());
+            eprintln!("running contention tables (Base + GeNIMA per app) ...");
+            emit(
+                "Table 3: contention ratios (avg/uncontended), small messages, Base/GeNIMA",
+                table34_contention(topo, SizeClass::Small).to_string(),
+            );
+            emit(
+                "Table 4: contention ratios (avg/uncontended), large messages, Base/GeNIMA",
+                table34_contention(topo, SizeClass::Large).to_string(),
+            );
+            eprintln!("running 32-processor scaling (8 nodes x 4) ...");
+            emit(
+                "Table 5: 32-processor speedups",
+                table5_scaling().to_string(),
+            );
+        }
+        "fig1" => emit("Figure 1", fig1_base_vs_origin(&evals).to_string()),
+        "fig2" => emit("Figure 2", fig2_speedups(&evals).to_string()),
+        "fig3" => emit("Figure 3", fig3_breakdowns(&evals).to_string()),
+        "fig4" => emit("Figure 4", fig4_final(&evals).to_string()),
+        "table1" => emit("Table 1", table1_appstats(&evals).to_string()),
+        "table2" => emit("Table 2", table2_barrier(&evals).to_string()),
+        "table3" => emit(
+            "Table 3 (small messages, Base/GeNIMA)",
+            table34_contention(topo, SizeClass::Small).to_string(),
+        ),
+        "table4" => emit(
+            "Table 4 (large messages, Base/GeNIMA)",
+            table34_contention(topo, SizeClass::Large).to_string(),
+        ),
+        "table5" => emit("Table 5", table5_scaling().to_string()),
+        "scaling-size" => emit(
+            "Problem-size scaling (Base vs GeNIMA, §5 limitation study)",
+            size_scaling(topo).to_string(),
+        ),
+        "ablate-postqueue" => emit(
+            "Ablation: post-queue depth (Barnes-spatial, GeNIMA)",
+            ablations::post_queue_sweep(topo).to_string(),
+        ),
+        "ablate-pipelining" => emit(
+            "Ablation: send pipelining (Barnes-spatial)",
+            ablations::send_pipelining(topo).to_string(),
+        ),
+        "ablate-notices" => emit(
+            "Ablation: notice propagation (Water-nsquared)",
+            ablations::notice_propagation(topo).to_string(),
+        ),
+        "ablate-mprotect" => emit(
+            "Ablation: mprotect coalescing (Radix-local)",
+            ablations::mprotect_coalescing(topo).to_string(),
+        ),
+        "ablate-interrupts" => emit(
+            "Ablation: interrupt-cost sweep (Water-nsquared, Base)",
+            ablations::interrupt_cost_sweep(topo).to_string(),
+        ),
+        "ablate-scattergather" => emit(
+            "Ablation: NI scatter-gather (Barnes-spatial)",
+            ablations::scatter_gather(topo).to_string(),
+        ),
+        "ablate-broadcast" => emit(
+            "Ablation: NI broadcast for write notices (Water-nsquared)",
+            ablations::ni_broadcast(topo).to_string(),
+        ),
+        "ablate-lockimpl" => emit(
+            "Ablation: firmware lock chain vs remote atomics (Water-nsquared)",
+            ablations::lock_implementation(topo).to_string(),
+        ),
+        "ablate-homes" => emit(
+            "Ablation: page-home placement (FFT, GeNIMA)",
+            ablations::home_placement(topo).to_string(),
+        ),
+        _ => usage(),
+    }
+}

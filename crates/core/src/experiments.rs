@@ -1,0 +1,334 @@
+//! Experiment drivers regenerating every table and figure of the
+//! paper's evaluation (§3–§4).
+//!
+//! Each driver returns typed result rows plus a [`TextTable`] that the
+//! `repro` binary prints. Absolute numbers come from the simulator's
+//! calibrated substrate, so they will not match the authors' testbed
+//! exactly; the *shapes* — which protocol wins where, by roughly what
+//! factor, and where the regressions are — are the reproduction target
+//! (see `EXPERIMENTS.md`).
+
+use genima_apps::{all_apps, App};
+use genima_nic::{SizeClass, Stage};
+use genima_proto::{Breakdown, FeatureSet, Topology};
+use genima_sim::Dur;
+
+use crate::runner::{run_app, run_app_on_hwdsm, sequential_time};
+use crate::tables::TextTable;
+
+/// The paper's testbed: 4 nodes × 4-way SMP = 16 processors.
+pub fn paper_topology() -> Topology {
+    Topology::new(4, 4)
+}
+
+/// The 32-processor configuration of Table 5: 8 nodes × 4.
+pub fn table5_topology() -> Topology {
+    Topology::new(8, 4)
+}
+
+/// One application evaluated across protocols.
+#[derive(Debug)]
+pub struct AppEval {
+    /// Application name.
+    pub name: &'static str,
+    /// Problem-size label.
+    pub problem: String,
+    /// Sequential (uniprocessor) time.
+    pub sequential: Dur,
+    /// Speedup per protocol, in [`FeatureSet::ALL`] order.
+    pub speedups: Vec<f64>,
+    /// Mean breakdown per protocol.
+    pub breakdowns: Vec<Breakdown>,
+    /// Hardware-DSM (Origin 2000 model) speedup.
+    pub origin_speedup: f64,
+}
+
+/// Evaluates one application on every protocol plus the hardware
+/// reference.
+pub fn evaluate_app(app: &dyn App, topo: Topology) -> AppEval {
+    let sequential = sequential_time(app);
+    let mut speedups = Vec::new();
+    let mut breakdowns = Vec::new();
+    for f in FeatureSet::ALL {
+        let out = run_app(app, topo, f);
+        speedups.push(out.report.speedup(sequential));
+        breakdowns.push(out.report.mean_breakdown());
+    }
+    let origin = run_app_on_hwdsm(app, topo);
+    AppEval {
+        name: app.name(),
+        problem: app.problem(),
+        sequential,
+        speedups,
+        breakdowns,
+        origin_speedup: origin.speedup(sequential),
+    }
+}
+
+/// Evaluates the full application suite.
+pub fn evaluate_suite(topo: Topology) -> Vec<AppEval> {
+    all_apps().iter().map(|a| evaluate_app(a.as_ref(), topo)).collect()
+}
+
+/// Figure 1: speedups of the hardware DSM versus the Base protocol.
+pub fn fig1_base_vs_origin(evals: &[AppEval]) -> TextTable {
+    let mut t = TextTable::new(vec!["Application", "Origin 2000", "SVM (Base)"]);
+    for e in evals {
+        t.row(vec![
+            e.name.to_string(),
+            format!("{:.2}", e.origin_speedup),
+            format!("{:.2}", e.speedups[0]),
+        ]);
+    }
+    t
+}
+
+/// Figure 2: speedups of the five protocol variants.
+pub fn fig2_speedups(evals: &[AppEval]) -> TextTable {
+    let mut header = vec!["Application".to_string()];
+    header.extend(FeatureSet::ALL.iter().map(|f| f.name().to_string()));
+    let mut t = TextTable::new(header);
+    for e in evals {
+        let mut row = vec![e.name.to_string()];
+        row.extend(e.speedups.iter().map(|s| format!("{s:.2}")));
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 3: normalized execution-time breakdowns (Base = 1.0).
+pub fn fig3_breakdowns(evals: &[AppEval]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Application",
+        "Protocol",
+        "Total",
+        "Compute",
+        "Data",
+        "Lock",
+        "Acq/Rel",
+        "Barrier",
+    ]);
+    for e in evals {
+        let base_total = e.breakdowns[0].total().as_ns().max(1) as f64;
+        for (f, b) in FeatureSet::ALL.iter().zip(&e.breakdowns) {
+            let norm = |d: Dur| format!("{:.3}", d.as_ns() as f64 / base_total);
+            t.row(vec![
+                e.name.to_string(),
+                f.name().to_string(),
+                norm(b.total()),
+                norm(b.compute),
+                norm(b.data),
+                norm(b.lock),
+                norm(b.acqrel),
+                norm(b.barrier),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 4: Origin vs Base vs GeNIMA speedups.
+pub fn fig4_final(evals: &[AppEval]) -> TextTable {
+    let mut t = TextTable::new(vec!["Application", "Origin 2000", "Base", "GeNIMA"]);
+    for e in evals {
+        t.row(vec![
+            e.name.to_string(),
+            format!("{:.2}", e.origin_speedup),
+            format!("{:.2}", e.speedups[0]),
+            format!("{:.2}", e.speedups[4]),
+        ]);
+    }
+    t
+}
+
+/// Table 1: per-application statistics and improvements.
+///
+/// Columns follow the paper: overall improvement Base→GeNIMA, data-wait
+/// improvement DW→DW+RF (and DW→GeNIMA in parentheses), lock-time
+/// improvement DW+RF+DD→GeNIMA.
+pub fn table1_appstats(evals: &[AppEval]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Application",
+        "Problem Size",
+        "Uniproc Time(s)",
+        "Overall(%)",
+        "Data Time(%)",
+        "Lock Time(%)",
+    ]);
+    for e in evals {
+        let pct = |from: f64, to: f64| {
+            if from <= 0.0 {
+                0.0
+            } else {
+                (from - to) / from * 100.0
+            }
+        };
+        let time = |i: usize| e.breakdowns[i].total().as_ns() as f64;
+        let overall = pct(time(0), time(4));
+        let data_rf = pct(
+            e.breakdowns[1].data.as_ns() as f64,
+            e.breakdowns[2].data.as_ns() as f64,
+        );
+        let data_genima = pct(
+            e.breakdowns[1].data.as_ns() as f64,
+            e.breakdowns[4].data.as_ns() as f64,
+        );
+        let lock = pct(
+            e.breakdowns[3].lock.as_ns() as f64,
+            e.breakdowns[4].lock.as_ns() as f64,
+        );
+        t.row(vec![
+            e.name.to_string(),
+            e.problem.clone(),
+            format!("{:.2}", e.sequential.as_secs()),
+            format!("{overall:.1}"),
+            format!("{data_rf:.1} ({data_genima:.1})"),
+            format!("{lock:.1}"),
+        ]);
+    }
+    t
+}
+
+/// Table 2: barrier time share (BT), barrier-protocol share (BPT),
+/// and mprotect share of SVM overhead (MT), under GeNIMA.
+pub fn table2_barrier(evals: &[AppEval]) -> TextTable {
+    let mut t = TextTable::new(vec!["Application", "BT", "BPT", "MT"]);
+    for e in evals {
+        let g = &e.breakdowns[4];
+        let bt = g.share_of(g.barrier) * 100.0;
+        let bpt = if g.barrier.as_ns() == 0 {
+            0.0
+        } else {
+            g.barrier_protocol.as_ns() as f64 / g.barrier.as_ns() as f64 * 100.0
+        };
+        let overhead = g.overhead().as_ns().max(1) as f64;
+        let mt = g.mprotect.as_ns() as f64 / overhead * 100.0;
+        t.row(vec![
+            e.name.to_string(),
+            format!("{bt:.1}%"),
+            format!("{bpt:.0}%"),
+            format!("{mt:.1}%"),
+        ]);
+    }
+    t
+}
+
+/// Contention table (Tables 3 and 4): per-stage ratios of average to
+/// uncontended residency, Base vs GeNIMA, for one size class.
+pub fn table34_contention(topo: Topology, class: SizeClass) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Application",
+        "SourceLat",
+        "LANaiLat",
+        "NetLat",
+        "DestLat",
+    ]);
+    for app in all_apps() {
+        let base = run_app(app.as_ref(), topo, FeatureSet::base());
+        let genima = run_app(app.as_ref(), topo, FeatureSet::genima());
+        let cell = |stage: Stage| {
+            let b = base.report.monitor.stats(stage, class);
+            let g = genima.report.monitor.stats(stage, class);
+            let fmt_one = |s: genima_nic::StageStats| {
+                if s.actual.count() == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", s.ratio())
+                }
+            };
+            format!("{}/{}", fmt_one(b), fmt_one(g))
+        };
+        t.row(vec![
+            app.name().to_string(),
+            cell(Stage::Source),
+            cell(Stage::Lanai),
+            cell(Stage::Net),
+            cell(Stage::Dest),
+        ]);
+    }
+    t
+}
+
+/// §5 limitation study: how the NI support's impact varies with
+/// problem size. The paper: "performance of most applications indeed
+/// improves as the problem size increases. The impact of the NI
+/// support ... tends to decrease somewhat ... and to increase with
+/// smaller problem sizes unless load imbalance dominates."
+pub fn size_scaling(topo: Topology) -> TextTable {
+    use genima_apps::{Fft, WaterNsquared};
+    let mut t = TextTable::new(vec![
+        "Application",
+        "Size",
+        "Base",
+        "GeNIMA",
+        "Improvement",
+    ]);
+    let mut row = |app: &dyn App, size: String| {
+        let seq = sequential_time(app);
+        let base = run_app(app, topo, FeatureSet::base());
+        let genima = run_app(app, topo, FeatureSet::genima());
+        let (b, g) = (base.report.speedup(seq), genima.report.speedup(seq));
+        t.row(vec![
+            app.name().to_string(),
+            size,
+            format!("{b:.2}"),
+            format!("{g:.2}"),
+            format!("{:+.1}%", (g / b - 1.0) * 100.0),
+        ]);
+    };
+    for points in [1u64 << 18, 1 << 20, 1 << 22] {
+        row(&Fft::with_points(points), format!("{}K points", points >> 10));
+    }
+    for mols in [512usize, 2048, 4096] {
+        row(
+            &WaterNsquared::with_molecules(mols, 2),
+            format!("{mols} molecules"),
+        );
+    }
+    t
+}
+
+/// Table 5: 32-processor speedups, GeNIMA vs the hardware DSM.
+pub fn table5_scaling() -> TextTable {
+    let topo = table5_topology();
+    let mut t = TextTable::new(vec!["Application", "SVM (GeNIMA)", "SGI Origin2000"]);
+    for app in all_apps() {
+        let seq = sequential_time(app.as_ref());
+        let svm = run_app(app.as_ref(), topo, FeatureSet::genima());
+        let hw = run_app_on_hwdsm(app.as_ref(), topo);
+        t.row(vec![
+            app.name().to_string(),
+            format!("{:.2}", svm.report.speedup(seq)),
+            format!("{:.2}", hw.speedup(seq)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_apps::OceanRowwise;
+
+    #[test]
+    fn evaluate_app_produces_five_protocol_rows() {
+        let app = OceanRowwise::with_grid(128, 3);
+        let e = evaluate_app(&app, Topology::new(2, 2));
+        assert_eq!(e.speedups.len(), 5);
+        assert_eq!(e.breakdowns.len(), 5);
+        assert!(e.sequential > Dur::ZERO);
+        assert!(e.origin_speedup > 0.0);
+    }
+
+    #[test]
+    fn figure_tables_have_one_row_per_app() {
+        let app = OceanRowwise::with_grid(128, 3);
+        let evals = vec![evaluate_app(&app, Topology::new(2, 2))];
+        assert_eq!(fig1_base_vs_origin(&evals).len(), 1);
+        assert_eq!(fig2_speedups(&evals).len(), 1);
+        assert_eq!(fig3_breakdowns(&evals).len(), 5);
+        assert_eq!(fig4_final(&evals).len(), 1);
+        assert_eq!(table1_appstats(&evals).len(), 1);
+        assert_eq!(table2_barrier(&evals).len(), 1);
+    }
+}

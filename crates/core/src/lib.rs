@@ -1,0 +1,44 @@
+//! GeNIMA: general-purpose network-interface support in a shared
+//! memory abstraction — a full reproduction of Bilas, Liao & Singh
+//! (ISCA 1999) as a deterministic cluster simulator.
+//!
+//! This is the top-level crate: it ties the workload generators
+//! (`genima-apps`) to the SVM protocol engine (`genima-proto`), the
+//! communication stack (`genima-vmmc`/`genima-nic`/`genima-net`), the
+//! memory system (`genima-mem`), and the hardware-DSM reference
+//! (`genima-hwdsm`), and provides the experiment drivers that
+//! regenerate every table and figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genima::{run_app, FeatureSet, Topology};
+//! use genima_apps::{App, OceanRowwise};
+//!
+//! let topo = Topology::new(2, 2);
+//! let app = OceanRowwise::with_grid(128, 4);
+//! let out = run_app(&app, topo, FeatureSet::genima());
+//! assert_eq!(out.report.counters.interrupts, 0);
+//! ```
+//!
+//! # Experiment drivers
+//!
+//! The [`experiments`] module regenerates the paper's evaluation:
+//! [`experiments::fig2_speedups`] produces the five-protocol speedup
+//! comparison, [`experiments::table34_contention`] the NI-monitor
+//! contention ratios, and so on. The `repro` binary in `genima-bench`
+//! prints them in the paper's layout.
+
+mod runner;
+mod tables;
+
+pub mod experiments;
+
+pub use runner::{run_app, run_app_on_hwdsm, sequential_time, AppOutcome};
+pub use tables::TextTable;
+
+pub use genima_apps::{all_apps, app_by_name, App};
+pub use genima_proto::{
+    Breakdown, Counters, FeatureSet, ProtoConfig, RunReport, SvmParams, SvmSystem, Topology,
+};
+pub use genima_sim::{Dur, Time};

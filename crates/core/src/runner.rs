@@ -1,0 +1,116 @@
+//! Running applications on the simulated cluster.
+
+use genima_apps::App;
+use genima_hwdsm::{HwDsm, HwDsmConfig, HwReport};
+use genima_proto::{FeatureSet, RunReport, SvmParams, SvmSystem, Topology};
+use genima_sim::Dur;
+
+/// Result of running one application on one protocol configuration.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// The protocol variant used.
+    pub features: FeatureSet,
+    /// The full measurement report.
+    pub report: RunReport,
+}
+
+/// Runs `app` on the SVM cluster with the given protocol variant.
+///
+/// # Example
+///
+/// ```
+/// use genima::{run_app, FeatureSet, Topology};
+/// use genima_apps::OceanRowwise;
+///
+/// let out = run_app(
+///     &OceanRowwise::with_grid(128, 2),
+///     Topology::new(2, 1),
+///     FeatureSet::base(),
+/// );
+/// assert!(out.report.counters.barriers > 0);
+/// ```
+pub fn run_app(app: &dyn App, topo: Topology, features: FeatureSet) -> AppOutcome {
+    let spec = app.spec(topo);
+    let mut params = SvmParams::new(topo, features);
+    params.locks = spec.locks.max(1);
+    params.bus_demand_per_proc = spec.bus_demand_per_proc;
+    params.warmup_barrier = spec.warmup_barrier;
+    let mut sys = SvmSystem::new(params, spec.sources);
+    for (start, count, node) in spec.homes {
+        sys.assign_homes(start, count, node);
+    }
+    let report = sys.run();
+    AppOutcome { features, report }
+}
+
+/// Runs `app` sequentially and returns the parallel-section time — the
+/// denominator of every speedup in the paper.
+///
+/// Matches the paper's methodology (§3.2): the sequential version runs
+/// *without linking to the SVM library or introducing any other
+/// overheads* — no page protection, no twinning, no protocol — so it
+/// executes on a plain uniprocessor model (local memory latencies,
+/// trivial synchronization). Initialization before the warmup barrier
+/// is excluded on both sides, per SPLASH-2 guidelines.
+pub fn sequential_time(app: &dyn App) -> Dur {
+    let topo = Topology::new(1, 1);
+    let spec = app.spec(topo);
+    let cfg = HwDsmConfig {
+        // A uniprocessor pays plain memory-hierarchy costs.
+        remote_miss: genima_sim::Dur::from_ns(300),
+        local_miss: genima_sim::Dur::from_ns(150),
+        lock_op: genima_sim::Dur::from_ns(500),
+        barrier_op: genima_sim::Dur::ZERO,
+        ..HwDsmConfig::origin2000()
+    };
+    HwDsm::with_config(cfg, topo, spec.sources, spec.locks.max(1), spec.warmup_barrier)
+        .run()
+        .finish
+}
+
+/// Runs `app` on the hardware-DSM reference machine (Origin 2000
+/// model) with the same operation streams.
+pub fn run_app_on_hwdsm(app: &dyn App, topo: Topology) -> HwReport {
+    let spec = app.spec(topo);
+    HwDsm::with_config(
+        HwDsmConfig::origin2000(),
+        topo,
+        spec.sources,
+        spec.locks.max(1),
+        spec.warmup_barrier,
+    )
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_apps::OceanRowwise;
+
+    #[test]
+    fn parallel_beats_sequential_for_a_stencil() {
+        let app = OceanRowwise::paper();
+        let seq = sequential_time(&app);
+        let par = run_app(&app, Topology::new(4, 4), FeatureSet::genima());
+        let speedup = par.report.speedup(seq);
+        assert!(
+            speedup > 3.0,
+            "16 processors must beat 1 on Ocean: speedup {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn hwdsm_beats_svm_on_the_same_streams() {
+        let app = OceanRowwise::with_grid(256, 6);
+        let seq = sequential_time(&app);
+        let topo = Topology::new(4, 4);
+        let svm = run_app(&app, topo, FeatureSet::base());
+        let hw = run_app_on_hwdsm(&app, topo);
+        assert!(
+            hw.speedup(seq) > svm.report.speedup(seq),
+            "hardware DSM {:.2} must beat Base SVM {:.2} (Figure 1)",
+            hw.speedup(seq),
+            svm.report.speedup(seq)
+        );
+    }
+}

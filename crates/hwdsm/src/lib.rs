@@ -1,0 +1,22 @@
+//! Hardware cache-coherent DSM reference model (SGI Origin 2000-like).
+//!
+//! Figures 1 and 4 and Table 5 of the paper compare the SVM cluster
+//! against a hardware-coherent machine running the same applications.
+//! This crate provides that reference: a deliberately lightweight
+//! model of a directory-based cc-NUMA machine that executes the *same*
+//! operation streams as the SVM simulator, but with hardware-DSM
+//! costs — cache-line (128 B) coherence granularity, sub-microsecond
+//! remote misses, and hardware synchronization primitives. There is no
+//! page protection, no twinning or diffing, no protocol processor, and
+//! no interrupt cost: exactly the asymmetries the paper's Figure 1
+//! illustrates.
+//!
+//! The model is intentionally simple (the paper uses the Origin only
+//! as a reference series): per-page version tracking stands in for the
+//! directory — a process re-misses on the lines of a page another
+//! process has written since its last access — and locks/barriers are
+//! queue-based hardware operations with microsecond-scale costs.
+
+mod machine;
+
+pub use machine::{HwDsm, HwDsmConfig, HwReport};

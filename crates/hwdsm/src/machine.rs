@@ -1,0 +1,438 @@
+//! The cc-NUMA machine model.
+
+use std::collections::{HashMap, VecDeque};
+
+use genima_proto::{BarrierId, Op, OpSource, PageId, Topology};
+use genima_sim::{Dur, EventQueue, Time};
+
+/// Cost parameters of the hardware DSM machine.
+///
+/// Defaults approximate a late-90s SGI Origin 2000: ~128-byte
+/// coherence units, sub-microsecond remote misses, hardware
+/// fetch-and-op synchronization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwDsmConfig {
+    /// Coherence granularity in bytes.
+    pub line: u32,
+    /// Remote read-miss latency per line.
+    pub remote_miss: Dur,
+    /// Local / L2 refill per line for data already on the node.
+    pub local_miss: Dur,
+    /// Uncontended lock acquire/release cost.
+    pub lock_op: Dur,
+    /// Barrier entry/exit cost (excluding wait).
+    pub barrier_op: Dur,
+    /// Fraction of a re-read of unmodified data that still misses
+    /// (capacity/conflict misses), 0.0–1.0.
+    pub rehit_miss_fraction: f64,
+}
+
+impl HwDsmConfig {
+    /// Origin 2000-like parameters.
+    pub fn origin2000() -> HwDsmConfig {
+        HwDsmConfig {
+            line: 128,
+            remote_miss: Dur::from_ns(900),
+            local_miss: Dur::from_ns(300),
+            lock_op: Dur::from_us(2),
+            barrier_op: Dur::from_us(8),
+            rehit_miss_fraction: 0.15,
+        }
+    }
+}
+
+impl Default for HwDsmConfig {
+    fn default() -> Self {
+        HwDsmConfig::origin2000()
+    }
+}
+
+/// Result of one hardware-DSM run.
+#[derive(Debug, Clone)]
+pub struct HwReport {
+    /// Simulated parallel execution time (after the warmup barrier if
+    /// one was given).
+    pub finish: Dur,
+    /// Remote line misses taken.
+    pub remote_misses: u64,
+    /// Lock acquisitions.
+    pub lock_acquires: u64,
+    /// Barrier episodes.
+    pub barriers: u64,
+}
+
+impl HwReport {
+    /// Speedup against a sequential time.
+    pub fn speedup(&self, sequential: Dur) -> f64 {
+        if self.finish.is_zero() {
+            0.0
+        } else {
+            sequential.as_ns() as f64 / self.finish.as_ns() as f64
+        }
+    }
+}
+
+enum Ev {
+    Resume(usize),
+}
+
+enum PState {
+    Runnable,
+    LockWait,
+    BarrierWait,
+    Done,
+}
+
+struct Proc {
+    clock: Time,
+    src: Box<dyn OpSource>,
+    state: PState,
+    /// Per page: the global write stamp this processor last observed.
+    seen: HashMap<PageId, u64>,
+}
+
+struct LockSt {
+    held: bool,
+    waiters: VecDeque<usize>,
+}
+
+/// The hardware DSM machine executing one op stream per processor.
+///
+/// # Example
+///
+/// ```
+/// use genima_hwdsm::HwDsm;
+/// use genima_proto::{ops_source, Op, OpSource, Topology};
+/// use genima_sim::Dur;
+///
+/// let srcs: Vec<Box<dyn OpSource>> = (0..2)
+///     .map(|_| Box::new(ops_source(vec![Op::Compute(Dur::from_us(100))])) as Box<dyn OpSource>)
+///     .collect();
+/// let report = HwDsm::new(Topology::new(2, 1), srcs).run();
+/// assert!(report.finish >= Dur::from_us(100));
+/// ```
+pub struct HwDsm {
+    cfg: HwDsmConfig,
+    q: EventQueue<Ev>,
+    procs: Vec<Proc>,
+    locks: Vec<LockSt>,
+    barriers: HashMap<BarrierId, (usize, Vec<usize>)>,
+    /// Per page: global write stamp.
+    stamps: HashMap<PageId, u64>,
+    next_stamp: u64,
+    warmup: Option<BarrierId>,
+    measure_from: Time,
+    remote_misses: u64,
+    lock_acquires: u64,
+    barrier_count: u64,
+    done: usize,
+}
+
+impl HwDsm {
+    /// Creates a machine with default Origin parameters.
+    pub fn new(topo: Topology, sources: Vec<Box<dyn OpSource>>) -> HwDsm {
+        HwDsm::with_config(HwDsmConfig::origin2000(), topo, sources, 64, None)
+    }
+
+    /// Creates a machine with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` does not match the topology.
+    pub fn with_config(
+        cfg: HwDsmConfig,
+        topo: Topology,
+        sources: Vec<Box<dyn OpSource>>,
+        locks: usize,
+        warmup: Option<BarrierId>,
+    ) -> HwDsm {
+        assert_eq!(sources.len(), topo.procs(), "one source per processor");
+        let _ = topo;
+        HwDsm {
+            cfg,
+            q: EventQueue::new(),
+            procs: sources
+                .into_iter()
+                .map(|src| Proc {
+                    clock: Time::ZERO,
+                    src,
+                    state: PState::Runnable,
+                    seen: HashMap::new(),
+                })
+                .collect(),
+            locks: (0..locks)
+                .map(|_| LockSt {
+                    held: false,
+                    waiters: VecDeque::new(),
+                })
+                .collect(),
+            barriers: HashMap::new(),
+            stamps: HashMap::new(),
+            next_stamp: 1,
+            warmup,
+            measure_from: Time::ZERO,
+            remote_misses: 0,
+            lock_acquires: 0,
+            barrier_count: 0,
+            done: 0,
+        }
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self) -> HwReport {
+        for p in 0..self.procs.len() {
+            self.q.push(Time::ZERO, Ev::Resume(p));
+        }
+        while let Some((t, Ev::Resume(p))) = self.q.pop() {
+            self.run_proc(t, p);
+        }
+        assert_eq!(self.done, self.procs.len(), "hardware DSM deadlock");
+        let finish = self
+            .procs
+            .iter()
+            .map(|p| p.clock)
+            .max()
+            .unwrap_or(Time::ZERO);
+        HwReport {
+            finish: finish.saturating_since(self.measure_from),
+            remote_misses: self.remote_misses,
+            lock_acquires: self.lock_acquires,
+            barriers: self.barrier_count,
+        }
+    }
+
+    fn run_proc(&mut self, now: Time, p: usize) {
+        if matches!(self.procs[p].state, PState::Done) {
+            return;
+        }
+        self.procs[p].state = PState::Runnable;
+        if self.procs[p].clock < now {
+            self.procs[p].clock = now;
+        }
+        loop {
+            // Resync before interacting ops, like the SVM simulator.
+            let clock = self.procs[p].clock;
+            if clock > now + Dur::from_us(100) {
+                self.q.push(clock, Ev::Resume(p));
+                return;
+            }
+            let Some(op) = self.procs[p].src.next_op() else {
+                self.procs[p].state = PState::Done;
+                self.done += 1;
+                return;
+            };
+            match op {
+                Op::Compute(d) => {
+                    self.procs[p].clock += d;
+                }
+                Op::Read { addr, len } => self.access(p, addr, len, false),
+                Op::Write { addr, len } => self.access(p, addr, len, true),
+                Op::WriteData { addr, data } => self.access(p, addr, data.len() as u32, true),
+                Op::Validate { .. } => {}
+                Op::Acquire(l) => {
+                    if self.procs[p].clock > now {
+                        // Resync is cheap for the hardware machine:
+                        // approximate by acquiring at the local clock.
+                    }
+                    self.lock_acquires += 1;
+                    let clock = self.procs[p].clock;
+                    let lock = &mut self.locks[l.index()];
+                    if lock.held {
+                        lock.waiters.push_back(p);
+                        self.procs[p].state = PState::LockWait;
+                        return;
+                    }
+                    lock.held = true;
+                    self.procs[p].clock = clock + self.cfg.lock_op;
+                }
+                Op::Release(l) => {
+                    let end = self.procs[p].clock + self.cfg.lock_op;
+                    self.procs[p].clock = end;
+                    let lock = &mut self.locks[l.index()];
+                    lock.held = false;
+                    if let Some(w) = lock.waiters.pop_front() {
+                        lock.held = true;
+                        let at = end.max(now) + self.cfg.lock_op;
+                        self.procs[w].clock = self.procs[w].clock.max(at);
+                        self.procs[w].state = PState::Runnable;
+                        self.q.push(at, Ev::Resume(w));
+                    }
+                }
+                Op::Barrier(b) => {
+                    let nprocs = self.procs.len();
+                    let entry = self.barriers.entry(b).or_insert((0, Vec::new()));
+                    entry.0 += 1;
+                    entry.1.push(p);
+                    self.procs[p].state = PState::BarrierWait;
+                    let clock = self.procs[p].clock;
+                    if entry.0 == nprocs {
+                        let (_, waiters) = self.barriers.remove(&b).unwrap();
+                        self.barrier_count += 1;
+                        let release = clock.max(now) + self.cfg.barrier_op;
+                        if self.warmup == Some(b) {
+                            self.measure_from = release;
+                        }
+                        for w in waiters {
+                            self.procs[w].clock = release;
+                            self.procs[w].state = PState::Runnable;
+                            self.q.push(release, Ev::Resume(w));
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Charges the miss cost of touching `[addr, addr+len)`.
+    fn access(&mut self, p: usize, addr: genima_proto::Addr, len: u32, write: bool) {
+        let lines = len.div_ceil(self.cfg.line).max(1) as u64;
+        let mut cost = Dur::ZERO;
+        for page in genima_mem_pages(addr, len) {
+            let cur = self.stamps.get(&page).copied().unwrap_or(0);
+            let seen = self.procs[p].seen.get(&page).copied();
+            let page_lines = lines.div_ceil(pages_len(addr, len)).max(1);
+            match seen {
+                Some(s) if s == cur => {
+                    // Warm: only residual capacity misses.
+                    let missed =
+                        (page_lines as f64 * self.cfg.rehit_miss_fraction).round() as u64;
+                    cost += self.cfg.local_miss * missed;
+                }
+                Some(_) => {
+                    // Modified since last access: coherence misses.
+                    self.remote_misses += page_lines;
+                    cost += self.cfg.remote_miss * page_lines;
+                }
+                None => {
+                    // Cold.
+                    self.remote_misses += page_lines;
+                    cost += self.cfg.remote_miss * page_lines;
+                }
+            }
+            self.procs[p].seen.insert(page, if write { self.next_stamp } else { cur });
+            if write {
+                self.stamps.insert(page, self.next_stamp);
+                self.next_stamp += 1;
+            }
+        }
+        self.procs[p].clock += cost;
+    }
+}
+
+/// Pages covered by a byte range.
+fn genima_mem_pages(addr: genima_proto::Addr, len: u32) -> Vec<PageId> {
+    let first = addr.value() / genima_proto::PAGE_SIZE as u64;
+    let last = if len == 0 {
+        first
+    } else {
+        (addr.value() + len as u64 - 1) / genima_proto::PAGE_SIZE as u64
+    };
+    (first..=last).map(|i| PageId::new(i as usize)).collect()
+}
+
+fn pages_len(addr: genima_proto::Addr, len: u32) -> u64 {
+    genima_mem_pages(addr, len).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::{ops_source, Addr, LockId};
+
+    fn boxed(ops: Vec<Op>) -> Box<dyn OpSource> {
+        Box::new(ops_source(ops))
+    }
+
+    #[test]
+    fn compute_only_run_finishes_at_compute_time() {
+        let srcs = vec![boxed(vec![Op::Compute(Dur::from_ms(2))])];
+        let r = HwDsm::new(Topology::new(1, 1), srcs).run();
+        assert_eq!(r.finish, Dur::from_ms(2));
+    }
+
+    #[test]
+    fn misses_cost_under_two_microseconds_per_line() {
+        // The whole point of Figure 1: hardware misses are orders of
+        // magnitude cheaper than SVM page fetches.
+        let srcs = vec![boxed(vec![Op::Read {
+            addr: Addr::new(0),
+            len: 4096,
+        }])];
+        let r = HwDsm::new(Topology::new(1, 1), srcs).run();
+        assert!(r.finish < Dur::from_us(40), "got {}", r.finish);
+        assert_eq!(r.remote_misses, 32);
+    }
+
+    #[test]
+    fn warm_rereads_are_nearly_free() {
+        let srcs = vec![boxed(vec![
+            Op::Read {
+                addr: Addr::new(0),
+                len: 4096,
+            },
+            Op::Read {
+                addr: Addr::new(0),
+                len: 4096,
+            },
+        ])];
+        let r = HwDsm::new(Topology::new(1, 1), srcs).run();
+        assert_eq!(r.remote_misses, 32, "second read hits");
+    }
+
+    #[test]
+    fn writes_invalidate_other_readers() {
+        let b = BarrierId::new(0);
+        let srcs = vec![
+            boxed(vec![
+                Op::Read {
+                    addr: Addr::new(0),
+                    len: 128,
+                },
+                Op::Barrier(b),
+                Op::Read {
+                    addr: Addr::new(0),
+                    len: 128,
+                },
+            ]),
+            boxed(vec![
+                Op::Write {
+                    addr: Addr::new(0),
+                    len: 128,
+                },
+                Op::Barrier(b),
+            ]),
+        ];
+        let r = HwDsm::new(Topology::new(2, 1), srcs).run();
+        // p0 cold-misses, p1 cold-misses on write, p0 re-misses after
+        // p1's write.
+        assert_eq!(r.remote_misses, 3);
+    }
+
+    #[test]
+    fn contended_lock_serialises() {
+        let l = LockId::new(0);
+        let mk = || {
+            boxed(vec![
+                Op::Acquire(l),
+                Op::Compute(Dur::from_us(100)),
+                Op::Release(l),
+            ])
+        };
+        let r = HwDsm::new(Topology::new(2, 1), vec![mk(), mk()]).run();
+        assert!(r.finish >= Dur::from_us(200), "critical sections serialise");
+        assert_eq!(r.lock_acquires, 2);
+    }
+
+    #[test]
+    fn barrier_synchronises_all() {
+        let b = BarrierId::new(0);
+        let srcs = vec![
+            boxed(vec![Op::Compute(Dur::from_us(10)), Op::Barrier(b)]),
+            boxed(vec![Op::Compute(Dur::from_ms(1)), Op::Barrier(b)]),
+        ];
+        let r = HwDsm::new(Topology::new(2, 1), srcs).run();
+        assert!(r.finish >= Dur::from_ms(1));
+        assert_eq!(r.barriers, 1);
+    }
+}

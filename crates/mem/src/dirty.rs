@@ -1,0 +1,190 @@
+//! Dirty-range tracking for the synthetic-data workload path.
+
+use crate::addr::PAGE_SIZE;
+use crate::diff::WORD;
+
+/// The set of byte ranges an interval modified within one page,
+/// maintained word-aligned, coalesced and sorted.
+///
+/// Large workload generators use this instead of materialising page
+/// contents: the *number of runs* determines how many direct-diff
+/// messages GeNIMA sends for the page, and the *byte count* determines
+/// diff message sizes — those are the performance-relevant properties.
+///
+/// # Example
+///
+/// ```
+/// use genima_mem::DirtyRanges;
+/// let mut d = DirtyRanges::new();
+/// d.add(0, 4);
+/// d.add(4, 4);   // adjacent: coalesces
+/// d.add(100, 8); // separate run
+/// assert_eq!(d.runs(), 2);
+/// assert_eq!(d.bytes(), 16);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirtyRanges {
+    /// Half-open `[start, end)` byte ranges, sorted and disjoint.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl DirtyRanges {
+    /// Creates an empty set.
+    pub fn new() -> DirtyRanges {
+        DirtyRanges::default()
+    }
+
+    /// Marks `[offset, offset+len)` dirty, expanding to word
+    /// boundaries and coalescing with touching ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of the page or `len` is 0.
+    pub fn add(&mut self, offset: u32, len: u32) {
+        assert!(len > 0, "empty dirty range");
+        assert!(
+            (offset + len) as usize <= PAGE_SIZE,
+            "dirty range [{offset}, {}) escapes the page",
+            offset + len
+        );
+        let w = WORD as u32;
+        let start = offset / w * w;
+        let end = (offset + len).div_ceil(w) * w;
+
+        // Find insertion window of overlapping/touching ranges.
+        let mut lo = self
+            .ranges
+            .partition_point(|&(_, e)| e < start);
+        let mut hi = lo;
+        let mut new_start = start;
+        let mut new_end = end;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            new_start = new_start.min(self.ranges[hi].0);
+            new_end = new_end.max(self.ranges[hi].1);
+            hi += 1;
+        }
+        if lo > 0 && self.ranges[lo - 1].1 >= start {
+            lo -= 1;
+            new_start = new_start.min(self.ranges[lo].0);
+            new_end = new_end.max(self.ranges[lo].1);
+        }
+        self.ranges.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// Number of contiguous dirty runs.
+    pub fn runs(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total dirty bytes (word-aligned).
+    pub fn bytes(&self) -> u32 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Returns `true` if nothing is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Iterates over `(offset, len)` runs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ranges.iter().map(|&(s, e)| (s, e - s))
+    }
+
+    /// Clears all ranges (start of a new interval).
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn word_alignment_expands() {
+        let mut d = DirtyRanges::new();
+        d.add(9, 1);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![(8, 4)]);
+    }
+
+    #[test]
+    fn touching_ranges_coalesce() {
+        let mut d = DirtyRanges::new();
+        d.add(0, 4);
+        d.add(8, 4);
+        assert_eq!(d.runs(), 2);
+        d.add(4, 4); // bridges the gap
+        assert_eq!(d.runs(), 1);
+        assert_eq!(d.bytes(), 12);
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        let mut d = DirtyRanges::new();
+        d.add(0, 100);
+        d.add(50, 100);
+        assert_eq!(d.runs(), 1);
+        assert_eq!(d.bytes(), 152); // [0, 152)
+    }
+
+    #[test]
+    fn out_of_order_inserts_stay_sorted() {
+        let mut d = DirtyRanges::new();
+        d.add(2000, 4);
+        d.add(0, 4);
+        d.add(1000, 4);
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(v, vec![(0, 4), (1000, 4), (2000, 4)]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut d = DirtyRanges::new();
+        d.add(0, 4);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes the page")]
+    fn out_of_page_panics() {
+        DirtyRanges::new().add(4094, 4);
+    }
+
+    proptest! {
+        /// Ranges stay sorted, disjoint (with at least a word gap),
+        /// word-aligned, and cover every added byte.
+        #[test]
+        fn prop_invariants(adds in proptest::collection::vec(
+            (0u32..PAGE_SIZE as u32 - 64, 1u32..64), 1..40
+        )) {
+            let mut d = DirtyRanges::new();
+            for &(off, len) in &adds {
+                d.add(off, len);
+            }
+            let v: Vec<(u32, u32)> = d.iter().collect();
+            let mut prev_end = None::<u32>;
+            for &(s, l) in &v {
+                prop_assert!(l > 0);
+                prop_assert_eq!(s % 4, 0);
+                prop_assert_eq!(l % 4, 0);
+                if let Some(pe) = prev_end {
+                    prop_assert!(s > pe, "ranges must be disjoint and non-touching");
+                }
+                prev_end = Some(s + l);
+            }
+            // Coverage: each added byte falls inside some range.
+            for &(off, len) in &adds {
+                for b in [off, off + len - 1] {
+                    prop_assert!(
+                        v.iter().any(|&(s, l)| b >= s && b < s + l),
+                        "byte {} not covered", b
+                    );
+                }
+            }
+        }
+    }
+}

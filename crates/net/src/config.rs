@@ -1,0 +1,88 @@
+//! Network timing parameters.
+
+use genima_sim::Dur;
+
+/// Timing parameters of the system-area network.
+///
+/// Defaults model the paper's Myrinet: 160 MB/s unidirectional links,
+/// a single low-latency crossbar, small per-packet framing overhead,
+/// and a 4 KB maximum packet size (the VMMC maximum).
+///
+/// # Example
+///
+/// ```
+/// use genima_net::NetConfig;
+/// let cfg = NetConfig::default();
+/// // 4 KB takes ~25.7us on a 160 MB/s wire (plus framing).
+/// let d = cfg.wire_time(4096);
+/// assert!(d.as_us() > 25.0 && d.as_us() < 27.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Link bandwidth in bytes per second (each direction).
+    pub link_bandwidth: u64,
+    /// Fixed cut-through latency of the crossbar switch.
+    pub switch_latency: Dur,
+    /// Framing overhead added to every packet on the wire, in bytes.
+    pub header_bytes: u32,
+    /// Largest payload a single packet may carry, in bytes.
+    pub max_packet: u32,
+}
+
+impl NetConfig {
+    /// Myrinet parameters from the paper's testbed (§3.1).
+    pub fn myrinet() -> NetConfig {
+        NetConfig {
+            link_bandwidth: 160_000_000,
+            switch_latency: Dur::from_ns(300),
+            header_bytes: 16,
+            max_packet: 4096,
+        }
+    }
+
+    /// Time for `payload` bytes (plus framing) to cross one link.
+    pub fn wire_time(&self, payload: u32) -> Dur {
+        let bytes = payload as u64 + self.header_bytes as u64;
+        Dur::from_ns(bytes * 1_000_000_000 / self.link_bandwidth)
+    }
+
+    /// Number of packets needed to carry `bytes` of payload.
+    pub fn packets_for(&self, bytes: u32) -> u32 {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.max_packet)
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::myrinet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_with_size() {
+        let cfg = NetConfig::myrinet();
+        let one_word = cfg.wire_time(4);
+        let page = cfg.wire_time(4096);
+        assert!(page > one_word * 100);
+        // 4096+16 bytes at 160 MB/s = 25.7us.
+        assert_eq!(page.as_ns(), (4096u64 + 16) * 1_000_000_000 / 160_000_000);
+    }
+
+    #[test]
+    fn packets_for_respects_max_packet() {
+        let cfg = NetConfig::myrinet();
+        assert_eq!(cfg.packets_for(0), 1);
+        assert_eq!(cfg.packets_for(1), 1);
+        assert_eq!(cfg.packets_for(4096), 1);
+        assert_eq!(cfg.packets_for(4097), 2);
+        assert_eq!(cfg.packets_for(3 * 4096), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! The crossbar network timing model.
+
+use genima_sim::{Dur, Resource, Time};
+
+use crate::config::NetConfig;
+use crate::packet::NicId;
+
+/// Wire-level timing of one packet transfer, as computed by
+/// [`Network::transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetTiming {
+    /// When the packet acquired its injection link (head on the wire).
+    pub inject_start: Time,
+    /// When the last word left the source NIC.
+    pub inject_end: Time,
+    /// When the last word arrived at the destination NIC.
+    pub deliver: Time,
+}
+
+impl NetTiming {
+    /// Total time the packet spent in the network fabric, measured from
+    /// the moment the transfer was requested.
+    pub fn residency(&self, requested: Time) -> Dur {
+        self.deliver.saturating_since(requested)
+    }
+}
+
+/// Per-link utilisation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets carried.
+    pub packets: u64,
+    /// Time the link spent transmitting.
+    pub busy: Dur,
+    /// Time packets spent queued waiting for the link.
+    pub queued: Dur,
+}
+
+/// A single-crossbar system-area network with in-order delivery
+/// between every pair of network interfaces.
+///
+/// # Example
+///
+/// ```
+/// use genima_net::{NetConfig, Network, NicId};
+/// use genima_sim::Time;
+///
+/// let mut net = Network::new(NetConfig::myrinet(), 4);
+/// let t = net.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 4096);
+/// assert!(t.deliver > t.inject_end);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetConfig,
+    inject: Vec<Resource>,
+    out_port: Vec<Resource>,
+    last_delivery: Vec<Time>, // indexed src * ports + dst
+    ports: usize,
+}
+
+impl Network {
+    /// Creates a network with `ports` NIC attachment points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(cfg: NetConfig, ports: usize) -> Network {
+        assert!(ports > 0, "network needs at least one port");
+        Network {
+            cfg,
+            inject: (0..ports).map(|_| Resource::new("inject-link")).collect(),
+            out_port: (0..ports).map(|_| Resource::new("switch-out")).collect(),
+            last_delivery: vec![Time::ZERO; ports * ports],
+            ports,
+        }
+    }
+
+    /// The configured timing parameters.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Number of attachment points.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Moves one packet of `payload` bytes from `src` to `dst`,
+    /// starting no earlier than `now`, and returns the wire timing.
+    ///
+    /// Delivery between any given `(src, dst)` pair is in order: a
+    /// later call with the same pair never yields an earlier
+    /// `deliver` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds the configured maximum packet size,
+    /// if `src == dst` (intra-node traffic never enters the network),
+    /// or if either id is out of range.
+    pub fn transfer(&mut self, now: Time, src: NicId, dst: NicId, payload: u32) -> NetTiming {
+        assert!(
+            payload <= self.cfg.max_packet,
+            "payload {payload} exceeds max packet {}",
+            self.cfg.max_packet
+        );
+        assert_ne!(src, dst, "loopback traffic does not use the network");
+        let wire = self.cfg.wire_time(payload);
+
+        // Injection link: FIFO per source.
+        let (inj_start, inj_end) = self.inject[src.index()].reserve(now, wire);
+
+        // Cut-through: the head reaches the switch after the fixed
+        // switch latency; the output port then serialises the packet
+        // onto the ejection link.
+        let head_at_switch = inj_start + self.cfg.switch_latency;
+        let (_, out_end) = self.out_port[dst.index()].reserve(head_at_switch, wire);
+
+        // In-order per pair: never deliver before a previously
+        // delivered packet of the same (src, dst) pair.
+        let slot = src.index() * self.ports + dst.index();
+        let deliver = out_end.max(self.last_delivery[slot]);
+        self.last_delivery[slot] = deliver;
+
+        NetTiming {
+            inject_start: inj_start,
+            inject_end: inj_end,
+            deliver,
+        }
+    }
+
+    /// Uncontended fabric traversal time for `payload` bytes: what the
+    /// transfer would take on an idle network (used by the firmware
+    /// monitor to compute contention ratios).
+    pub fn uncontended(&self, payload: u32) -> Dur {
+        // Cut-through: one wire time (the two link crossings overlap)
+        // plus the switch latency.
+        self.cfg.wire_time(payload) + self.cfg.switch_latency
+    }
+
+    /// Utilisation statistics of `nic`'s injection link.
+    pub fn inject_stats(&self, nic: NicId) -> LinkStats {
+        let r = &self.inject[nic.index()];
+        LinkStats {
+            packets: r.served(),
+            busy: r.busy_time(),
+            queued: r.queued_time(),
+        }
+    }
+
+    /// Utilisation statistics of the switch output port feeding `nic`.
+    pub fn eject_stats(&self, nic: NicId) -> LinkStats {
+        let r = &self.out_port[nic.index()];
+        LinkStats {
+            packets: r.served(),
+            busy: r.busy_time(),
+            queued: r.queued_time(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetConfig::myrinet(), 4)
+    }
+
+    #[test]
+    fn uncontended_transfer_is_wire_plus_switch() {
+        let mut n = net();
+        let t = n.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 1024);
+        let wire = n.config().wire_time(1024);
+        assert_eq!(t.inject_start, Time::ZERO);
+        assert_eq!(t.inject_end, Time::ZERO + wire);
+        assert_eq!(t.deliver, Time::ZERO + wire + n.config().switch_latency);
+        assert_eq!(t.residency(Time::ZERO), n.uncontended(1024));
+    }
+
+    #[test]
+    fn same_pair_delivers_in_order() {
+        let mut n = net();
+        let a = n.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 4096);
+        let b = n.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 4);
+        assert!(b.deliver >= a.deliver, "small packet must not overtake");
+        assert!(b.inject_start >= a.inject_end, "injection link is FIFO");
+    }
+
+    #[test]
+    fn output_port_contention_from_two_sources() {
+        let mut n = net();
+        let a = n.transfer(Time::ZERO, NicId::new(0), NicId::new(2), 4096);
+        let b = n.transfer(Time::ZERO, NicId::new(1), NicId::new(2), 4096);
+        // Both head for port 2; the second serialises behind the first.
+        assert!(b.deliver > a.deliver);
+        let wire = n.config().wire_time(4096);
+        assert!(b.deliver.saturating_since(a.deliver) >= wire);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let mut n = net();
+        let a = n.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 4096);
+        let b = n.transfer(Time::ZERO, NicId::new(2), NicId::new(3), 4096);
+        assert_eq!(a.deliver, b.deliver, "crossbar carries disjoint pairs in parallel");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net();
+        n.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 4096);
+        n.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 4096);
+        let s = n.inject_stats(NicId::new(0));
+        assert_eq!(s.packets, 2);
+        assert!(s.queued > Dur::ZERO);
+        let e = n.eject_stats(NicId::new(1));
+        assert_eq!(e.packets, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_panics() {
+        net().transfer(Time::ZERO, NicId::new(1), NicId::new(1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max packet")]
+    fn oversized_packet_panics() {
+        net().transfer(Time::ZERO, NicId::new(0), NicId::new(1), 8192);
+    }
+}

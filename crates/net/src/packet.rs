@@ -1,0 +1,46 @@
+//! Network addressing.
+
+use std::fmt;
+
+/// Identifies one network interface (one per cluster node).
+///
+/// # Example
+///
+/// ```
+/// use genima_net::NicId;
+/// let n = NicId::new(2);
+/// assert_eq!(n.index(), 2);
+/// assert_eq!(n.to_string(), "nic2");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NicId(u32);
+
+impl NicId {
+    /// Creates an id from a zero-based port index.
+    pub const fn new(index: usize) -> NicId {
+        NicId(index as u32)
+    }
+
+    /// Returns the zero-based port index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nic{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_ordering() {
+        assert_eq!(NicId::new(5).index(), 5);
+        assert!(NicId::new(1) < NicId::new(2));
+        assert_eq!(NicId::new(3), NicId::new(3));
+    }
+}

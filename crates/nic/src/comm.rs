@@ -1,0 +1,1283 @@
+//! The communication system: all NICs plus the network fabric.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::collections::VecDeque;
+
+use genima_net::{NetConfig, Network, NicId};
+use genima_sim::{Dur, Resource, Time};
+
+use crate::config::NicConfig;
+use crate::lock::{FwLock, LockId, SlotState};
+use crate::monitor::{Monitor, SizeClass, Stage};
+use crate::msg::{Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
+
+/// Result of a host-side communication call: when the calling host
+/// processor is free to continue, plus any simulation events to
+/// schedule.
+#[derive(Debug, Default)]
+pub struct Post {
+    /// The instant the posting host processor regains control.
+    pub host_free: Time,
+    /// Internal events to schedule (feed back via [`Comm::handle`]).
+    pub events: Vec<(Time, Event)>,
+    /// Upcalls that became known immediately (e.g. a locally granted
+    /// lock); delivered to the protocol layer at the given time.
+    pub upcalls: Vec<(Time, Upcall)>,
+}
+
+/// Result of processing one internal event.
+#[derive(Debug, Default)]
+pub struct Step {
+    /// Follow-up internal events to schedule.
+    pub events: Vec<(Time, Event)>,
+    /// Completion notifications for the protocol layer.
+    pub upcalls: Vec<(Time, Upcall)>,
+}
+
+/// Small on-wire sizes (bytes) for firmware-generated control packets.
+const LOCK_REQ_BYTES: u32 = 16;
+const FETCH_REQ_BYTES: u32 = 16;
+/// Cost of a firmware-local handoff when source and destination NIC
+/// coincide (e.g. the home forwarding a lock transfer to itself).
+const LOCAL_HOP: Dur = Dur::from_ns(200);
+
+/// Per-NIC mutable state.
+#[derive(Debug)]
+struct NicState {
+    /// LANai occupancy on the outgoing path.
+    lanai_send: Resource,
+    /// LANai occupancy on the incoming path.
+    lanai_recv: Resource,
+    /// Host→NI DMA engine on the I/O bus (send direction).
+    pci_send: Resource,
+    /// NI→host DMA engine on the I/O bus (receive direction). All
+    /// host-bound traffic funnels through this single FIFO — this is
+    /// where Base-protocol lock requests get stuck behind page data
+    /// (§3.3, Water-nsquared discussion).
+    pci_recv: Resource,
+    /// Pick times of requests currently occupying post-queue slots.
+    post_slots: VecDeque<Time>,
+}
+
+impl NicState {
+    fn new() -> NicState {
+        NicState {
+            lanai_send: Resource::new("lanai-send"),
+            lanai_recv: Resource::new("lanai-recv"),
+            pci_send: Resource::new("pci-send"),
+            pci_recv: Resource::new("pci-recv"),
+            post_slots: VecDeque::new(),
+        }
+    }
+}
+
+/// The cluster-wide communication system: one NI per node plus the
+/// switch fabric, the firmware lock tables, and the performance
+/// monitor.
+///
+/// The system is a passive state machine driven by the simulation
+/// core: host-side calls ([`Comm::post_send`], [`Comm::fetch`],
+/// [`Comm::lock_acquire`], [`Comm::lock_release`]) return events to
+/// schedule, and [`Comm::handle`] processes them when they fire,
+/// producing follow-up events and protocol [`Upcall`]s.
+///
+/// # Example
+///
+/// ```
+/// use genima_net::{NetConfig, NicId};
+/// use genima_nic::{Comm, MsgKind, NicConfig, SendDesc, Tag};
+/// use genima_sim::Time;
+///
+/// let mut comm = Comm::new(NicConfig::default(), NetConfig::myrinet(), 2, 0);
+/// let post = comm.post_send(
+///     Time::ZERO,
+///     NicId::new(0),
+///     SendDesc { dst: NicId::new(1), bytes: 64, kind: MsgKind::Deposit, tag: Tag::new(1) },
+/// );
+/// assert_eq!(post.host_free.as_us(), 2.0); // asynchronous: 2us post overhead
+/// assert_eq!(post.events.len(), 1);        // a future delivery event
+/// ```
+#[derive(Debug)]
+pub struct Comm {
+    cfg: NicConfig,
+    net: Network,
+    nics: Vec<NicState>,
+    locks: Vec<FwLock>,
+    /// Firmware word arrays used by remote atomic operations, one per
+    /// NIC (lazily grown).
+    atomic_cells: Vec<Vec<u64>>,
+    monitor: Monitor,
+}
+
+impl Comm {
+    /// Creates a communication system for `ports` nodes and `nlocks`
+    /// NI locks (homes assigned round-robin).
+    pub fn new(cfg: NicConfig, net_cfg: NetConfig, ports: usize, nlocks: usize) -> Comm {
+        let net = Network::new(net_cfg, ports);
+        Comm {
+            nics: (0..ports).map(|_| NicState::new()).collect(),
+            locks: (0..nlocks)
+                .map(|i| FwLock::new(NicId::new(i % ports), ports))
+                .collect(),
+            atomic_cells: (0..ports).map(|_| Vec::new()).collect(),
+            monitor: Monitor::new(),
+            cfg,
+            net,
+        }
+    }
+
+    /// The NI timing parameters in use.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// The network fabric (read-only; useful for link statistics).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The firmware performance monitor, aggregated over all NICs.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Clears the performance monitor (used when measurement starts
+    /// after a warmup phase, per the paper's methodology).
+    pub fn reset_monitor(&mut self) {
+        self.monitor = Monitor::new();
+    }
+
+    /// The home NIC of `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn lock_home(&self, lock: LockId) -> NicId {
+        self.locks[lock.index()].home
+    }
+
+    /// Number of NI locks configured.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    fn size_class(&self, bytes: u32) -> SizeClass {
+        if bytes <= self.cfg.small_threshold {
+            SizeClass::Small
+        } else {
+            SizeClass::Large
+        }
+    }
+
+    /// Posts one asynchronous send descriptor from `src`.
+    ///
+    /// Models the full outgoing pipeline synchronously (post queue →
+    /// LANai pick → source DMA → injection → fabric) and returns the
+    /// delivery event. The posting processor is released after the
+    /// post overhead unless the post queue is full, in which case it
+    /// stalls until a slot frees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.dst == src` (intra-node traffic never reaches
+    /// the NI) or if `desc.bytes` exceeds the maximum packet size.
+    pub fn post_send(&mut self, now: Time, src: NicId, desc: SendDesc) -> Post {
+        assert_ne!(src, desc.dst, "intra-node messages do not use the NI");
+        let mut post = Post::default();
+        let t0 = self.acquire_post_slot(now, src);
+        let posted_at = t0 + self.cfg.post_overhead;
+        post.host_free = posted_at;
+        let (deliver, pkt) = self.send_pipeline(posted_at, src, desc, true);
+        post.events.push((deliver, Event::Delivered(pkt)));
+        post
+    }
+
+    /// Posts one descriptor that the NI firmware replicates to several
+    /// destinations (the §5 broadcast extension): one post-queue slot,
+    /// one source DMA, one injection per destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `NicConfig::broadcast` is enabled, or if any
+    /// destination equals `src`, or `dsts` is empty.
+    pub fn post_broadcast(
+        &mut self,
+        now: Time,
+        src: NicId,
+        dsts: &[(NicId, Tag)],
+        bytes: u32,
+        kind: MsgKind,
+    ) -> Post {
+        assert!(self.cfg.broadcast, "broadcast without NicConfig::broadcast");
+        assert!(!dsts.is_empty(), "broadcast needs at least one destination");
+        let cfg = self.cfg.clone();
+        let mut post = Post::default();
+        let t0 = self.acquire_post_slot(now, src);
+        let posted_at = t0 + cfg.post_overhead;
+        post.host_free = posted_at;
+
+        let nic = &mut self.nics[src.index()];
+        let (_, pick_done) = nic.lanai_send.reserve(posted_at, cfg.pick_cost);
+        let dma = cfg.dma_time(bytes);
+        let (_, dma_done) = nic.pci_send.reserve(pick_done, dma);
+        if !cfg.pipelined_sends {
+            nic.lanai_send.block_until(dma_done);
+        }
+        nic.post_slots.push_back(pick_done);
+        let class = self.size_class(bytes);
+        self.monitor
+            .record(Stage::Source, class, dma_done - posted_at, cfg.pick_cost + dma);
+        let mut cursor = dma_done;
+        for &(dst, tag) in dsts {
+            assert_ne!(dst, src, "broadcast to self");
+            let nic = &mut self.nics[src.index()];
+            let (_, inject_ready) = nic.lanai_send.reserve(cursor, cfg.inject_cost);
+            cursor = inject_ready;
+            let timing = self.net.transfer(inject_ready, src, dst, bytes);
+            let wire = self.net.config().wire_time(bytes);
+            self.monitor.record(
+                Stage::Lanai,
+                class,
+                timing.inject_end.saturating_since(dma_done),
+                cfg.inject_cost + wire,
+            );
+            self.monitor.record(
+                Stage::Net,
+                class,
+                timing.deliver.saturating_since(dma_done),
+                cfg.inject_cost + self.net.uncontended(bytes),
+            );
+            self.monitor.count_packet(class, bytes);
+            let pkt = Packet {
+                src,
+                dst,
+                bytes,
+                kind,
+                tag,
+                posted_ns: posted_at.as_ns(),
+                source_done_ns: dma_done.as_ns(),
+            };
+            post.events.push((timing.deliver, Event::Delivered(pkt)));
+        }
+        post
+    }
+
+    /// Issues a remote fetch: `bytes` of exported memory at `from`
+    /// are DMA'd out of the remote host by its NI firmware and
+    /// deposited into `nic`'s host memory. Completion surfaces as
+    /// [`Upcall::FetchCompleted`] with `tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == nic`.
+    pub fn fetch(&mut self, now: Time, nic: NicId, from: NicId, bytes: u32, tag: Tag) -> Post {
+        assert_ne!(nic, from, "local memory is read directly, not fetched");
+        self.post_send(
+            now,
+            nic,
+            SendDesc {
+                dst: from,
+                bytes: FETCH_REQ_BYTES,
+                kind: MsgKind::FetchReq { reply_bytes: bytes },
+                tag,
+            },
+        )
+    }
+
+    /// Issues a remote atomic fetch-and-store on firmware word `cell`
+    /// at `target`; the previous value surfaces as
+    /// [`Upcall::AtomicCompleted`] with `tag`. The operation is served
+    /// entirely in the target's NI firmware, like a remote fetch —
+    /// §2's "remote atomic operations" alternative. A `target == src`
+    /// swap executes locally in the NIC without network traffic.
+    pub fn fetch_and_store(
+        &mut self,
+        now: Time,
+        src: NicId,
+        target: NicId,
+        cell: u32,
+        new: u64,
+        tag: Tag,
+    ) -> Post {
+        if src == target {
+            // Local firmware op: no wire.
+            let mut post = Post::default();
+            post.host_free = now + self.cfg.post_overhead;
+            let (_, done) = self.nics[src.index()]
+                .lanai_send
+                .reserve(post.host_free, self.cfg.lock_service);
+            let old = self.atomic_swap(target, cell, new);
+            post.upcalls.push((
+                done + self.cfg.grant_notify,
+                Upcall::AtomicCompleted { nic: src, tag, old },
+            ));
+            return post;
+        }
+        self.post_send(
+            now,
+            src,
+            SendDesc {
+                dst: target,
+                bytes: 16,
+                kind: MsgKind::FetchAndStore { cell, new },
+                tag,
+            },
+        )
+    }
+
+    fn atomic_swap(&mut self, nic: NicId, cell: u32, new: u64) -> u64 {
+        let cells = &mut self.atomic_cells[nic.index()];
+        if cells.len() <= cell as usize {
+            cells.resize(cell as usize + 1, 0);
+        }
+        std::mem::replace(&mut cells[cell as usize], new)
+    }
+
+    /// Requests an NI lock. The grant surfaces as
+    /// [`Upcall::LockGranted`] with `tag`; if this NIC still owns the
+    /// lock the grant is local and fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this NIC already holds or awaits the lock — the
+    /// protocol layer must serialise per-node lock requests.
+    pub fn lock_acquire(&mut self, now: Time, nic: NicId, lock: LockId, tag: Tag) -> Post {
+        let slot_state = self.locks[lock.index()].slots[nic.index()].state;
+        assert!(
+            matches!(slot_state, SlotState::Idle | SlotState::Released),
+            "nic {nic} re-requested {lock} while in {slot_state:?}"
+        );
+        let mut post = Post::default();
+        post.host_free = now + self.cfg.post_overhead;
+        if slot_state == SlotState::Released {
+            // "The last owner keeps the lock": this NIC still owns it,
+            // so the firmware re-grants locally without any messages.
+            self.locks[lock.index()].slots[nic.index()].state = SlotState::HeldLocal;
+            let at = post.host_free + self.cfg.lock_service + self.cfg.grant_notify;
+            post.upcalls.push((at, Upcall::LockGranted { nic, lock, tag }));
+            return post;
+        }
+        self.locks[lock.index()].slots[nic.index()].state = SlotState::AwaitingGrant;
+        let home = self.locks[lock.index()].home;
+        let (s, step) = self.fw_send(
+            post.host_free,
+            nic,
+            home,
+            LOCK_REQ_BYTES,
+            MsgKind::LockMsg(LockOp::Request {
+                lock,
+                requester: nic,
+            }),
+            tag,
+        );
+        let _ = s;
+        post.events = step.events;
+        post.upcalls = step.upcalls;
+        post
+    }
+
+    /// Re-marks a lock this NIC kept after a release ("the last owner
+    /// keeps the lock") as held by the local host again — the fast
+    /// local re-acquire path. Purely NI-local; no messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the NIC does not own the lock in released state.
+    pub fn lock_local_hold(&mut self, now: Time, nic: NicId, lock: LockId) -> Post {
+        let slot = &mut self.locks[lock.index()].slots[nic.index()];
+        assert_eq!(
+            slot.state,
+            SlotState::Released,
+            "nic {nic} cannot locally re-hold {lock}"
+        );
+        slot.state = SlotState::HeldLocal;
+        let mut post = Post::default();
+        post.host_free = now + self.cfg.lock_service;
+        post
+    }
+
+    /// Releases an NI lock held by `nic`'s host. If a successor is
+    /// queued the firmware hands the lock over immediately and a
+    /// [`Upcall::LockDeparted`] is produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host does not hold the lock.
+    pub fn lock_release(&mut self, now: Time, nic: NicId, lock: LockId) -> Post {
+        let mut post = Post::default();
+        post.host_free = now + self.cfg.post_overhead;
+        let (_, done) = self.nics[nic.index()]
+            .lanai_send
+            .reserve(post.host_free, self.cfg.lock_service);
+        let slot = &mut self.locks[lock.index()].slots[nic.index()];
+        assert_eq!(
+            slot.state,
+            SlotState::HeldLocal,
+            "nic {nic} released {lock} it does not hold"
+        );
+        if let Some((successor, wtag)) = slot.next.take() {
+            slot.state = SlotState::Idle;
+            post.upcalls.push((done, Upcall::LockDeparted { nic, lock }));
+            let grant_bytes = self.cfg.lock_grant_bytes;
+            let (_, step) = self.fw_send(
+                done,
+                nic,
+                successor,
+                grant_bytes,
+                MsgKind::LockMsg(LockOp::Grant { lock, tag: wtag }),
+                wtag,
+            );
+            post.events.extend(step.events);
+            post.upcalls.extend(step.upcalls);
+        } else {
+            slot.state = SlotState::Released;
+        }
+        post
+    }
+
+    /// Returns `true` if `nic` currently owns `lock` (held or
+    /// released-but-kept), i.e. a local host-level handoff is legal.
+    pub fn lock_owned_by(&self, nic: NicId, lock: LockId) -> bool {
+        matches!(
+            self.locks[lock.index()].slots[nic.index()].state,
+            SlotState::HeldLocal | SlotState::Released
+        )
+    }
+
+    /// Processes one internal event at its scheduled time.
+    pub fn handle(&mut self, now: Time, ev: Event) -> Step {
+        match ev {
+            Event::Delivered(pkt) => self.deliver(now, pkt),
+        }
+    }
+
+    // ----- internal helpers -------------------------------------------------
+
+    /// Blocks until a post-queue slot is available and claims it,
+    /// returning the time the host can write its descriptor.
+    fn acquire_post_slot(&mut self, now: Time, src: NicId) -> Time {
+        let nic = &mut self.nics[src.index()];
+        while nic.post_slots.front().is_some_and(|&t| t <= now) {
+            nic.post_slots.pop_front();
+        }
+        if nic.post_slots.len() >= self.cfg.post_queue_capacity {
+            // Stall until the oldest outstanding request is picked.
+            let idx = nic.post_slots.len() - self.cfg.post_queue_capacity;
+            nic.post_slots[idx]
+        } else {
+            now
+        }
+    }
+
+    /// Runs the outgoing pipeline for one packet and returns the
+    /// delivery time. `from_post_queue` distinguishes host-posted
+    /// packets (which occupy a post-queue slot and are monitored in
+    /// the Source stage) from firmware-generated ones.
+    fn send_pipeline(
+        &mut self,
+        posted_at: Time,
+        src: NicId,
+        desc: SendDesc,
+        from_post_queue: bool,
+    ) -> (Time, Packet) {
+        let cfg = self.cfg.clone();
+        let class = self.size_class(desc.bytes);
+        let nic = &mut self.nics[src.index()];
+
+        // LANai picks the request and programs the source DMA. A
+        // scatter-gather send spends extra firmware time collecting
+        // each run from host memory.
+        let pick = match desc.kind {
+            MsgKind::GatherDeposit { runs } => {
+                assert!(
+                    cfg.scatter_gather,
+                    "scatter-gather send without NicConfig::scatter_gather"
+                );
+                cfg.pick_cost + cfg.gather_per_run * runs as u64
+            }
+            _ => cfg.pick_cost,
+        };
+        let (_, pick_done) = nic.lanai_send.reserve(posted_at, pick);
+        let dma = cfg.dma_time(desc.bytes);
+        let (_, dma_done) = nic.pci_send.reserve(pick_done, dma);
+        let inject_ready = if cfg.pipelined_sends {
+            // Deep pipelining (the Windows NT firmware, §3.3 (iii)):
+            // pick, DMA and injection of successive messages overlap,
+            // so each message occupies the LANai only for its pick and
+            // is injected straight from the DMA completion.
+            dma_done
+        } else {
+            // The LANai busy-waits on the DMA and performs the
+            // injection itself before touching the next request (the
+            // Linux-version behaviour that lets the post queue fill).
+            nic.lanai_send.block_until(dma_done);
+            let (_, e) = nic.lanai_send.reserve(dma_done, cfg.inject_cost);
+            e
+        };
+        if from_post_queue {
+            nic.post_slots.push_back(pick_done);
+        }
+        // Injection into the fabric.
+        let timing = self.net.transfer(inject_ready, src, desc.dst, desc.bytes);
+
+        // Monitor: Source / LANai / Net stages (paper §3.1 definitions).
+        let wire = self.net.config().wire_time(desc.bytes);
+        if from_post_queue {
+            self.monitor.record(
+                Stage::Source,
+                class,
+                dma_done - posted_at,
+                cfg.pick_cost + dma,
+            );
+        }
+        self.monitor.record(
+            Stage::Lanai,
+            class,
+            timing.inject_end.saturating_since(dma_done),
+            cfg.inject_cost + wire,
+        );
+        self.monitor.record(
+            Stage::Net,
+            class,
+            timing.deliver.saturating_since(dma_done),
+            cfg.inject_cost + self.net.uncontended(desc.bytes),
+        );
+        self.monitor.count_packet(class, desc.bytes);
+
+        let pkt = Packet {
+            src,
+            dst: desc.dst,
+            bytes: desc.bytes,
+            kind: desc.kind,
+            tag: desc.tag,
+            posted_ns: posted_at.as_ns(),
+            source_done_ns: dma_done.as_ns(),
+        };
+        (timing.deliver, pkt)
+    }
+
+    /// Sends a firmware-generated packet (fetch reply, lock traffic).
+    /// Handles the `src == dst` case as a local firmware hop.
+    fn fw_send(
+        &mut self,
+        now: Time,
+        src: NicId,
+        dst: NicId,
+        bytes: u32,
+        kind: MsgKind,
+        tag: Tag,
+    ) -> (Time, Step) {
+        let mut step = Step::default();
+        if src == dst {
+            let at = now + LOCAL_HOP;
+            let pkt = Packet {
+                src,
+                dst,
+                bytes,
+                kind,
+                tag,
+                posted_ns: now.as_ns(),
+                source_done_ns: now.as_ns(),
+            };
+            step.events.push((at, Event::Delivered(pkt)));
+            return (at, step);
+        }
+        // Firmware-generated packets are already staged in NI memory:
+        // no post queue, no pick, no source DMA — just injection.
+        let cfg = self.cfg.clone();
+        let class = self.size_class(bytes);
+        let nic = &mut self.nics[src.index()];
+        let (_, inject_ready) = nic.lanai_send.reserve(now, cfg.inject_cost);
+        let timing = self.net.transfer(inject_ready, src, dst, bytes);
+        let wire = self.net.config().wire_time(bytes);
+        self.monitor.record(
+            Stage::Lanai,
+            class,
+            timing.inject_end.saturating_since(now),
+            cfg.inject_cost + wire,
+        );
+        self.monitor.record(
+            Stage::Net,
+            class,
+            timing.deliver.saturating_since(now),
+            cfg.inject_cost + self.net.uncontended(bytes),
+        );
+        self.monitor.count_packet(class, bytes);
+        let pkt = Packet {
+            src,
+            dst,
+            bytes,
+            kind,
+            tag,
+            posted_ns: now.as_ns(),
+            source_done_ns: now.as_ns(),
+        };
+        step.events.push((timing.deliver, Event::Delivered(pkt)));
+        (timing.deliver, step)
+    }
+
+    /// Destination-side processing of an arrived packet.
+    fn deliver(&mut self, now: Time, pkt: Packet) -> Step {
+        let cfg = self.cfg.clone();
+        let class = self.size_class(pkt.bytes);
+        let mut step = Step::default();
+        let local = pkt.src == pkt.dst; // firmware-local hop: skip wire-side costs
+        let recv_done = if local {
+            now
+        } else {
+            let nic = &mut self.nics[pkt.dst.index()];
+            let (_, e) = nic.lanai_recv.reserve(now, cfg.recv_cost);
+            e
+        };
+
+        match pkt.kind {
+            MsgKind::GatherDeposit { runs } => {
+                // Scatter on the receive side: firmware unpacks each
+                // run and issues one DMA per run.
+                let nic = &mut self.nics[pkt.dst.index()];
+                let (_, svc_done) =
+                    nic.lanai_recv.reserve(recv_done, cfg.gather_per_run * runs as u64);
+                let dma = cfg.dma_time(pkt.bytes) + cfg.dma_setup * runs.saturating_sub(1) as u64;
+                let (_, dma_done) = nic.pci_recv.reserve(svc_done, dma);
+                self.monitor.record(
+                    Stage::Dest,
+                    class,
+                    dma_done - now,
+                    cfg.recv_cost + cfg.gather_per_run * runs as u64 + dma,
+                );
+                step.upcalls.push((
+                    dma_done,
+                    Upcall::DepositArrived {
+                        nic: pkt.dst,
+                        tag: pkt.tag,
+                        src: pkt.src,
+                    },
+                ));
+            }
+            MsgKind::Deposit | MsgKind::HostMsg | MsgKind::FetchReply => {
+                let dma = cfg.dma_time(pkt.bytes);
+                let nic = &mut self.nics[pkt.dst.index()];
+                let (_, dma_done) = nic.pci_recv.reserve(recv_done, dma);
+                self.monitor
+                    .record(Stage::Dest, class, dma_done - now, cfg.recv_cost + dma);
+                let upcall = match pkt.kind {
+                    MsgKind::Deposit => Upcall::DepositArrived {
+                        nic: pkt.dst,
+                        tag: pkt.tag,
+                        src: pkt.src,
+                    },
+                    MsgKind::HostMsg => Upcall::HostMsgArrived {
+                        nic: pkt.dst,
+                        tag: pkt.tag,
+                        src: pkt.src,
+                    },
+                    _ => Upcall::FetchCompleted {
+                        nic: pkt.dst,
+                        tag: pkt.tag,
+                    },
+                };
+                step.upcalls.push((dma_done, upcall));
+            }
+            MsgKind::FetchReq { reply_bytes } => {
+                // Firmware serves the fetch: look up the export table,
+                // DMA the data out of host memory, send it back. The
+                // DMA moves host→NI, i.e. the send direction of the
+                // I/O bus.
+                let nic = &mut self.nics[pkt.dst.index()];
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.fetch_service);
+                let dma = cfg.dma_time(reply_bytes);
+                let (_, dma_done) = nic.pci_send.reserve(svc_done, dma);
+                self.monitor.record(
+                    Stage::Dest,
+                    class,
+                    dma_done - now,
+                    cfg.recv_cost + cfg.fetch_service + dma,
+                );
+                let (_, sub) = self.fw_send(
+                    dma_done,
+                    pkt.dst,
+                    pkt.src,
+                    reply_bytes,
+                    MsgKind::FetchReply,
+                    pkt.tag,
+                );
+                step.events.extend(sub.events);
+                step.upcalls.extend(sub.upcalls);
+            }
+            MsgKind::FetchAndStore { cell, new } => {
+                // Served in firmware like a fetch: swap the word, send
+                // the old value back.
+                let nic = &mut self.nics[pkt.dst.index()];
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.lock_service);
+                self.monitor.record(
+                    Stage::Dest,
+                    class,
+                    svc_done - now,
+                    cfg.recv_cost + cfg.lock_service,
+                );
+                let old = self.atomic_swap(pkt.dst, cell, new);
+                let (_, sub) = self.fw_send(
+                    svc_done,
+                    pkt.dst,
+                    pkt.src,
+                    16,
+                    MsgKind::AtomicReply { old },
+                    pkt.tag,
+                );
+                step.events.extend(sub.events);
+                step.upcalls.extend(sub.upcalls);
+            }
+            MsgKind::AtomicReply { old } => {
+                let nic = &mut self.nics[pkt.dst.index()];
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.lock_service);
+                step.upcalls.push((
+                    svc_done + cfg.grant_notify,
+                    Upcall::AtomicCompleted {
+                        nic: pkt.dst,
+                        tag: pkt.tag,
+                        old,
+                    },
+                ));
+            }
+            MsgKind::LockMsg(op) => {
+                let nic = &mut self.nics[pkt.dst.index()];
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.lock_service);
+                if !local {
+                    self.monitor.record(
+                        Stage::Dest,
+                        class,
+                        svc_done - now,
+                        cfg.recv_cost + cfg.lock_service,
+                    );
+                }
+                let sub = self.lock_op(svc_done, pkt.dst, op, pkt.tag);
+                step.events.extend(sub.events);
+                step.upcalls.extend(sub.upcalls);
+            }
+        }
+        step
+    }
+
+    /// Firmware lock state machine, executed at `nic` at time `now`.
+    /// `pkt_tag` is the tag carried by the packet that triggered the
+    /// operation (the requester's acquire tag, for requests).
+    fn lock_op(&mut self, now: Time, nic: NicId, op: LockOp, pkt_tag: Tag) -> Step {
+        let mut step = Step::default();
+        match op {
+            LockOp::Request { lock, requester } => {
+                // Only the home processes requests.
+                let fw = &mut self.locks[lock.index()];
+                debug_assert_eq!(fw.home, nic);
+                let prev = fw.tail;
+                fw.tail = requester;
+                // The requester's acquire tag travelled with the
+                // request packet and is threaded through the transfer
+                // so the eventual grant can carry it back.
+                let (_, sub) = self.fw_send(
+                    now,
+                    nic,
+                    prev,
+                    LOCK_REQ_BYTES,
+                    MsgKind::LockMsg(LockOp::Transfer {
+                        lock,
+                        requester,
+                        tag: pkt_tag,
+                    }),
+                    pkt_tag,
+                );
+                step.events.extend(sub.events);
+                step.upcalls.extend(sub.upcalls);
+            }
+            LockOp::Transfer {
+                lock,
+                requester,
+                tag,
+            } => {
+                let slot = &mut self.locks[lock.index()].slots[nic.index()];
+                match slot.state {
+                    SlotState::Released => {
+                        slot.state = SlotState::Idle;
+                        if nic != requester {
+                            step.upcalls.push((now, Upcall::LockDeparted { nic, lock }));
+                        }
+                        let grant_bytes = self.cfg.lock_grant_bytes;
+                        let (_, sub) = self.fw_send(
+                            now,
+                            nic,
+                            requester,
+                            grant_bytes,
+                            MsgKind::LockMsg(LockOp::Grant { lock, tag }),
+                            tag,
+                        );
+                        step.events.extend(sub.events);
+                        step.upcalls.extend(sub.upcalls);
+                    }
+                    SlotState::HeldLocal | SlotState::AwaitingGrant => {
+                        debug_assert!(
+                            slot.next.is_none(),
+                            "chain gives each owner at most one successor"
+                        );
+                        slot.next = Some((requester, tag));
+                    }
+                    SlotState::Idle => {
+                        unreachable!("transfer sent to a NIC outside the chain")
+                    }
+                }
+            }
+            LockOp::Grant { lock, tag } => {
+                let slot = &mut self.locks[lock.index()].slots[nic.index()];
+                debug_assert_eq!(slot.state, SlotState::AwaitingGrant);
+                slot.state = SlotState::HeldLocal;
+                let at = now + self.cfg.grant_notify;
+                step.upcalls.push((at, Upcall::LockGranted { nic, lock, tag }));
+            }
+        }
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_sim::EventQueue;
+
+    fn comm(ports: usize, nlocks: usize) -> Comm {
+        Comm::new(NicConfig::default(), NetConfig::myrinet(), ports, nlocks)
+    }
+
+    /// Runs pending events to quiescence, returning time-sorted upcalls.
+    fn drain(comm: &mut Comm, posts: Vec<Post>) -> Vec<(Time, Upcall)> {
+        let mut q = EventQueue::new();
+        let mut ups = Vec::new();
+        for p in posts {
+            ups.extend(p.upcalls);
+            for (t, e) in p.events {
+                q.push(t, e);
+            }
+        }
+        while let Some((t, e)) = q.pop() {
+            let step = comm.handle(t, e);
+            ups.extend(step.upcalls);
+            for (t2, e2) in step.events {
+                q.push(t2, e2);
+            }
+        }
+        ups.sort_by_key(|&(t, _)| t);
+        ups
+    }
+
+    #[test]
+    fn one_word_deposit_latency_matches_paper() {
+        let mut c = comm(2, 0);
+        let post = c.post_send(
+            Time::ZERO,
+            NicId::new(0),
+            SendDesc {
+                dst: NicId::new(1),
+                bytes: 4,
+                kind: MsgKind::Deposit,
+                tag: Tag::new(9),
+            },
+        );
+        assert_eq!(post.host_free, Time::ZERO + Dur::from_us(2));
+        let ups = drain(&mut c, vec![post]);
+        assert_eq!(ups.len(), 1);
+        let (t, up) = ups[0];
+        assert!(
+            matches!(up, Upcall::DepositArrived { tag, .. } if tag == Tag::new(9)),
+            "got {up:?}"
+        );
+        // Paper: ~18us one-way for one word. Accept the 10–22us band.
+        assert!(
+            t.as_us() > 10.0 && t.as_us() < 22.0,
+            "one-word latency {t} outside calibration band"
+        );
+    }
+
+    #[test]
+    fn page_fetch_latency_matches_paper() {
+        let mut c = comm(2, 0);
+        let post = c.fetch(Time::ZERO, NicId::new(0), NicId::new(1), 4096, Tag::new(1));
+        let ups = drain(&mut c, vec![post]);
+        let (t, up) = ups[0];
+        assert!(matches!(
+            up,
+            Upcall::FetchCompleted { nic, tag } if nic == NicId::new(0) && tag == Tag::new(1)
+        ));
+        // Paper §3.1: one 4KB page fetch ≈ 110us.
+        assert!(
+            t.as_us() > 95.0 && t.as_us() < 125.0,
+            "page fetch latency {t} outside calibration band"
+        );
+    }
+
+    #[test]
+    fn host_msg_reaches_host_memory() {
+        let mut c = comm(2, 0);
+        let post = c.post_send(
+            Time::ZERO,
+            NicId::new(1),
+            SendDesc {
+                dst: NicId::new(0),
+                bytes: 64,
+                kind: MsgKind::HostMsg,
+                tag: Tag::new(5),
+            },
+        );
+        let ups = drain(&mut c, vec![post]);
+        assert!(matches!(
+            ups[0].1,
+            Upcall::HostMsgArrived { nic, tag, src }
+                if nic == NicId::new(0) && tag == Tag::new(5) && src == NicId::new(1)
+        ));
+    }
+
+    #[test]
+    fn post_queue_full_stalls_host() {
+        let mut cfg = NicConfig::default();
+        cfg.post_queue_capacity = 4;
+        let mut c = Comm::new(cfg, NetConfig::myrinet(), 2, 0);
+        let mut last_free = Time::ZERO;
+        for i in 0..8 {
+            let p = c.post_send(
+                Time::ZERO,
+                NicId::new(0),
+                SendDesc {
+                    dst: NicId::new(1),
+                    bytes: 4096,
+                    kind: MsgKind::Deposit,
+                    tag: Tag::new(i),
+                },
+            );
+            last_free = p.host_free;
+        }
+        // First four posts are immediate (2us); later ones stall until
+        // the NI drains slots.
+        assert!(
+            last_free > Time::ZERO + Dur::from_us(30),
+            "8th post of a 4-deep queue should stall, got {last_free}"
+        );
+    }
+
+    #[test]
+    fn lock_acquired_from_home_round_trip() {
+        let mut c = comm(2, 1);
+        let lock = LockId::new(0); // home = nic0
+        assert_eq!(c.lock_home(lock), NicId::new(0));
+        let post = c.lock_acquire(Time::ZERO, NicId::new(1), lock, Tag::new(7));
+        let ups = drain(&mut c, vec![post]);
+        let granted = ups
+            .iter()
+            .find(|(_, u)| matches!(u, Upcall::LockGranted { .. }))
+            .expect("grant");
+        assert!(matches!(
+            granted.1,
+            Upcall::LockGranted { nic, lock: l, tag }
+                if nic == NicId::new(1) && l == lock && tag == Tag::new(7)
+        ));
+        // Requester -> home -> (local transfer) -> grant back: roughly
+        // two wire crossings plus firmware; must beat the paper's
+        // interrupt-based lock by a wide margin.
+        assert!(granted.0.as_us() < 60.0, "NI lock too slow: {}", granted.0);
+        assert!(c.lock_owned_by(NicId::new(1), lock));
+        assert!(!c.lock_owned_by(NicId::new(0), lock));
+        // The home lost ownership along the way.
+        let departed = ups
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::LockDeparted { nic, .. } if *nic == NicId::new(0)));
+        assert!(departed);
+    }
+
+    #[test]
+    fn contended_lock_transfers_on_release() {
+        let mut c = comm(3, 1);
+        let lock = LockId::new(0); // home nic0
+        let p1 = c.lock_acquire(Time::ZERO, NicId::new(1), lock, Tag::new(1));
+        let ups = drain(&mut c, vec![p1]);
+        let t1 = ups
+            .iter()
+            .find(|(_, u)| matches!(u, Upcall::LockGranted { .. }))
+            .unwrap()
+            .0;
+        // nic2 requests while nic1 holds: must wait for nic1's release.
+        let p2 = c.lock_acquire(t1, NicId::new(2), lock, Tag::new(2));
+        let ups2 = drain(&mut c, vec![p2]);
+        assert!(
+            ups2.iter().all(|(_, u)| !matches!(u, Upcall::LockGranted { .. })),
+            "grant must not happen while held: {ups2:?}"
+        );
+        // Now nic1 releases; the queued transfer fires.
+        let rel_at = t1 + Dur::from_us(100);
+        let p3 = c.lock_release(rel_at, NicId::new(1), lock);
+        let ups3 = drain(&mut c, vec![p3]);
+        let granted = ups3
+            .iter()
+            .find(|(_, u)| matches!(u, Upcall::LockGranted { nic, .. } if *nic == NicId::new(2)))
+            .expect("successor granted after release");
+        assert!(granted.0 > rel_at);
+        let departed = ups3
+            .iter()
+            .any(|(_, u)| matches!(u, Upcall::LockDeparted { nic, .. } if *nic == NicId::new(1)));
+        assert!(departed);
+        assert!(c.lock_owned_by(NicId::new(2), lock));
+        assert!(!c.lock_owned_by(NicId::new(1), lock));
+    }
+
+    #[test]
+    fn released_lock_stays_with_last_owner() {
+        let mut c = comm(2, 1);
+        let lock = LockId::new(0);
+        let p = c.lock_acquire(Time::ZERO, NicId::new(1), lock, Tag::new(1));
+        let ups = drain(&mut c, vec![p]);
+        let t1 = ups.last().unwrap().0;
+        let p2 = c.lock_release(t1, NicId::new(1), lock);
+        let ups2 = drain(&mut c, vec![p2]);
+        assert!(ups2.is_empty(), "uncontended release is silent: {ups2:?}");
+        assert!(c.lock_owned_by(NicId::new(1), lock), "last owner keeps the lock");
+    }
+
+    #[test]
+    fn monitor_sees_all_stages() {
+        let mut c = comm(2, 0);
+        let post = c.post_send(
+            Time::ZERO,
+            NicId::new(0),
+            SendDesc {
+                dst: NicId::new(1),
+                bytes: 4096,
+                kind: MsgKind::Deposit,
+                tag: Tag::NONE,
+            },
+        );
+        drain(&mut c, vec![post]);
+        let m = c.monitor();
+        for stage in Stage::ALL {
+            assert_eq!(
+                m.stats(stage, SizeClass::Large).actual.count(),
+                1,
+                "missing sample in {stage:?}"
+            );
+        }
+        assert_eq!(m.packets(SizeClass::Large), 1);
+        // Uncontended single transfer: every ratio is exactly 1.
+        for stage in Stage::ALL {
+            let r = m.stats(stage, SizeClass::Large).ratio();
+            assert!((r - 1.0).abs() < 1e-9, "{stage:?} ratio {r}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_pages_show_contention() {
+        let mut c = comm(2, 0);
+        let mut posts = Vec::new();
+        for i in 0..16 {
+            posts.push(c.post_send(
+                Time::ZERO,
+                NicId::new(0),
+                SendDesc {
+                    dst: NicId::new(1),
+                    bytes: 4096,
+                    kind: MsgKind::Deposit,
+                    tag: Tag::new(i),
+                },
+            ));
+        }
+        drain(&mut c, vec![posts.remove(0)]);
+        // Drain remaining events too.
+        let rest: Vec<Post> = posts.into_iter().collect();
+        drain(&mut c, rest);
+        let r = c.monitor().stats(Stage::Source, SizeClass::Large).ratio();
+        assert!(r > 1.5, "source stage should show queueing, ratio={r}");
+    }
+
+    #[test]
+    fn fetch_and_store_swaps_and_returns_old() {
+        let mut c = comm(2, 0);
+        // Remote swap: cell starts 0.
+        let p1 = c.fetch_and_store(Time::ZERO, NicId::new(0), NicId::new(1), 3, 7, Tag::new(1));
+        let ups = drain(&mut c, vec![p1]);
+        assert!(matches!(
+            ups[0].1,
+            Upcall::AtomicCompleted { tag, old: 0, .. } if tag == Tag::new(1)
+        ));
+        // Second swap sees the first value.
+        let t1 = ups[0].0;
+        let p2 = c.fetch_and_store(t1, NicId::new(0), NicId::new(1), 3, 9, Tag::new(2));
+        let ups2 = drain(&mut c, vec![p2]);
+        assert!(matches!(
+            ups2[0].1,
+            Upcall::AtomicCompleted { tag, old: 7, .. } if tag == Tag::new(2)
+        ));
+        // Different cell is independent.
+        let p3 = c.fetch_and_store(ups2[0].0, NicId::new(0), NicId::new(1), 4, 1, Tag::new(3));
+        let ups3 = drain(&mut c, vec![p3]);
+        assert!(matches!(ups3[0].1, Upcall::AtomicCompleted { old: 0, .. }));
+    }
+
+    #[test]
+    fn local_fetch_and_store_needs_no_network() {
+        let mut c = comm(2, 0);
+        let p = c.fetch_and_store(Time::ZERO, NicId::new(1), NicId::new(1), 0, 5, Tag::new(1));
+        assert!(p.events.is_empty(), "local swap produces no packets");
+        assert_eq!(p.upcalls.len(), 1);
+        let (t, up) = p.upcalls[0];
+        assert!(matches!(up, Upcall::AtomicCompleted { old: 0, .. }));
+        assert!(t.as_us() < 10.0, "local swap is fast: {t}");
+    }
+
+    #[test]
+    fn concurrent_swaps_serialise_at_the_home_firmware() {
+        // Two NICs race a test-and-set: exactly one sees old == 0.
+        let mut c = comm(3, 0);
+        let p1 = c.fetch_and_store(Time::ZERO, NicId::new(1), NicId::new(0), 0, 1, Tag::new(1));
+        let p2 = c.fetch_and_store(Time::ZERO, NicId::new(2), NicId::new(0), 0, 1, Tag::new(2));
+        let ups = drain(&mut c, vec![p1, p2]);
+        let olds: Vec<u64> = ups
+            .iter()
+            .filter_map(|(_, u)| match u {
+                Upcall::AtomicCompleted { old, .. } => Some(*old),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = olds.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1], "exactly one winner: {olds:?}");
+    }
+
+    #[test]
+    fn gather_deposit_carries_runs_in_one_message() {
+        let mut cfg = NicConfig::default();
+        cfg.scatter_gather = true;
+        let mut c = Comm::new(cfg, NetConfig::myrinet(), 2, 0);
+        let post = c.post_send(
+            Time::ZERO,
+            NicId::new(0),
+            SendDesc {
+                dst: NicId::new(1),
+                bytes: 384,
+                kind: MsgKind::GatherDeposit { runs: 48 },
+                tag: Tag::new(3),
+            },
+        );
+        assert_eq!(post.events.len(), 1, "one message for all runs");
+        let ups = drain(&mut c, vec![post]);
+        assert!(matches!(
+            ups[0].1,
+            Upcall::DepositArrived { tag, .. } if tag == Tag::new(3)
+        ));
+        // Packing and unpacking 48 runs costs real firmware time: the
+        // gather message is far slower than a plain deposit of the
+        // same size...
+        let mut plain = Comm::new(NicConfig::default(), NetConfig::myrinet(), 2, 0);
+        let post = plain.post_send(
+            Time::ZERO,
+            NicId::new(0),
+            SendDesc {
+                dst: NicId::new(1),
+                bytes: 384,
+                kind: MsgKind::Deposit,
+                tag: Tag::new(3),
+            },
+        );
+        let plain_ups = drain(&mut plain, vec![post]);
+        assert!(ups[0].0 > plain_ups[0].0);
+        // ...but much faster than 48 separate small deposits.
+        let mut many = Comm::new(NicConfig::default(), NetConfig::myrinet(), 2, 0);
+        let mut posts = Vec::new();
+        let mut now = Time::ZERO;
+        for i in 0..48 {
+            let p = many.post_send(
+                now,
+                NicId::new(0),
+                SendDesc {
+                    dst: NicId::new(1),
+                    bytes: 8,
+                    kind: MsgKind::Deposit,
+                    tag: Tag::new(i),
+                },
+            );
+            now = p.host_free;
+            posts.push(p);
+        }
+        let many_ups = drain(&mut many, posts);
+        assert!(ups[0].0 < many_ups.last().unwrap().0);
+    }
+
+    #[test]
+    fn broadcast_replicates_one_descriptor() {
+        let mut cfg = NicConfig::default();
+        cfg.broadcast = true;
+        let mut c = Comm::new(cfg, NetConfig::myrinet(), 4, 0);
+        let dsts = [
+            (NicId::new(1), Tag::new(1)),
+            (NicId::new(2), Tag::new(2)),
+            (NicId::new(3), Tag::new(3)),
+        ];
+        let post = c.post_broadcast(Time::ZERO, NicId::new(0), &dsts, 64, MsgKind::Deposit);
+        assert_eq!(post.events.len(), 3, "one delivery per destination");
+        let ups = drain(&mut c, vec![post]);
+        let mut tags: Vec<u64> = ups
+            .iter()
+            .filter_map(|(_, u)| match u {
+                Upcall::DepositArrived { tag, .. } => Some(tag.value()),
+                _ => None,
+            })
+            .collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast without")]
+    fn broadcast_requires_capability() {
+        let mut c = comm(2, 0);
+        c.post_broadcast(
+            Time::ZERO,
+            NicId::new(0),
+            &[(NicId::new(1), Tag::NONE)],
+            8,
+            MsgKind::Deposit,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter-gather send without")]
+    fn gather_requires_capability() {
+        let mut c = comm(2, 0);
+        c.post_send(
+            Time::ZERO,
+            NicId::new(0),
+            SendDesc {
+                dst: NicId::new(1),
+                bytes: 64,
+                kind: MsgKind::GatherDeposit { runs: 4 },
+                tag: Tag::NONE,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node")]
+    fn intra_node_send_panics() {
+        comm(2, 0).post_send(
+            Time::ZERO,
+            NicId::new(0),
+            SendDesc {
+                dst: NicId::new(0),
+                bytes: 4,
+                kind: MsgKind::Deposit,
+                tag: Tag::NONE,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "re-requested")]
+    fn double_acquire_panics() {
+        let mut c = comm(2, 1);
+        let lock = LockId::new(0);
+        c.lock_acquire(Time::ZERO, NicId::new(1), lock, Tag::new(1));
+        c.lock_acquire(Time::ZERO, NicId::new(1), lock, Tag::new(2));
+    }
+}

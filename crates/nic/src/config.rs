@@ -1,0 +1,120 @@
+//! NI timing parameters.
+
+use genima_sim::Dur;
+
+/// Timing parameters of the network interface.
+///
+/// Defaults are calibrated so that the communication layer reproduces
+/// the paper's measured costs (§3.1): a one-word message has ~18 µs
+/// one-way latency, an asynchronous send posts in ~2 µs, and a 4 KB
+/// remote page fetch completes in ~110 µs.
+///
+/// # Example
+///
+/// ```
+/// use genima_nic::NicConfig;
+/// let cfg = NicConfig::default();
+/// assert_eq!(cfg.post_overhead.as_us(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicConfig {
+    /// Host-side cost to post one asynchronous send descriptor.
+    pub post_overhead: Dur,
+    /// LANai time to pick a request from the post queue and set up the
+    /// source DMA.
+    pub pick_cost: Dur,
+    /// LANai time to hand a staged packet to the outgoing link.
+    pub inject_cost: Dur,
+    /// LANai time to accept one incoming packet from the wire.
+    pub recv_cost: Dur,
+    /// Extra firmware time to serve a remote-fetch request (address
+    /// lookup in the export table, DMA programming).
+    pub fetch_service: Dur,
+    /// Firmware time to process one lock protocol message.
+    pub lock_service: Dur,
+    /// Host-side cost to notice a granted lock flag in NI memory.
+    pub grant_notify: Dur,
+    /// Fixed setup cost of one DMA transaction on the I/O bus.
+    pub dma_setup: Dur,
+    /// I/O (PCI) bus bandwidth in bytes per second.
+    pub pci_bandwidth: u64,
+    /// Capacity of the host→NI post queue, in descriptors. When the
+    /// queue is full the posting host processor stalls until the NI
+    /// drains it (the Barnes-spatial direct-diff pathology, §3.3).
+    pub post_queue_capacity: usize,
+    /// If `true`, the NI overlaps the source DMA of one packet with
+    /// picking the next request (the "increased pipelining" fix the
+    /// paper applied in the Windows NT version, §3.3 (iii)).
+    pub pipelined_sends: bool,
+    /// Payload size, in bytes, at or below which a packet counts as
+    /// *small* for the performance monitor (Tables 3 and 4 use 256).
+    pub small_threshold: u32,
+    /// Payload bytes of a lock grant message (the lock's protocol
+    /// timestamp travels with the lock, §2 "Network interface locks").
+    pub lock_grant_bytes: u32,
+    /// Enable the NI scatter-gather extension (§3.3 remedy (ii)/§5):
+    /// a single message carries many non-contiguous runs, at the cost
+    /// of extra NI occupancy packing and unpacking them.
+    pub scatter_gather: bool,
+    /// Extra LANai time per run packed or unpacked by scatter-gather
+    /// (the NI is slow and must touch host memory across the I/O bus).
+    pub gather_per_run: Dur,
+    /// Enable NI broadcast (§5): one posted descriptor is replicated
+    /// by the firmware to several destinations.
+    pub broadcast: bool,
+}
+
+impl NicConfig {
+    /// Parameters of the paper's Myrinet/LANai testbed.
+    pub fn lanai() -> NicConfig {
+        NicConfig {
+            post_overhead: Dur::from_us(2),
+            pick_cost: Dur::from_us(4),
+            inject_cost: Dur::from_us(3),
+            recv_cost: Dur::from_us(4),
+            fetch_service: Dur::from_us(3),
+            lock_service: Dur::from_us(2),
+            grant_notify: Dur::from_us(1),
+            dma_setup: Dur::from_us(1),
+            pci_bandwidth: 133_000_000,
+            post_queue_capacity: 32,
+            pipelined_sends: false,
+            small_threshold: 256,
+            lock_grant_bytes: 72,
+            scatter_gather: false,
+            gather_per_run: Dur::from_us(2),
+            broadcast: false,
+        }
+    }
+
+    /// Duration of one DMA transaction moving `bytes` across the I/O
+    /// bus (setup plus transfer).
+    pub fn dma_time(&self, bytes: u32) -> Dur {
+        self.dma_setup + Dur::from_ns(bytes as u64 * 1_000_000_000 / self.pci_bandwidth)
+    }
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig::lanai()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_time_includes_setup() {
+        let cfg = NicConfig::lanai();
+        assert_eq!(cfg.dma_time(0), cfg.dma_setup);
+        // 4 KB at 133 MB/s is ~30.8us transfer.
+        let t = cfg.dma_time(4096);
+        assert!(t.as_us() > 30.0 && t.as_us() < 35.0, "got {t}");
+    }
+
+    #[test]
+    fn defaults_are_lanai() {
+        assert_eq!(NicConfig::default(), NicConfig::lanai());
+    }
+}

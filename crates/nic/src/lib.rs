@@ -1,0 +1,40 @@
+//! Programmable network-interface (NI) model with the paper's three
+//! general-purpose firmware mechanisms.
+//!
+//! Models a Myrinet-style NI per node — a slow (33 MHz) LANai
+//! processor, a host post queue, DMA engines on the I/O (PCI) bus —
+//! plus the firmware services GeNIMA relies on:
+//!
+//! * **remote deposit** — incoming data packets are DMA'd directly
+//!   into exported host virtual memory, with no host processor
+//!   involvement at the receiver;
+//! * **remote fetch** — the firmware serves read requests for exported
+//!   host memory by DMA-ing the data out of the host and sending a
+//!   reply packet, again without involving the host processor;
+//! * **NI locks** — the distributed lock algorithm (home NIC +
+//!   last-owner chain) runs entirely in firmware; lock messages are
+//!   never delivered to host memory, so they cannot get stuck behind
+//!   data traffic in the incoming FIFO.
+//!
+//! Messages destined for the host (the Base protocol's page/lock/diff
+//! requests) are DMA'd into host memory and surfaced as
+//! [`Upcall::HostMsgArrived`]; the protocol layer charges interrupt
+//! and scheduling costs on top.
+//!
+//! The embedded [`Monitor`] reproduces the paper's firmware
+//! performance monitor: per-packet residency in the four pipeline
+//! stages (Source, LANai, Net, Dest — §3.1) is recorded against the
+//! uncontended residency, separately for small and large messages, so
+//! the contention ratios of Tables 3 and 4 can be regenerated.
+
+mod comm;
+mod config;
+mod lock;
+mod monitor;
+mod msg;
+
+pub use comm::{Comm, Post, Step};
+pub use config::NicConfig;
+pub use lock::LockId;
+pub use monitor::{Monitor, SizeClass, Stage, StageStats};
+pub use msg::{Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};

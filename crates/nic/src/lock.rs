@@ -1,0 +1,119 @@
+//! Firmware lock state.
+//!
+//! Implements the distributed lock algorithm of §2 ("Network interface
+//! locks") entirely in NI firmware state: every lock has a static home
+//! NIC whose firmware maintains the tail of a distributed chain of
+//! requesters; the previous tail hands the lock (and the protocol
+//! timestamp stored with it) directly to its successor when the local
+//! host releases. No host processor other than the requester is ever
+//! involved.
+
+use std::fmt;
+
+use genima_net::NicId;
+
+use crate::msg::Tag;
+
+/// Identifies one application/protocol lock.
+///
+/// # Example
+///
+/// ```
+/// use genima_nic::LockId;
+/// let l = LockId::new(3);
+/// assert_eq!(l.index(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(u32);
+
+impl LockId {
+    /// Creates a lock id from a zero-based index.
+    pub const fn new(index: usize) -> LockId {
+        LockId(index as u32)
+    }
+
+    /// Returns the zero-based index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock{}", self.0)
+    }
+}
+
+/// Ownership state of one lock at one NIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SlotState {
+    /// This NIC has nothing to do with the lock right now.
+    Idle,
+    /// The local host asked for the lock; the grant has not arrived.
+    AwaitingGrant,
+    /// The local host holds the lock.
+    HeldLocal,
+    /// The local host released the lock but this NIC still owns it
+    /// ("the last owner keeps the lock until another processor needs
+    /// to acquire it").
+    Released,
+}
+
+/// Per-NIC firmware slot for one lock.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Slot {
+    pub state: SlotState,
+    /// The successor this NIC must hand the lock to, installed by a
+    /// `Transfer` message from the home.
+    pub next: Option<(NicId, Tag)>,
+}
+
+/// Firmware state of one lock across the cluster.
+#[derive(Clone, Debug)]
+pub(crate) struct FwLock {
+    /// The NIC whose firmware tracks the chain tail.
+    pub home: NicId,
+    /// Last requester in the chain (initially the home itself).
+    pub tail: NicId,
+    /// One slot per NIC.
+    pub slots: Vec<Slot>,
+}
+
+impl FwLock {
+    pub(crate) fn new(home: NicId, ports: usize) -> FwLock {
+        let mut slots = vec![
+            Slot {
+                state: SlotState::Idle,
+                next: None,
+            };
+            ports
+        ];
+        // The lock starts free at its home.
+        slots[home.index()].state = SlotState::Released;
+        FwLock {
+            home,
+            tail: home,
+            slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_id_round_trip() {
+        assert_eq!(LockId::new(9).index(), 9);
+        assert_eq!(LockId::new(9).to_string(), "lock9");
+    }
+
+    #[test]
+    fn new_lock_is_free_at_home() {
+        let l = FwLock::new(NicId::new(1), 4);
+        assert_eq!(l.tail, NicId::new(1));
+        assert_eq!(l.slots[1].state, SlotState::Released);
+        assert_eq!(l.slots[0].state, SlotState::Idle);
+        assert!(l.slots.iter().all(|s| s.next.is_none()));
+    }
+}

@@ -1,0 +1,204 @@
+//! The firmware performance monitor.
+//!
+//! Reproduces the NI-firmware monitoring tool of §3.1/§4: every packet
+//! is timed through the four stages of the sender→receiver path and
+//! compared with the time an uncontended transfer would have spent in
+//! the same stage. Tables 3 and 4 of the paper are ratios of these two
+//! quantities, split at 256 bytes into *small* and *large* messages.
+
+use genima_sim::{Accum, Dur};
+
+/// One stage of the packet path (paper §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Post-queue appearance → source DMA into NI memory complete.
+    Source,
+    /// End of Source → packet fully inserted into the network.
+    Lanai,
+    /// End of Source → last word received by the destination NI.
+    Net,
+    /// Arrival at destination NI → destination DMA into host memory
+    /// complete (or firmware service complete for NI-terminated
+    /// packets).
+    Dest,
+}
+
+impl Stage {
+    /// All four stages in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::Source, Stage::Lanai, Stage::Net, Stage::Dest];
+
+    /// Short label used in reports ("SourceLat" etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Source => "SourceLat",
+            Stage::Lanai => "LANaiLat",
+            Stage::Net => "NetLat",
+            Stage::Dest => "DestLat",
+        }
+    }
+}
+
+/// Message size class, split at the configured small threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SizeClass {
+    /// Payload ≤ threshold (256 bytes in the paper).
+    Small,
+    /// Payload > threshold.
+    Large,
+}
+
+/// Aggregated actual-vs-uncontended residency for one (stage, class).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Observed residency including queueing and contention.
+    pub actual: Accum,
+    /// Residency an uncontended transfer would have had.
+    pub uncontended: Accum,
+}
+
+impl StageStats {
+    /// The paper's contention ratio: mean actual / mean uncontended.
+    /// Returns 1.0 when no samples were recorded.
+    pub fn ratio(&self) -> f64 {
+        let u = self.uncontended.mean().as_ns();
+        if u == 0 {
+            1.0
+        } else {
+            self.actual.mean().as_ns() as f64 / u as f64
+        }
+    }
+}
+
+/// The per-cluster firmware monitor.
+///
+/// # Example
+///
+/// ```
+/// use genima_nic::{Monitor, SizeClass, Stage};
+/// use genima_sim::Dur;
+///
+/// let mut m = Monitor::new();
+/// m.record(Stage::Net, SizeClass::Small, Dur::from_us(20), Dur::from_us(10));
+/// assert_eq!(m.stats(Stage::Net, SizeClass::Small).ratio(), 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    cells: [[StageStats; 2]; 4],
+    packets: [u64; 2],
+    bytes: u64,
+}
+
+fn stage_index(s: Stage) -> usize {
+    match s {
+        Stage::Source => 0,
+        Stage::Lanai => 1,
+        Stage::Net => 2,
+        Stage::Dest => 3,
+    }
+}
+
+fn class_index(c: SizeClass) -> usize {
+    match c {
+        SizeClass::Small => 0,
+        SizeClass::Large => 1,
+    }
+}
+
+impl Monitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Monitor {
+        Monitor::default()
+    }
+
+    /// Records one packet's residency in one stage.
+    pub fn record(&mut self, stage: Stage, class: SizeClass, actual: Dur, uncontended: Dur) {
+        let cell = &mut self.cells[stage_index(stage)][class_index(class)];
+        cell.actual.record(actual);
+        cell.uncontended.record(uncontended);
+    }
+
+    /// Counts one packet of `bytes` payload toward traffic totals.
+    pub fn count_packet(&mut self, class: SizeClass, bytes: u32) {
+        self.packets[class_index(class)] += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Aggregate for one (stage, size-class) cell.
+    pub fn stats(&self, stage: Stage, class: SizeClass) -> StageStats {
+        self.cells[stage_index(stage)][class_index(class)]
+    }
+
+    /// Number of packets observed in `class`.
+    pub fn packets(&self, class: SizeClass) -> u64 {
+        self.packets[class_index(class)]
+    }
+
+    /// Total payload bytes observed.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Merges another monitor (e.g. from another NIC) into this one.
+    pub fn merge(&mut self, other: &Monitor) {
+        for s in 0..4 {
+            for c in 0..2 {
+                self.cells[s][c].actual.merge(&other.cells[s][c].actual);
+                self.cells[s][c]
+                    .uncontended
+                    .merge(&other.cells[s][c].uncontended);
+            }
+        }
+        for c in 0..2 {
+            self.packets[c] += other.packets[c];
+        }
+        self.bytes += other.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_empty_cell_is_one() {
+        let m = Monitor::new();
+        assert_eq!(m.stats(Stage::Source, SizeClass::Large).ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratio_reflects_contention() {
+        let mut m = Monitor::new();
+        m.record(Stage::Dest, SizeClass::Small, Dur::from_us(30), Dur::from_us(10));
+        m.record(Stage::Dest, SizeClass::Small, Dur::from_us(10), Dur::from_us(10));
+        assert_eq!(m.stats(Stage::Dest, SizeClass::Small).ratio(), 2.0);
+    }
+
+    #[test]
+    fn classes_are_separate() {
+        let mut m = Monitor::new();
+        m.record(Stage::Net, SizeClass::Small, Dur::from_us(5), Dur::from_us(5));
+        assert_eq!(m.stats(Stage::Net, SizeClass::Large).actual.count(), 0);
+        assert_eq!(m.stats(Stage::Net, SizeClass::Small).actual.count(), 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Monitor::new();
+        a.record(Stage::Source, SizeClass::Large, Dur::from_us(4), Dur::from_us(2));
+        a.count_packet(SizeClass::Large, 4096);
+        let mut b = Monitor::new();
+        b.record(Stage::Source, SizeClass::Large, Dur::from_us(8), Dur::from_us(2));
+        b.count_packet(SizeClass::Large, 4096);
+        a.merge(&b);
+        assert_eq!(a.stats(Stage::Source, SizeClass::Large).actual.count(), 2);
+        assert_eq!(a.stats(Stage::Source, SizeClass::Large).ratio(), 3.0);
+        assert_eq!(a.packets(SizeClass::Large), 2);
+        assert_eq!(a.total_bytes(), 8192);
+    }
+
+    #[test]
+    fn stage_labels() {
+        assert_eq!(Stage::Source.label(), "SourceLat");
+        assert_eq!(Stage::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! Protocol feature sets — the paper's five cumulative variants.
+
+use std::fmt;
+
+/// Which NI mechanisms the protocol exploits (§2 of the paper).
+///
+/// The five evaluated protocols are cumulative; the constructors below
+/// produce exactly the paper's columns. Arbitrary combinations are
+/// allowed for ablations, with one constraint from the paper: direct
+/// diffs require remote fetch, because without it the home processor
+/// would never learn when queued page requests can be served.
+///
+/// # Example
+///
+/// ```
+/// use genima_proto::FeatureSet;
+/// let g = FeatureSet::genima();
+/// assert!(g.dw && g.rf && g.dd && g.nil);
+/// assert_eq!(g.name(), "GeNIMA");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FeatureSet {
+    /// Remote deposit for protocol data: eager, sender-initiated write
+    /// notice propagation at releases.
+    pub dw: bool,
+    /// Remote fetch of pages and their timestamps, with requester-side
+    /// retry.
+    pub rf: bool,
+    /// Direct diffs: one remote deposit per contiguous modified run,
+    /// computed eagerly at release points.
+    pub dd: bool,
+    /// NI locks: mutual exclusion handled entirely in NI firmware.
+    pub nil: bool,
+}
+
+impl FeatureSet {
+    /// The Base protocol: HLRC-SMP, all asynchronous requests handled
+    /// with interrupts.
+    pub const fn base() -> FeatureSet {
+        FeatureSet {
+            dw: false,
+            rf: false,
+            dd: false,
+            nil: false,
+        }
+    }
+
+    /// Direct writes to remote protocol data structures (DW).
+    pub const fn dw() -> FeatureSet {
+        FeatureSet {
+            dw: true,
+            rf: false,
+            dd: false,
+            nil: false,
+        }
+    }
+
+    /// DW plus remote fetch of pages and timestamps (DW+RF).
+    pub const fn dw_rf() -> FeatureSet {
+        FeatureSet {
+            dw: true,
+            rf: true,
+            dd: false,
+            nil: false,
+        }
+    }
+
+    /// DW+RF plus direct diffs (DW+RF+DD).
+    pub const fn dw_rf_dd() -> FeatureSet {
+        FeatureSet {
+            dw: true,
+            rf: true,
+            dd: true,
+            nil: false,
+        }
+    }
+
+    /// The full GeNIMA protocol: DW+RF+DD plus NI locks. No interrupts
+    /// or asynchronous protocol processing remain.
+    pub const fn genima() -> FeatureSet {
+        FeatureSet {
+            dw: true,
+            rf: true,
+            dd: true,
+            nil: true,
+        }
+    }
+
+    /// The paper's five protocol columns, in evaluation order.
+    pub const ALL: [FeatureSet; 5] = [
+        FeatureSet::base(),
+        FeatureSet::dw(),
+        FeatureSet::dw_rf(),
+        FeatureSet::dw_rf_dd(),
+        FeatureSet::genima(),
+    ];
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dd` is set without `rf` (the home host never learns
+    /// when diffs have been applied, §2), or if `nil` is set without
+    /// `dd` and `dw` (with firmware-granted locks no host ever services
+    /// an incoming acquire, so coherence information and diffs must
+    /// already travel eagerly).
+    pub fn validate(self) {
+        assert!(
+            !self.dd || self.rf,
+            "direct diffs require remote fetch (paper §2): \
+             the home host never learns when diffs have been applied"
+        );
+        assert!(
+            !self.nil || (self.dd && self.dw),
+            "NI locks require eager notices (dw) and direct diffs (dd): \
+             no host handler remains to flush them at incoming acquires"
+        );
+    }
+
+    /// The paper's name for this combination.
+    pub fn name(self) -> &'static str {
+        match (self.dw, self.rf, self.dd, self.nil) {
+            (false, false, false, false) => "Base",
+            (true, false, false, false) => "DW",
+            (true, true, false, false) => "DW+RF",
+            (true, true, true, false) => "DW+RF+DD",
+            (true, true, true, true) => "GeNIMA",
+            _ => "custom",
+        }
+    }
+
+    /// `true` when no interrupt-driven asynchronous protocol
+    /// processing remains (the full GeNIMA property).
+    pub fn interrupt_free(self) -> bool {
+        self.dw && self.rf && self.dd && self.nil
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_columns() {
+        let names: Vec<&str> = FeatureSet::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names, vec!["Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA"]);
+    }
+
+    #[test]
+    fn variants_are_cumulative() {
+        let all = FeatureSet::ALL;
+        for w in all.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(!a.dw || b.dw);
+            assert!(!a.rf || b.rf);
+            assert!(!a.dd || b.dd);
+            assert!(!a.nil || b.nil);
+        }
+    }
+
+    #[test]
+    fn only_genima_is_interrupt_free() {
+        for f in FeatureSet::ALL {
+            assert_eq!(f.interrupt_free(), f.name() == "GeNIMA");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "direct diffs require remote fetch")]
+    fn dd_without_rf_is_invalid() {
+        FeatureSet {
+            dw: true,
+            rf: false,
+            dd: true,
+            nil: false,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(FeatureSet::genima().to_string(), "GeNIMA");
+        assert_eq!(FeatureSet::base().to_string(), "Base");
+    }
+}

@@ -1,0 +1,82 @@
+//! Intervals and write-notice records.
+
+use genima_mem::{DirtyRanges, Page, PageId};
+
+use crate::ids::ProcId;
+
+/// A write-notice record: the set of pages one process modified in one
+/// interval. Propagated eagerly (remote deposit, DW protocols) or
+/// piggybacked on lock grants and barrier messages (Base).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntervalRecord {
+    /// The writing process.
+    pub writer: ProcId,
+    /// The writer's interval number (1-based).
+    pub interval: u32,
+    /// Pages written in the interval, ascending.
+    pub pages: Vec<PageId>,
+}
+
+impl IntervalRecord {
+    /// On-wire size: header plus 8 bytes per page id.
+    pub fn wire_bytes(&self, header: u32) -> u32 {
+        header + 8 * self.pages.len() as u32
+    }
+}
+
+/// Per-page write state of an open interval.
+#[derive(Clone, Debug, Default)]
+pub struct DirtyPage {
+    /// Word-aligned modified ranges (always maintained; determines the
+    /// run structure of diffs).
+    pub ranges: DirtyRanges,
+    /// Pre-write snapshot, present only in data-fidelity mode.
+    pub twin: Option<Page>,
+}
+
+impl DirtyPage {
+    /// Number of contiguous dirty runs (direct-diff message count).
+    pub fn runs(&self) -> usize {
+        self.ranges.runs()
+    }
+
+    /// Total dirty bytes.
+    pub fn bytes(&self) -> u32 {
+        self.ranges.bytes()
+    }
+}
+
+/// A closed interval whose diffs have not yet been flushed to the
+/// homes (lazy diffing in the non-DD protocols).
+#[derive(Clone, Debug)]
+pub struct PendingInterval {
+    /// Interval number.
+    pub interval: u32,
+    /// Dirty pages with their write state, ascending by page.
+    pub pages: Vec<(PageId, DirtyPage)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_wire_size() {
+        let r = IntervalRecord {
+            writer: ProcId::new(1),
+            interval: 3,
+            pages: vec![PageId::new(0), PageId::new(5)],
+        };
+        assert_eq!(r.wire_bytes(16), 32);
+    }
+
+    #[test]
+    fn dirty_page_counts_runs() {
+        let mut d = DirtyPage::default();
+        d.ranges.add(0, 4);
+        d.ranges.add(100, 8);
+        assert_eq!(d.runs(), 2);
+        assert_eq!(d.bytes(), 12);
+        assert!(d.twin.is_none());
+    }
+}

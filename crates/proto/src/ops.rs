@@ -1,0 +1,137 @@
+//! The operation stream interface between applications and the SVM
+//! system.
+
+use genima_mem::Addr;
+use genima_sim::Dur;
+
+use crate::ids::BarrierId;
+use genima_nic::LockId;
+
+/// One operation issued by a simulated application process.
+///
+/// Applications are modelled as per-process streams of operations:
+/// local computation, page-grain shared reads, word-grain shared
+/// writes, and synchronization. Reads and writes carry byte addresses
+/// and lengths; the protocol turns them into faults, twins and dirty
+/// runs exactly as the `mprotect`-based system would.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Local computation for the given duration (subject to SMP
+    /// memory-bus dilation).
+    Compute(Dur),
+    /// Read `len` bytes starting at `addr`; faults on invalid pages.
+    Read {
+        /// First byte read.
+        addr: Addr,
+        /// Bytes read.
+        len: u32,
+    },
+    /// Write `len` bytes starting at `addr`; faults on non-writable
+    /// pages, creates twins, and records dirty ranges (the
+    /// synthetic-data path).
+    Write {
+        /// First byte written.
+        addr: Addr,
+        /// Bytes written.
+        len: u32,
+    },
+    /// Write real bytes (the data-fidelity path used by tests and
+    /// examples). Must stay within one page.
+    WriteData {
+        /// First byte written.
+        addr: Addr,
+        /// The bytes to store.
+        data: Vec<u8>,
+    },
+    /// Acquire a lock (mutual exclusion + consistency acquire).
+    Acquire(LockId),
+    /// Release a lock (consistency release).
+    Release(LockId),
+    /// Wait at a barrier until every process arrives.
+    Barrier(BarrierId),
+    /// Assert that shared memory contains `expected` at `addr`
+    /// (data-fidelity mode only; must stay within one page).
+    ///
+    /// # Panics
+    ///
+    /// The system panics at simulation time if the contents differ —
+    /// this is the coherence oracle used by the integration tests.
+    Validate {
+        /// First byte checked.
+        addr: Addr,
+        /// Expected contents.
+        expected: Vec<u8>,
+    },
+}
+
+/// A stream of operations for one simulated process.
+///
+/// Implementations are typically lazy generators (see `genima-apps`);
+/// small tests can use [`OpVec`].
+pub trait OpSource {
+    /// Returns the next operation, or `None` when the process is done.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+/// A pre-materialised operation stream.
+///
+/// # Example
+///
+/// ```
+/// use genima_proto::{ops_source, Op, OpSource};
+/// use genima_sim::Dur;
+///
+/// let mut s = ops_source(vec![Op::Compute(Dur::from_us(5))]);
+/// assert!(s.next_op().is_some());
+/// assert!(s.next_op().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpVec {
+    ops: std::vec::IntoIter<Op>,
+}
+
+impl OpSource for OpVec {
+    fn next_op(&mut self) -> Option<Op> {
+        self.ops.next()
+    }
+}
+
+/// Wraps a vector of operations as an [`OpSource`].
+pub fn ops_source(ops: Vec<Op>) -> OpVec {
+    OpVec {
+        ops: ops.into_iter(),
+    }
+}
+
+impl<T: OpSource + ?Sized> OpSource for Box<T> {
+    fn next_op(&mut self) -> Option<Op> {
+        (**self).next_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_vec_drains_in_order() {
+        let mut s = ops_source(vec![
+            Op::Compute(Dur::from_us(1)),
+            Op::Barrier(BarrierId::new(0)),
+        ]);
+        assert!(matches!(s.next_op(), Some(Op::Compute(_))));
+        assert!(matches!(s.next_op(), Some(Op::Barrier(_))));
+        assert!(s.next_op().is_none());
+        assert!(s.next_op().is_none());
+    }
+
+    #[test]
+    fn boxed_sources_work() {
+        let mut s: Box<dyn OpSource> = Box::new(ops_source(vec![Op::Read {
+            addr: Addr::new(0),
+            len: 4,
+        }]));
+        assert!(s.next_op().is_some());
+        assert!(s.next_op().is_none());
+    }
+}

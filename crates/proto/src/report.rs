@@ -1,0 +1,83 @@
+//! Results of one cluster run.
+
+use genima_nic::Monitor;
+use genima_sim::{Dur, Time};
+
+use crate::breakdown::{Breakdown, Counters};
+
+/// Everything measured during one [`SvmSystem`](crate::SvmSystem) run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock (simulated) end of the parallel section: the instant
+    /// the last process finished.
+    pub finish: Time,
+    /// Per-process execution-time breakdowns.
+    pub breakdowns: Vec<Breakdown>,
+    /// Cluster-wide protocol counters.
+    pub counters: Counters,
+    /// Snapshot of the NI firmware performance monitor.
+    pub monitor: Monitor,
+    /// Shared pages pinned per node for incoming transfers, in bytes
+    /// (the export/pin footprint remote fetch shrinks, §2).
+    pub pinned_shared_bytes: Vec<u64>,
+    /// Events processed by the simulator (diagnostic).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// The parallel execution time of the run.
+    pub fn parallel_time(&self) -> Dur {
+        self.finish.saturating_since(Time::ZERO)
+    }
+
+    /// Average breakdown over all processes (Figure 3 bars).
+    pub fn mean_breakdown(&self) -> Breakdown {
+        let mut sum = Breakdown::default();
+        for b in &self.breakdowns {
+            sum.merge(b);
+        }
+        sum.scaled_down(self.breakdowns.len().max(1) as u64)
+    }
+
+    /// Speedup of this run against a sequential time.
+    pub fn speedup(&self, sequential: Dur) -> f64 {
+        let p = self.parallel_time().as_ns();
+        if p == 0 {
+            0.0
+        } else {
+            sequential.as_ns() as f64 / p as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_mean() {
+        let report = RunReport {
+            finish: Time::from_ns(1_000_000),
+            breakdowns: vec![
+                Breakdown {
+                    compute: Dur::from_us(600),
+                    data: Dur::from_us(400),
+                    ..Breakdown::default()
+                },
+                Breakdown {
+                    compute: Dur::from_us(1000),
+                    ..Breakdown::default()
+                },
+            ],
+            counters: Counters::default(),
+            monitor: Monitor::new(),
+            pinned_shared_bytes: vec![0, 0],
+            events: 0,
+        };
+        assert_eq!(report.parallel_time(), Dur::from_ms(1));
+        assert!((report.speedup(Dur::from_ms(8)) - 8.0).abs() < 1e-9);
+        let mean = report.mean_breakdown();
+        assert_eq!(mean.compute, Dur::from_us(800));
+        assert_eq!(mean.data, Dur::from_us(200));
+    }
+}

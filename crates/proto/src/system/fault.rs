@@ -1,0 +1,472 @@
+//! Page faults, fetches, and diff application at the home.
+
+use genima_mem::{Access, Diff, Page, PageId};
+use genima_nic::Tag;
+use genima_sim::Time;
+
+use super::{Block, CopyState, Flow, Pending, ProcState, ReqMap, SvmSystem, SysEvent};
+use crate::ids::ProcId;
+use crate::interval::DirtyPage;
+use crate::ops::Op;
+
+impl SvmSystem {
+    /// Handles a read or write fault on `page` by process `p` at
+    /// global time `now` (the process clock equals `now`).
+    ///
+    /// Returns [`Flow::Continue`] when the fault resolved
+    /// synchronously (local page, cached copy, or protection upgrade)
+    /// and [`Flow::Stop`] when the process blocked on a remote
+    /// transaction; in the latter case `(op, prog)` is parked.
+    pub(crate) fn start_fault(
+        &mut self,
+        now: Time,
+        p: usize,
+        page: PageId,
+        write: bool,
+        op: Op,
+        prog: u64,
+    ) -> Flow {
+        self.counters.faults += 1;
+        let trap = self.p.proto.fault_trap;
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let acc = self.procs[p].pt.access(page);
+
+        // Pure protection upgrade: page is readable, write needs a twin.
+        if write && acc == Access::Read {
+            let cost = trap + self.p.mem.twin_copy + self.p.mem.mprotect.cost(1);
+            self.procs[p].clock += cost;
+            self.procs[p].bd.acqrel += cost;
+            self.procs[p].bd.mprotect += self.p.mem.mprotect.cost(1);
+            self.counters.mprotect_calls += 1;
+            self.make_writable(p, node, page);
+            return Flow::Continue;
+        }
+
+        let home = self.home_of(page).index();
+        let required = self.node_required(node, p, page);
+
+        if node == home {
+            let hp = self.home_pages.entry(page).or_default();
+            if Self::covered(&hp.applied, &required) {
+                // Home-local fault: protection change only.
+                let mpro = self.p.mem.mprotect.cost(1);
+                let mut cost = trap + self.p.proto.fault_finish + mpro;
+                if write {
+                    cost += self.p.mem.twin_copy;
+                }
+                self.procs[p].clock += cost;
+                self.procs[p].bd.data += trap + self.p.proto.fault_finish + mpro;
+                if write {
+                    self.procs[p].bd.acqrel += self.p.mem.twin_copy;
+                }
+                self.procs[p].bd.mprotect += mpro;
+                self.counters.mprotect_calls += 1;
+                if write {
+                    self.make_writable(p, node, page);
+                } else {
+                    self.procs[p].pt.set(page, Access::Read);
+                }
+                return Flow::Continue;
+            }
+            // Wait for missing diffs to reach the home copy.
+            self.procs[p].clock += trap;
+            self.procs[p].bd.data += trap;
+            self.procs[p].cur = Some((op, prog));
+            self.procs[p].state = ProcState::Blocked(Block::PageFault {
+                page,
+                write,
+                started: now,
+            });
+            self.home_pages.entry(page).or_default().waiters.push(p);
+            return Flow::Stop;
+        }
+
+        // Valid cached node copy?
+        if let Some(copy) = self.nodes[node].copies.get(&page) {
+            if Self::covered(&copy.ts, &required) {
+                let mpro = self.p.mem.mprotect.cost(1);
+                let mut cost = trap + self.p.proto.fault_finish + mpro;
+                if write {
+                    cost += self.p.mem.twin_copy;
+                }
+                self.procs[p].clock += cost;
+                self.procs[p].bd.data += trap + self.p.proto.fault_finish + mpro;
+                if write {
+                    self.procs[p].bd.acqrel += self.p.mem.twin_copy;
+                }
+                self.procs[p].bd.mprotect += mpro;
+                self.counters.mprotect_calls += 1;
+                if write {
+                    self.make_writable(p, node, page);
+                } else {
+                    self.procs[p].pt.set(page, Access::Read);
+                }
+                return Flow::Continue;
+            }
+        }
+
+        // Remote fetch needed.
+        self.procs[p].clock += trap;
+        self.procs[p].bd.data += trap;
+        self.procs[p].cur = Some((op, prog));
+        self.procs[p].state = ProcState::Blocked(Block::PageFault {
+            page,
+            write,
+            started: now,
+        });
+        if let Some(waiters) = self.nodes[node].inflight.get_mut(&page) {
+            waiters.push(p);
+            return Flow::Stop;
+        }
+        self.nodes[node].inflight.insert(page, vec![p]);
+        if self.p.features.rf {
+            self.issue_rf(now, p, page);
+        } else {
+            let tag = self.tag(Pending::PageRequestMsg {
+                requester: node,
+                page,
+                required,
+            });
+            let bytes = self.p.proto.control_msg_bytes;
+            let post = self.vmmc.host_msg(
+                now,
+                crate::ids::NodeId::new(node).nic(),
+                crate::ids::NodeId::new(home).nic(),
+                bytes,
+                tag,
+            );
+            self.absorb_post(post);
+        }
+        Flow::Stop
+    }
+
+    /// Marks `page` writable for `p`, creating the twin and dirty
+    /// entry.
+    fn make_writable(&mut self, p: usize, node: usize, page: PageId) {
+        self.procs[p].pt.set(page, Access::ReadWrite);
+        let twin = if self.p.data_mode {
+            let home = self.home_of(page).index();
+            let data = if home == node {
+                self.home_pages.get(&page).and_then(|h| h.data.clone())
+            } else {
+                self.nodes[node]
+                    .copies
+                    .get(&page)
+                    .and_then(|c| c.data.clone())
+            };
+            Some(data.unwrap_or_else(Page::zeroed))
+        } else {
+            None
+        };
+        self.procs[p].dirty.insert(
+            page,
+            DirtyPage {
+                ranges: Default::default(),
+                twin,
+            },
+        );
+    }
+
+    /// Issues (or re-issues) a remote-fetch pair for `page`: a small
+    /// timestamp fetch followed by the page fetch on the same in-order
+    /// channel, so the page arrives last (§2, "Remote fetch").
+    pub(crate) fn issue_rf(&mut self, now: Time, p: usize, page: PageId) {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        if !self.nodes[node].inflight.contains_key(&page) {
+            return; // fetch already satisfied by another path
+        }
+        let home = self.home_of(page).index();
+        let my = crate::ids::NodeId::new(node).nic();
+        let hn = crate::ids::NodeId::new(home).nic();
+        let ts_bytes = self.p.proto.page_ts_bytes;
+        let post = self.vmmc.fetch(now, my, hn, ts_bytes, Tag::NONE);
+        let t2 = self.absorb_post(post);
+        let tag = self.tag(Pending::FetchPage { proc: p, page });
+        let post = self
+            .vmmc
+            .fetch(t2, my, hn, genima_mem::PAGE_SIZE as u32, tag);
+        self.absorb_post(post);
+    }
+
+    /// A Base-protocol page reply arrived. The reply's version was
+    /// checked against the requirement *at request time*; co-located
+    /// writers may have flushed newer diffs since, in which case
+    /// installing would roll back their writes — re-request instead.
+    pub(crate) fn base_reply_arrived(
+        &mut self,
+        t: Time,
+        node: usize,
+        page: PageId,
+        ts: ReqMap,
+        data: Option<Page>,
+    ) {
+        let need = self.inflight_required(node, page);
+        if Self::covered(&ts, &need) {
+            self.install_copy(t, node, page, ts, data);
+            return;
+        }
+        // Stale reply: ask the home again with the tightened
+        // requirement (served once the missing diffs are applied).
+        self.counters.fetch_retries += 1;
+        let home = self.home_of(page).index();
+        let tag = self.tag(Pending::PageRequestMsg {
+            requester: node,
+            page,
+            required: need,
+        });
+        let bytes = self.p.proto.control_msg_bytes;
+        let post = self.vmmc.host_msg(
+            t,
+            crate::ids::NodeId::new(node).nic(),
+            crate::ids::NodeId::new(home).nic(),
+            bytes,
+            tag,
+        );
+        self.absorb_post(post);
+    }
+
+    /// The joined version requirement of every process waiting on an
+    /// in-flight fetch of `page` at `node`, evaluated *now* (includes
+    /// the node's current local-flush watermark).
+    fn inflight_required(&self, node: usize, page: PageId) -> ReqMap {
+        let mut need = ReqMap::new();
+        if let Some(waiters) = self.nodes[node].inflight.get(&page) {
+            for &w in waiters {
+                for (q, i) in self.node_required(node, w, page) {
+                    let e = need.entry(q).or_insert(0);
+                    *e = (*e).max(i);
+                }
+            }
+        } else if let Some(lf) = self.nodes[node].local_flushed.get(&page) {
+            need = lf.clone();
+        }
+        need
+    }
+
+    /// A remote-fetched page arrived; validate its timestamp against
+    /// every waiter's requirement and either install it or retry.
+    pub(crate) fn rf_completed(&mut self, t: Time, proc: usize, page: PageId) {
+        let node = self.p.topo.node_of(ProcId::new(proc)).index();
+        if !self.nodes[node].inflight.contains_key(&page) {
+            return; // superseded
+        }
+        let need = self.inflight_required(node, page);
+        let hp = self.home_pages.entry(page).or_default();
+        if Self::covered(&hp.applied, &need) {
+            let ts = hp.applied.clone();
+            let data = if self.p.data_mode {
+                Some(hp.data.clone().unwrap_or_else(Page::zeroed))
+            } else {
+                None
+            };
+            self.install_copy(t, node, page, ts, data);
+        } else {
+            self.counters.fetch_retries += 1;
+            self.q.push(
+                t + self.p.proto.fetch_retry_backoff,
+                SysEvent::RetryFetch(proc, page),
+            );
+        }
+    }
+
+    /// Installs a fetched page into the node cache and wakes the
+    /// processes blocked on it.
+    pub(crate) fn install_copy(
+        &mut self,
+        t: Time,
+        node: usize,
+        page: PageId,
+        ts: ReqMap,
+        mut data: Option<Page>,
+    ) {
+        self.counters.page_transfers += 1;
+        // Re-apply uncommitted writes of co-located writers: their
+        // modifications live in the old node copy (shared within the
+        // SMP) and must survive the incoming version.
+        if let Some(incoming) = data.as_mut() {
+            let old = self.nodes[node].copies.get(&page).and_then(|c| c.data.clone());
+            if let Some(old) = old {
+                let locals: Vec<usize> = self
+                    .p
+                    .topo
+                    .procs_of(crate::ids::NodeId::new(node))
+                    .map(|q| q.index())
+                    .collect();
+                for q in locals {
+                    // Open interval: writes live in the old node copy.
+                    if let Some(dp) = self.procs[q].dirty.get(&page) {
+                        if let Some(twin) = &dp.twin {
+                            let w = genima_mem::compute_diff(twin, &old);
+                            w.apply(incoming);
+                        }
+                    }
+                    // Closed-but-unflushed intervals: same — their
+                    // diffs have not reached the home yet, so the
+                    // incoming version cannot contain them.
+                    for pi in &self.procs[q].pending_intervals {
+                        for (pg, dp) in &pi.pages {
+                            if *pg == page {
+                                if let Some(twin) = &dp.twin {
+                                    let w = genima_mem::compute_diff(twin, &old);
+                                    w.apply(incoming);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.nodes[node].copies.insert(page, CopyState { ts, data });
+        if let Some(waiters) = self.nodes[node].inflight.remove(&page) {
+            for p in waiters {
+                self.complete_fault(t, p, page);
+            }
+        }
+    }
+
+    /// Finishes a blocked page fault for `p` at time `t`.
+    pub(crate) fn complete_fault(&mut self, t: Time, p: usize, page: PageId) {
+        let (write, started) = match &self.procs[p].state {
+            ProcState::Blocked(Block::PageFault {
+                page: pg,
+                write,
+                started,
+            }) if *pg == page => (*write, *started),
+            other => panic!("p{p} woken for {page} but in state {other:?}"),
+        };
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let mpro = self.p.mem.mprotect.cost(1);
+        let base_cost = self.p.proto.fault_finish + mpro;
+        let twin_cost = if write {
+            self.p.mem.twin_copy
+        } else {
+            genima_sim::Dur::ZERO
+        };
+        let end = t + base_cost + twin_cost;
+        self.procs[p].bd.data += t.saturating_since(started) + base_cost;
+        self.procs[p].bd.acqrel += twin_cost;
+        self.procs[p].bd.mprotect += mpro;
+        self.counters.mprotect_calls += 1;
+        if write {
+            self.make_writable(p, node, page);
+        } else {
+            self.procs[p].pt.set(page, Access::Read);
+        }
+        self.procs[p].clock = end;
+        self.procs[p].state = ProcState::Runnable;
+        self.q.push(end, SysEvent::Resume(p));
+    }
+
+    /// The Base home handler serves a page request: reply now or defer
+    /// until the missing diffs arrive.
+    pub(crate) fn home_serve_page_request(
+        &mut self,
+        t: Time,
+        home: usize,
+        requester: usize,
+        page: PageId,
+        required: ReqMap,
+    ) {
+        let hp = self.home_pages.entry(page).or_default();
+        if Self::covered(&hp.applied, &required) {
+            let ts = hp.applied.clone();
+            let data = if self.p.data_mode {
+                Some(hp.data.clone().unwrap_or_else(Page::zeroed))
+            } else {
+                None
+            };
+            let tag = self.tag(Pending::PageReply {
+                node: requester,
+                page,
+                ts,
+                data,
+            });
+            let bytes = genima_mem::PAGE_SIZE as u32 + self.p.proto.page_ts_bytes;
+            let post = self.vmmc.deposit(
+                t,
+                crate::ids::NodeId::new(home).nic(),
+                crate::ids::NodeId::new(requester).nic(),
+                bytes,
+                tag,
+            );
+            self.absorb_post(post);
+        } else {
+            hp.pending_reqs.push((requester, required));
+        }
+    }
+
+    /// The version requirement for `p` fetching `page`: the diffs its
+    /// applied write notices demand, *plus* whatever this node's own
+    /// writers have already flushed for the page (never install a
+    /// version that rolls back local writes).
+    pub(crate) fn node_required(&self, node: usize, p: usize, page: PageId) -> ReqMap {
+        let mut req = self
+            .procs[p]
+            .required
+            .get(&page)
+            .cloned()
+            .unwrap_or_default();
+        if let Some(lf) = self.nodes[node].local_flushed.get(&page) {
+            for (&q, &i) in lf {
+                let e = req.entry(q).or_insert(0);
+                *e = (*e).max(i);
+            }
+        }
+        req
+    }
+
+    /// Applies a diff (or just its timestamp, in dirty-range mode) to
+    /// the home copy, then wakes whatever the new version satisfies:
+    /// home-local faulting processes and, in the Base protocol,
+    /// deferred remote page requests.
+    pub(crate) fn apply_diff_at_home(
+        &mut self,
+        t: Time,
+        writer: usize,
+        interval: u32,
+        page: PageId,
+        diff: Option<Diff>,
+    ) {
+        let home = self.home_of(page).index();
+        let hp = self.home_pages.entry(page).or_default();
+        if let Some(d) = diff {
+            if self.p.data_mode {
+                d.apply(hp.data.get_or_insert_with(Page::zeroed));
+            }
+        }
+        let e = hp.applied.entry(writer as u32).or_insert(0);
+        *e = (*e).max(interval);
+
+        // Wake home-local waiters whose requirement is now satisfied.
+        let waiters = std::mem::take(&mut self.home_pages.get_mut(&page).unwrap().waiters);
+        for p in waiters {
+            let req = self
+                .procs[p]
+                .required
+                .get(&page)
+                .cloned()
+                .unwrap_or_default();
+            let hp = self.home_pages.get_mut(&page).unwrap();
+            if Self::covered(&hp.applied, &req) {
+                self.complete_fault(t, p, page);
+            } else {
+                self.home_pages.get_mut(&page).unwrap().waiters.push(p);
+            }
+        }
+
+        // Serve deferred Base requests that are now satisfiable.
+        let pending = std::mem::take(&mut self.home_pages.get_mut(&page).unwrap().pending_reqs);
+        for (req_node, req) in pending {
+            let hp = self.home_pages.get_mut(&page).unwrap();
+            if Self::covered(&hp.applied, &req) {
+                self.home_serve_page_request(t, home, req_node, page, req);
+            } else {
+                self.home_pages
+                    .get_mut(&page)
+                    .unwrap()
+                    .pending_reqs
+                    .push((req_node, req));
+            }
+        }
+    }
+}

@@ -1,0 +1,924 @@
+//! The SVM cluster system: state, construction, and the event loop.
+//!
+//! The system couples the protocol state machine to the simulated
+//! communication layer. Application processes execute operation
+//! streams ([`exec`]); page faults and the coherence machinery live in
+//! [`fault`]; intervals, write notices, locks and barriers live in
+//! [`sync`].
+
+mod exec;
+mod fault;
+mod sync;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use genima_mem::{Diff, MemConfig, Page, PageId, PageTable, PAGE_SIZE};
+use genima_net::NetConfig;
+use genima_nic::{Event as CommEvent, LockId, NicConfig, Post, Step, Tag, Upcall};
+use genima_sim::{Dur, EventQueue, Resource, Time};
+use genima_vmmc::Vmmc;
+
+use crate::breakdown::{Breakdown, Counters};
+use crate::config::ProtoConfig;
+use crate::features::FeatureSet;
+use crate::ids::{BarrierId, NodeId, Topology};
+use crate::interval::{DirtyPage, IntervalRecord, PendingInterval};
+use crate::ops::{Op, OpSource};
+use crate::report::RunReport;
+use crate::vclock::VClock;
+
+/// A sparse per-writer timestamp: writer index → latest interval.
+pub(crate) type ReqMap = BTreeMap<u32, u32>;
+
+/// Control flow of operation execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// Operation finished; keep executing.
+    Continue,
+    /// Execution must stop (blocked or resync scheduled).
+    Stop,
+}
+
+/// Which time bucket protocol work is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Bucket {
+    AcqRel,
+    Barrier,
+}
+
+/// Construction parameters of an [`SvmSystem`].
+#[derive(Debug, Clone)]
+pub struct SvmParams {
+    /// Cluster shape.
+    pub topo: Topology,
+    /// Which NI mechanisms the protocol exploits.
+    pub features: FeatureSet,
+    /// Protocol-layer costs.
+    pub proto: ProtoConfig,
+    /// Memory-system costs.
+    pub mem: MemConfig,
+    /// NI timing.
+    pub nic: NicConfig,
+    /// Network timing.
+    pub net: NetConfig,
+    /// Number of application locks.
+    pub locks: usize,
+    /// Maintain real page contents (tests/examples); the large
+    /// workload generators run with dirty-range tracking only.
+    pub data_mode: bool,
+    /// If set, statistics are reset when this barrier completes —
+    /// excluding initialization and cold start, per SPLASH-2
+    /// guidelines (§3.2).
+    pub warmup_barrier: Option<BarrierId>,
+    /// Per-processor memory-bus demand while computing, bytes/s
+    /// (workload-dependent; drives the SMP bus dilation model).
+    pub bus_demand_per_proc: u64,
+    /// Assign unplaced pages to the node that touches them first
+    /// (first-touch home allocation, the usual HLRC default) instead
+    /// of striping them round-robin.
+    pub first_touch_homes: bool,
+    /// Safety valve: abort if the event count exceeds this bound.
+    pub max_events: u64,
+}
+
+impl SvmParams {
+    /// Paper-calibrated parameters for the given topology and
+    /// protocol variant.
+    pub fn new(topo: Topology, features: FeatureSet) -> SvmParams {
+        features.validate();
+        SvmParams {
+            topo,
+            features,
+            proto: ProtoConfig::paper(),
+            mem: MemConfig::pentium_pro(),
+            nic: NicConfig::lanai(),
+            net: NetConfig::myrinet(),
+            locks: 64,
+            data_mode: false,
+            warmup_barrier: None,
+            bus_demand_per_proc: ProtoConfig::paper().bus_demand_per_proc,
+            first_touch_homes: false,
+            max_events: 200_000_000,
+        }
+    }
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub(crate) enum SysEvent {
+    /// A communication-layer event.
+    Comm(CommEvent),
+    /// A communication-layer completion upcall.
+    Up(Upcall),
+    /// A process continues executing its operation stream.
+    Resume(usize),
+    /// A protocol handler finished servicing an interrupt.
+    Job(usize, Job),
+    /// Re-issue a remote fetch that found a stale timestamp.
+    RetryFetch(usize, PageId),
+    /// Re-try a failed atomic test-and-set (remote-atomics locks).
+    RetrySpin(usize, LockId),
+}
+
+/// Correlation state for in-flight messages, keyed by tag.
+#[derive(Debug)]
+pub(crate) enum Pending {
+    /// Base: page request arriving at the home (host message).
+    PageRequestMsg {
+        requester: usize,
+        page: PageId,
+        required: ReqMap,
+    },
+    /// Base: page reply (deposit) arriving at the requester.
+    PageReply {
+        node: usize,
+        page: PageId,
+        ts: ReqMap,
+        data: Option<Page>,
+    },
+    /// RF: page fetch completion at the requester.
+    FetchPage { proc: usize, page: PageId },
+    /// DW: an interval record deposited into a node's notice region.
+    Notice {
+        node: usize,
+        writer: usize,
+        interval: u32,
+    },
+    /// Pull mode: a remote fetch of missing interval records completed.
+    NoticeFetch {
+        node: usize,
+        writer: usize,
+        upto: u32,
+    },
+    /// Base: a packed diff arriving at the home (host message).
+    DiffMsg {
+        writer: usize,
+        interval: u32,
+        page: PageId,
+        diff: Option<Diff>,
+    },
+    /// DD: the timestamp update that completes a direct-diff train.
+    DiffTsUpdate {
+        writer: usize,
+        interval: u32,
+        page: PageId,
+        diff: Option<Diff>,
+    },
+    /// Base: lock request arriving at the lock's home node.
+    LockRequestMsg {
+        lock: LockId,
+        proc: usize,
+        requester: usize,
+    },
+    /// Base: lock request forwarded to the last owner.
+    LockForwardMsg {
+        lock: LockId,
+        proc: usize,
+        requester: usize,
+        /// The chain node the forward was addressed to.
+        owner: usize,
+    },
+    /// Base: lock grant arriving back at the requester.
+    LockGrantMsg {
+        lock: LockId,
+        proc: usize,
+        vc: VClock,
+        upto: Vec<u32>,
+    },
+    /// NIL: an NI lock acquire in flight.
+    NiLockWait { proc: usize },
+    /// Remote-atomics lock mode: a test-and-set attempt in flight.
+    AtomicLockTry { proc: usize, lock: LockId },
+    /// Barrier arrival notification at the manager.
+    BarrierArriveMsg {
+        barrier: BarrierId,
+        proc: usize,
+        vc: VClock,
+        upto: Option<Vec<u32>>,
+    },
+    /// Barrier release notification at a node.
+    BarrierReleaseMsg {
+        barrier: BarrierId,
+        node: usize,
+        vc: VClock,
+        upto: Option<Vec<u32>>,
+    },
+}
+
+/// Actions performed when a host protocol handler finishes servicing
+/// an interrupt (Base-protocol paths only).
+#[derive(Debug)]
+pub(crate) enum Job {
+    PageRequest {
+        requester: usize,
+        page: PageId,
+        required: ReqMap,
+    },
+    ApplyDiff {
+        writer: usize,
+        interval: u32,
+        page: PageId,
+        diff: Option<Diff>,
+    },
+    LockForward {
+        lock: LockId,
+        proc: usize,
+        requester: usize,
+    },
+    LockOwner {
+        lock: LockId,
+        proc: usize,
+        requester: usize,
+    },
+    BarrierArrive {
+        barrier: BarrierId,
+        proc: usize,
+        vc: VClock,
+        upto: Option<Vec<u32>>,
+    },
+    BarrierRelease {
+        barrier: BarrierId,
+        node: usize,
+        vc: VClock,
+        upto: Option<Vec<u32>>,
+    },
+}
+
+/// Why a process is blocked.
+#[derive(Debug)]
+pub(crate) enum Block {
+    PageFault {
+        page: PageId,
+        write: bool,
+        started: Time,
+    },
+    LockWait {
+        lock: LockId,
+        started: Time,
+    },
+    NoticeWait {
+        started: Time,
+        reason: WaitReason,
+    },
+    BarrierWait {
+        barrier: BarrierId,
+        started: Time,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitReason {
+    Lock,
+    Barrier,
+}
+
+#[derive(Debug)]
+pub(crate) enum ProcState {
+    Runnable,
+    Blocked(Block),
+    Done,
+}
+
+/// Per-process runtime state.
+pub(crate) struct ProcRt {
+    pub(crate) clock: Time,
+    pub(crate) src: Box<dyn OpSource>,
+    /// Operation in progress (with byte progress), parked across
+    /// blocks and resyncs.
+    pub(crate) cur: Option<(Op, u64)>,
+    pub(crate) state: ProcState,
+    pub(crate) vc: VClock,
+    /// Per writer: highest interval whose record this process applied.
+    pub(crate) seen: Vec<u32>,
+    pub(crate) pt: PageTable,
+    /// Per page: the diffs (writer → interval) a valid copy must have.
+    pub(crate) required: HashMap<PageId, ReqMap>,
+    /// Open interval: dirty pages.
+    pub(crate) dirty: BTreeMap<PageId, DirtyPage>,
+    /// Pages flushed early (mid-interval) that still need a notice.
+    pub(crate) flushed_early: Vec<PageId>,
+    /// Closed intervals whose diffs have not been flushed (lazy).
+    pub(crate) pending_intervals: Vec<PendingInterval>,
+    /// Records not yet propagated (Base piggyback path).
+    pub(crate) bd: Breakdown,
+    /// Accumulated interrupt-steal penalty applied to the next compute.
+    pub(crate) steal: Dur,
+    /// Set when the warmup barrier released; the breakdown is zeroed
+    /// when this process exits the barrier.
+    pub(crate) warmup_reset: bool,
+    pub(crate) finished_at: Option<Time>,
+}
+
+/// Node-level lock state (the SMP tier of HLRC-SMP).
+#[derive(Debug, Default)]
+pub(crate) struct NodeLock {
+    pub(crate) holder: Option<usize>,
+    pub(crate) local_waiters: VecDeque<usize>,
+    pub(crate) remote_waiters: VecDeque<(usize, usize)>, // (node, proc)
+    /// Whether this node currently possesses the lock token.
+    pub(crate) owned: bool,
+    /// A remote request from this node is in flight; later local
+    /// acquirers must queue rather than double-request.
+    pub(crate) requesting: bool,
+}
+
+/// A node's cached copy of a remote page.
+pub(crate) struct CopyState {
+    pub(crate) ts: ReqMap,
+    pub(crate) data: Option<Page>,
+}
+
+/// Per-node runtime state.
+pub(crate) struct NodeRt {
+    /// The floating protocol process servicing interrupts.
+    pub(crate) handler: Resource,
+    /// Per writer: highest interval whose record has arrived here.
+    pub(crate) arrived: Vec<u32>,
+    pub(crate) copies: HashMap<PageId, CopyState>,
+    /// Per page: the highest interval each *local* writer has flushed
+    /// to the home. A fetched copy must cover these — otherwise the
+    /// incoming version would roll back this node's own writes.
+    pub(crate) local_flushed: HashMap<PageId, ReqMap>,
+    /// Pages with an in-flight fetch and the processes waiting on it.
+    pub(crate) inflight: BTreeMap<PageId, Vec<usize>>,
+    pub(crate) locks: Vec<NodeLock>,
+    /// Round-robin victim for interrupt-steal accounting.
+    pub(crate) steal_rr: usize,
+    /// Piggyback watermark: per destination node, per writer, the
+    /// highest interval already carried there by this node's messages.
+    pub(crate) sent_upto: Vec<Vec<u32>>,
+}
+
+/// Home-side state of one shared page.
+#[derive(Default)]
+pub(crate) struct HomePage {
+    /// Per writer: latest interval whose diffs are applied here.
+    pub(crate) applied: ReqMap,
+    pub(crate) data: Option<Page>,
+    /// Base: deferred page requests awaiting diffs.
+    pub(crate) pending_reqs: Vec<(usize, ReqMap)>,
+    /// Home-local processes waiting for diffs.
+    pub(crate) waiters: Vec<usize>,
+}
+
+/// Protocol-level lock state.
+pub(crate) struct LockRt {
+    /// Timestamp travelling with the lock.
+    pub(crate) vc: VClock,
+    /// Base: the home's chain tail.
+    pub(crate) last_owner: usize,
+}
+
+/// One barrier's state at the manager.
+pub(crate) struct BarrierRt {
+    pub(crate) arrived: usize,
+    pub(crate) joined: VClock,
+}
+
+/// The complete simulated SVM cluster.
+///
+/// Construct with [`SvmSystem::new`], optionally assign page homes
+/// with [`SvmSystem::assign_homes`], then call [`SvmSystem::run`].
+///
+/// # Example
+///
+/// ```
+/// use genima_proto::{ops_source, FeatureSet, Op, SvmSystem, SvmParams, Topology};
+/// use genima_sim::Dur;
+///
+/// let topo = Topology::new(2, 1);
+/// let params = SvmParams::new(topo, FeatureSet::genima());
+/// let work = (0..2)
+///     .map(|_| Box::new(ops_source(vec![Op::Compute(Dur::from_us(100))])) as Box<dyn genima_proto::OpSource>)
+///     .collect();
+/// let mut sys = SvmSystem::new(params, work);
+/// let report = sys.run();
+/// assert!(report.parallel_time() >= Dur::from_us(100));
+/// ```
+pub struct SvmSystem {
+    pub(crate) p: SvmParams,
+    pub(crate) vmmc: Vmmc,
+    pub(crate) q: EventQueue<SysEvent>,
+    pub(crate) procs: Vec<ProcRt>,
+    pub(crate) nodes: Vec<NodeRt>,
+    pub(crate) locks: Vec<LockRt>,
+    pub(crate) barriers: BTreeMap<BarrierId, BarrierRt>,
+    /// Global store of interval records (content is immutable once
+    /// created; visibility at each node is gated by `NodeRt::arrived`).
+    pub(crate) records: Vec<BTreeMap<u32, IntervalRecord>>,
+    pub(crate) home_pages: HashMap<PageId, HomePage>,
+    pub(crate) home_override: HashMap<PageId, NodeId>,
+    /// One past the highest page index observed (for pin accounting).
+    pub(crate) shared_extent: usize,
+    pub(crate) tags: HashMap<u64, Pending>,
+    pub(crate) next_tag: u64,
+    pub(crate) counters: Counters,
+    pub(crate) done_count: usize,
+    pub(crate) measure_from: Time,
+}
+
+impl SvmSystem {
+    /// Creates a cluster running one [`OpSource`] per processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the topology's processor
+    /// count, or if the feature set is inconsistent.
+    pub fn new(params: SvmParams, sources: Vec<Box<dyn OpSource>>) -> SvmSystem {
+        params.features.validate();
+        let nprocs = params.topo.procs();
+        assert_eq!(
+            sources.len(),
+            nprocs,
+            "need exactly one op source per processor"
+        );
+        let nnodes = params.topo.nodes;
+        let vmmc = Vmmc::new(
+            params.nic.clone(),
+            params.net.clone(),
+            nnodes,
+            params.locks,
+        );
+        let procs = sources
+            .into_iter()
+            .map(|src| ProcRt {
+                clock: Time::ZERO,
+                src,
+                cur: None,
+                state: ProcState::Runnable,
+                vc: VClock::new(nprocs),
+                seen: vec![0; nprocs],
+                pt: PageTable::new(),
+                required: HashMap::new(),
+                dirty: BTreeMap::new(),
+                flushed_early: Vec::new(),
+                pending_intervals: Vec::new(),
+                bd: Breakdown::default(),
+                steal: Dur::ZERO,
+                warmup_reset: false,
+                finished_at: None,
+            })
+            .collect();
+        let nodes = (0..nnodes)
+            .map(|_| NodeRt {
+                handler: Resource::new("protocol-handler"),
+                arrived: vec![0; nprocs],
+                copies: HashMap::new(),
+                local_flushed: HashMap::new(),
+                inflight: BTreeMap::new(),
+                locks: (0..params.locks).map(|_| NodeLock::default()).collect(),
+                steal_rr: 0,
+                sent_upto: vec![vec![0; nprocs]; nnodes],
+            })
+            .collect();
+        let locks = (0..params.locks)
+            .map(|i| LockRt {
+                vc: VClock::new(nprocs),
+                last_owner: i % nnodes,
+            })
+            .collect();
+        let mut nodes: Vec<NodeRt> = nodes;
+        // The NI firmware initialises each lock as owned by its home;
+        // mirror that at the protocol level.
+        for (i, l) in (0..params.locks).zip(0..) {
+            let _ = l;
+            let home = i % nnodes;
+            nodes[home].locks[i].owned = true;
+        }
+        SvmSystem {
+            vmmc,
+            q: EventQueue::new(),
+            procs,
+            nodes,
+            locks,
+            barriers: BTreeMap::new(),
+            records: vec![BTreeMap::new(); nprocs],
+            home_pages: HashMap::new(),
+            home_override: HashMap::new(),
+            shared_extent: 0,
+            tags: HashMap::new(),
+            next_tag: 1,
+            counters: Counters::default(),
+            done_count: 0,
+            measure_from: Time::ZERO,
+            p: params,
+        }
+    }
+
+    /// Assigns `count` pages starting at `start` to `node` as their
+    /// home. Unassigned pages default to `page_index % nodes`.
+    pub fn assign_homes(&mut self, start: PageId, count: usize, node: NodeId) {
+        assert!(node.index() < self.p.topo.nodes, "home node out of range");
+        for i in 0..count {
+            self.home_override.insert(start.offset_by(i), node);
+        }
+        self.shared_extent = self.shared_extent.max(start.index() + count);
+    }
+
+    /// The home node of `page`.
+    pub fn home_of(&self, page: PageId) -> NodeId {
+        self.home_override
+            .get(&page)
+            .copied()
+            .unwrap_or_else(|| NodeId::new(page.index() % self.p.topo.nodes))
+    }
+
+    /// Runs the cluster until every process finishes, then reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget (`max_events`) is exceeded, which
+    /// indicates a protocol livelock, or if a [`Op::Validate`] check
+    /// fails.
+    pub fn run(&mut self) -> RunReport {
+        for p in 0..self.procs.len() {
+            self.q.push(Time::ZERO, SysEvent::Resume(p));
+        }
+        while let Some((t, ev)) = self.q.pop() {
+            assert!(
+                self.q.delivered() <= self.p.max_events,
+                "event budget exceeded: protocol livelock?"
+            );
+            self.dispatch(t, ev);
+        }
+        assert_eq!(
+            self.done_count,
+            self.procs.len(),
+            "deadlock: {} of {} processes finished; blocked: {:?}",
+            self.done_count,
+            self.procs.len(),
+            self.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !matches!(p.state, ProcState::Done))
+                .map(|(i, p)| (i, format!("{:?}", p.state)))
+                .collect::<Vec<_>>()
+        );
+        self.build_report()
+    }
+
+    fn dispatch(&mut self, t: Time, ev: SysEvent) {
+        match ev {
+            SysEvent::Resume(p) => self.run_proc(t, p),
+            SysEvent::Comm(e) => {
+                let step = self.vmmc.handle(t, e);
+                self.absorb_step(step);
+            }
+            SysEvent::Up(u) => self.upcall(t, u),
+            SysEvent::Job(node, job) => self.job_done(t, node, job),
+            SysEvent::RetryFetch(p, page) => self.issue_rf(t, p, page),
+            SysEvent::RetrySpin(p, lock) => self.atomic_lock_try(t, p, lock),
+        }
+    }
+
+    pub(crate) fn absorb_post(&mut self, post: Post) -> Time {
+        for (t, e) in post.events {
+            self.q.push(t, SysEvent::Comm(e));
+        }
+        for (t, u) in post.upcalls {
+            self.q.push(t, SysEvent::Up(u));
+        }
+        post.host_free
+    }
+
+    pub(crate) fn absorb_step(&mut self, step: Step) {
+        for (t, e) in step.events {
+            self.q.push(t, SysEvent::Comm(e));
+        }
+        for (t, u) in step.upcalls {
+            self.q.push(t, SysEvent::Up(u));
+        }
+    }
+
+    /// Allocates a tag bound to `pending`.
+    pub(crate) fn tag(&mut self, pending: Pending) -> Tag {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        self.tags.insert(t, pending);
+        Tag::new(t)
+    }
+
+    /// Marks a page as part of the shared extent; under first-touch
+    /// home allocation, an unplaced page is homed at the toucher.
+    pub(crate) fn note_extent(&mut self, page: PageId) {
+        if page.index() >= self.shared_extent {
+            self.shared_extent = page.index() + 1;
+        }
+    }
+
+    /// Records `node` touching `page` (first-touch home allocation).
+    pub(crate) fn note_touch(&mut self, node: usize, page: PageId) {
+        self.note_extent(page);
+        if self.p.first_touch_homes {
+            self.home_override
+                .entry(page)
+                .or_insert(NodeId::new(node));
+        }
+    }
+
+    /// Returns `true` if `applied` covers `required` pointwise.
+    pub(crate) fn covered(applied: &ReqMap, required: &ReqMap) -> bool {
+        required
+            .iter()
+            .all(|(q, i)| applied.get(q).copied().unwrap_or(0) >= *i)
+    }
+
+    /// Charges an interrupt on `node` at `t` with handler service
+    /// `svc`; returns the handler completion time. Also accrues the
+    /// steal penalty the interrupted compute processor suffers.
+    pub(crate) fn interrupt(&mut self, node: usize, t: Time, svc: Dur) -> Time {
+        debug_assert!(
+            !self.p.features.interrupt_free(),
+            "GeNIMA must never take an interrupt"
+        );
+        self.counters.interrupts += 1;
+        let lat = self.p.proto.interrupt_latency;
+        let node_rt = &mut self.nodes[node];
+        let (_, done) = node_rt.handler.reserve(t + lat, svc);
+        // The floating protocol process preempts one compute processor.
+        let ppn = self.p.topo.procs_per_node;
+        let victim = node * ppn + node_rt.steal_rr % ppn;
+        node_rt.steal_rr = (node_rt.steal_rr + 1) % ppn;
+        self.procs[victim].steal += svc + self.p.proto.interrupt_steal;
+        done
+    }
+
+    /// Processes a communication upcall.
+    fn upcall(&mut self, t: Time, up: Upcall) {
+        match up {
+            Upcall::DepositArrived { tag, .. } | Upcall::FetchCompleted { tag, .. } => {
+                if let Some(pending) = self.tags.remove(&tag.value()) {
+                    self.pending_arrived(t, pending, false);
+                }
+            }
+            Upcall::HostMsgArrived { tag, .. } => {
+                if let Some(pending) = self.tags.remove(&tag.value()) {
+                    self.pending_arrived(t, pending, true);
+                }
+            }
+            Upcall::LockGranted { lock, tag, .. } => {
+                if let Some(Pending::NiLockWait { proc }) = self.tags.remove(&tag.value()) {
+                    self.ni_lock_granted(t, proc, lock);
+                }
+            }
+            Upcall::LockDeparted { nic, lock } => {
+                self.nodes[nic.index()].locks[lock.index()].owned = false;
+            }
+            Upcall::AtomicCompleted { tag, old, .. } => {
+                if let Some(Pending::AtomicLockTry { proc, lock }) =
+                    self.tags.remove(&tag.value())
+                {
+                    self.atomic_lock_result(t, proc, lock, old);
+                }
+            }
+        }
+    }
+
+    /// Routes an arrived message to its protocol action. `host` is
+    /// `true` when the message landed via the host-message (interrupt)
+    /// path.
+    fn pending_arrived(&mut self, t: Time, pending: Pending, host: bool) {
+        match pending {
+            Pending::PageRequestMsg {
+                requester,
+                page,
+                required,
+            } => {
+                debug_assert!(host);
+                let home = self.home_of(page).index();
+                let done = self.interrupt(home, t, self.p.proto.svc_page_request);
+                self.q.push(
+                    done,
+                    SysEvent::Job(
+                        home,
+                        Job::PageRequest {
+                            requester,
+                            page,
+                            required,
+                        },
+                    ),
+                );
+            }
+            Pending::PageReply {
+                node,
+                page,
+                ts,
+                data,
+            } => self.base_reply_arrived(t, node, page, ts, data),
+            Pending::FetchPage { proc, page } => self.rf_completed(t, proc, page),
+            Pending::Notice {
+                node,
+                writer,
+                interval,
+            } => {
+                let a = &mut self.nodes[node].arrived[writer];
+                *a = (*a).max(interval);
+                self.check_notice_waiters(t, node);
+            }
+            Pending::NoticeFetch { node, writer, upto } => {
+                let a = &mut self.nodes[node].arrived[writer];
+                *a = (*a).max(upto);
+                self.check_notice_waiters(t, node);
+            }
+            Pending::DiffMsg {
+                writer,
+                interval,
+                page,
+                diff,
+            } => {
+                debug_assert!(host);
+                let home = self.home_of(page).index();
+                let done = self.interrupt(home, t, self.p.mem.diff_apply);
+                self.q.push(
+                    done,
+                    SysEvent::Job(
+                        home,
+                        Job::ApplyDiff {
+                            writer,
+                            interval,
+                            page,
+                            diff,
+                        },
+                    ),
+                );
+            }
+            Pending::DiffTsUpdate {
+                writer,
+                interval,
+                page,
+                diff,
+            } => self.apply_diff_at_home(t, writer, interval, page, diff),
+            Pending::LockRequestMsg {
+                lock,
+                proc,
+                requester,
+            } => {
+                debug_assert!(host);
+                let home = self.lock_home(lock);
+                let done = self.interrupt(home, t, self.p.proto.svc_lock_forward);
+                self.q.push(
+                    done,
+                    SysEvent::Job(
+                        home,
+                        Job::LockForward {
+                            lock,
+                            proc,
+                            requester,
+                        },
+                    ),
+                );
+            }
+            Pending::LockForwardMsg {
+                lock,
+                proc,
+                requester,
+                owner,
+            } => {
+                debug_assert!(host);
+                // Delivered to the last owner; the handler there
+                // services the grant.
+                let done = self.interrupt(owner, t, self.p.proto.svc_lock_grant);
+                self.q.push(
+                    done,
+                    SysEvent::Job(
+                        owner,
+                        Job::LockOwner {
+                            lock,
+                            proc,
+                            requester,
+                        },
+                    ),
+                );
+            }
+            Pending::LockGrantMsg {
+                lock,
+                proc,
+                vc,
+                upto,
+            } => self.base_grant_received(t, proc, lock, vc, upto),
+            Pending::NiLockWait { .. } => unreachable!("handled via LockGranted"),
+            Pending::AtomicLockTry { .. } => unreachable!("handled via AtomicCompleted"),
+            Pending::BarrierArriveMsg {
+                barrier,
+                proc,
+                vc,
+                upto,
+            } => {
+                if host {
+                    let mgr = 0;
+                    let done = self.interrupt(mgr, t, self.p.proto.svc_barrier_arrival);
+                    self.q.push(
+                        done,
+                        SysEvent::Job(
+                            mgr,
+                            Job::BarrierArrive {
+                                barrier,
+                                proc,
+                                vc,
+                                upto,
+                            },
+                        ),
+                    );
+                } else {
+                    self.manager_note_arrival(t, barrier, proc, vc, upto);
+                }
+            }
+            Pending::BarrierReleaseMsg {
+                barrier,
+                node,
+                vc,
+                upto,
+            } => {
+                if host {
+                    let done = self.interrupt(node, t, self.p.proto.svc_barrier_release);
+                    self.q.push(
+                        done,
+                        SysEvent::Job(
+                            node,
+                            Job::BarrierRelease {
+                                barrier,
+                                node,
+                                vc,
+                                upto,
+                            },
+                        ),
+                    );
+                } else {
+                    self.release_at_node(t, barrier, node, vc, upto);
+                }
+            }
+        }
+    }
+
+    fn job_done(&mut self, t: Time, node: usize, job: Job) {
+        match job {
+            Job::PageRequest {
+                requester,
+                page,
+                required,
+            } => self.home_serve_page_request(t, node, requester, page, required),
+            Job::ApplyDiff {
+                writer,
+                interval,
+                page,
+                diff,
+            } => self.apply_diff_at_home(t, writer, interval, page, diff),
+            Job::LockForward {
+                lock,
+                proc,
+                requester,
+            } => self.home_forward_lock(t, lock, proc, requester),
+            Job::LockOwner {
+                lock,
+                proc,
+                requester,
+            } => self.owner_service_lock(t, node, lock, proc, requester),
+            Job::BarrierArrive {
+                barrier,
+                proc,
+                vc,
+                upto,
+            } => self.manager_note_arrival(t, barrier, proc, vc, upto),
+            Job::BarrierRelease {
+                barrier,
+                node,
+                vc,
+                upto,
+            } => self.release_at_node(t, barrier, node, vc, upto),
+        }
+    }
+
+    fn build_report(&mut self) -> RunReport {
+        let finish = self
+            .procs
+            .iter()
+            .map(|p| p.finished_at.unwrap_or(p.clock))
+            .max()
+            .unwrap_or(Time::ZERO);
+        let total_pages = self.shared_extent as u64;
+        let pinned: Vec<u64> = (0..self.p.topo.nodes)
+            .map(|n| {
+                if self.p.features.rf {
+                    // Only home pages must be exported.
+                    let homed = (0..self.shared_extent)
+                        .filter(|&i| self.home_of(PageId::new(i)).index() == n)
+                        .count() as u64;
+                    homed * PAGE_SIZE as u64
+                } else {
+                    total_pages * PAGE_SIZE as u64
+                }
+            })
+            .collect();
+        RunReport {
+            finish: Time::from_ns(finish.saturating_since(self.measure_from).as_ns()),
+            breakdowns: self.procs.iter().map(|p| p.bd).collect(),
+            counters: self.counters,
+            monitor: self.vmmc.comm().monitor().clone(),
+            pinned_shared_bytes: pinned,
+            events: self.q.delivered(),
+        }
+    }
+}

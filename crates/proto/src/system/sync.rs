@@ -1,0 +1,1083 @@
+//! Intervals, write notices, locks and barriers.
+
+#![allow(clippy::needless_range_loop)]
+
+use genima_mem::{compute_diff, Access, Diff, PageId};
+use genima_nic::{LockId, Tag};
+use genima_sim::{Dur, Time};
+
+use super::{Block, Bucket, Flow, Pending, ProcState, SvmSystem, SysEvent, WaitReason};
+use crate::config::LockImpl;
+use crate::ids::{BarrierId, NodeId, ProcId};
+use crate::interval::{DirtyPage, IntervalRecord, PendingInterval};
+use crate::vclock::VClock;
+
+/// Small fixed host costs not worth configuring.
+const EPS: Dur = Dur::from_ns(500);
+
+/// Who pays for protocol work done on behalf of others.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Sink {
+    /// A process pays on its own clock, into the given bucket.
+    Proc(usize, Bucket),
+    /// The node's protocol handler pays (Base interrupt paths); the
+    /// work also steals compute from a victim processor.
+    Handler(usize),
+}
+
+impl SvmSystem {
+    fn charge(&mut self, sink: Sink, d: Dur) {
+        match sink {
+            Sink::Proc(p, bucket) => {
+                self.procs[p].clock += d;
+                match bucket {
+                    Bucket::AcqRel => self.procs[p].bd.acqrel += d,
+                    Bucket::Barrier => {
+                        self.procs[p].bd.barrier += d;
+                        self.procs[p].bd.barrier_protocol += d;
+                    }
+                }
+            }
+            Sink::Handler(node) => {
+                self.node_steal(node, d);
+            }
+        }
+    }
+
+    /// Adds interrupt-handler work as compute-steal on a round-robin
+    /// victim processor of `node`.
+    pub(crate) fn node_steal(&mut self, node: usize, d: Dur) {
+        let ppn = self.p.topo.procs_per_node;
+        let victim = node * ppn + self.nodes[node].steal_rr % ppn;
+        self.nodes[node].steal_rr = (self.nodes[node].steal_rr + 1) % ppn;
+        self.procs[victim].steal += d;
+    }
+
+    // ----- intervals and diffs ---------------------------------------------
+
+    /// Closes `p`'s open interval (if it wrote anything): creates the
+    /// interval record, write-protects the dirty pages again, and
+    /// returns the pending interval for later (or immediate) flushing.
+    pub(crate) fn end_interval(
+        &mut self,
+        cursor: Time,
+        p: usize,
+        bucket: Bucket,
+    ) -> Option<PendingInterval> {
+        let dirty = std::mem::take(&mut self.procs[p].dirty);
+        let early = std::mem::take(&mut self.procs[p].flushed_early);
+        if dirty.is_empty() && early.is_empty() {
+            return None;
+        }
+        let _ = cursor;
+        let i = self.procs[p].vc.bump(ProcId::new(p));
+        self.procs[p].seen[p] = i;
+        let mut pages: Vec<PageId> = dirty.keys().copied().chain(early).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        self.records[p].insert(
+            i,
+            IntervalRecord {
+                writer: ProcId::new(p),
+                interval: i,
+                pages,
+            },
+        );
+        self.counters.intervals += 1;
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        self.nodes[node].arrived[p] = i;
+
+        // Write-protect the dirty pages so the next interval faults
+        // and twins again (coalesced mprotect).
+        let dirty_pages: Vec<PageId> = dirty.keys().copied().collect();
+        let groups = contiguous_groups(&dirty_pages);
+        let mpro = self.p.mem.mprotect.cost_grouped(dirty_pages.len(), groups);
+        for &pg in &dirty_pages {
+            self.procs[p].pt.set(pg, Access::Read);
+        }
+        self.counters.mprotect_calls += groups as u64;
+        self.procs[p].bd.mprotect += mpro;
+        self.charge(Sink::Proc(p, bucket), mpro);
+
+        Some(PendingInterval {
+            interval: i,
+            pages: dirty.into_iter().collect(),
+        })
+    }
+
+    /// Flushes one closed interval's diffs to the homes. `direct`
+    /// selects direct diffs (one deposit per run) versus packed diff
+    /// messages. Returns the advanced time cursor.
+    pub(crate) fn flush_interval(
+        &mut self,
+        mut cursor: Time,
+        p: usize,
+        pi: PendingInterval,
+        sink: Sink,
+        direct: bool,
+    ) -> Time {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let my_nic = NodeId::new(node).nic();
+        for (page, dp) in pi.pages {
+            self.counters.diffs += 1;
+            {
+                // A future fetch of this page by this node must not
+                // install a version older than this flush.
+                let lf = self.nodes[node].local_flushed.entry(page).or_default();
+                let e = lf.entry(p as u32).or_insert(0);
+                *e = (*e).max(pi.interval);
+            }
+            let cost = self.p.mem.diff_cost(dp.runs());
+            self.charge(sink, cost);
+            cursor += cost;
+            let diff = self.materialise_diff(node, page, &dp);
+            let home = self.home_of(page).index();
+            if home == node {
+                // Local home: apply in place.
+                let apply = self.p.mem.diff_apply;
+                self.charge(sink, apply);
+                cursor += apply;
+                self.apply_diff_at_home(cursor, p, pi.interval, page, diff);
+            } else if direct && self.p.nic.scatter_gather {
+                // §5 extension: one scatter-gather message carries all
+                // runs plus the timestamp.
+                let hn = NodeId::new(home).nic();
+                let runs = dp.runs() as u32;
+                let tag = self.tag(Pending::DiffTsUpdate {
+                    writer: p,
+                    interval: pi.interval,
+                    page,
+                    diff,
+                });
+                let post = self
+                    .vmmc
+                    .deposit_gather(cursor, my_nic, hn, dp.bytes() + 16, runs, tag);
+                cursor = self.absorb_post(post);
+                self.counters.diff_run_messages += 1;
+            } else if direct {
+                // One deposit per contiguous run, then the timestamp.
+                let hn = NodeId::new(home).nic();
+                let runs: Vec<(u32, u32)> = dp.ranges.iter().collect();
+                for (_, len) in runs {
+                    let post = self.vmmc.deposit(cursor, my_nic, hn, len, Tag::NONE);
+                    cursor = self.absorb_post(post);
+                    self.counters.diff_run_messages += 1;
+                }
+                let tag = self.tag(Pending::DiffTsUpdate {
+                    writer: p,
+                    interval: pi.interval,
+                    page,
+                    diff,
+                });
+                let post = self.vmmc.deposit(cursor, my_nic, hn, 16, tag);
+                cursor = self.absorb_post(post);
+            } else {
+                // Packed diff in one host message (interrupts the home).
+                let hn = NodeId::new(home).nic();
+                let bytes = 16 + dp.bytes();
+                let tag = self.tag(Pending::DiffMsg {
+                    writer: p,
+                    interval: pi.interval,
+                    page,
+                    diff,
+                });
+                let post = self.vmmc.host_msg(cursor, my_nic, hn, bytes, tag);
+                cursor = self.absorb_post(post);
+            }
+            if let Sink::Proc(q, _) = sink {
+                // Posting overhead already advanced `cursor` via
+                // host_free; keep the process clock in step.
+                self.procs[q].clock = self.procs[q].clock.max(cursor);
+            }
+        }
+        cursor
+    }
+
+    /// Computes the real diff content (data mode) for a dirty page.
+    fn materialise_diff(&self, node: usize, page: PageId, dp: &DirtyPage) -> Option<Diff> {
+        if !self.p.data_mode {
+            return None;
+        }
+        let twin = dp.twin.as_ref()?;
+        let home = self.home_of(page).index();
+        let cur = if home == node {
+            self.home_pages.get(&page).and_then(|h| h.data.as_ref())
+        } else {
+            self.nodes[node].copies.get(&page).and_then(|c| c.data.as_ref())
+        }?;
+        Some(compute_diff(twin, cur))
+    }
+
+    /// Flushes all closed-but-unflushed intervals of every process on
+    /// `node` (the lock is about to leave the node, or a barrier
+    /// requires global visibility).
+    pub(crate) fn flush_node_pending(&mut self, mut cursor: Time, node: usize, sink: Sink) -> Time {
+        let direct = self.p.features.dd;
+        let procs: Vec<usize> = self.p.topo.procs_of(NodeId::new(node)).map(|p| p.index()).collect();
+        for p in procs {
+            let pending = std::mem::take(&mut self.procs[p].pending_intervals);
+            for pi in pending {
+                cursor = self.flush_interval(cursor, p, pi, sink, direct);
+            }
+        }
+        cursor
+    }
+
+    /// Flushes `p`'s own closed intervals (barrier arrival).
+    pub(crate) fn flush_proc_pending(&mut self, mut cursor: Time, p: usize, bucket: Bucket) -> Time {
+        let direct = self.p.features.dd;
+        let pending = std::mem::take(&mut self.procs[p].pending_intervals);
+        for pi in pending {
+            cursor = self.flush_interval(cursor, p, pi, Sink::Proc(p, bucket), direct);
+        }
+        cursor
+    }
+
+    /// Flushes everything a finishing process still holds.
+    pub(crate) fn flush_everything(&mut self, cursor: Time, p: usize) {
+        if let Some(pi) = self.end_interval(cursor, p, Bucket::AcqRel) {
+            self.procs[p].pending_intervals.push(pi);
+        }
+        let cursor = self.procs[p].clock;
+        self.flush_proc_pending(cursor, p, Bucket::AcqRel);
+    }
+
+    // ----- write notices ----------------------------------------------------
+
+    /// Eagerly broadcasts an interval record to every other node via
+    /// remote deposit (the DW mechanism).
+    pub(crate) fn broadcast_record(
+        &mut self,
+        mut cursor: Time,
+        p: usize,
+        interval: u32,
+        bucket: Bucket,
+    ) -> Time {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        if self.p.proto.pull_notices {
+            // Pull mode (§2's alternative): nothing is pushed at the
+            // release; acquirers fetch what they need.
+            return cursor;
+        }
+        let my_nic = NodeId::new(node).nic();
+        let bytes = {
+            let rec = &self.records[p][&interval];
+            rec.wire_bytes(self.p.proto.notice_header_bytes)
+        };
+        if self.p.nic.broadcast && self.p.topo.nodes > 1 {
+            // §5 extension: one posted descriptor, replicated by the NI.
+            let mut dsts = Vec::new();
+            for dst in 0..self.p.topo.nodes {
+                if dst == node {
+                    continue;
+                }
+                let tag = self.tag(Pending::Notice {
+                    node: dst,
+                    writer: p,
+                    interval,
+                });
+                dsts.push((NodeId::new(dst).nic(), tag));
+                self.counters.notice_messages += 1;
+                self.nodes[node].sent_upto[dst][p] = interval;
+            }
+            let post = self.vmmc.broadcast_deposit(cursor, my_nic, &dsts, bytes);
+            cursor = self.absorb_post(post);
+        } else {
+            for dst in 0..self.p.topo.nodes {
+                if dst == node {
+                    continue;
+                }
+                let tag = self.tag(Pending::Notice {
+                    node: dst,
+                    writer: p,
+                    interval,
+                });
+                let post = self
+                    .vmmc
+                    .deposit(cursor, my_nic, NodeId::new(dst).nic(), bytes, tag);
+                cursor = self.absorb_post(post);
+                self.counters.notice_messages += 1;
+                self.nodes[node].sent_upto[dst][p] = interval;
+            }
+        }
+        self.procs[p].clock = self.procs[p].clock.max(cursor);
+        match bucket {
+            Bucket::AcqRel => {}
+            Bucket::Barrier => {}
+        }
+        cursor
+    }
+
+    /// Computes the piggyback payload carrying all records `from`
+    /// knows that it has not yet sent `to`: returns the per-writer
+    /// upper bounds and the payload size (Base protocol).
+    pub(crate) fn piggyback(&mut self, from: usize, to: usize) -> (Vec<u32>, u32) {
+        let nprocs = self.p.topo.procs();
+        let mut upto = vec![0; nprocs];
+        let mut bytes = 0;
+        for q in 0..nprocs {
+            let have = self.nodes[from].arrived[q];
+            let sent = self.nodes[from].sent_upto[to][q];
+            for i in sent + 1..=have {
+                if let Some(r) = self.records[q].get(&i) {
+                    bytes += r.wire_bytes(self.p.proto.notice_header_bytes);
+                }
+            }
+            self.nodes[from].sent_upto[to][q] = have;
+            upto[q] = have;
+        }
+        (upto, bytes)
+    }
+
+    /// Merges carried record visibility into a node's notice board.
+    pub(crate) fn merge_upto(&mut self, t: Time, node: usize, upto: &[u32]) {
+        if upto.is_empty() {
+            return;
+        }
+        let mut advanced = false;
+        for (q, &u) in upto.iter().enumerate() {
+            if self.nodes[node].arrived[q] < u {
+                self.nodes[node].arrived[q] = u;
+                advanced = true;
+            }
+        }
+        if advanced {
+            self.check_notice_waiters(t, node);
+        }
+    }
+
+    /// Returns `true` if all records needed by `vc` have arrived at
+    /// `node`.
+    fn notices_covered(&self, node: usize, vc: &VClock) -> bool {
+        (0..self.p.topo.procs()).all(|q| self.nodes[node].arrived[q] >= vc.get(ProcId::new(q)))
+    }
+
+    /// Wakes processes whose notice flags are now satisfied.
+    pub(crate) fn check_notice_waiters(&mut self, t: Time, node: usize) {
+        let procs: Vec<usize> = self
+            .p
+            .topo
+            .procs_of(NodeId::new(node))
+            .map(|p| p.index())
+            .collect();
+        for p in procs {
+            let (started, reason) = match &self.procs[p].state {
+                ProcState::Blocked(Block::NoticeWait { started, reason }) => (*started, *reason),
+                _ => continue,
+            };
+            if self.notices_covered(node, &self.procs[p].vc.clone()) {
+                let wait = t.saturating_since(started);
+                match reason {
+                    WaitReason::Lock => self.procs[p].bd.lock += wait,
+                    WaitReason::Barrier => self.procs[p].bd.barrier += wait,
+                }
+                self.complete_sync(t, p, reason);
+            }
+        }
+    }
+
+    /// Applies all newly visible write notices for `p` (invalidating
+    /// pages, updating per-page requirements) and charges the grouped
+    /// `mprotect` cost. Returns the advanced cursor.
+    pub(crate) fn apply_invalidations(&mut self, mut cursor: Time, p: usize, bucket: Bucket) -> Time {
+        let nprocs = self.p.topo.procs();
+        let my_node = self.p.topo.node_of(ProcId::new(p));
+        let vc = self.procs[p].vc.clone();
+        let mut pages: Vec<PageId> = Vec::new();
+        for q in 0..nprocs {
+            // Writers on this node share the node's physical pages via
+            // hardware coherence (HLRC-SMP): their modifications are
+            // already visible locally, so their records require no
+            // invalidation and no diff waiting here.
+            if q == p || self.p.topo.node_of(ProcId::new(q)) == my_node {
+                self.procs[p].seen[q] = vc.get(ProcId::new(q));
+                continue;
+            }
+            let from = self.procs[p].seen[q];
+            let to = vc.get(ProcId::new(q));
+            for i in from + 1..=to {
+                let rec_pages: Vec<PageId> = match self.records[q].get(&i) {
+                    Some(r) => r.pages.clone(),
+                    None => panic!("missing record for writer p{q} interval {i}"),
+                };
+                for page in rec_pages {
+                    let req = self.procs[p].required.entry(page).or_default();
+                    let e = req.entry(q as u32).or_insert(0);
+                    *e = (*e).max(i);
+                    pages.push(page);
+                }
+            }
+            self.procs[p].seen[q] = to;
+        }
+        pages.sort_unstable();
+        pages.dedup();
+
+        // Conflict: an incoming notice invalidates a page this process
+        // is itself writing. Flush our diff first so it is not lost.
+        let conflicted: Vec<PageId> = pages
+            .iter()
+            .copied()
+            .filter(|pg| self.procs[p].dirty.contains_key(pg))
+            .collect();
+        for pg in conflicted {
+            cursor = self.flush_page_early(cursor, p, pg, bucket);
+        }
+
+        // Invalidate (grouped mprotect).
+        let to_inval: Vec<PageId> = pages
+            .into_iter()
+            .filter(|&pg| self.procs[p].pt.access(pg) != Access::None)
+            .collect();
+        if !to_inval.is_empty() {
+            let groups = contiguous_groups(&to_inval);
+            let mpro = self.p.mem.mprotect.cost_grouped(to_inval.len(), groups);
+            for &pg in &to_inval {
+                self.procs[p].pt.set(pg, Access::None);
+            }
+            self.counters.invalidations += to_inval.len() as u64;
+            self.counters.mprotect_calls += groups as u64;
+            self.procs[p].bd.mprotect += mpro;
+            self.charge(Sink::Proc(p, bucket), mpro);
+            cursor += mpro;
+        }
+        cursor
+    }
+
+    /// Flushes a single dirty page mid-interval (it is about to be
+    /// invalidated under this process). Its diff is tagged with the
+    /// *next* interval number; the page joins that interval's record
+    /// when it closes.
+    fn flush_page_early(&mut self, cursor: Time, p: usize, page: PageId, bucket: Bucket) -> Time {
+        let Some(dp) = self.procs[p].dirty.remove(&page) else {
+            return cursor;
+        };
+        self.procs[p].flushed_early.push(page);
+        let next_interval = self.procs[p].vc.get(ProcId::new(p)) + 1;
+        let pi = PendingInterval {
+            interval: next_interval,
+            pages: vec![(page, dp)],
+        };
+        let direct = self.p.features.dd;
+        self.flush_interval(cursor, p, pi, Sink::Proc(p, bucket), direct)
+    }
+
+    // ----- locks ------------------------------------------------------------
+
+    /// The home node index of `lock` (mirrors the NI firmware's
+    /// round-robin assignment).
+    pub(crate) fn lock_home(&self, lock: LockId) -> usize {
+        lock.index() % self.p.topo.nodes
+    }
+
+    /// Starts a lock acquire for `p`. Returns [`Flow::Stop`] when the
+    /// process blocked.
+    pub(crate) fn start_acquire(&mut self, now: Time, p: usize, l: LockId) -> Flow {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let nl = &mut self.nodes[node].locks[l.index()];
+        if nl.holder.is_some() || !nl.local_waiters.is_empty() || nl.requesting {
+            nl.local_waiters.push_back(p);
+            self.procs[p].state = ProcState::Blocked(Block::LockWait { lock: l, started: now });
+            return Flow::Stop;
+        }
+        let atomics = self.p.features.nil && self.p.proto.lock_impl == LockImpl::RemoteAtomics;
+        let owned = if atomics {
+            // TAS over remote atomics has no ownership caching: every
+            // acquire races on the home cell.
+            false
+        } else if self.p.features.nil {
+            // The firmware is ground truth for token ownership.
+            self.vmmc.lock_owned_by(NodeId::new(node).nic(), l)
+        } else {
+            nl.owned
+        };
+        if owned {
+            // Intra-node fast path: hardware synchronization only.
+            self.counters.local_lock_acquires += 1;
+            if self.p.features.nil {
+                // Tell the firmware the host holds the token again so
+                // an incoming transfer queues instead of granting.
+                let post = self.vmmc.lock_local_hold(now, NodeId::new(node).nic(), l);
+                self.absorb_post(post);
+            }
+            let nl = &mut self.nodes[node].locks[l.index()];
+            nl.holder = Some(p);
+            let cost = self.p.proto.local_lock;
+            self.procs[p].clock += cost;
+            self.procs[p].bd.lock += cost;
+            let lvc = self.locks[l.index()].vc.clone();
+            self.procs[p].vc.join(&lvc);
+            let t = self.procs[p].clock;
+            return self.enter_notice_stage(t, p, WaitReason::Lock);
+        }
+        // Remote acquire.
+        self.counters.remote_lock_acquires += 1;
+        let nl = &mut self.nodes[node].locks[l.index()];
+        nl.requesting = true;
+        self.procs[p].state = ProcState::Blocked(Block::LockWait { lock: l, started: now });
+        if atomics {
+            self.atomic_lock_try(now, p, l);
+        } else if self.p.features.nil {
+            let tag = self.tag(Pending::NiLockWait { proc: p });
+            let post = self.vmmc.lock_acquire(now, NodeId::new(node).nic(), l, tag);
+            self.absorb_post(post);
+        } else {
+            let home = self.lock_home(l);
+            if home == node {
+                // The home structures are in local memory.
+                self.home_forward_lock(now + EPS, l, p, node);
+            } else {
+                let tag = self.tag(Pending::LockRequestMsg {
+                    lock: l,
+                    proc: p,
+                    requester: node,
+                });
+                let bytes = self.p.proto.control_msg_bytes;
+                let post = self.vmmc.host_msg(
+                    now,
+                    NodeId::new(node).nic(),
+                    NodeId::new(home).nic(),
+                    bytes,
+                    tag,
+                );
+                self.absorb_post(post);
+            }
+        }
+        Flow::Stop
+    }
+
+    /// Base: the lock home forwards the request to the chain tail.
+    pub(crate) fn home_forward_lock(&mut self, t: Time, l: LockId, proc: usize, requester: usize) {
+        let prev = self.locks[l.index()].last_owner;
+        self.locks[l.index()].last_owner = requester;
+        let home = self.lock_home(l);
+        if prev == home {
+            // The home itself owns the chain tail: service directly.
+            self.q.push(
+                t + EPS,
+                SysEvent::Job(
+                    prev,
+                    super::Job::LockOwner {
+                        lock: l,
+                        proc,
+                        requester,
+                    },
+                ),
+            );
+        } else {
+            let tag = self.tag(Pending::LockForwardMsg {
+                lock: l,
+                proc,
+                requester,
+                owner: prev,
+            });
+            let bytes = self.p.proto.control_msg_bytes;
+            let post = self.vmmc.host_msg(
+                t,
+                NodeId::new(home).nic(),
+                NodeId::new(prev).nic(),
+                bytes,
+                tag,
+            );
+            self.absorb_post(post);
+        }
+    }
+
+    /// Base: the last owner services a forwarded request — grant now
+    /// if the lock is free here, else queue the remote requester.
+    pub(crate) fn owner_service_lock(
+        &mut self,
+        t: Time,
+        node: usize,
+        l: LockId,
+        proc: usize,
+        requester: usize,
+    ) {
+        let nl = &mut self.nodes[node].locks[l.index()];
+        if nl.owned && nl.holder.is_none() && nl.local_waiters.is_empty() {
+            self.base_grant_from(t, node, l, proc, requester, Sink::Handler(node));
+        } else {
+            nl.remote_waiters.push_back((requester, proc));
+        }
+    }
+
+    /// Base: builds and sends a lock grant (flushing lazy diffs
+    /// first), handing the token to `requester`.
+    pub(crate) fn base_grant_from(
+        &mut self,
+        mut cursor: Time,
+        owner: usize,
+        l: LockId,
+        proc: usize,
+        requester: usize,
+        sink: Sink,
+    ) -> Time {
+        if !self.p.features.dd {
+            // Lazy diffs flush when the lock leaves the node.
+            cursor = self.flush_node_pending(cursor, owner, sink);
+        }
+        let vc = self.locks[l.index()].vc.clone();
+        let (upto, rec_bytes) = if self.p.features.dw {
+            (Vec::new(), 0)
+        } else {
+            self.piggyback(owner, requester)
+        };
+        self.nodes[owner].locks[l.index()].owned = false;
+        let bytes = self.p.proto.control_msg_bytes + vc.wire_bytes() + rec_bytes;
+        let tag = self.tag(Pending::LockGrantMsg {
+            lock: l,
+            proc,
+            vc,
+            upto,
+        });
+        let post = self.vmmc.host_msg(
+            cursor,
+            NodeId::new(owner).nic(),
+            NodeId::new(requester).nic(),
+            bytes,
+            tag,
+        );
+        cursor = self.absorb_post(post);
+        cursor
+    }
+
+    /// Base: a lock grant reached the blocked requester.
+    pub(crate) fn base_grant_received(
+        &mut self,
+        t: Time,
+        proc: usize,
+        l: LockId,
+        vc: VClock,
+        upto: Vec<u32>,
+    ) {
+        let node = self.p.topo.node_of(ProcId::new(proc)).index();
+        self.merge_upto(t, node, &upto);
+        let nl = &mut self.nodes[node].locks[l.index()];
+        nl.owned = true;
+        nl.requesting = false;
+        nl.holder = Some(proc);
+        self.finish_lock_wait(t, proc, l, &vc);
+    }
+
+    /// Remote-atomics lock mode: issue one test-and-set attempt on the
+    /// lock's home cell.
+    pub(crate) fn atomic_lock_try(&mut self, t: Time, p: usize, l: LockId) {
+        if !matches!(
+            self.procs[p].state,
+            ProcState::Blocked(Block::LockWait { .. })
+        ) {
+            return; // superseded (e.g. a local handoff won the race)
+        }
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let home = self.lock_home(l);
+        let tag = self.tag(Pending::AtomicLockTry { proc: p, lock: l });
+        let post = self.vmmc.fetch_and_store(
+            t,
+            NodeId::new(node).nic(),
+            NodeId::new(home).nic(),
+            l.index() as u32,
+            1,
+            tag,
+        );
+        self.absorb_post(post);
+    }
+
+    /// Remote-atomics lock mode: a test-and-set attempt returned.
+    pub(crate) fn atomic_lock_result(&mut self, t: Time, p: usize, l: LockId, old: u64) {
+        if !matches!(
+            self.procs[p].state,
+            ProcState::Blocked(Block::LockWait { .. })
+        ) {
+            if old == 0 {
+                // A superseded attempt must not strand the cell.
+                let node = self.p.topo.node_of(ProcId::new(p)).index();
+                let home = self.lock_home(l);
+                let post = self.vmmc.fetch_and_store(
+                    t,
+                    NodeId::new(node).nic(),
+                    NodeId::new(home).nic(),
+                    l.index() as u32,
+                    0,
+                    genima_nic::Tag::NONE,
+                );
+                self.absorb_post(post);
+            }
+            return;
+        }
+        if old != 0 {
+            // Held elsewhere: spin with backoff (each retry is a full
+            // network round trip — the cost of the simpler primitive).
+            self.counters.lock_spin_retries += 1;
+            self.q.push(
+                t + self.p.proto.lock_spin_backoff,
+                SysEvent::RetrySpin(p, l),
+            );
+            return;
+        }
+        // Won the test-and-set.
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let nl = &mut self.nodes[node].locks[l.index()];
+        nl.requesting = false;
+        nl.holder = Some(p);
+        let vc = self.locks[l.index()].vc.clone();
+        self.finish_lock_wait(t, p, l, &vc);
+    }
+
+    /// NIL: the NI firmware granted the lock.
+    pub(crate) fn ni_lock_granted(&mut self, t: Time, proc: usize, l: LockId) {
+        let node = self.p.topo.node_of(ProcId::new(proc)).index();
+        let nl = &mut self.nodes[node].locks[l.index()];
+        nl.owned = true;
+        nl.requesting = false;
+        nl.holder = Some(proc);
+        let vc = self.locks[l.index()].vc.clone();
+        self.finish_lock_wait(t, proc, l, &vc);
+    }
+
+    /// Common tail of a remote lock grant: charge the wait, join the
+    /// carried timestamp, then wait for notices / apply invalidations.
+    fn finish_lock_wait(&mut self, t: Time, proc: usize, l: LockId, vc: &VClock) {
+        let started = match &self.procs[proc].state {
+            ProcState::Blocked(Block::LockWait { lock, started }) if *lock == l => *started,
+            other => panic!("p{proc} granted {l} while in state {other:?}"),
+        };
+        self.procs[proc].bd.lock += t.saturating_since(started);
+        self.procs[proc].vc.join(vc);
+        let flow = self.enter_notice_stage(t, proc, WaitReason::Lock);
+        if flow == Flow::Continue {
+            // enter_notice_stage scheduled the resume.
+        }
+    }
+
+    /// After a grant (or local acquire): wait for the write notices
+    /// covered by the new clock, then apply invalidations and resume.
+    /// Always schedules a `Resume` — callers stop executing.
+    pub(crate) fn enter_notice_stage(&mut self, t: Time, p: usize, reason: WaitReason) -> Flow {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        if self.notices_covered(node, &self.procs[p].vc.clone()) {
+            self.complete_sync(t, p, reason);
+        } else {
+            self.procs[p].state = ProcState::Blocked(Block::NoticeWait { started: t, reason });
+            if self.p.proto.pull_notices {
+                self.pull_missing_notices(t, p);
+            }
+        }
+        Flow::Stop
+    }
+
+    /// Pull mode: fetch the interval records the blocked acquirer is
+    /// missing, one point-to-point remote fetch per lagging writer's
+    /// node (§2's design alternative to eager push).
+    fn pull_missing_notices(&mut self, t: Time, p: usize) {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let vc = self.procs[p].vc.clone();
+        let my_nic = NodeId::new(node).nic();
+        for q in 0..self.p.topo.procs() {
+            let want = vc.get(ProcId::new(q));
+            if self.nodes[node].arrived[q] >= want {
+                continue;
+            }
+            let qnode = self.p.topo.node_of(ProcId::new(q)).index();
+            debug_assert_ne!(qnode, node, "local records are always arrived");
+            // The writer's node holds every record the releaser's
+            // clock covers (the release happened before this acquire).
+            let have = self.nodes[qnode].arrived[q];
+            debug_assert!(have >= want);
+            let from = self.nodes[node].arrived[q];
+            let bytes: u32 = (from + 1..=want)
+                .filter_map(|i| self.records[q].get(&i))
+                .map(|r| r.wire_bytes(self.p.proto.notice_header_bytes))
+                .sum::<u32>()
+                .max(16);
+            let tag = self.tag(Pending::NoticeFetch {
+                node,
+                writer: q,
+                upto: want,
+            });
+            let post = self.vmmc.fetch(t, my_nic, NodeId::new(qnode).nic(), bytes, tag);
+            self.absorb_post(post);
+            self.counters.notice_messages += 1;
+        }
+    }
+
+    /// Applies invalidations and resumes the process (the final stage
+    /// of every acquire and barrier exit).
+    pub(crate) fn complete_sync(&mut self, t: Time, p: usize, reason: WaitReason) {
+        let bucket = match reason {
+            WaitReason::Lock => Bucket::AcqRel,
+            WaitReason::Barrier => Bucket::Barrier,
+        };
+        let mut cursor = self.apply_invalidations(t, p, bucket);
+        if reason == WaitReason::Lock {
+            cursor += self.p.proto.acquire_overhead;
+            self.procs[p].bd.acqrel += self.p.proto.acquire_overhead;
+        }
+        self.procs[p].clock = self.procs[p].clock.max(cursor);
+        if reason == WaitReason::Barrier && self.procs[p].warmup_reset {
+            self.procs[p].warmup_reset = false;
+            self.procs[p].bd = Default::default();
+        }
+        self.procs[p].state = ProcState::Runnable;
+        let clock = self.procs[p].clock;
+        self.q.push(clock, SysEvent::Resume(p));
+    }
+
+    /// Releases a lock held by `p`, ending its interval, propagating
+    /// coherence information per the feature set, and handing the lock
+    /// over (locally, via firmware, or via the Base grant path).
+    pub(crate) fn do_release(&mut self, now: Time, p: usize, l: LockId) {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        assert_eq!(
+            self.nodes[node].locks[l.index()].holder,
+            Some(p),
+            "p{p} released {l} it does not hold"
+        );
+        let mut cursor = now;
+
+        // Close the interval and propagate coherence information.
+        if let Some(pi) = self.end_interval(cursor, p, Bucket::AcqRel) {
+            cursor = self.procs[p].clock;
+            let interval = pi.interval;
+            self.procs[p].pending_intervals.push(pi);
+            if self.p.features.dw {
+                cursor = self.broadcast_record(cursor, p, interval, Bucket::AcqRel);
+            }
+        }
+        cursor = self.procs[p].clock.max(cursor);
+
+        // The lock's timestamp is the releaser's clock.
+        self.locks[l.index()].vc = self.procs[p].vc.clone();
+
+        let nl = &mut self.nodes[node].locks[l.index()];
+        nl.holder = None;
+        if let Some(next) = nl.local_waiters.pop_front() {
+            // Intra-node handoff: lazy diffs, hardware sync cost only.
+            nl.holder = Some(next);
+            self.counters.local_lock_acquires += 1;
+            let t = cursor + self.p.proto.local_lock;
+            let started = match &self.procs[next].state {
+                ProcState::Blocked(Block::LockWait { started, .. }) => *started,
+                other => panic!("local waiter p{next} in state {other:?}"),
+            };
+            self.procs[next].bd.lock += t.saturating_since(started);
+            let lvc = self.locks[l.index()].vc.clone();
+            self.procs[next].vc.join(&lvc);
+            self.enter_notice_stage(t, next, WaitReason::Lock);
+        } else {
+            // The lock may leave the node: flush diffs eagerly under
+            // direct diffs.
+            if self.p.features.dd {
+                cursor = self.flush_node_pending(cursor, node, Sink::Proc(p, Bucket::AcqRel));
+            }
+            if self.p.features.nil && self.p.proto.lock_impl == LockImpl::RemoteAtomics {
+                // Clear the home cell; the store must causally follow
+                // the timestamp update above, which the in-order
+                // firmware path guarantees.
+                let home = self.lock_home(l);
+                let post = self.vmmc.fetch_and_store(
+                    cursor,
+                    NodeId::new(node).nic(),
+                    NodeId::new(home).nic(),
+                    l.index() as u32,
+                    0,
+                    genima_nic::Tag::NONE,
+                );
+                cursor = self.absorb_post(post);
+            } else if self.p.features.nil {
+                let post = self.vmmc.lock_release(cursor, NodeId::new(node).nic(), l);
+                cursor = self.absorb_post(post);
+                // Firmware state is ground truth; mirror it now.
+                let owned = self.vmmc.lock_owned_by(NodeId::new(node).nic(), l);
+                self.nodes[node].locks[l.index()].owned = owned;
+            } else if let Some((rnode, rproc)) = self.nodes[node].locks[l.index()].remote_waiters.pop_front() {
+                cursor = self.base_grant_from(cursor, node, l, rproc, rnode, Sink::Proc(p, Bucket::AcqRel));
+            }
+            // else: keep the token ("the last owner keeps the lock").
+        }
+        self.procs[p].clock = self.procs[p].clock.max(cursor);
+    }
+
+    // ----- barriers ----------------------------------------------------------
+
+    /// Process `p` arrives at barrier `b`: flush everything, notify
+    /// the manager, block.
+    pub(crate) fn barrier_arrive(&mut self, now: Time, p: usize, b: BarrierId) {
+        let node = self.p.topo.node_of(ProcId::new(p)).index();
+        let mut cursor = now;
+        if let Some(pi) = self.end_interval(cursor, p, Bucket::Barrier) {
+            cursor = self.procs[p].clock;
+            let interval = pi.interval;
+            self.procs[p].pending_intervals.push(pi);
+            if self.p.features.dw {
+                cursor = self.broadcast_record(cursor, p, interval, Bucket::Barrier);
+            }
+        }
+        cursor = self.procs[p].clock.max(cursor);
+        cursor = self.flush_proc_pending(cursor, p, Bucket::Barrier);
+
+        // Arrival notification to the manager (node 0).
+        let vc = self.procs[p].vc.clone();
+        let work = cursor.saturating_since(now);
+        self.procs[p].bd.barrier += work;
+        self.procs[p].bd.barrier_protocol += work;
+        if node == 0 {
+            self.procs[p].state = ProcState::Blocked(Block::BarrierWait { barrier: b, started: cursor });
+            self.manager_note_arrival(cursor + EPS, b, p, vc, None);
+        } else {
+            let my_nic = NodeId::new(node).nic();
+            if self.p.features.dw {
+                let tag = self.tag(Pending::BarrierArriveMsg {
+                    barrier: b,
+                    proc: p,
+                    vc,
+                    upto: None,
+                });
+                let post = self.vmmc.deposit(cursor, my_nic, NodeId::new(0).nic(), 64, tag);
+                cursor = self.absorb_post(post);
+            } else {
+                let (upto, rec_bytes) = self.piggyback(node, 0);
+                let bytes = self.p.proto.control_msg_bytes
+                    + self.procs[p].vc.wire_bytes()
+                    + rec_bytes;
+                let tag = self.tag(Pending::BarrierArriveMsg {
+                    barrier: b,
+                    proc: p,
+                    vc,
+                    upto: Some(upto),
+                });
+                let post = self.vmmc.host_msg(cursor, my_nic, NodeId::new(0).nic(), bytes, tag);
+                cursor = self.absorb_post(post);
+            }
+            self.procs[p].state = ProcState::Blocked(Block::BarrierWait { barrier: b, started: cursor });
+        }
+        self.procs[p].clock = self.procs[p].clock.max(cursor);
+    }
+
+    /// Manager-side barrier bookkeeping (runs at node 0, either as a
+    /// handler job in Base or directly at deposit arrival in DW+).
+    pub(crate) fn manager_note_arrival(
+        &mut self,
+        t: Time,
+        b: BarrierId,
+        proc: usize,
+        vc: VClock,
+        upto: Option<Vec<u32>>,
+    ) {
+        let _ = proc;
+        if let Some(u) = upto {
+            self.merge_upto(t, 0, &u);
+        }
+        let nprocs = self.p.topo.procs();
+        let bar = self
+            .barriers
+            .entry(b)
+            .or_insert_with(|| super::BarrierRt {
+                arrived: 0,
+                joined: VClock::new(nprocs),
+            });
+        bar.joined.join(&vc);
+        bar.arrived += 1;
+        if bar.arrived < nprocs {
+            return;
+        }
+        // Everyone is here: release.
+        let joined = std::mem::replace(&mut bar.joined, VClock::new(nprocs));
+        bar.arrived = 0;
+        self.counters.barriers += 1;
+        let warmup = self.p.warmup_barrier == Some(b);
+        if warmup {
+            self.measure_from = t;
+            self.counters = Default::default();
+            self.vmmc.reset_monitor();
+            for p in 0..nprocs {
+                self.procs[p].warmup_reset = true;
+            }
+        }
+        let mut cursor = t + EPS;
+        for node in 0..self.p.topo.nodes {
+            if node == 0 {
+                self.release_at_node(cursor, b, 0, joined.clone(), None);
+                continue;
+            }
+            if self.p.features.dw {
+                let tag = self.tag(Pending::BarrierReleaseMsg {
+                    barrier: b,
+                    node,
+                    vc: joined.clone(),
+                    upto: None,
+                });
+                let bytes = 32 + joined.wire_bytes();
+                let post = self.vmmc.deposit(
+                    cursor,
+                    NodeId::new(0).nic(),
+                    NodeId::new(node).nic(),
+                    bytes,
+                    tag,
+                );
+                cursor = self.absorb_post(post);
+            } else {
+                let (upto, rec_bytes) = self.piggyback(0, node);
+                let bytes = self.p.proto.control_msg_bytes + joined.wire_bytes() + rec_bytes;
+                let tag = self.tag(Pending::BarrierReleaseMsg {
+                    barrier: b,
+                    node,
+                    vc: joined.clone(),
+                    upto: Some(upto),
+                });
+                let post = self.vmmc.host_msg(
+                    cursor,
+                    NodeId::new(0).nic(),
+                    NodeId::new(node).nic(),
+                    bytes,
+                    tag,
+                );
+                cursor = self.absorb_post(post);
+            }
+        }
+    }
+
+    /// Barrier release reached `node`: wake its waiting processes.
+    pub(crate) fn release_at_node(
+        &mut self,
+        t: Time,
+        b: BarrierId,
+        node: usize,
+        joined: VClock,
+        upto: Option<Vec<u32>>,
+    ) {
+        if let Some(u) = upto {
+            self.merge_upto(t, node, &u);
+        }
+        let procs: Vec<usize> = self
+            .p
+            .topo
+            .procs_of(NodeId::new(node))
+            .map(|p| p.index())
+            .collect();
+        for p in procs {
+            let started = match &self.procs[p].state {
+                ProcState::Blocked(Block::BarrierWait { barrier, started }) if *barrier == b => {
+                    *started
+                }
+                _ => continue,
+            };
+            self.procs[p].bd.barrier += t.saturating_since(started);
+            self.procs[p].vc.join(&joined);
+            self.enter_notice_stage(t, p, WaitReason::Barrier);
+        }
+    }
+}
+
+/// Number of maximal runs of consecutive page ids in a sorted,
+/// deduplicated list.
+pub(crate) fn contiguous_groups(pages: &[PageId]) -> usize {
+    let mut groups = 0;
+    let mut prev: Option<usize> = None;
+    for pg in pages {
+        let i = pg.index();
+        if prev != Some(i.wrapping_sub(1)) {
+            groups += 1;
+        }
+        prev = Some(i);
+    }
+    groups
+}

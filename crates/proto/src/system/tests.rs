@@ -1,0 +1,535 @@
+//! Protocol-behaviour tests: coherence visibility, causality,
+//! interrupt-freedom, determinism, pin accounting.
+
+use super::*;
+use crate::features::FeatureSet;
+use crate::ids::{BarrierId, Topology};
+use crate::ops::{ops_source, Op, OpSource};
+use genima_mem::Addr;
+use genima_nic::LockId;
+
+fn boxed(ops: Vec<Op>) -> Box<dyn OpSource> {
+    Box::new(ops_source(ops))
+}
+
+fn params(features: FeatureSet, nodes: usize, ppn: usize) -> SvmParams {
+    let mut p = SvmParams::new(Topology::new(nodes, ppn), features);
+    p.data_mode = true;
+    p.locks = 8;
+    p
+}
+
+/// Byte address `off` inside `page` (pages default to home `page % nodes`).
+fn addr(page: usize, off: u64) -> Addr {
+    Addr::new(page as u64 * PAGE_SIZE as u64 + off)
+}
+
+#[test]
+fn barrier_propagates_writes_under_every_protocol() {
+    for f in FeatureSet::ALL {
+        let b = BarrierId::new(0);
+        let writer = boxed(vec![
+            Op::WriteData {
+                addr: addr(1, 100),
+                data: vec![7, 8, 9],
+            },
+            Op::Barrier(b),
+        ]);
+        let reader = boxed(vec![
+            Op::Barrier(b),
+            Op::Validate {
+                addr: addr(1, 100),
+                expected: vec![7, 8, 9],
+            },
+        ]);
+        // Two nodes, one proc each; page 1 is homed on node 1, so the
+        // writer (node 0) diffs to a remote home and the reader reads
+        // its local home copy after the barrier.
+        let mut sys = SvmSystem::new(params(f, 2, 1), vec![writer, reader]);
+        let r = sys.run();
+        assert!(r.counters.barriers >= 1, "{f}: no barrier completed");
+        assert!(r.counters.diffs >= 1, "{f}: no diff flushed");
+    }
+}
+
+#[test]
+fn reader_fetches_remote_page_under_every_protocol() {
+    for f in FeatureSet::ALL {
+        let b = BarrierId::new(0);
+        // p0 on node 0, p1 on node 1. p1 writes page 0 (homed node 0);
+        // p0 writes page 2 (homed node 0). After the barrier p1 must
+        // fetch page 2 from node 0 and p0 reads page 0 locally.
+        let p0 = boxed(vec![
+            Op::WriteData {
+                addr: addr(2, 8),
+                data: vec![5, 6],
+            },
+            Op::Barrier(b),
+            Op::Validate {
+                addr: addr(0, 0),
+                expected: vec![1, 2, 3, 4],
+            },
+        ]);
+        let p1 = boxed(vec![
+            Op::WriteData {
+                addr: addr(0, 0),
+                data: vec![1, 2, 3, 4],
+            },
+            Op::Barrier(b),
+            Op::Validate {
+                addr: addr(2, 8),
+                expected: vec![5, 6],
+            },
+        ]);
+        let mut sys = SvmSystem::new(params(f, 2, 1), vec![p0, p1]);
+        let r = sys.run();
+        assert!(
+            r.counters.page_transfers >= 1,
+            "{f}: expected at least one remote page transfer"
+        );
+    }
+}
+
+#[test]
+fn lock_carries_causality_under_every_protocol() {
+    for f in FeatureSet::ALL {
+        let l = LockId::new(1); // homed on node 1 (1 % 2)
+        let b = BarrierId::new(0);
+        // p0 (node 0) writes under the lock early; p1 (node 1)
+        // acquires long after p0's release and must see the write
+        // (release consistency through the lock, no barrier between).
+        let writer = boxed(vec![
+            Op::Acquire(l),
+            Op::WriteData {
+                addr: addr(3, 0),
+                data: vec![42; 8],
+            },
+            Op::Release(l),
+            Op::Barrier(b),
+        ]);
+        let reader = boxed(vec![
+            Op::Compute(genima_sim::Dur::from_ms(20)),
+            Op::Acquire(l),
+            Op::Validate {
+                addr: addr(3, 0),
+                expected: vec![42; 8],
+            },
+            Op::Release(l),
+            Op::Barrier(b),
+        ]);
+        let mut sys = SvmSystem::new(params(f, 2, 1), vec![writer, reader]);
+        let r = sys.run();
+        assert!(
+            r.counters.remote_lock_acquires >= 1,
+            "{f}: lock never crossed nodes"
+        );
+    }
+}
+
+#[test]
+fn genima_takes_no_interrupts_base_takes_many() {
+    let run = |f: FeatureSet| {
+        let l = LockId::new(0);
+        let b = BarrierId::new(0);
+        let mk = |seed: u64| {
+            let mut ops = vec![];
+            for k in 0..10u64 {
+                ops.push(Op::Acquire(l));
+                ops.push(Op::Write {
+                    addr: addr(4, (seed * 64 + k * 8) % 4000),
+                    len: 8,
+                });
+                ops.push(Op::Release(l));
+                ops.push(Op::Compute(genima_sim::Dur::from_us(200)));
+            }
+            ops.push(Op::Barrier(b));
+            ops
+        };
+        let mut p = params(f, 2, 2);
+        p.data_mode = false;
+        let mut sys = SvmSystem::new(p, (0..4).map(|i| boxed(mk(i))).collect());
+        sys.run()
+    };
+    let base = run(FeatureSet::base());
+    let genima = run(FeatureSet::genima());
+    assert!(base.counters.interrupts > 0, "Base must interrupt");
+    assert_eq!(genima.counters.interrupts, 0, "GeNIMA must never interrupt");
+    assert!(
+        genima.parallel_time() < base.parallel_time(),
+        "GeNIMA should beat Base on a lock-heavy workload: {} vs {}",
+        genima.parallel_time(),
+        base.parallel_time()
+    );
+}
+
+#[test]
+fn disjoint_writers_merge_through_diffs() {
+    for f in [FeatureSet::base(), FeatureSet::genima()] {
+        let b = BarrierId::new(0);
+        // Both write disjoint words of page 5 concurrently (the
+        // multiple-writer problem); after the barrier both see both.
+        let w0 = boxed(vec![
+            Op::WriteData {
+                addr: addr(5, 0),
+                data: vec![0xAA; 4],
+            },
+            Op::Barrier(b),
+            Op::Validate {
+                addr: addr(5, 0),
+                expected: vec![0xAA; 4],
+            },
+            Op::Validate {
+                addr: addr(5, 2000),
+                expected: vec![0xBB; 4],
+            },
+        ]);
+        let w1 = boxed(vec![
+            Op::WriteData {
+                addr: addr(5, 2000),
+                data: vec![0xBB; 4],
+            },
+            Op::Barrier(b),
+            Op::Validate {
+                addr: addr(5, 0),
+                expected: vec![0xAA; 4],
+            },
+            Op::Validate {
+                addr: addr(5, 2000),
+                expected: vec![0xBB; 4],
+            },
+        ]);
+        let mut sys = SvmSystem::new(params(f, 2, 1), vec![w0, w1]);
+        sys.run();
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let mk = || {
+        let l = LockId::new(0);
+        let b = BarrierId::new(0);
+        let srcs: Vec<Box<dyn OpSource>> = (0..4u64)
+            .map(|i| {
+                boxed(vec![
+                    Op::Compute(genima_sim::Dur::from_us(50 * (i + 1))),
+                    Op::Acquire(l),
+                    Op::Write {
+                        addr: addr(6, i * 16),
+                        len: 8,
+                    },
+                    Op::Release(l),
+                    Op::Barrier(b),
+                    Op::Read {
+                        addr: addr(6, 0),
+                        len: 64,
+                    },
+                ])
+            })
+            .collect();
+        let mut p = params(FeatureSet::genima(), 2, 2);
+        p.data_mode = false;
+        SvmSystem::new(p, srcs).run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.parallel_time(), b.parallel_time());
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn pin_footprint_shrinks_with_remote_fetch() {
+    let mk = |f: FeatureSet| {
+        let b = BarrierId::new(0);
+        let srcs: Vec<Box<dyn OpSource>> = (0..2u64)
+            .map(|i| {
+                boxed(vec![
+                    Op::Write {
+                        addr: addr(i as usize * 8, 0),
+                        len: 4096 * 8,
+                    },
+                    Op::Barrier(b),
+                    Op::Read {
+                        addr: addr((1 - i as usize) * 8, 0),
+                        len: 4096 * 8,
+                    },
+                ])
+            })
+            .collect();
+        let mut p = params(f, 2, 1);
+        p.data_mode = false;
+        SvmSystem::new(p, srcs).run()
+    };
+    let base = mk(FeatureSet::base());
+    let rf = mk(FeatureSet::dw_rf());
+    let base_pin: u64 = base.pinned_shared_bytes.iter().sum();
+    let rf_pin: u64 = rf.pinned_shared_bytes.iter().sum();
+    assert!(
+        rf_pin < base_pin,
+        "remote fetch must shrink the pin footprint ({rf_pin} vs {base_pin})"
+    );
+}
+
+#[test]
+fn uniprocessor_run_has_no_communication() {
+    let srcs: Vec<Box<dyn OpSource>> = vec![boxed(vec![
+        Op::Compute(genima_sim::Dur::from_ms(1)),
+        Op::Write {
+            addr: addr(0, 0),
+            len: 4096 * 4,
+        },
+        Op::Read {
+            addr: addr(0, 0),
+            len: 4096 * 4,
+        },
+    ])];
+    let mut p = SvmParams::new(Topology::new(1, 1), FeatureSet::base());
+    p.locks = 1;
+    let mut sys = SvmSystem::new(p, srcs);
+    let r = sys.run();
+    assert_eq!(r.counters.page_transfers, 0);
+    assert_eq!(r.counters.interrupts, 0);
+    assert!(r.parallel_time() >= genima_sim::Dur::from_ms(1));
+}
+
+#[test]
+fn warmup_barrier_resets_measurement() {
+    let b0 = BarrierId::new(0);
+    let srcs: Vec<Box<dyn OpSource>> = (0..2)
+        .map(|_| {
+            boxed(vec![
+                Op::Compute(genima_sim::Dur::from_ms(5)),
+                Op::Barrier(b0),
+                Op::Compute(genima_sim::Dur::from_ms(1)),
+            ])
+        })
+        .collect();
+    let mut p = params(FeatureSet::genima(), 2, 1);
+    p.data_mode = false;
+    p.warmup_barrier = Some(b0);
+    let r = SvmSystem::new(p, srcs).run();
+    // The 5 ms init compute is excluded from the measured run.
+    assert!(
+        r.parallel_time() < genima_sim::Dur::from_ms(3),
+        "warmup not excluded: {}",
+        r.parallel_time()
+    );
+    let mean = r.mean_breakdown();
+    assert!(mean.compute >= genima_sim::Dur::from_us(900));
+}
+
+#[test]
+fn intra_node_lock_handoff_is_cheap() {
+    // Two procs on the same node ping the same lock; all acquires
+    // after the first must be local.
+    let l = LockId::new(0);
+    let mk = || {
+        let mut ops = vec![];
+        for _ in 0..20 {
+            ops.push(Op::Acquire(l));
+            ops.push(Op::Compute(genima_sim::Dur::from_us(5)));
+            ops.push(Op::Release(l));
+        }
+        ops
+    };
+    let mut p = params(FeatureSet::genima(), 1, 2);
+    p.data_mode = false;
+    let r = SvmSystem::new(p, vec![boxed(mk()), boxed(mk())]).run();
+    assert_eq!(r.counters.remote_lock_acquires, 0);
+    assert!(r.counters.local_lock_acquires >= 40);
+}
+
+#[test]
+fn direct_diffs_send_one_message_per_run() {
+    // One writer dirties 10 scattered runs in a remote page; under DD
+    // that is 10 run messages (plus a timestamp deposit).
+    let b = BarrierId::new(0);
+    let mut ops = vec![];
+    for k in 0..10u64 {
+        ops.push(Op::Write {
+            addr: addr(1, k * 400),
+            len: 4,
+        });
+    }
+    ops.push(Op::Barrier(b));
+    let idle = boxed(vec![Op::Barrier(b)]);
+    let mut p = params(FeatureSet::genima(), 2, 1);
+    p.data_mode = false;
+    let r = SvmSystem::new(p, vec![boxed(ops), idle]).run();
+    assert_eq!(r.counters.diff_run_messages, 10);
+    assert_eq!(r.counters.diffs, 1);
+}
+
+#[test]
+fn packed_diffs_send_one_message_per_page() {
+    let b = BarrierId::new(0);
+    let mut ops = vec![];
+    for k in 0..10u64 {
+        ops.push(Op::Write {
+            addr: addr(1, k * 400),
+            len: 4,
+        });
+    }
+    ops.push(Op::Barrier(b));
+    let idle = boxed(vec![Op::Barrier(b)]);
+    let mut p = params(FeatureSet::dw_rf(), 2, 1);
+    p.data_mode = false;
+    let r = SvmSystem::new(p, vec![boxed(ops), idle]).run();
+    assert_eq!(r.counters.diff_run_messages, 0);
+    assert_eq!(r.counters.diffs, 1);
+}
+
+#[test]
+fn multi_page_access_spans_and_faults_per_page() {
+    // A single Read spanning 6 remote pages takes 6 faults (one per
+    // page) and completes.
+    let b = BarrierId::new(0);
+    let writer = boxed(vec![
+        Op::Write {
+            addr: addr(1, 0), // pages 1..6 homed alternately
+            len: 4096 * 6,
+        },
+        Op::Barrier(b),
+    ]);
+    let reader = boxed(vec![
+        Op::Barrier(b),
+        Op::Read {
+            addr: addr(1, 0),
+            len: 4096 * 6,
+        },
+    ]);
+    let mut p = params(FeatureSet::genima(), 2, 1);
+    p.data_mode = false;
+    let r = SvmSystem::new(p, vec![writer, reader]).run();
+    // Writer faults 6 (write), reader faults on the 3 pages homed on
+    // the writer's node (the others are its own homes, write-protected
+    // but present).
+    assert!(r.counters.faults >= 9, "got {}", r.counters.faults);
+}
+
+#[test]
+fn barrier_ids_are_reusable_across_episodes() {
+    // The same BarrierId used for many episodes (as a loop barrier)
+    // must work: arrivals of episode N+1 cannot release episode N.
+    let b = BarrierId::new(0);
+    let mk = |i: u64| {
+        let mut ops = Vec::new();
+        for k in 0..10u64 {
+            ops.push(Op::Compute(genima_sim::Dur::from_us(10 + i * 13 + k)));
+            ops.push(Op::Barrier(b));
+        }
+        boxed(ops)
+    };
+    let mut p = params(FeatureSet::genima(), 2, 2);
+    p.data_mode = false;
+    let r = SvmSystem::new(p, (0..4).map(mk).collect()).run();
+    assert_eq!(r.counters.barriers, 10);
+}
+
+#[test]
+fn quantum_bounds_clock_skew() {
+    // A long compute is chopped into resume events no further apart
+    // than the quantum, keeping posts causally ordered. Just verify a
+    // long-compute run completes with the default quantum and a tiny
+    // one, with identical simulated time.
+    let mk = || {
+        let srcs: Vec<Box<dyn OpSource>> = (0..2)
+            .map(|_| {
+                let ops = (0..200)
+                    .map(|_| Op::Compute(genima_sim::Dur::from_us(20)))
+                    .collect();
+                boxed(ops)
+            })
+            .collect();
+        srcs
+    };
+    let mut p1 = params(FeatureSet::base(), 2, 1);
+    p1.data_mode = false;
+    let r1 = SvmSystem::new(p1, mk()).run();
+    let mut p2 = params(FeatureSet::base(), 2, 1);
+    p2.data_mode = false;
+    p2.proto.quantum = genima_sim::Dur::from_us(5);
+    let r2 = SvmSystem::new(p2, mk()).run();
+    assert_eq!(r1.parallel_time(), r2.parallel_time());
+    assert!(r2.events > r1.events, "smaller quantum, more resumes");
+}
+
+#[test]
+#[should_panic(expected = "event budget exceeded")]
+fn event_budget_catches_livelock() {
+    let mut p = params(FeatureSet::genima(), 2, 1);
+    p.data_mode = false;
+    p.max_events = 50;
+    let b = BarrierId::new(0);
+    let srcs: Vec<Box<dyn OpSource>> = (0..2)
+        .map(|_| {
+            let mut ops = Vec::new();
+            for k in 0..50 {
+                ops.push(Op::Barrier(BarrierId::new(k)));
+            }
+            ops.push(Op::Barrier(b));
+            boxed(ops)
+        })
+        .collect();
+    SvmSystem::new(p, srcs).run();
+}
+
+#[test]
+#[should_panic(expected = "need exactly one op source per processor")]
+fn wrong_source_count_panics() {
+    let p = params(FeatureSet::base(), 2, 2);
+    SvmSystem::new(p, vec![boxed(vec![])]);
+}
+
+#[test]
+fn report_pin_accounting_scales_with_extent() {
+    let srcs: Vec<Box<dyn OpSource>> = (0..2)
+        .map(|_| {
+            boxed(vec![Op::Read {
+                addr: addr(0, 0),
+                len: 4096 * 20,
+            }])
+        })
+        .collect();
+    let mut p = params(FeatureSet::base(), 2, 1);
+    p.data_mode = false;
+    let r = SvmSystem::new(p, srcs).run();
+    // Without RF both nodes pin all 20 pages.
+    assert_eq!(
+        r.pinned_shared_bytes,
+        vec![20 * 4096, 20 * 4096]
+    );
+}
+
+#[test]
+fn first_touch_homes_follow_the_toucher() {
+    // p1 (node 1) touches page 0 first; under first-touch the page is
+    // homed on node 1 even though striping would put it on node 0.
+    let b = BarrierId::new(0);
+    let p0 = boxed(vec![
+        Op::Compute(genima_sim::Dur::from_ms(5)),
+        Op::Barrier(b),
+        Op::Read {
+            addr: addr(0, 0),
+            len: 64,
+        },
+    ]);
+    let p1 = boxed(vec![
+        Op::Write {
+            addr: addr(0, 0),
+            len: 64,
+        },
+        Op::Barrier(b),
+    ]);
+    let mut p = params(FeatureSet::genima(), 2, 1);
+    p.data_mode = false;
+    p.first_touch_homes = true;
+    let mut sys = SvmSystem::new(p, vec![p0, p1]);
+    let r = sys.run();
+    // p1 wrote its own (first-touch) home: no diff messages, and p0's
+    // later read fetched from node 1.
+    assert_eq!(r.counters.diff_run_messages, 0);
+    assert!(r.counters.page_transfers >= 1);
+    // Pin accounting sees page 0 homed on node 1.
+    assert_eq!(r.pinned_shared_bytes[1], PAGE_SIZE as u64);
+}

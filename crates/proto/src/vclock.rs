@@ -1,0 +1,205 @@
+//! Vector timestamps over process intervals.
+
+use std::fmt;
+
+use crate::ids::ProcId;
+
+/// A vector timestamp: for each process, the highest interval whose
+/// modifications this clock covers.
+///
+/// Lazy release consistency tracks causality between synchronization
+/// operations with these clocks: a lock grant or barrier release
+/// carries the releaser's clock, and the acquirer joins it into its
+/// own, obliging it to apply the write notices of every newly covered
+/// interval before touching shared data.
+///
+/// # Example
+///
+/// ```
+/// use genima_proto::{ProcId, VClock};
+/// let mut a = VClock::new(4);
+/// a.bump(ProcId::new(1));
+/// let mut b = VClock::new(4);
+/// b.bump(ProcId::new(2));
+/// b.join(&a);
+/// assert!(b.covers(&a));
+/// assert!(!a.covers(&b));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VClock {
+    v: Vec<u32>,
+}
+
+impl VClock {
+    /// The all-zero clock for `nprocs` processes.
+    pub fn new(nprocs: usize) -> VClock {
+        VClock {
+            v: vec![0; nprocs],
+        }
+    }
+
+    /// Number of process slots.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Returns `true` if the clock has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// The interval count for `proc`.
+    pub fn get(&self, proc: ProcId) -> u32 {
+        self.v[proc.index()]
+    }
+
+    /// Sets the interval count for `proc`.
+    pub fn set(&mut self, proc: ProcId, value: u32) {
+        self.v[proc.index()] = value;
+    }
+
+    /// Increments `proc`'s slot and returns the new value.
+    pub fn bump(&mut self, proc: ProcId) -> u32 {
+        self.v[proc.index()] += 1;
+        self.v[proc.index()]
+    }
+
+    /// Element-wise maximum with `other` (the lattice join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn join(&mut self, other: &VClock) {
+        assert_eq!(self.v.len(), other.v.len(), "clock size mismatch");
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Returns `true` if this clock is pointwise ≥ `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn covers(&self, other: &VClock) -> bool {
+        assert_eq!(self.v.len(), other.v.len(), "clock size mismatch");
+        self.v.iter().zip(&other.v).all(|(a, b)| a >= b)
+    }
+
+    /// Iterates `(proc, interval)` pairs with nonzero intervals.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (ProcId, u32)> + '_ {
+        self.v
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (ProcId::new(i), c))
+    }
+
+    /// On-wire size in bytes (4 bytes per slot) — used to size
+    /// timestamp messages.
+    pub fn wire_bytes(&self) -> u32 {
+        4 * self.v.len() as u32
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.v.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut c = VClock::new(3);
+        assert_eq!(c.bump(ProcId::new(1)), 1);
+        assert_eq!(c.bump(ProcId::new(1)), 2);
+        assert_eq!(c.get(ProcId::new(1)), 2);
+        assert_eq!(c.get(ProcId::new(0)), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new(3);
+        a.set(ProcId::new(0), 5);
+        let mut b = VClock::new(3);
+        b.set(ProcId::new(1), 7);
+        a.join(&b);
+        assert_eq!(a.get(ProcId::new(0)), 5);
+        assert_eq!(a.get(ProcId::new(1)), 7);
+    }
+
+    #[test]
+    fn covers_is_partial_order() {
+        let mut a = VClock::new(2);
+        a.set(ProcId::new(0), 1);
+        let mut b = VClock::new(2);
+        b.set(ProcId::new(1), 1);
+        assert!(!a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+    }
+
+    #[test]
+    fn nonzero_iteration_and_wire_size() {
+        let mut c = VClock::new(4);
+        c.set(ProcId::new(2), 9);
+        let v: Vec<(ProcId, u32)> = c.iter_nonzero().collect();
+        assert_eq!(v, vec![(ProcId::new(2), 9)]);
+        assert_eq!(c.wire_bytes(), 16);
+        assert_eq!(c.to_string(), "⟨0,0,9,0⟩");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_join_panics() {
+        VClock::new(2).join(&VClock::new(3));
+    }
+
+    proptest! {
+        /// Join is a lattice operation: commutative, associative,
+        /// idempotent, and an upper bound of both operands.
+        #[test]
+        fn prop_join_lattice(
+            xs in proptest::collection::vec(0u32..100, 8),
+            ys in proptest::collection::vec(0u32..100, 8),
+            zs in proptest::collection::vec(0u32..100, 8),
+        ) {
+            let mk = |v: &Vec<u32>| {
+                let mut c = VClock::new(8);
+                for (i, &x) in v.iter().enumerate() {
+                    c.set(ProcId::new(i), x);
+                }
+                c
+            };
+            let (x, y, z) = (mk(&xs), mk(&ys), mk(&zs));
+
+            // Commutative.
+            let mut xy = x.clone(); xy.join(&y);
+            let mut yx = y.clone(); yx.join(&x);
+            prop_assert_eq!(&xy, &yx);
+
+            // Associative.
+            let mut xy_z = xy.clone(); xy_z.join(&z);
+            let mut yz = y.clone(); yz.join(&z);
+            let mut x_yz = x.clone(); x_yz.join(&yz);
+            prop_assert_eq!(&xy_z, &x_yz);
+
+            // Idempotent and an upper bound.
+            let mut xx = x.clone(); xx.join(&x);
+            prop_assert_eq!(&xx, &x);
+            prop_assert!(xy.covers(&x) && xy.covers(&y));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Small statistics helpers used throughout the simulator.
+
+use std::fmt;
+
+use crate::time::Dur;
+
+/// A simple monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use genima_sim::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An accumulator of durations: sum, count, min, max.
+///
+/// Used for latency-stage statistics in the NI performance monitor.
+///
+/// # Example
+///
+/// ```
+/// use genima_sim::{Accum, Dur};
+/// let mut a = Accum::default();
+/// a.record(Dur::from_us(2));
+/// a.record(Dur::from_us(4));
+/// assert_eq!(a.mean(), Dur::from_us(3));
+/// assert_eq!(a.max(), Dur::from_us(4));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accum {
+    sum: Dur,
+    count: u64,
+    min: Option<Dur>,
+    max: Dur,
+}
+
+impl Accum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Accum {
+        Accum::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Dur) {
+        self.sum += d;
+        self.count += 1;
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        self.max = self.max.max(d);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accum) {
+        self.sum += other.sum;
+        self.count += other.count;
+        if let Some(om) = other.min {
+            self.min = Some(self.min.map_or(om, |m| m.min(om)));
+        }
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Dur {
+        self.sum
+    }
+
+    /// Mean sample, or [`Dur::ZERO`] when empty.
+    pub fn mean(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest sample, or [`Dur::ZERO`] when empty.
+    pub fn min(&self) -> Dur {
+        self.min.unwrap_or(Dur::ZERO)
+    }
+
+    /// Largest sample, or [`Dur::ZERO`] when empty.
+    pub fn max(&self) -> Dur {
+        self.max
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A power-of-two bucketed histogram of durations in nanoseconds.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))` nanoseconds, with
+/// bucket 0 also holding zero-length samples.
+///
+/// # Example
+///
+/// ```
+/// use genima_sim::{Dur, Histogram};
+/// let mut h = Histogram::new();
+/// h.record(Dur::from_ns(5));
+/// h.record(Dur::from_ns(6));
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.bucket_for(Dur::from_ns(5)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    /// Index of the bucket a sample falls into.
+    pub fn bucket_for(&self, d: Dur) -> usize {
+        let ns = d.as_ns();
+        if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Dur) {
+        self.buckets[self.bucket_for(d)] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw bucket counts; bucket `i` covers `[2^i, 2^(i+1))` ns.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) as the upper bound of the
+    /// bucket containing that rank, or `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<Dur> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(Dur::from_ns(1u64 << (i + 1).min(63)));
+            }
+        }
+        Some(Dur::from_ns(u64::MAX))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn accum_tracks_min_max_mean() {
+        let mut a = Accum::new();
+        assert!(a.is_empty());
+        assert_eq!(a.mean(), Dur::ZERO);
+        a.record(Dur::from_ns(10));
+        a.record(Dur::from_ns(30));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), Dur::from_ns(40));
+        assert_eq!(a.mean(), Dur::from_ns(20));
+        assert_eq!(a.min(), Dur::from_ns(10));
+        assert_eq!(a.max(), Dur::from_ns(30));
+    }
+
+    #[test]
+    fn accum_merge() {
+        let mut a = Accum::new();
+        a.record(Dur::from_ns(5));
+        let mut b = Accum::new();
+        b.record(Dur::from_ns(1));
+        b.record(Dur::from_ns(9));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Dur::from_ns(1));
+        assert_eq!(a.max(), Dur::from_ns(9));
+        assert_eq!(a.sum(), Dur::from_ns(15));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.bucket_for(Dur::ZERO), 0);
+        assert_eq!(h.bucket_for(Dur::from_ns(1)), 0);
+        assert_eq!(h.bucket_for(Dur::from_ns(2)), 1);
+        assert_eq!(h.bucket_for(Dur::from_ns(1024)), 10);
+        assert_eq!(h.bucket_for(Dur::from_ns(1025)), 10);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        for _ in 0..99 {
+            h.record(Dur::from_ns(4));
+        }
+        h.record(Dur::from_ns(1 << 20));
+        let p50 = h.percentile(0.5).unwrap();
+        assert!(p50 <= Dur::from_ns(8));
+        let p100 = h.percentile(1.0).unwrap();
+        assert!(p100 >= Dur::from_ns(1 << 20));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.buckets()[2], 99);
+    }
+}

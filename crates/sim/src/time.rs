@@ -1,0 +1,336 @@
+//! Simulated time.
+//!
+//! Two newtypes keep instants and durations from being confused:
+//! [`Time`] is an absolute simulation instant and [`Dur`] is a span.
+//! Both have nanosecond resolution stored in a `u64`, which covers
+//! simulations of more than 500 simulated years — far beyond anything
+//! this crate simulates (application runs are seconds long).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in simulated time, in nanoseconds since the
+/// start of the simulation.
+///
+/// # Example
+///
+/// ```
+/// use genima_sim::{Dur, Time};
+/// let t = Time::ZERO + Dur::from_us(2);
+/// assert_eq!(t.as_ns(), 2_000);
+/// assert_eq!(t - Time::ZERO, Dur::from_us(2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use genima_sim::Dur;
+/// let d = Dur::from_us(3) + Dur::from_ns(500);
+/// assert_eq!(d.as_ns(), 3_500);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates an instant from nanoseconds since the simulation start.
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Returns the instant as nanoseconds since the simulation start.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the instant as (fractional) milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the instant as (fractional) seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the span since `earlier`, or [`Dur::ZERO`] if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Creates a span from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_us(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_ms(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Creates a span from seconds.
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional microseconds, rounding to the
+    /// nearest nanosecond. Negative values clamp to zero.
+    pub fn from_us_f64(us: f64) -> Dur {
+        Dur((us * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Returns the span in nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as (fractional) microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the span as (fractional) milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the span as (fractional) seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns `true` if the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two spans.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two spans.
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// Returns the span minus `other`, or [`Dur::ZERO`] if `other` is
+    /// larger.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales the span by a rational factor `num / den`, rounding to
+    /// the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn scale(self, num: u64, den: u64) -> Dur {
+        assert!(den != 0, "scale denominator must be nonzero");
+        let v = (self.0 as u128 * num as u128 + den as u128 / 2) / den as u128;
+        Dur(v as u64)
+    }
+
+    /// Scales the span by a floating-point factor, rounding to the
+    /// nearest nanosecond. Negative results clamp to zero.
+    pub fn scale_f64(self, factor: f64) -> Dur {
+        Dur((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 = self.0.checked_sub(rhs.0).expect("negative duration");
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else {
+            write!(f, "{:.3}us", self.as_us())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(Dur::from_us(5).as_ns(), 5_000);
+        assert_eq!(Dur::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(Dur::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(Time::from_ns(42).as_ns(), 42);
+    }
+
+    #[test]
+    fn arithmetic_between_time_and_dur() {
+        let t = Time::ZERO + Dur::from_us(10);
+        let t2 = t + Dur::from_us(5);
+        assert_eq!(t2 - t, Dur::from_us(5));
+        assert_eq!(t2 - Time::ZERO, Dur::from_us(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn negative_time_difference_panics() {
+        let _ = Time::ZERO - Time::from_ns(1);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time::from_ns(100);
+        let b = Time::from_ns(200);
+        assert_eq!(a.saturating_since(b), Dur::ZERO);
+        assert_eq!(b.saturating_since(a), Dur::from_ns(100));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Dur::from_ns(10).scale(1, 3).as_ns(), 3);
+        assert_eq!(Dur::from_ns(10).scale(2, 3).as_ns(), 7);
+        assert_eq!(Dur::from_ns(4096).scale(1_000_000_000, 95_000_000).as_ns(), 43_116);
+    }
+
+    #[test]
+    fn scale_f64_clamps_negative() {
+        assert_eq!(Dur::from_ns(10).scale_f64(-1.0), Dur::ZERO);
+        assert_eq!(Dur::from_ns(10).scale_f64(1.5).as_ns(), 15);
+    }
+
+    #[test]
+    fn from_us_f64_rounds() {
+        assert_eq!(Dur::from_us_f64(1.2345).as_ns(), 1_235); // rounded
+        assert_eq!(Dur::from_us_f64(-3.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Dur::from_us(3)), "3.000us");
+        assert_eq!(format!("{}", Dur::from_ms(3)), "3.000ms");
+        assert_eq!(format!("{}", Dur::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Dur::from_ns(1);
+        let b = Dur::from_ns(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Time::from_ns(1).max(Time::from_ns(2)), Time::from_ns(2));
+        assert_eq!(Time::from_ns(1).min(Time::from_ns(2)), Time::from_ns(1));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = [Dur::from_ns(1), Dur::from_ns(2), Dur::from_ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Dur::from_ns(6));
+    }
+}

@@ -1,0 +1,26 @@
+//! VMMC-style user-level communication library.
+//!
+//! Sits between the SVM protocol and the NI model, providing the
+//! semantics of the paper's communication layer (§3.1):
+//!
+//! * **no receive operation** — data lands directly in exported
+//!   destination virtual memory (remote deposit);
+//! * **variable-size packets up to 4 KB** — larger transfers are split
+//!   into multiple packets and the completion upcall fires when the
+//!   last fragment has been deposited;
+//! * **remote fetch** and **NI locks** — the extensions this paper
+//!   adds to VMMC, passed through to the NI firmware;
+//! * **export/pin accounting** — with deposit-only transfers every
+//!   node must export (and pin) all shared pages so that any home can
+//!   push to it; with remote fetch each node only exports the pages it
+//!   is home for (§2, "Remote fetch"). [`Vmmc::register_pinned`] /
+//!   [`Vmmc::pinned`] make that footprint measurable.
+
+mod port;
+
+pub use port::{PinClass, Vmmc};
+
+pub use genima_net::{NetConfig, NicId};
+pub use genima_nic::{
+    Comm, Event, LockId, MsgKind, NicConfig, Post, SendDesc, Step, Tag, Upcall,
+};

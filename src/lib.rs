@@ -1,0 +1,6 @@
+//! Workspace-level umbrella for the GeNIMA reproduction: hosts the
+//! cross-crate integration tests (`tests/`) and the runnable examples
+//! (`examples/`). The library surface simply re-exports the top-level
+//! [`genima`] crate.
+
+pub use genima;

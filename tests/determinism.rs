@@ -1,0 +1,57 @@
+//! Whole-stack determinism: identical runs produce bit-identical
+//! results, across protocols and topologies.
+
+use genima::{run_app, FeatureSet, Topology};
+use genima_apps::{App, BarnesOriginal, OceanRowwise, WaterNsquared};
+
+fn assert_identical(app: &dyn App, topo: Topology, f: FeatureSet) {
+    let a = run_app(app, topo, f);
+    let b = run_app(app, topo, f);
+    assert_eq!(
+        a.report.parallel_time(),
+        b.report.parallel_time(),
+        "{} {}: time differs",
+        app.name(),
+        f
+    );
+    assert_eq!(a.report.events, b.report.events, "{}: event count", app.name());
+    assert_eq!(a.report.counters, b.report.counters, "{}: counters", app.name());
+    for (x, y) in a.report.breakdowns.iter().zip(&b.report.breakdowns) {
+        assert_eq!(x, y, "{}: per-process breakdowns", app.name());
+    }
+}
+
+#[test]
+fn ocean_is_deterministic_under_every_protocol() {
+    let app = OceanRowwise::with_grid(256, 6);
+    for f in FeatureSet::ALL {
+        assert_identical(&app, Topology::new(4, 4), f);
+    }
+}
+
+#[test]
+fn lock_heavy_water_is_deterministic() {
+    let app = WaterNsquared::with_molecules(512, 1);
+    assert_identical(&app, Topology::new(4, 4), FeatureSet::base());
+    assert_identical(&app, Topology::new(4, 4), FeatureSet::genima());
+}
+
+#[test]
+fn irregular_barnes_is_deterministic() {
+    let app = BarnesOriginal::with_bodies(2048, 1);
+    assert_identical(&app, Topology::new(2, 2), FeatureSet::genima());
+}
+
+#[test]
+fn different_topologies_give_different_but_stable_results() {
+    let app = OceanRowwise::with_grid(256, 4);
+    let t22 = run_app(&app, Topology::new(2, 2), FeatureSet::genima());
+    let t41 = run_app(&app, Topology::new(4, 1), FeatureSet::genima());
+    // Same processor count, different clustering: the 4x1 layout pays
+    // for more cross-node traffic.
+    assert_ne!(t22.report.parallel_time(), t41.report.parallel_time());
+    assert!(
+        t41.report.counters.page_transfers >= t22.report.counters.page_transfers,
+        "more nodes, more remote pages"
+    );
+}
