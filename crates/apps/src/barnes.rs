@@ -84,12 +84,14 @@ impl App for BarnesOriginal {
             let mut bar = 1;
             for _step in 0..self.steps {
                 // Tree build: insert each owned body under a cell lock,
-                // writing a scattered cell record.
+                // writing that cell's record (record-aligned, so the
+                // lock actually covers the bytes written).
+                let ncells = cells.bytes() / CELL_BYTES;
                 for _i in 0..n / p / 2 {
-                    let cell = rng.next_below(cells.bytes() - 32);
-                    let lock = (cell / CELL_BYTES) as usize % nlocks;
+                    let rec = rng.next_below(ncells);
+                    let lock = rec as usize % nlocks;
                     ops.acquire(lock);
-                    ops.write(cells.addr(cell), 32);
+                    ops.write(cells.addr(rec * CELL_BYTES), 32);
                     ops.release(lock);
                     ops.compute_us(8.0);
                 }
@@ -192,12 +194,18 @@ impl App for BarnesSpatial {
 
             let mut bar = 1;
             for _step in 0..self.steps {
-                // Spatially local tree build: mostly local, a few locks.
+                // Spatially local tree build: mostly local, a few
+                // locks, each guarding its own slice of the boundary
+                // region.
                 ops.compute_us((n / p) as f64 * 6.0);
+                let part = boundary.bytes() / nlocks as u64;
                 for _ in 0..4 {
                     let l = rng.next_below(nlocks as u64) as usize;
                     ops.acquire(l);
-                    ops.write(boundary.addr(rng.next_below(boundary.bytes() - 16)), 16);
+                    ops.write(
+                        boundary.addr(l as u64 * part + rng.next_below(part - 16)),
+                        16,
+                    );
                     ops.release(l);
                 }
                 ops.barrier(bar);
@@ -221,8 +229,13 @@ impl App for BarnesSpatial {
                 for pg in 0..shared_pages {
                     let page = (me * 3 + pg * 7) % boundary.pages();
                     for r in 0..self.runs_per_page {
-                        // Stride > one word so runs never coalesce.
-                        let off = page as u64 * 4096 + (r as u64 * 112) % 4080;
+                        // Stride > one word so runs never coalesce;
+                        // the per-process stagger keeps writers of a
+                        // shared page on disjoint words (false sharing
+                        // within the page is the whole point — actual
+                        // overlap would be a data race).
+                        let off =
+                            page as u64 * 4096 + (r as u64 * 84) % 4032 + (me as u64 % 10) * 8;
                         ops.write(boundary.addr(off), 8);
                     }
                 }
@@ -266,20 +279,37 @@ mod tests {
         };
         let orig = count(BarnesOriginal::paper().spec(topo));
         let spatial = count(BarnesSpatial::paper().spec(topo));
-        assert!(
-            orig > spatial * 10,
-            "original {orig} vs spatial {spatial}"
-        );
+        assert!(orig > spatial * 10, "original {orig} vs spatial {spatial}");
     }
 
     #[test]
     fn spatial_update_writes_use_non_coalescing_stride() {
-        // The 112-byte stride guarantees one run per write: no two
-        // writes are within a word of each other.
-        let offs: Vec<u64> = (0..32u64).map(|r| (r * 112) % 4080).collect();
+        // The 84-byte stride guarantees one run per write: no two of a
+        // process's writes are within a word of each other.
+        let offs: Vec<u64> = (0..48u64).map(|r| (r * 84) % 4032).collect();
         for (i, a) in offs.iter().enumerate() {
             for b in offs.iter().skip(i + 1) {
                 assert!(a.abs_diff(*b) > 12, "runs would coalesce: {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_update_staggers_keep_sharing_false() {
+        // Two processes mapped to the same boundary page write
+        // interleaved but never overlapping 8-byte runs.
+        for me1 in 0..16u64 {
+            for me2 in 0..16u64 {
+                if me1 % 10 == me2 % 10 {
+                    continue;
+                }
+                for r1 in 0..48u64 {
+                    for r2 in 0..48u64 {
+                        let a = (r1 * 84) % 4032 + (me1 % 10) * 8;
+                        let b = (r2 * 84) % 4032 + (me2 % 10) * 8;
+                        assert!(a.abs_diff(b) >= 8, "overlap: {a} {b}");
+                    }
+                }
             }
         }
     }

@@ -68,7 +68,7 @@ impl App for Fft {
         // ~50 MFLOPS on the Pentium Pro.
         let log_n = 64 - n.leading_zeros() as u64 - 1;
         let phase_us = (2.0 * (n as f64 / p as f64) * log_n as f64) / 50.0; // flops / (50 flops/us)
-        // Local data movement during a transpose: n/p points copied.
+                                                                            // Local data movement during a transpose: n/p points copied.
         let local_copy_us = (n as f64 / p as f64) * POINT as f64 / 150.0; // ~150 MB/s memcpy
 
         let patch_bytes = (n / (p as u64 * p as u64)) * POINT;

@@ -118,12 +118,7 @@ mod tests {
         let topo = Topology::new(4, 4);
         for app in all_apps() {
             let spec = app.spec(topo);
-            assert_eq!(
-                spec.sources.len(),
-                16,
-                "{}: wrong source count",
-                app.name()
-            );
+            assert_eq!(spec.sources.len(), 16, "{}: wrong source count", app.name());
             assert!(spec.locks >= 1, "{}: no locks", app.name());
             assert!(!app.problem().is_empty());
         }

@@ -83,10 +83,17 @@ impl App for OceanRowwise {
 
             let mut bar = 1;
             for sweep in 0..self.sweeps {
-                let (src, dst) = if sweep % 2 == 0 { (&u, &my_v) } else { (&v, &my_u) };
+                let (src, dst) = if sweep % 2 == 0 {
+                    (&u, &my_v)
+                } else {
+                    (&v, &my_u)
+                };
                 // Halo rows from the neighbours.
                 if me > 0 {
-                    ops.read(src.addr((first_row as u64 - 1) * row_bytes), row_bytes as u32);
+                    ops.read(
+                        src.addr((first_row as u64 - 1) * row_bytes),
+                        row_bytes as u32,
+                    );
                 }
                 if me + 1 < p {
                     ops.read(

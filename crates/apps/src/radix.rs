@@ -84,7 +84,11 @@ impl App for RadixLocal {
 
             let mut bar = 1;
             for pass in 0..self.passes {
-                let (from, to) = if pass % 2 == 0 { (&src, &dst) } else { (&dst, &src) };
+                let (from, to) = if pass % 2 == 0 {
+                    (&src, &dst)
+                } else {
+                    (&dst, &src)
+                };
                 // Local histogram over the owned chunk (~30 ns/key).
                 ops.read(from.chunk(me, p).base(), from.chunk(me, p).bytes() as u32);
                 ops.compute_us(n as f64 / p as f64 * 0.03);
@@ -95,7 +99,10 @@ impl App for RadixLocal {
                 let rounds = (usize::BITS - p.leading_zeros()) as usize;
                 for r in 0..rounds.max(1) {
                     ops.acquire(0);
-                    ops.write(hist.addr(((me * self.radix) % 1024) as u64 * 4 + r as u64 * 8), 64);
+                    ops.write(
+                        hist.addr(((me * self.radix) % 1024) as u64 * 4 + r as u64 * 8),
+                        64,
+                    );
                     ops.release(0);
                     ops.compute_us(10.0);
                 }
@@ -106,7 +113,10 @@ impl App for RadixLocal {
                 // whole destination array.
                 for b in 0..self.radix {
                     let off = b as u64 * bucket_bytes + me as u64 * chunk_keys * 4;
-                    ops.write(to.addr(off.min(to.bytes() - chunk_bytes as u64)), chunk_bytes);
+                    ops.write(
+                        to.addr(off.min(to.bytes() - chunk_bytes as u64)),
+                        chunk_bytes,
+                    );
                     ops.compute_us(chunk_keys as f64 * 0.02);
                 }
                 ops.barrier(bar);
@@ -147,6 +157,10 @@ mod tests {
         }
         // init + 64 bucket chunks + prefix writes.
         assert!(writes >= 64, "got {writes}");
-        assert!(pages.len() >= 32, "writes must scatter, got {} pages", pages.len());
+        assert!(
+            pages.len() >= 32,
+            "writes must scatter, got {} pages",
+            pages.len()
+        );
     }
 }

@@ -148,6 +148,9 @@ mod tests {
                 }
             }
         }
-        assert!(reads > writes * 3, "read-mostly: {reads} reads vs {writes} writes");
+        assert!(
+            reads > writes * 3,
+            "read-mostly: {reads} reads vs {writes} writes"
+        );
     }
 }

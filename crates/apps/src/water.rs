@@ -16,7 +16,7 @@
 //! molecules with 2 timesteps — the per-molecule locking rate per unit
 //! compute, which drives the result, is preserved.
 
-use genima_proto::Topology;
+use genima_proto::{Topology, PAGE_SIZE};
 
 use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
@@ -103,8 +103,8 @@ impl App for WaterNsquared {
                     ops.compute_us(compute_per_episode_us);
                     // The updated molecule walks the ring starting
                     // after our own chunk (n/2 following molecules).
-                    let mol = (me * (n / p) + 1 + (e * 37 + rng.next_below(7) as usize) % (n / 2))
-                        % n;
+                    let mol =
+                        (me * (n / p) + 1 + (e * 37 + rng.next_below(7) as usize) % (n / 2)) % n;
                     ops.acquire(mol % nlocks);
                     ops.write(forces.addr(mol as u64 * FORCE_BYTES), 24);
                     ops.release(mol % nlocks);
@@ -177,6 +177,13 @@ impl App for WaterSpatial {
         let nlocks = 64;
         let mut layout = Layout::new();
         let mols = layout.alloc_bytes(n as u64 * MOL_BYTES);
+        // Cell-list records, one page per spatial cell: molecules that
+        // cross a cell boundary are re-linked here under the cell's
+        // lock. Kept separate from the molecule array — the boundary
+        // reads below are unsynchronised, so only data written in a
+        // *previous* phase (and fenced by a barrier) may come from
+        // `mols`; all same-phase locked writes go to the cell lists.
+        let cells = layout.alloc_pages(nlocks);
 
         // Boundary exchange: each process reads a slab of its two
         // neighbours' molecules (~1/8 of their chunk).
@@ -205,12 +212,13 @@ impl App for WaterSpatial {
                 // Pair computation within and across cells: O(n/p · k).
                 ops.compute_us((n / p) as f64 * 60.0);
                 // A few cell-ownership locks for molecules that cross
-                // cell boundaries.
+                // cell boundaries: re-link the molecule in the owning
+                // cell's list, under that cell's lock.
                 for _ in 0..8 {
                     let cell = rng.next_below(nlocks as u64) as usize;
                     ops.acquire(cell);
                     ops.write(
-                        mols.addr(rng.next_below(n as u64) * MOL_BYTES),
+                        cells.addr(cell as u64 * PAGE_SIZE as u64 + rng.next_below(200) * 16),
                         16,
                     );
                     ops.release(cell);
@@ -227,9 +235,11 @@ impl App for WaterSpatial {
             sources.push(ops.into_source());
         }
 
+        let mut homes = mols.homes_blocked(topo);
+        homes.extend(cells.homes_blocked(topo));
         WorkloadSpec {
             sources,
-            homes: mols.homes_blocked(topo),
+            homes,
             locks: nlocks,
             bus_demand_per_proc: 25_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),

@@ -123,7 +123,8 @@ fn bench_nic_pipeline(c: &mut Criterion) {
         b.iter_batched(
             || Comm::new(NicConfig::default(), NetConfig::myrinet(), 2, 1),
             |mut comm| {
-                let post = comm.lock_acquire(Time::ZERO, NicId::new(1), LockId::new(0), Tag::new(1));
+                let post =
+                    comm.lock_acquire(Time::ZERO, NicId::new(1), LockId::new(0), Tag::new(1));
                 let mut q = EventQueue::new();
                 for (t, e) in post.events {
                     q.push(t, e);

@@ -219,7 +219,12 @@ pub fn lock_implementation(topo: Topology) -> TextTable {
 pub fn home_placement(topo: Topology) -> TextTable {
     let app = Fft::paper();
     let seq = sequential_time(&app);
-    let mut t = TextTable::new(vec!["Home policy", "Speedup", "Diff msgs", "Page transfers"]);
+    let mut t = TextTable::new(vec![
+        "Home policy",
+        "Speedup",
+        "Diff msgs",
+        "Page transfers",
+    ]);
     for (label, use_app_homes, first_touch) in [
         ("owner-assigned (blocked)", true, false),
         ("first-touch", false, true),
@@ -328,7 +333,10 @@ mod tests {
         let r = run_tweaked(&app, topo, FeatureSet::genima(), |p| {
             p.proto.lock_impl = genima_proto::LockImpl::RemoteAtomics;
         });
-        assert_eq!(r.counters.interrupts, 0, "atomics mode stays interrupt-free");
+        assert_eq!(
+            r.counters.interrupts, 0,
+            "atomics mode stays interrupt-free"
+        );
         assert!(
             r.counters.lock_spin_retries > 0,
             "contended TAS must retry at least once"

@@ -9,7 +9,10 @@ fn main() {
     let topo = Topology::new(4, 4);
     let args: Vec<String> = std::env::args().collect();
     let apps = if args.len() > 1 {
-        args[1..].iter().map(|n| app_by_name(n).expect("app")).collect()
+        args[1..]
+            .iter()
+            .map(|n| app_by_name(n).expect("app"))
+            .collect()
     } else {
         all_apps()
     };

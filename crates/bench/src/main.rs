@@ -65,7 +65,10 @@ fn main() {
                 "Figure 4: speedups, Origin vs Base vs GeNIMA",
                 fig4_final(&evals).to_string(),
             );
-            emit("Table 1: application statistics", table1_appstats(&evals).to_string());
+            emit(
+                "Table 1: application statistics",
+                table1_appstats(&evals).to_string(),
+            );
             emit("Table 2: barrier time", table2_barrier(&evals).to_string());
             eprintln!("running contention tables (Base + GeNIMA per app) ...");
             emit(

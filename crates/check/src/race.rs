@@ -1,0 +1,554 @@
+//! Happens-before race detection over application operation streams.
+//!
+//! The detector executes the per-process [`Op`] streams under a
+//! deterministic round-robin scheduler that honours lock exclusion and
+//! barrier arrival, maintaining FastTrack-style vector clocks:
+//!
+//! * each process `p` carries a clock `C_p` (initially `C_p[p] = 1`);
+//! * `Release(l)` stores `C_p` into the lock clock `L_l` and then
+//!   bumps `C_p[p]`;
+//! * `Acquire(l)` joins `L_l` into `C_p`;
+//! * a barrier joins the clocks of every arriving process and bumps
+//!   each process's own slot.
+//!
+//! Shared accesses are checked at **byte-range precision** against a
+//! shadow memory indexed by 64-byte cell: each cell holds, per
+//! process, the byte range and epoch of the last write and the last
+//! read that touched it. Two accesses conflict when their byte ranges
+//! overlap and at least one writes; they race when the recorded epoch
+//! does not happen-before the later access's clock. Byte precision
+//! matters here: a page-based SVM with a multiple-writer protocol
+//! tolerates *false sharing* (disjoint writes to the same cell, page
+//! or cache line merge cleanly through twin/diff), so only genuinely
+//! overlapping unordered accesses are protocol-visible races.
+//!
+//! The shadow keeps a small set of write and read segments per cell.
+//! A segment is dropped only when the same process covers its whole
+//! byte range again at an equal or later epoch — any future conflict
+//! with the dropped segment would also conflict with its replacement,
+//! so no race is lost. Touching same-epoch segments merge, and a cell
+//! spans only 64 bytes, so the per-cell set stays small.
+
+use std::collections::HashMap;
+
+use genima_proto::{BarrierId, LockId, Op, ProcId, VClock};
+
+/// Shadow-cell granularity in bytes.
+pub const CELL_BYTES: u64 = 64;
+
+/// One shared access, identified by its position in an op stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessSite {
+    /// The accessing process.
+    pub proc: usize,
+    /// Index of the operation in the process's stream.
+    pub op_index: usize,
+    /// `true` for writes.
+    pub write: bool,
+}
+
+/// A detected race: two accesses with overlapping byte ranges, at
+/// least one a write, not ordered by happens-before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// First byte of the cell both accesses touched.
+    pub cell_base: u64,
+    /// The earlier access (still recorded in the shadow memory).
+    pub first: AccessSite,
+    /// The later access that completed the race.
+    pub second: AccessSite,
+}
+
+/// The op streams could not be executed to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No process can make progress (lock cycle or barrier mismatch).
+    Deadlock {
+        /// The blocked processes and what each waits on.
+        blocked: Vec<(usize, String)>,
+    },
+    /// A process released a lock it does not hold.
+    ReleaseWithoutHold {
+        /// The offending process.
+        proc: usize,
+        /// Index of the release in its stream.
+        op_index: usize,
+        /// The lock concerned.
+        lock: LockId,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Deadlock { blocked } => {
+                write!(f, "op streams deadlock; blocked: {blocked:?}")
+            }
+            ScheduleError::ReleaseWithoutHold {
+                proc,
+                op_index,
+                lock,
+            } => write!(f, "p{proc} op #{op_index} releases {lock} it does not hold"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// One recorded access within a cell: the epoch and the byte range
+/// (relative to the cell base) it covered.
+#[derive(Clone, Copy)]
+struct Seg {
+    proc: usize,
+    clock: u32,
+    op_index: usize,
+    /// Byte range `[start, end)` within the cell.
+    start: u32,
+    end: u32,
+}
+
+/// Shadow state of one 64-byte cell: the last write and last read per
+/// process that touched it, with their byte ranges.
+#[derive(Default)]
+struct Cell {
+    writes: Vec<Seg>,
+    reads: Vec<Seg>,
+}
+
+fn overlaps(a: &Seg, start: u32, end: u32) -> bool {
+    a.start < end && start < a.end
+}
+
+/// `true` if the epoch (`q`, `cq`) happens-before the clock `c`.
+fn ordered(c: &VClock, q: usize, cq: u32) -> bool {
+    cq <= c.get(ProcId::new(q))
+}
+
+/// What a process is blocked on.
+enum Waiting {
+    Lock(LockId),
+    Barrier(BarrierId),
+}
+
+struct LockState {
+    holder: Option<usize>,
+    clock: VClock,
+}
+
+/// The detector state over one set of op streams.
+struct Detector {
+    clocks: Vec<VClock>,
+    cells: HashMap<u64, Cell>,
+    reported: std::collections::HashSet<u64>,
+    races: Vec<Race>,
+}
+
+impl Detector {
+    fn new(nprocs: usize) -> Detector {
+        let clocks = (0..nprocs)
+            .map(|p| {
+                let mut c = VClock::new(nprocs);
+                // Epochs start at 1 so two never-synchronised accesses
+                // are unordered (a slot of 0 would order everything).
+                c.set(ProcId::new(p), 1);
+                c
+            })
+            .collect();
+        Detector {
+            clocks,
+            cells: HashMap::new(),
+            reported: std::collections::HashSet::new(),
+            races: Vec::new(),
+        }
+    }
+
+    fn access(&mut self, p: usize, op_index: usize, addr: u64, len: u64, write: bool) {
+        if len == 0 {
+            return;
+        }
+        let first_cell = addr / CELL_BYTES;
+        let last_cell = (addr + len - 1) / CELL_BYTES;
+        for cell_id in first_cell..=last_cell {
+            let base = cell_id * CELL_BYTES;
+            let start = addr.max(base) - base;
+            let end = (addr + len).min(base + CELL_BYTES) - base;
+            self.touch_cell(cell_id, p, op_index, write, start as u32, end as u32);
+        }
+    }
+
+    fn touch_cell(
+        &mut self,
+        cell_id: u64,
+        p: usize,
+        op_index: usize,
+        write: bool,
+        start: u32,
+        end: u32,
+    ) {
+        let me = self.clocks[p].get(ProcId::new(p));
+        let mut race: Option<Race> = None;
+        let cell = self.cells.entry(cell_id).or_default();
+
+        for seg in &cell.writes {
+            if seg.proc != p
+                && overlaps(seg, start, end)
+                && !ordered(&self.clocks[p], seg.proc, seg.clock)
+            {
+                race = Some(Race {
+                    cell_base: cell_id * CELL_BYTES,
+                    first: AccessSite {
+                        proc: seg.proc,
+                        op_index: seg.op_index,
+                        write: true,
+                    },
+                    second: AccessSite {
+                        proc: p,
+                        op_index,
+                        write,
+                    },
+                });
+                break;
+            }
+        }
+        if write && race.is_none() {
+            for seg in &cell.reads {
+                if seg.proc != p
+                    && overlaps(seg, start, end)
+                    && !ordered(&self.clocks[p], seg.proc, seg.clock)
+                {
+                    race = Some(Race {
+                        cell_base: cell_id * CELL_BYTES,
+                        first: AccessSite {
+                            proc: seg.proc,
+                            op_index: seg.op_index,
+                            write: false,
+                        },
+                        second: AccessSite {
+                            proc: p,
+                            op_index,
+                            write: true,
+                        },
+                    });
+                    break;
+                }
+            }
+        }
+
+        let seg = Seg {
+            proc: p,
+            clock: me,
+            op_index,
+            start,
+            end,
+        };
+        let slot = if write {
+            &mut cell.writes
+        } else {
+            &mut cell.reads
+        };
+        // Drop own segments the new range fully covers at an equal or
+        // later epoch: a future access that would conflict with the
+        // dropped segment also conflicts with this one, and this one's
+        // epoch races whenever the older epoch would have.
+        slot.retain(|s| !(s.proc == p && s.clock <= me && start <= s.start && s.end <= end));
+        match slot
+            .iter_mut()
+            .find(|s| s.proc == p && s.clock == me && s.end >= start && end >= s.start)
+        {
+            // Same epoch, touching ranges: widen in place (one logical
+            // access split across ops).
+            Some(s) => {
+                s.start = s.start.min(start);
+                s.end = s.end.max(end);
+                s.op_index = op_index;
+            }
+            None => slot.push(seg),
+        }
+
+        if let Some(r) = race {
+            if self.reported.insert(cell_id) {
+                self.races.push(r);
+            }
+        }
+    }
+}
+
+/// Runs the detector over one pre-materialised op stream per process.
+///
+/// Returns every detected race, at most one per 64-byte cell, in
+/// detection order. An empty vector means the streams are race-free
+/// under the happens-before relation induced by their locks and
+/// barriers.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] when the streams cannot be executed to
+/// completion (deadlock, or a release without a matching hold).
+pub fn detect_races(programs: &[Vec<Op>]) -> Result<Vec<Race>, ScheduleError> {
+    let nprocs = programs.len();
+    let mut det = Detector::new(nprocs);
+    let mut cursor = vec![0usize; nprocs];
+    let mut waiting: Vec<Option<Waiting>> = (0..nprocs).map(|_| None).collect();
+    let mut locks: HashMap<LockId, LockState> = HashMap::new();
+    let mut barrier_arrived: HashMap<BarrierId, Vec<usize>> = HashMap::new();
+
+    let done = |cursor: &[usize], p: usize| cursor[p] >= programs[p].len();
+
+    loop {
+        if (0..nprocs).all(|p| done(&cursor, p)) {
+            return Ok(det.races);
+        }
+        let mut progress = false;
+        for p in 0..nprocs {
+            // Re-check the wait condition for a blocked process.
+            match waiting[p] {
+                Some(Waiting::Lock(l)) => {
+                    let st = locks.entry(l).or_insert_with(|| LockState {
+                        holder: None,
+                        clock: VClock::new(nprocs),
+                    });
+                    if st.holder.is_none() {
+                        st.holder = Some(p);
+                        let lc = st.clock.clone();
+                        det.clocks[p].join(&lc);
+                        waiting[p] = None;
+                        cursor[p] += 1;
+                        progress = true;
+                    } else {
+                        continue;
+                    }
+                }
+                Some(Waiting::Barrier(_)) => continue,
+                None => {}
+            }
+
+            // Run until this process blocks or finishes.
+            while cursor[p] < programs[p].len() {
+                let i = cursor[p];
+                match &programs[p][i] {
+                    Op::Compute(_) => {}
+                    Op::Read { addr, len } => {
+                        det.access(p, i, addr.value(), *len as u64, false);
+                    }
+                    Op::Validate { addr, expected } => {
+                        det.access(p, i, addr.value(), expected.len() as u64, false);
+                    }
+                    Op::Write { addr, len } => {
+                        det.access(p, i, addr.value(), *len as u64, true);
+                    }
+                    Op::WriteData { addr, data } => {
+                        det.access(p, i, addr.value(), data.len() as u64, true);
+                    }
+                    Op::Acquire(l) => {
+                        let st = locks.entry(*l).or_insert_with(|| LockState {
+                            holder: None,
+                            clock: VClock::new(nprocs),
+                        });
+                        match st.holder {
+                            None => {
+                                st.holder = Some(p);
+                                let lc = st.clock.clone();
+                                det.clocks[p].join(&lc);
+                            }
+                            Some(h) if h == p => {} // re-entrant hold
+                            Some(_) => {
+                                waiting[p] = Some(Waiting::Lock(*l));
+                                break;
+                            }
+                        }
+                    }
+                    Op::Release(l) => {
+                        let Some(st) = locks.get_mut(l) else {
+                            return Err(ScheduleError::ReleaseWithoutHold {
+                                proc: p,
+                                op_index: i,
+                                lock: *l,
+                            });
+                        };
+                        if st.holder != Some(p) {
+                            return Err(ScheduleError::ReleaseWithoutHold {
+                                proc: p,
+                                op_index: i,
+                                lock: *l,
+                            });
+                        }
+                        st.clock = det.clocks[p].clone();
+                        st.holder = None;
+                        det.clocks[p].bump(ProcId::new(p));
+                    }
+                    Op::Barrier(b) => {
+                        let arrived = barrier_arrived.entry(*b).or_default();
+                        arrived.push(p);
+                        if arrived.len() == nprocs {
+                            // Everyone is here: join all clocks, bump
+                            // each slot, release everyone.
+                            let members = std::mem::take(arrived);
+                            let mut joined = VClock::new(nprocs);
+                            for &q in &members {
+                                joined.join(&det.clocks[q]);
+                            }
+                            for &q in &members {
+                                det.clocks[q] = joined.clone();
+                                det.clocks[q].bump(ProcId::new(q));
+                                if q != p {
+                                    waiting[q] = None;
+                                    cursor[q] += 1;
+                                }
+                            }
+                        } else {
+                            waiting[p] = Some(Waiting::Barrier(*b));
+                            break;
+                        }
+                    }
+                }
+                cursor[p] += 1;
+                progress = true;
+            }
+        }
+        if !progress {
+            let blocked = (0..nprocs)
+                .filter(|&p| !done(&cursor, p))
+                .map(|p| {
+                    let what = match &waiting[p] {
+                        Some(Waiting::Lock(l)) => format!("{l}"),
+                        Some(Waiting::Barrier(b)) => format!("barrier{}", b.index()),
+                        None => "runnable?".to_string(),
+                    };
+                    (p, what)
+                })
+                .collect();
+            return Err(ScheduleError::Deadlock { blocked });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::Addr;
+
+    fn w(addr: u64, len: u32) -> Op {
+        Op::Write {
+            addr: Addr::new(addr),
+            len,
+        }
+    }
+
+    fn r(addr: u64, len: u32) -> Op {
+        Op::Read {
+            addr: Addr::new(addr),
+            len,
+        }
+    }
+
+    #[test]
+    fn unsynchronised_writes_race() {
+        let races = detect_races(&[vec![w(0, 4)], vec![w(0, 4)]]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].cell_base, 0);
+    }
+
+    #[test]
+    fn lock_ordered_writes_do_not_race() {
+        let a = vec![
+            Op::Acquire(LockId::new(0)),
+            w(0, 4),
+            Op::Release(LockId::new(0)),
+        ];
+        let races = detect_races(&[a.clone(), a]).unwrap();
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn barrier_orders_write_then_read() {
+        let p0 = vec![w(128, 4), Op::Barrier(BarrierId::new(0))];
+        let p1 = vec![Op::Barrier(BarrierId::new(0)), r(128, 4)];
+        assert!(detect_races(&[p0, p1]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_write_without_order_races() {
+        let p0 = vec![r(64, 4)];
+        let p1 = vec![Op::Compute(genima_sim::Dur::from_us(1)), w(64, 4)];
+        let races = detect_races(&[p0, p1]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert!(races[0].second.write);
+    }
+
+    #[test]
+    fn disjoint_cells_do_not_race() {
+        let races = detect_races(&[vec![w(0, 4)], vec![w(64, 4)]]).unwrap();
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn same_page_different_cells_do_not_race() {
+        // Page-grain false sharing is not a data race.
+        let races = detect_races(&[vec![w(0, 64)], vec![w(2048, 64)]]).unwrap();
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn false_sharing_within_a_cell_does_not_race() {
+        // Disjoint byte ranges in one 64-byte cell: the multiple-writer
+        // protocol merges these cleanly, so they are not a race.
+        let races = detect_races(&[vec![w(0, 24)], vec![w(32, 24)]]).unwrap();
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn overlapping_ranges_within_a_cell_race() {
+        let races = detect_races(&[vec![w(0, 24)], vec![w(16, 24)]]).unwrap();
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn lock_protected_read_of_locked_write_is_ordered() {
+        let l = LockId::new(3);
+        let p0 = vec![Op::Acquire(l), w(256, 8), Op::Release(l)];
+        let p1 = vec![Op::Acquire(l), r(256, 8), Op::Release(l)];
+        assert!(detect_races(&[p0, p1]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn release_without_hold_is_an_error() {
+        let err = detect_races(&[vec![Op::Release(LockId::new(0))]]).unwrap_err();
+        assert!(matches!(err, ScheduleError::ReleaseWithoutHold { .. }));
+    }
+
+    #[test]
+    fn lock_cycle_deadlocks() {
+        let (a, b) = (LockId::new(0), LockId::new(1));
+        let p0 = vec![
+            Op::Acquire(a),
+            Op::Barrier(BarrierId::new(0)),
+            Op::Acquire(b),
+        ];
+        let p1 = vec![
+            Op::Acquire(b),
+            Op::Barrier(BarrierId::new(0)),
+            Op::Acquire(a),
+        ];
+        let err = detect_races(&[p0, p1]).unwrap_err();
+        assert!(matches!(err, ScheduleError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn race_is_reported_once_per_cell() {
+        let p0 = vec![w(0, 4), w(0, 4), w(4, 4)];
+        let p1 = vec![w(0, 4), w(4, 4)];
+        let races = detect_races(&[p0, p1]).unwrap();
+        assert_eq!(races.len(), 1, "cell 0 reported once: {races:?}");
+    }
+
+    #[test]
+    fn multi_cell_access_checks_every_cell() {
+        // A 128-byte write spans two cells; a conflicting write to the
+        // second cell must be caught.
+        let p0 = vec![w(0, 128)];
+        let p1 = vec![w(64, 4)];
+        let races = detect_races(&[p0, p1]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].cell_base, 64);
+    }
+}

@@ -67,7 +67,10 @@ pub fn evaluate_app(app: &dyn App, topo: Topology) -> AppEval {
 
 /// Evaluates the full application suite.
 pub fn evaluate_suite(topo: Topology) -> Vec<AppEval> {
-    all_apps().iter().map(|a| evaluate_app(a.as_ref(), topo)).collect()
+    all_apps()
+        .iter()
+        .map(|a| evaluate_app(a.as_ref(), topo))
+        .collect()
 }
 
 /// Figure 1: speedups of the hardware DSM versus the Base protocol.
@@ -256,13 +259,7 @@ pub fn table34_contention(topo: Topology, class: SizeClass) -> TextTable {
 /// smaller problem sizes unless load imbalance dominates."
 pub fn size_scaling(topo: Topology) -> TextTable {
     use genima_apps::{Fft, WaterNsquared};
-    let mut t = TextTable::new(vec![
-        "Application",
-        "Size",
-        "Base",
-        "GeNIMA",
-        "Improvement",
-    ]);
+    let mut t = TextTable::new(vec!["Application", "Size", "Base", "GeNIMA", "Improvement"]);
     let mut row = |app: &dyn App, size: String| {
         let seq = sequential_time(app);
         let base = run_app(app, topo, FeatureSet::base());
@@ -277,7 +274,10 @@ pub fn size_scaling(topo: Topology) -> TextTable {
         ]);
     };
     for points in [1u64 << 18, 1 << 20, 1 << 22] {
-        row(&Fft::with_points(points), format!("{}K points", points >> 10));
+        row(
+            &Fft::with_points(points),
+            format!("{}K points", points >> 10),
+        );
     }
     for mols in [512usize, 2048, 4096] {
         row(

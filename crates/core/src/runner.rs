@@ -63,9 +63,15 @@ pub fn sequential_time(app: &dyn App) -> Dur {
         barrier_op: genima_sim::Dur::ZERO,
         ..HwDsmConfig::origin2000()
     };
-    HwDsm::with_config(cfg, topo, spec.sources, spec.locks.max(1), spec.warmup_barrier)
-        .run()
-        .finish
+    HwDsm::with_config(
+        cfg,
+        topo,
+        spec.sources,
+        spec.locks.max(1),
+        spec.warmup_barrier,
+    )
+    .run()
+    .finish
 }
 
 /// Runs `app` on the hardware-DSM reference machine (Origin 2000

@@ -295,8 +295,7 @@ impl HwDsm {
             match seen {
                 Some(s) if s == cur => {
                     // Warm: only residual capacity misses.
-                    let missed =
-                        (page_lines as f64 * self.cfg.rehit_miss_fraction).round() as u64;
+                    let missed = (page_lines as f64 * self.cfg.rehit_miss_fraction).round() as u64;
                     cost += self.cfg.local_miss * missed;
                 }
                 Some(_) => {
@@ -310,7 +309,9 @@ impl HwDsm {
                     cost += self.cfg.remote_miss * page_lines;
                 }
             }
-            self.procs[p].seen.insert(page, if write { self.next_stamp } else { cur });
+            self.procs[p]
+                .seen
+                .insert(page, if write { self.next_stamp } else { cur });
             if write {
                 self.stamps.insert(page, self.next_stamp);
                 self.next_stamp += 1;

@@ -52,9 +52,7 @@ impl DirtyRanges {
         let end = (offset + len).div_ceil(w) * w;
 
         // Find insertion window of overlapping/touching ranges.
-        let mut lo = self
-            .ranges
-            .partition_point(|&(_, e)| e < start);
+        let mut lo = self.ranges.partition_point(|&(_, e)| e < start);
         let mut hi = lo;
         let mut new_start = start;
         let mut new_end = end;

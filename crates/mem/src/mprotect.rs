@@ -58,7 +58,10 @@ impl MprotectModel {
         if total == 0 {
             return Dur::ZERO;
         }
-        assert!(calls >= 1 && calls <= total, "invalid grouping {calls}/{total}");
+        assert!(
+            calls >= 1 && calls <= total,
+            "invalid grouping {calls}/{total}"
+        );
         self.single * calls as u64 + self.per_extra_page * (total - calls) as u64
     }
 }

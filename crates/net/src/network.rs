@@ -202,7 +202,10 @@ mod tests {
         let mut n = net();
         let a = n.transfer(Time::ZERO, NicId::new(0), NicId::new(1), 4096);
         let b = n.transfer(Time::ZERO, NicId::new(2), NicId::new(3), 4096);
-        assert_eq!(a.deliver, b.deliver, "crossbar carries disjoint pairs in parallel");
+        assert_eq!(
+            a.deliver, b.deliver,
+            "crossbar carries disjoint pairs in parallel"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::config::NicConfig;
 use crate::lock::{FwLock, LockId, SlotState};
 use crate::monitor::{Monitor, SizeClass, Stage};
 use crate::msg::{Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
+use crate::trace::{LockChange, LockTrace};
 
 /// Result of a host-side communication call: when the calling host
 /// processor is free to continue, plus any simulation events to
@@ -108,6 +109,9 @@ pub struct Comm {
     /// NIC (lazily grown).
     atomic_cells: Vec<Vec<u64>>,
     monitor: Monitor,
+    /// Lock-ownership transitions, recorded only while tracing is on
+    /// (`None` = disabled, the default: zero overhead).
+    trace: Option<Vec<LockTrace>>,
 }
 
 impl Comm {
@@ -122,8 +126,35 @@ impl Comm {
                 .collect(),
             atomic_cells: (0..ports).map(|_| Vec::new()).collect(),
             monitor: Monitor::new(),
+            trace: None,
             cfg,
             net,
+        }
+    }
+
+    /// Turns lock-ownership tracing on or off. Turning it on clears
+    /// any previously recorded events.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the recorded lock-ownership trace (empty when tracing
+    /// was never enabled).
+    pub fn take_lock_trace(&mut self) -> Vec<LockTrace> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    fn trace_lock(&mut self, at: Time, nic: NicId, lock: LockId, change: LockChange) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(LockTrace {
+                at,
+                nic,
+                lock,
+                change,
+            });
         }
     }
 
@@ -226,8 +257,12 @@ impl Comm {
         }
         nic.post_slots.push_back(pick_done);
         let class = self.size_class(bytes);
-        self.monitor
-            .record(Stage::Source, class, dma_done - posted_at, cfg.pick_cost + dma);
+        self.monitor.record(
+            Stage::Source,
+            class,
+            dma_done - posted_at,
+            cfg.pick_cost + dma,
+        );
         let mut cursor = dma_done;
         for &(dst, tag) in dsts {
             assert_ne!(dst, src, "broadcast to self");
@@ -355,7 +390,8 @@ impl Comm {
             // so the firmware re-grants locally without any messages.
             self.locks[lock.index()].slots[nic.index()].state = SlotState::HeldLocal;
             let at = post.host_free + self.cfg.lock_service + self.cfg.grant_notify;
-            post.upcalls.push((at, Upcall::LockGranted { nic, lock, tag }));
+            post.upcalls
+                .push((at, Upcall::LockGranted { nic, lock, tag }));
             return post;
         }
         self.locks[lock.index()].slots[nic.index()].state = SlotState::AwaitingGrant;
@@ -418,7 +454,9 @@ impl Comm {
         );
         if let Some((successor, wtag)) = slot.next.take() {
             slot.state = SlotState::Idle;
-            post.upcalls.push((done, Upcall::LockDeparted { nic, lock }));
+            self.trace_lock(done, nic, lock, LockChange::Released);
+            post.upcalls
+                .push((done, Upcall::LockDeparted { nic, lock }));
             let grant_bytes = self.cfg.lock_grant_bytes;
             let (_, step) = self.fw_send(
                 done,
@@ -496,7 +534,13 @@ impl Comm {
                 );
                 cfg.pick_cost + cfg.gather_per_run * runs as u64
             }
-            _ => cfg.pick_cost,
+            MsgKind::Deposit
+            | MsgKind::HostMsg
+            | MsgKind::FetchReq { .. }
+            | MsgKind::FetchReply
+            | MsgKind::LockMsg(_)
+            | MsgKind::FetchAndStore { .. }
+            | MsgKind::AtomicReply { .. } => cfg.pick_cost,
         };
         let (_, pick_done) = nic.lanai_send.reserve(posted_at, pick);
         let dma = cfg.dma_time(desc.bytes);
@@ -636,8 +680,9 @@ impl Comm {
                 // Scatter on the receive side: firmware unpacks each
                 // run and issues one DMA per run.
                 let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) =
-                    nic.lanai_recv.reserve(recv_done, cfg.gather_per_run * runs as u64);
+                let (_, svc_done) = nic
+                    .lanai_recv
+                    .reserve(recv_done, cfg.gather_per_run * runs as u64);
                 let dma = cfg.dma_time(pkt.bytes) + cfg.dma_setup * runs.saturating_sub(1) as u64;
                 let (_, dma_done) = nic.pci_recv.reserve(svc_done, dma);
                 self.monitor.record(
@@ -672,10 +717,11 @@ impl Comm {
                         tag: pkt.tag,
                         src: pkt.src,
                     },
-                    _ => Upcall::FetchCompleted {
+                    MsgKind::FetchReply => Upcall::FetchCompleted {
                         nic: pkt.dst,
                         tag: pkt.tag,
                     },
+                    other => unreachable!("host-DMA arm cannot deliver {other:?}"),
                 };
                 step.upcalls.push((dma_done, upcall));
             }
@@ -798,6 +844,7 @@ impl Comm {
                 match slot.state {
                     SlotState::Released => {
                         slot.state = SlotState::Idle;
+                        self.trace_lock(now, nic, lock, LockChange::Released);
                         if nic != requester {
                             step.upcalls.push((now, Upcall::LockDeparted { nic, lock }));
                         }
@@ -829,8 +876,10 @@ impl Comm {
                 let slot = &mut self.locks[lock.index()].slots[nic.index()];
                 debug_assert_eq!(slot.state, SlotState::AwaitingGrant);
                 slot.state = SlotState::HeldLocal;
+                self.trace_lock(now, nic, lock, LockChange::Acquired);
                 let at = now + self.cfg.grant_notify;
-                step.upcalls.push((at, Upcall::LockGranted { nic, lock, tag }));
+                step.upcalls
+                    .push((at, Upcall::LockGranted { nic, lock, tag }));
             }
         }
         step
@@ -1004,7 +1053,8 @@ mod tests {
         let p2 = c.lock_acquire(t1, NicId::new(2), lock, Tag::new(2));
         let ups2 = drain(&mut c, vec![p2]);
         assert!(
-            ups2.iter().all(|(_, u)| !matches!(u, Upcall::LockGranted { .. })),
+            ups2.iter()
+                .all(|(_, u)| !matches!(u, Upcall::LockGranted { .. })),
             "grant must not happen while held: {ups2:?}"
         );
         // Now nic1 releases; the queued transfer fires.
@@ -1034,7 +1084,10 @@ mod tests {
         let p2 = c.lock_release(t1, NicId::new(1), lock);
         let ups2 = drain(&mut c, vec![p2]);
         assert!(ups2.is_empty(), "uncontended release is silent: {ups2:?}");
-        assert!(c.lock_owned_by(NicId::new(1), lock), "last owner keeps the lock");
+        assert!(
+            c.lock_owned_by(NicId::new(1), lock),
+            "last owner keeps the lock"
+        );
     }
 
     #[test]

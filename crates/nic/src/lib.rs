@@ -32,9 +32,13 @@ mod config;
 mod lock;
 mod monitor;
 mod msg;
+mod trace;
 
 pub use comm::{Comm, Post, Step};
 pub use config::NicConfig;
 pub use lock::LockId;
 pub use monitor::{Monitor, SizeClass, Stage, StageStats};
 pub use msg::{Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
+pub use trace::{LockChange, LockTrace};
+
+pub use genima_net::NicId;

@@ -168,15 +168,30 @@ mod tests {
     #[test]
     fn ratio_reflects_contention() {
         let mut m = Monitor::new();
-        m.record(Stage::Dest, SizeClass::Small, Dur::from_us(30), Dur::from_us(10));
-        m.record(Stage::Dest, SizeClass::Small, Dur::from_us(10), Dur::from_us(10));
+        m.record(
+            Stage::Dest,
+            SizeClass::Small,
+            Dur::from_us(30),
+            Dur::from_us(10),
+        );
+        m.record(
+            Stage::Dest,
+            SizeClass::Small,
+            Dur::from_us(10),
+            Dur::from_us(10),
+        );
         assert_eq!(m.stats(Stage::Dest, SizeClass::Small).ratio(), 2.0);
     }
 
     #[test]
     fn classes_are_separate() {
         let mut m = Monitor::new();
-        m.record(Stage::Net, SizeClass::Small, Dur::from_us(5), Dur::from_us(5));
+        m.record(
+            Stage::Net,
+            SizeClass::Small,
+            Dur::from_us(5),
+            Dur::from_us(5),
+        );
         assert_eq!(m.stats(Stage::Net, SizeClass::Large).actual.count(), 0);
         assert_eq!(m.stats(Stage::Net, SizeClass::Small).actual.count(), 1);
     }
@@ -184,10 +199,20 @@ mod tests {
     #[test]
     fn merge_combines() {
         let mut a = Monitor::new();
-        a.record(Stage::Source, SizeClass::Large, Dur::from_us(4), Dur::from_us(2));
+        a.record(
+            Stage::Source,
+            SizeClass::Large,
+            Dur::from_us(4),
+            Dur::from_us(2),
+        );
         a.count_packet(SizeClass::Large, 4096);
         let mut b = Monitor::new();
-        b.record(Stage::Source, SizeClass::Large, Dur::from_us(8), Dur::from_us(2));
+        b.record(
+            Stage::Source,
+            SizeClass::Large,
+            Dur::from_us(8),
+            Dur::from_us(2),
+        );
         b.count_packet(SizeClass::Large, 4096);
         a.merge(&b);
         assert_eq!(a.stats(Stage::Source, SizeClass::Large).actual.count(), 2);

@@ -1,0 +1,37 @@
+//! NI lock-ownership trace for offline auditing.
+//!
+//! The firmware lock algorithm guarantees a single owner along the
+//! home/last-owner chain: at any instant at most one NIC is in the
+//! `HeldLocal`/`Released` states for a given lock. When tracing is
+//! enabled ([`Comm::set_tracing`](crate::Comm::set_tracing)), the
+//! firmware records every ownership transition so an external checker
+//! (the `genima-check` crate) can replay the chain and verify the
+//! invariant without instrumenting the protocol layer.
+
+use genima_net::NicId;
+use genima_sim::Time;
+
+use crate::lock::LockId;
+
+/// The direction of an ownership transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockChange {
+    /// The NIC became the lock's owner (a firmware grant arrived).
+    Acquired,
+    /// The NIC ceded ownership (handed the lock to a successor or
+    /// answered a transfer while in the released-but-kept state).
+    Released,
+}
+
+/// One NI lock-ownership transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockTrace {
+    /// Firmware time of the transition.
+    pub at: Time,
+    /// The NIC whose ownership changed.
+    pub nic: NicId,
+    /// The lock concerned.
+    pub lock: LockId,
+    /// Gained or ceded.
+    pub change: LockChange,
+}

@@ -1,0 +1,32 @@
+//! Typed protocol errors.
+
+use std::fmt;
+
+use genima_mem::PageId;
+
+/// An internal protocol-state inconsistency.
+///
+/// The protocol hot paths surface these instead of panicking on a bare
+/// `unwrap()`: the error names the exact piece of state that was
+/// missing, so a violation points straight at the broken transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A home-side operation referenced a page with no home-page
+    /// record (it must be created before diffs or waiters reach it).
+    UnknownHomePage {
+        /// The page the operation referenced.
+        page: PageId,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnknownHomePage { page } => {
+                write!(f, "no home-page state for {page:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}

@@ -145,7 +145,15 @@ mod tests {
         assert_eq!(t.node_of(ProcId::new(0)), NodeId::new(0));
         assert_eq!(t.node_of(ProcId::new(15)), NodeId::new(3));
         let ps: Vec<ProcId> = t.procs_of(NodeId::new(2)).collect();
-        assert_eq!(ps, vec![ProcId::new(8), ProcId::new(9), ProcId::new(10), ProcId::new(11)]);
+        assert_eq!(
+            ps,
+            vec![
+                ProcId::new(8),
+                ProcId::new(9),
+                ProcId::new(10),
+                ProcId::new(11)
+            ]
+        );
         assert_eq!(t.all_procs().count(), 16);
         assert_eq!(t.all_nodes().count(), 4);
     }

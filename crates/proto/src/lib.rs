@@ -28,23 +28,27 @@
 
 mod breakdown;
 mod config;
+mod error;
 mod features;
 mod ids;
 mod interval;
 mod ops;
 mod report;
 mod system;
+mod trace;
 mod vclock;
 
 pub use breakdown::{Breakdown, Counters};
 pub use config::{LockImpl, ProtoConfig};
+pub use error::ProtoError;
 pub use features::FeatureSet;
 pub use ids::{BarrierId, NodeId, ProcId, Topology};
 pub use interval::IntervalRecord;
 pub use ops::{ops_source, Op, OpSource, OpVec};
 pub use report::RunReport;
 pub use system::{SvmParams, SvmSystem};
+pub use trace::{TraceEvent, TsMap};
 pub use vclock::VClock;
 
 pub use genima_mem::{Addr, PageId, PAGE_SIZE};
-pub use genima_nic::LockId;
+pub use genima_nic::{LockChange, LockId, LockTrace};

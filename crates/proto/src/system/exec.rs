@@ -103,8 +103,7 @@ impl SvmSystem {
                     .read_bytes(p, page, addr.offset() as usize, expected.len())
                     .to_vec();
                 assert_eq!(
-                    got,
-                    expected,
+                    got, expected,
                     "validation failed at {addr} for process p{p} (page {page})"
                 );
                 Flow::Continue
@@ -201,8 +200,7 @@ impl SvmSystem {
                 self.write_bytes(node, page, offset as usize, slice);
             }
         }
-        let dp = self
-            .procs[p]
+        let dp = self.procs[p]
             .dirty
             .get_mut(&page)
             .expect("writable page must be in the dirty set");
@@ -234,17 +232,14 @@ impl SvmSystem {
         let node = self.p.topo.node_of(crate::ids::ProcId::new(p)).index();
         let home = self.home_of(page).index();
         let data = if home == node {
-            self.home_pages
-                .get(&page)
-                .and_then(|h| h.data.as_ref())
+            self.home_pages.get(&page).and_then(|h| h.data.as_ref())
         } else {
             self.nodes[node]
                 .copies
                 .get(&page)
                 .and_then(|c| c.data.as_ref())
         };
-        data.map(|d| d.read(off, len))
-            .unwrap_or(&ZEROS[..len])
+        data.map(|d| d.read(off, len)).unwrap_or(&ZEROS[..len])
     }
 
     /// Writes bytes into the node-visible copy of `page`.
@@ -256,8 +251,7 @@ impl SvmSystem {
                 .get_or_insert_with(genima_mem::Page::zeroed)
                 .write(off, data);
         } else {
-            let c = self
-                .nodes[node]
+            let c = self.nodes[node]
                 .copies
                 .get_mut(&page)
                 .expect("write to a page the node has no copy of");

@@ -4,10 +4,12 @@ use genima_mem::{Access, Diff, Page, PageId};
 use genima_nic::Tag;
 use genima_sim::Time;
 
-use super::{Block, CopyState, Flow, Pending, ProcState, ReqMap, SvmSystem, SysEvent};
+use super::{Block, CopyState, Flow, HomePage, Pending, ProcState, ReqMap, SvmSystem, SysEvent};
+use crate::error::ProtoError;
 use crate::ids::ProcId;
 use crate::interval::DirtyPage;
 use crate::ops::Op;
+use crate::trace::TraceEvent;
 
 impl SvmSystem {
     /// Handles a read or write fault on `page` by process `p` at
@@ -284,7 +286,10 @@ impl SvmSystem {
         // modifications live in the old node copy (shared within the
         // SMP) and must survive the incoming version.
         if let Some(incoming) = data.as_mut() {
-            let old = self.nodes[node].copies.get(&page).and_then(|c| c.data.clone());
+            let old = self.nodes[node]
+                .copies
+                .get(&page)
+                .and_then(|c| c.data.clone());
             if let Some(old) = old {
                 let locals: Vec<usize> = self
                     .p
@@ -316,6 +321,16 @@ impl SvmSystem {
                 }
             }
         }
+        if self.trace.is_some() {
+            let required = self.inflight_required(node, page);
+            self.emit(TraceEvent::PageInstalled {
+                at: t,
+                node,
+                page,
+                ts: ts.clone(),
+                required,
+            });
+        }
         self.nodes[node].copies.insert(page, CopyState { ts, data });
         if let Some(waiters) = self.nodes[node].inflight.remove(&page) {
             for p in waiters {
@@ -335,6 +350,29 @@ impl SvmSystem {
             other => panic!("p{p} woken for {page} but in state {other:?}"),
         };
         let node = self.p.topo.node_of(ProcId::new(p)).index();
+        if self.trace.is_some() {
+            let home = self.home_of(page).index();
+            let ts = if home == node {
+                self.home_pages
+                    .get(&page)
+                    .map(|h| h.applied.clone())
+                    .unwrap_or_default()
+            } else {
+                self.nodes[node]
+                    .copies
+                    .get(&page)
+                    .map(|c| c.ts.clone())
+                    .unwrap_or_default()
+            };
+            let required = self.node_required(node, p, page);
+            self.emit(TraceEvent::FaultDone {
+                at: t,
+                proc: p,
+                page,
+                ts,
+                required,
+            });
+        }
         let mpro = self.p.mem.mprotect.cost(1);
         let base_cost = self.p.proto.fault_finish + mpro;
         let twin_cost = if write {
@@ -400,8 +438,7 @@ impl SvmSystem {
     /// writers have already flushed for the page (never install a
     /// version that rolls back local writes).
     pub(crate) fn node_required(&self, node: usize, p: usize, page: PageId) -> ReqMap {
-        let mut req = self
-            .procs[p]
+        let mut req = self.procs[p]
             .required
             .get(&page)
             .cloned()
@@ -415,10 +452,32 @@ impl SvmSystem {
         req
     }
 
+    /// Fallible home-page lookup: the typed [`ProtoError`] names the
+    /// missing page instead of a bare `unwrap()` panic.
+    pub(crate) fn home_page_mut(&mut self, page: PageId) -> Result<&mut HomePage, ProtoError> {
+        self.home_pages
+            .get_mut(&page)
+            .ok_or(ProtoError::UnknownHomePage { page })
+    }
+
     /// Applies a diff (or just its timestamp, in dirty-range mode) to
     /// the home copy, then wakes whatever the new version satisfies:
     /// home-local faulting processes and, in the Base protocol,
     /// deferred remote page requests.
+    ///
+    /// A diff strictly older than what the home already applied for
+    /// this writer is dropped: two diff messages from one writer can
+    /// overtake each other in flight (they differ in size), and
+    /// applying the older content after the newer would regress the
+    /// home copy. Equal interval numbers are re-applied — an early
+    /// flush followed by further writes sends the same interval again
+    /// with the newer content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::UnknownHomePage`] if the page's home
+    /// state disappears while waking waiters (a protocol-state
+    /// inconsistency; home pages are never removed during a run).
     pub(crate) fn apply_diff_at_home(
         &mut self,
         t: Time,
@@ -426,47 +485,70 @@ impl SvmSystem {
         interval: u32,
         page: PageId,
         diff: Option<Diff>,
-    ) {
+    ) -> Result<(), ProtoError> {
+        let stale = self
+            .home_pages
+            .get(&page)
+            .and_then(|h| h.applied.get(&(writer as u32)))
+            .is_some_and(|&cur| interval < cur);
+        if stale {
+            return Ok(());
+        }
+        self.emit(TraceEvent::DiffApplied {
+            at: t,
+            page,
+            writer,
+            interval,
+        });
         let home = self.home_of(page).index();
+        let data_mode = self.p.data_mode;
         let hp = self.home_pages.entry(page).or_default();
         if let Some(d) = diff {
-            if self.p.data_mode {
+            if data_mode {
                 d.apply(hp.data.get_or_insert_with(Page::zeroed));
             }
         }
         let e = hp.applied.entry(writer as u32).or_insert(0);
         *e = (*e).max(interval);
 
+        // Snapshot the new version and take both wait lists in one
+        // lookup; nothing below advances `applied` for this page
+        // (completing a fault or serving a request only reads it), so
+        // re-checking against the snapshot is exact.
+        let applied = hp.applied.clone();
+        let waiters = std::mem::take(&mut hp.waiters);
+        let pending = std::mem::take(&mut hp.pending_reqs);
+
         // Wake home-local waiters whose requirement is now satisfied.
-        let waiters = std::mem::take(&mut self.home_pages.get_mut(&page).unwrap().waiters);
+        let mut still_waiting = Vec::new();
         for p in waiters {
-            let req = self
-                .procs[p]
+            let req = self.procs[p]
                 .required
                 .get(&page)
                 .cloned()
                 .unwrap_or_default();
-            let hp = self.home_pages.get_mut(&page).unwrap();
-            if Self::covered(&hp.applied, &req) {
+            if Self::covered(&applied, &req) {
                 self.complete_fault(t, p, page);
             } else {
-                self.home_pages.get_mut(&page).unwrap().waiters.push(p);
+                still_waiting.push(p);
             }
         }
 
         // Serve deferred Base requests that are now satisfiable.
-        let pending = std::mem::take(&mut self.home_pages.get_mut(&page).unwrap().pending_reqs);
+        let mut still_pending = Vec::new();
         for (req_node, req) in pending {
-            let hp = self.home_pages.get_mut(&page).unwrap();
-            if Self::covered(&hp.applied, &req) {
+            if Self::covered(&applied, &req) {
                 self.home_serve_page_request(t, home, req_node, page, req);
             } else {
-                self.home_pages
-                    .get_mut(&page)
-                    .unwrap()
-                    .pending_reqs
-                    .push((req_node, req));
+                still_pending.push((req_node, req));
             }
         }
+
+        if !still_waiting.is_empty() || !still_pending.is_empty() {
+            let hp = self.home_page_mut(page)?;
+            hp.waiters.extend(still_waiting);
+            hp.pending_reqs.extend(still_pending);
+        }
+        Ok(())
     }
 }

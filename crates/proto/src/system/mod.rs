@@ -28,6 +28,7 @@ use crate::ids::{BarrierId, NodeId, Topology};
 use crate::interval::{DirtyPage, IntervalRecord, PendingInterval};
 use crate::ops::{Op, OpSource};
 use crate::report::RunReport;
+use crate::trace::TraceEvent;
 use crate::vclock::VClock;
 
 /// A sparse per-writer timestamp: writer index → latest interval.
@@ -418,6 +419,9 @@ pub struct SvmSystem {
     pub(crate) counters: Counters,
     pub(crate) done_count: usize,
     pub(crate) measure_from: Time,
+    /// Protocol events recorded while tracing is on (`None` =
+    /// disabled, the default: zero overhead).
+    pub(crate) trace: Option<Vec<TraceEvent>>,
 }
 
 impl SvmSystem {
@@ -436,12 +440,7 @@ impl SvmSystem {
             "need exactly one op source per processor"
         );
         let nnodes = params.topo.nodes;
-        let vmmc = Vmmc::new(
-            params.nic.clone(),
-            params.net.clone(),
-            nnodes,
-            params.locks,
-        );
+        let vmmc = Vmmc::new(params.nic.clone(), params.net.clone(), nnodes, params.locks);
         let procs = sources
             .into_iter()
             .map(|src| ProcRt {
@@ -504,7 +503,38 @@ impl SvmSystem {
             counters: Counters::default(),
             done_count: 0,
             measure_from: Time::ZERO,
+            trace: None,
             p: params,
+        }
+    }
+
+    /// Turns protocol *and* NI event tracing on or off. Turning it on
+    /// clears any previously recorded events. Tracing is observational
+    /// only — it never changes simulated timing or protocol behaviour.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+        self.vmmc.comm_mut().set_tracing(on);
+    }
+
+    /// Drains the recorded protocol trace (empty when tracing was
+    /// never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the NI lock-ownership trace (empty when tracing was
+    /// never enabled).
+    pub fn take_lock_trace(&mut self) -> Vec<genima_nic::LockTrace> {
+        self.vmmc.comm_mut().take_lock_trace()
+    }
+
+    /// Records a trace event when tracing is enabled.
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ev);
         }
     }
 
@@ -613,9 +643,7 @@ impl SvmSystem {
     pub(crate) fn note_touch(&mut self, node: usize, page: PageId) {
         self.note_extent(page);
         if self.p.first_touch_homes {
-            self.home_override
-                .entry(page)
-                .or_insert(NodeId::new(node));
+            self.home_override.entry(page).or_insert(NodeId::new(node));
         }
     }
 
@@ -635,6 +663,7 @@ impl SvmSystem {
             "GeNIMA must never take an interrupt"
         );
         self.counters.interrupts += 1;
+        self.emit(TraceEvent::Interrupt { at: t, node });
         let lat = self.p.proto.interrupt_latency;
         let node_rt = &mut self.nodes[node];
         let (_, done) = node_rt.handler.reserve(t + lat, svc);
@@ -668,8 +697,7 @@ impl SvmSystem {
                 self.nodes[nic.index()].locks[lock.index()].owned = false;
             }
             Upcall::AtomicCompleted { tag, old, .. } => {
-                if let Some(Pending::AtomicLockTry { proc, lock }) =
-                    self.tags.remove(&tag.value())
+                if let Some(Pending::AtomicLockTry { proc, lock }) = self.tags.remove(&tag.value())
                 {
                     self.atomic_lock_result(t, proc, lock, old);
                 }
@@ -750,7 +778,11 @@ impl SvmSystem {
                 interval,
                 page,
                 diff,
-            } => self.apply_diff_at_home(t, writer, interval, page, diff),
+            } => {
+                if let Err(e) = self.apply_diff_at_home(t, writer, interval, page, diff) {
+                    panic!("direct-diff timestamp update failed: {e}");
+                }
+            }
             Pending::LockRequestMsg {
                 lock,
                 proc,
@@ -865,7 +897,11 @@ impl SvmSystem {
                 interval,
                 page,
                 diff,
-            } => self.apply_diff_at_home(t, writer, interval, page, diff),
+            } => {
+                if let Err(e) = self.apply_diff_at_home(t, writer, interval, page, diff) {
+                    panic!("home diff-apply job failed: {e}");
+                }
+            }
             Job::LockForward {
                 lock,
                 proc,

@@ -10,6 +10,7 @@ use super::{Block, Bucket, Flow, Pending, ProcState, SvmSystem, SysEvent, WaitRe
 use crate::config::LockImpl;
 use crate::ids::{BarrierId, NodeId, ProcId};
 use crate::interval::{DirtyPage, IntervalRecord, PendingInterval};
+use crate::trace::TraceEvent;
 use crate::vclock::VClock;
 
 /// Small fixed host costs not worth configuring.
@@ -137,7 +138,9 @@ impl SvmSystem {
                 let apply = self.p.mem.diff_apply;
                 self.charge(sink, apply);
                 cursor += apply;
-                self.apply_diff_at_home(cursor, p, pi.interval, page, diff);
+                if let Err(e) = self.apply_diff_at_home(cursor, p, pi.interval, page, diff) {
+                    panic!("local home flush failed: {e}");
+                }
             } else if direct && self.p.nic.scatter_gather {
                 // §5 extension: one scatter-gather message carries all
                 // runs plus the timestamp.
@@ -203,7 +206,10 @@ impl SvmSystem {
         let cur = if home == node {
             self.home_pages.get(&page).and_then(|h| h.data.as_ref())
         } else {
-            self.nodes[node].copies.get(&page).and_then(|c| c.data.as_ref())
+            self.nodes[node]
+                .copies
+                .get(&page)
+                .and_then(|c| c.data.as_ref())
         }?;
         Some(compute_diff(twin, cur))
     }
@@ -213,7 +219,12 @@ impl SvmSystem {
     /// requires global visibility).
     pub(crate) fn flush_node_pending(&mut self, mut cursor: Time, node: usize, sink: Sink) -> Time {
         let direct = self.p.features.dd;
-        let procs: Vec<usize> = self.p.topo.procs_of(NodeId::new(node)).map(|p| p.index()).collect();
+        let procs: Vec<usize> = self
+            .p
+            .topo
+            .procs_of(NodeId::new(node))
+            .map(|p| p.index())
+            .collect();
         for p in procs {
             let pending = std::mem::take(&mut self.procs[p].pending_intervals);
             for pi in pending {
@@ -224,7 +235,12 @@ impl SvmSystem {
     }
 
     /// Flushes `p`'s own closed intervals (barrier arrival).
-    pub(crate) fn flush_proc_pending(&mut self, mut cursor: Time, p: usize, bucket: Bucket) -> Time {
+    pub(crate) fn flush_proc_pending(
+        &mut self,
+        mut cursor: Time,
+        p: usize,
+        bucket: Bucket,
+    ) -> Time {
         let direct = self.p.features.dd;
         let pending = std::mem::take(&mut self.procs[p].pending_intervals);
         for pi in pending {
@@ -363,7 +379,11 @@ impl SvmSystem {
         for p in procs {
             let (started, reason) = match &self.procs[p].state {
                 ProcState::Blocked(Block::NoticeWait { started, reason }) => (*started, *reason),
-                _ => continue,
+                ProcState::Runnable
+                | ProcState::Done
+                | ProcState::Blocked(
+                    Block::PageFault { .. } | Block::LockWait { .. } | Block::BarrierWait { .. },
+                ) => continue,
             };
             if self.notices_covered(node, &self.procs[p].vc.clone()) {
                 let wait = t.saturating_since(started);
@@ -379,7 +399,12 @@ impl SvmSystem {
     /// Applies all newly visible write notices for `p` (invalidating
     /// pages, updating per-page requirements) and charges the grouped
     /// `mprotect` cost. Returns the advanced cursor.
-    pub(crate) fn apply_invalidations(&mut self, mut cursor: Time, p: usize, bucket: Bucket) -> Time {
+    pub(crate) fn apply_invalidations(
+        &mut self,
+        mut cursor: Time,
+        p: usize,
+        bucket: Bucket,
+    ) -> Time {
         let nprocs = self.p.topo.procs();
         let my_node = self.p.topo.node_of(ProcId::new(p));
         let vc = self.procs[p].vc.clone();
@@ -476,7 +501,10 @@ impl SvmSystem {
         let nl = &mut self.nodes[node].locks[l.index()];
         if nl.holder.is_some() || !nl.local_waiters.is_empty() || nl.requesting {
             nl.local_waiters.push_back(p);
-            self.procs[p].state = ProcState::Blocked(Block::LockWait { lock: l, started: now });
+            self.procs[p].state = ProcState::Blocked(Block::LockWait {
+                lock: l,
+                started: now,
+            });
             return Flow::Stop;
         }
         let atomics = self.p.features.nil && self.p.proto.lock_impl == LockImpl::RemoteAtomics;
@@ -513,7 +541,10 @@ impl SvmSystem {
         self.counters.remote_lock_acquires += 1;
         let nl = &mut self.nodes[node].locks[l.index()];
         nl.requesting = true;
-        self.procs[p].state = ProcState::Blocked(Block::LockWait { lock: l, started: now });
+        self.procs[p].state = ProcState::Blocked(Block::LockWait {
+            lock: l,
+            started: now,
+        });
         if atomics {
             self.atomic_lock_try(now, p, l);
         } else if self.p.features.nil {
@@ -793,7 +824,9 @@ impl SvmSystem {
                 writer: q,
                 upto: want,
             });
-            let post = self.vmmc.fetch(t, my_nic, NodeId::new(qnode).nic(), bytes, tag);
+            let post = self
+                .vmmc
+                .fetch(t, my_nic, NodeId::new(qnode).nic(), bytes, tag);
             self.absorb_post(post);
             self.counters.notice_messages += 1;
         }
@@ -802,6 +835,17 @@ impl SvmSystem {
     /// Applies invalidations and resumes the process (the final stage
     /// of every acquire and barrier exit).
     pub(crate) fn complete_sync(&mut self, t: Time, p: usize, reason: WaitReason) {
+        if self.trace.is_some() {
+            let node = self.p.topo.node_of(ProcId::new(p)).index();
+            let vc = self.procs[p].vc.clone();
+            let arrived = self.nodes[node].arrived.clone();
+            self.emit(TraceEvent::SyncDone {
+                at: t,
+                proc: p,
+                vc,
+                arrived,
+            });
+        }
         let bucket = match reason {
             WaitReason::Lock => Bucket::AcqRel,
             WaitReason::Barrier => Bucket::Barrier,
@@ -888,8 +932,17 @@ impl SvmSystem {
                 // Firmware state is ground truth; mirror it now.
                 let owned = self.vmmc.lock_owned_by(NodeId::new(node).nic(), l);
                 self.nodes[node].locks[l.index()].owned = owned;
-            } else if let Some((rnode, rproc)) = self.nodes[node].locks[l.index()].remote_waiters.pop_front() {
-                cursor = self.base_grant_from(cursor, node, l, rproc, rnode, Sink::Proc(p, Bucket::AcqRel));
+            } else if let Some((rnode, rproc)) =
+                self.nodes[node].locks[l.index()].remote_waiters.pop_front()
+            {
+                cursor = self.base_grant_from(
+                    cursor,
+                    node,
+                    l,
+                    rproc,
+                    rnode,
+                    Sink::Proc(p, Bucket::AcqRel),
+                );
             }
             // else: keep the token ("the last owner keeps the lock").
         }
@@ -920,7 +973,10 @@ impl SvmSystem {
         self.procs[p].bd.barrier += work;
         self.procs[p].bd.barrier_protocol += work;
         if node == 0 {
-            self.procs[p].state = ProcState::Blocked(Block::BarrierWait { barrier: b, started: cursor });
+            self.procs[p].state = ProcState::Blocked(Block::BarrierWait {
+                barrier: b,
+                started: cursor,
+            });
             self.manager_note_arrival(cursor + EPS, b, p, vc, None);
         } else {
             let my_nic = NodeId::new(node).nic();
@@ -931,23 +987,29 @@ impl SvmSystem {
                     vc,
                     upto: None,
                 });
-                let post = self.vmmc.deposit(cursor, my_nic, NodeId::new(0).nic(), 64, tag);
+                let post = self
+                    .vmmc
+                    .deposit(cursor, my_nic, NodeId::new(0).nic(), 64, tag);
                 cursor = self.absorb_post(post);
             } else {
                 let (upto, rec_bytes) = self.piggyback(node, 0);
-                let bytes = self.p.proto.control_msg_bytes
-                    + self.procs[p].vc.wire_bytes()
-                    + rec_bytes;
+                let bytes =
+                    self.p.proto.control_msg_bytes + self.procs[p].vc.wire_bytes() + rec_bytes;
                 let tag = self.tag(Pending::BarrierArriveMsg {
                     barrier: b,
                     proc: p,
                     vc,
                     upto: Some(upto),
                 });
-                let post = self.vmmc.host_msg(cursor, my_nic, NodeId::new(0).nic(), bytes, tag);
+                let post = self
+                    .vmmc
+                    .host_msg(cursor, my_nic, NodeId::new(0).nic(), bytes, tag);
                 cursor = self.absorb_post(post);
             }
-            self.procs[p].state = ProcState::Blocked(Block::BarrierWait { barrier: b, started: cursor });
+            self.procs[p].state = ProcState::Blocked(Block::BarrierWait {
+                barrier: b,
+                started: cursor,
+            });
         }
         self.procs[p].clock = self.procs[p].clock.max(cursor);
     }
@@ -967,13 +1029,10 @@ impl SvmSystem {
             self.merge_upto(t, 0, &u);
         }
         let nprocs = self.p.topo.procs();
-        let bar = self
-            .barriers
-            .entry(b)
-            .or_insert_with(|| super::BarrierRt {
-                arrived: 0,
-                joined: VClock::new(nprocs),
-            });
+        let bar = self.barriers.entry(b).or_insert_with(|| super::BarrierRt {
+            arrived: 0,
+            joined: VClock::new(nprocs),
+        });
         bar.joined.join(&vc);
         bar.arrived += 1;
         if bar.arrived < nprocs {
@@ -1058,7 +1117,14 @@ impl SvmSystem {
                 ProcState::Blocked(Block::BarrierWait { barrier, started }) if *barrier == b => {
                     *started
                 }
-                _ => continue,
+                ProcState::Runnable
+                | ProcState::Done
+                | ProcState::Blocked(
+                    Block::PageFault { .. }
+                    | Block::LockWait { .. }
+                    | Block::NoticeWait { .. }
+                    | Block::BarrierWait { .. },
+                ) => continue,
             };
             self.procs[p].bd.barrier += t.saturating_since(started);
             self.procs[p].vc.join(&joined);

@@ -495,10 +495,7 @@ fn report_pin_accounting_scales_with_extent() {
     p.data_mode = false;
     let r = SvmSystem::new(p, srcs).run();
     // Without RF both nodes pin all 20 pages.
-    assert_eq!(
-        r.pinned_shared_bytes,
-        vec![20 * 4096, 20 * 4096]
-    );
+    assert_eq!(r.pinned_shared_bytes, vec![20 * 4096, 20 * 4096]);
 }
 
 #[test]

@@ -1,0 +1,96 @@
+//! Structured protocol event trace for offline invariant auditing.
+//!
+//! When tracing is enabled ([`SvmSystem::set_tracing`]), the protocol
+//! records an event at each of its correctness-critical transitions:
+//! host interrupts, page installation and fault completion, diff
+//! application at the home, and acquire/barrier completion. The
+//! `genima-check` crate replays the trace after a run and verifies the
+//! paper's protocol invariants (timestamp coverage, write notices
+//! before first post-acquire access, per-page diff ordering, and the
+//! zero-interrupt property of the full GeNIMA configuration).
+//!
+//! Tracing is off by default and costs nothing when disabled.
+//!
+//! [`SvmSystem::set_tracing`]: crate::SvmSystem::set_tracing
+
+use std::collections::BTreeMap;
+
+use genima_mem::PageId;
+use genima_sim::Time;
+
+use crate::vclock::VClock;
+
+/// A sparse per-writer timestamp snapshot: writer index → interval.
+pub type TsMap = BTreeMap<u32, u32>;
+
+/// One protocol-level trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A host processor on `node` took a protocol interrupt. The full
+    /// GeNIMA configuration must never record this event.
+    Interrupt {
+        /// Interrupt delivery time.
+        at: Time,
+        /// The interrupted node.
+        node: usize,
+    },
+    /// A fetched copy of `page` was installed into `node`'s cache.
+    /// `ts` is the installed version; `required` is the joined
+    /// requirement of every process that was waiting on the fetch —
+    /// the protocol must only install versions that cover it.
+    PageInstalled {
+        /// Installation time.
+        at: Time,
+        /// The caching node.
+        node: usize,
+        /// The page installed.
+        page: PageId,
+        /// Timestamp of the installed version.
+        ts: TsMap,
+        /// Joined requirement of the waiting processes.
+        required: TsMap,
+    },
+    /// A blocked page fault completed: process `proc` resumed with a
+    /// copy of `page` carrying timestamp `ts`, while its vector clock
+    /// obliged it to see at least `required`.
+    FaultDone {
+        /// Fault completion time.
+        at: Time,
+        /// The faulting process.
+        proc: usize,
+        /// The page faulted on.
+        page: PageId,
+        /// Timestamp of the version the process now sees.
+        ts: TsMap,
+        /// The process's version requirement for the page.
+        required: TsMap,
+    },
+    /// The diff of (`writer`, `interval`) was applied to the home copy
+    /// of `page`. Per (page, writer), intervals must never regress.
+    DiffApplied {
+        /// Application time at the home.
+        at: Time,
+        /// The home page.
+        page: PageId,
+        /// The writing process.
+        writer: usize,
+        /// The writer's interval number.
+        interval: u32,
+    },
+    /// Process `proc` completed an acquire or barrier exit: its vector
+    /// clock advanced to `vc`, and `arrived` is the per-writer count
+    /// of interval records present at its node at that instant. Write
+    /// notices for every interval `vc` covers must already be present
+    /// (`arrived[q] >= vc[q]`) — this is the "notices before the first
+    /// post-acquire access" obligation of lazy release consistency.
+    SyncDone {
+        /// Synchronization completion time.
+        at: Time,
+        /// The resuming process.
+        proc: usize,
+        /// The process's vector clock after the acquire.
+        vc: VClock,
+        /// Interval records present at the process's node, per writer.
+        arrived: Vec<u32>,
+    },
+}

@@ -33,9 +33,7 @@ pub struct VClock {
 impl VClock {
     /// The all-zero clock for `nprocs` processes.
     pub fn new(nprocs: usize) -> VClock {
-        VClock {
-            v: vec![0; nprocs],
-        }
+        VClock { v: vec![0; nprocs] }
     }
 
     /// Number of process slots.
@@ -49,19 +47,53 @@ impl VClock {
     }
 
     /// The interval count for `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is outside the clock's process range.
     pub fn get(&self, proc: ProcId) -> u32 {
-        self.v[proc.index()]
+        let i = proc.index();
+        assert!(
+            i < self.v.len(),
+            "VClock::get: {proc} out of range for a {}-process clock",
+            self.v.len()
+        );
+        self.v[i]
     }
 
     /// Sets the interval count for `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is outside the clock's process range.
     pub fn set(&mut self, proc: ProcId, value: u32) {
-        self.v[proc.index()] = value;
+        let i = proc.index();
+        assert!(
+            i < self.v.len(),
+            "VClock::set: {proc} out of range for a {}-process clock",
+            self.v.len()
+        );
+        self.v[i] = value;
     }
 
     /// Increments `proc`'s slot and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is outside the clock's process range, or if
+    /// the slot would overflow `u32` (the interval counter must never
+    /// silently wrap — a wrapped clock re-orders every comparison).
     pub fn bump(&mut self, proc: ProcId) -> u32 {
-        self.v[proc.index()] += 1;
-        self.v[proc.index()]
+        let i = proc.index();
+        assert!(
+            i < self.v.len(),
+            "VClock::bump: {proc} out of range for a {}-process clock",
+            self.v.len()
+        );
+        self.v[i] = self.v[i]
+            .checked_add(1)
+            .unwrap_or_else(|| panic!("VClock::bump: interval counter overflow for {proc}"));
+        self.v[i]
     }
 
     /// Element-wise maximum with `other` (the lattice join).
@@ -165,6 +197,39 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn mismatched_join_panics() {
         VClock::new(2).join(&VClock::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics_with_context() {
+        VClock::new(2).get(ProcId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics_with_context() {
+        VClock::new(2).set(ProcId::new(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bump_panics_with_context() {
+        VClock::new(0).bump(ProcId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval counter overflow")]
+    fn bump_overflow_panics_instead_of_wrapping() {
+        let mut c = VClock::new(1);
+        c.set(ProcId::new(0), u32::MAX);
+        c.bump(ProcId::new(0));
+    }
+
+    #[test]
+    fn bump_near_max_still_works() {
+        let mut c = VClock::new(1);
+        c.set(ProcId::new(0), u32::MAX - 1);
+        assert_eq!(c.bump(ProcId::new(0)), u32::MAX);
     }
 
     proptest! {

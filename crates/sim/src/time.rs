@@ -294,7 +294,10 @@ mod tests {
     fn scale_rounds_to_nearest() {
         assert_eq!(Dur::from_ns(10).scale(1, 3).as_ns(), 3);
         assert_eq!(Dur::from_ns(10).scale(2, 3).as_ns(), 7);
-        assert_eq!(Dur::from_ns(4096).scale(1_000_000_000, 95_000_000).as_ns(), 43_116);
+        assert_eq!(
+            Dur::from_ns(4096).scale(1_000_000_000, 95_000_000).as_ns(),
+            43_116
+        );
     }
 
     #[test]

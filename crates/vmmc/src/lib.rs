@@ -21,6 +21,4 @@ mod port;
 pub use port::{PinClass, Vmmc};
 
 pub use genima_net::{NetConfig, NicId};
-pub use genima_nic::{
-    Comm, Event, LockId, MsgKind, NicConfig, Post, SendDesc, Step, Tag, Upcall,
-};
+pub use genima_nic::{Comm, Event, LockId, MsgKind, NicConfig, Post, SendDesc, Step, Tag, Upcall};

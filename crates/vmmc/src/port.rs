@@ -157,7 +157,14 @@ impl Vmmc {
         runs: u32,
         tag: Tag,
     ) -> Post {
-        self.post_fragments(now, src, dst, bytes, |_| MsgKind::GatherDeposit { runs }, tag)
+        self.post_fragments(
+            now,
+            src,
+            dst,
+            bytes,
+            |_| MsgKind::GatherDeposit { runs },
+            tag,
+        )
     }
 
     /// NI broadcast deposit: one posted descriptor replicated by the
@@ -170,7 +177,8 @@ impl Vmmc {
         dsts: &[(NicId, Tag)],
         bytes: u32,
     ) -> Post {
-        self.comm.post_broadcast(now, src, dsts, bytes, MsgKind::Deposit)
+        self.comm
+            .post_broadcast(now, src, dsts, bytes, MsgKind::Deposit)
     }
 
     /// Sends a host-bound protocol message (Base protocol traffic).
@@ -300,7 +308,13 @@ mod tests {
     #[test]
     fn large_transfer_splits_but_completes_once() {
         let mut v = vmmc(2);
-        let p = v.deposit(Time::ZERO, NicId::new(0), NicId::new(1), 10_000, Tag::new(2));
+        let p = v.deposit(
+            Time::ZERO,
+            NicId::new(0),
+            NicId::new(1),
+            10_000,
+            Tag::new(2),
+        );
         assert_eq!(p.events.len(), 3); // 4096 + 4096 + 1808
         let ups = drain(&mut v, p);
         assert_eq!(ups.len(), 1, "one aggregated completion");
@@ -357,7 +371,14 @@ mod tests {
         let mut nic = NicConfig::default();
         nic.scatter_gather = true;
         let mut v = Vmmc::new(nic, NetConfig::myrinet(), 2, 0);
-        let p = v.deposit_gather(Time::ZERO, NicId::new(0), NicId::new(1), 400, 48, Tag::new(1));
+        let p = v.deposit_gather(
+            Time::ZERO,
+            NicId::new(0),
+            NicId::new(1),
+            400,
+            48,
+            Tag::new(1),
+        );
         assert_eq!(p.events.len(), 1);
         let ups = drain(&mut v, p);
         assert!(matches!(ups[0].1, Upcall::DepositArrived { .. }));

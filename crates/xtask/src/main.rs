@@ -1,0 +1,213 @@
+//! Repo automation. `cargo run -p xtask -- lint` enforces two rules
+//! on the protocol hot paths (the NI communication layer and the SVM
+//! protocol engines):
+//!
+//! 1. **No wildcard `_ =>` arms.** Protocol message and upcall enums
+//!    grow; a wildcard arm silently swallows a new variant instead of
+//!    failing the build where the handler must be written.
+//! 2. **No bare `.unwrap()`.** Protocol code runs inside the fault and
+//!    sync engines where a panic wedges the whole simulated node;
+//!    fallible lookups must surface a typed error (`.expect(..)` with
+//!    a stated invariant is allowed).
+//!
+//! Both rules apply only to non-test code: everything before the first
+//! `#[cfg(test)]` in each file. A finding can be waived in place with
+//! a trailing `// lint: allow-wildcard` or `// lint: allow-unwrap`
+//! comment on the offending line.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files the lint gate covers, relative to the repo root.
+const PROTOCOL_PATHS: &[&str] = &[
+    "crates/nic/src/comm.rs",
+    "crates/proto/src/system/mod.rs",
+    "crates/proto/src/system/fault.rs",
+    "crates/proto/src/system/sync.rs",
+];
+
+/// One rule violation at a source line.
+#[derive(Debug, PartialEq, Eq)]
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}\n    {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.text.trim()
+        )
+    }
+}
+
+/// Strips a line down to the part the rules apply to: nothing for
+/// comment-only lines, and everything before a trailing `//` comment
+/// otherwise. This is a lexical approximation (no string-literal
+/// awareness), which is fine for the narrow patterns we match.
+fn code_part(line: &str) -> &str {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") {
+        return "";
+    }
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Returns `true` when the line carries the given waiver comment.
+fn waived(line: &str, waiver: &str) -> bool {
+    line.contains(waiver)
+}
+
+/// Lints one file's contents, reporting findings under `name`.
+fn lint_source(name: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        // The first `#[cfg(test)]` starts the test module; everything
+        // after it is exercised only by the test harness.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_part(line);
+        if code.contains("_ =>") && !waived(line, "lint: allow-wildcard") {
+            findings.push(Finding {
+                file: name.to_string(),
+                line: i + 1,
+                rule: "wildcard `_ =>` arm in protocol code",
+                text: line.to_string(),
+            });
+        }
+        if code.contains(".unwrap()") && !waived(line, "lint: allow-unwrap") {
+            findings.push(Finding {
+                file: name.to_string(),
+                line: i + 1,
+                rule: "bare `.unwrap()` in protocol code",
+                text: line.to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("xtask lives two levels below the workspace root")
+}
+
+fn run_lint() -> ExitCode {
+    let root = repo_root();
+    let mut findings = Vec::new();
+    for rel in PROTOCOL_PATHS {
+        let path = root.join(rel);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("xtask lint: cannot read {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        findings.extend(lint_source(rel, &source));
+    }
+    if findings.is_empty() {
+        println!("xtask lint: {} protocol files clean", PROTOCOL_PATHS.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\nusage: xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wildcard_arms() {
+        let src = "match m {\n    A => 1,\n    _ => 0,\n}\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].rule.contains("wildcard"));
+    }
+
+    #[test]
+    fn flags_bare_unwrap() {
+        let src = "let v = map.get(&k).unwrap();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].rule.contains("unwrap"));
+    }
+
+    #[test]
+    fn expect_is_allowed() {
+        let src = "let v = map.get(&k).expect(\"seeded at init\");\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_findings() {
+        let src = "    _ => {} // lint: allow-wildcard\n\
+                   let v = o.unwrap(); // lint: allow-unwrap\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "// a doc note about .unwrap() and _ => arms\n\
+                   /// same in doc comments: .unwrap()\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { o.unwrap(); }\n    // _ => also fine here\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_does_not_hide_code() {
+        let src = "let v = o.unwrap(); // grab it\n";
+        assert_eq!(lint_source("x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn real_protocol_files_are_clean() {
+        let root = repo_root();
+        for rel in PROTOCOL_PATHS {
+            let src = std::fs::read_to_string(root.join(rel)).expect(rel);
+            let f = lint_source(rel, &src);
+            assert!(f.is_empty(), "{rel}: {f:?}");
+        }
+    }
+}

@@ -24,7 +24,12 @@ fn main() {
     println!("{} — sequential {seq}\n", app.name());
 
     println!("-- Same 16 processors, different clustering");
-    let mut t = TextTable::new(vec!["Topology", "Base", "GeNIMA", "Page transfers (GeNIMA)"]);
+    let mut t = TextTable::new(vec![
+        "Topology",
+        "Base",
+        "GeNIMA",
+        "Page transfers (GeNIMA)",
+    ]);
     for (nodes, ppn) in [(16, 1), (8, 2), (4, 4), (2, 8)] {
         let topo = Topology::new(nodes, ppn);
         let base = run_app(app.as_ref(), topo, FeatureSet::base());

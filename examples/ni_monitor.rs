@@ -28,7 +28,10 @@ fn main() {
          (each cell is Base/GeNIMA, as in the paper's Tables 3 and 4)\n",
         app.name()
     );
-    for (label, class) in [("small messages (<=256B)", SizeClass::Small), ("large messages", SizeClass::Large)] {
+    for (label, class) in [
+        ("small messages (<=256B)", SizeClass::Small),
+        ("large messages", SizeClass::Large),
+    ] {
         let mut t = TextTable::new(vec!["Stage", "Base", "GeNIMA"]);
         for stage in Stage::ALL {
             let b = base.report.monitor.stats(stage, class);

@@ -23,9 +23,20 @@ fn main() {
     let topo = Topology::new(4, 4);
     let seq = sequential_time(app.as_ref());
 
-    println!("{} on {}x{} — sequential {seq}\n", app.name(), topo.nodes, topo.procs_per_node);
+    println!(
+        "{} on {}x{} — sequential {seq}\n",
+        app.name(),
+        topo.nodes,
+        topo.procs_per_node
+    );
     let mut table = TextTable::new(vec![
-        "Protocol", "Speedup", "Interrupts", "Lock wait", "Data wait", "Notices", "Diff msgs",
+        "Protocol",
+        "Speedup",
+        "Interrupts",
+        "Lock wait",
+        "Data wait",
+        "Notices",
+        "Diff msgs",
     ]);
     let mut prev: Option<f64> = None;
     for f in FeatureSet::ALL {
@@ -33,7 +44,9 @@ fn main() {
         let su = out.report.speedup(seq);
         let b = out.report.mean_breakdown();
         let c = out.report.counters;
-        let delta = prev.map_or(String::new(), |p| format!(" ({:+.1}%)", (su / p - 1.0) * 100.0));
+        let delta = prev.map_or(String::new(), |p| {
+            format!(" ({:+.1}%)", (su / p - 1.0) * 100.0)
+        });
         table.row(vec![
             f.name().to_string(),
             format!("{su:.2}{delta}"),

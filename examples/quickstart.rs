@@ -15,7 +15,10 @@ fn main() {
     let app = OceanRowwise::paper();
 
     println!("application : {} ({})", app.name(), app.problem());
-    println!("cluster     : {} nodes x {}-way SMP", topo.nodes, topo.procs_per_node);
+    println!(
+        "cluster     : {} nodes x {}-way SMP",
+        topo.nodes, topo.procs_per_node
+    );
 
     let seq = sequential_time(&app);
     println!("sequential  : {seq}");

@@ -105,7 +105,11 @@ fn lock_ring_carries_causality() {
 /// interleaved with remote readers over several phases.
 #[test]
 fn multi_phase_producer_consumer() {
-    for f in [FeatureSet::base(), FeatureSet::dw_rf(), FeatureSet::genima()] {
+    for f in [
+        FeatureSet::base(),
+        FeatureSet::dw_rf(),
+        FeatureSet::genima(),
+    ] {
         let phases = 4u8;
         let srcs: Vec<Box<dyn OpSource>> = (0..4)
             .map(|i| {

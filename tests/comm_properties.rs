@@ -183,13 +183,7 @@ fn control_messages_stick_behind_data_but_ni_locks_do_not() {
         posts.push(vmmc.deposit(Time::ZERO, NicId::new(0), NicId::new(1), 4096, Tag::new(i)));
     }
     // A host-bound control message behind the burst.
-    posts.push(vmmc.host_msg(
-        Time::ZERO,
-        NicId::new(0),
-        NicId::new(1),
-        16,
-        Tag::new(99),
-    ));
+    posts.push(vmmc.host_msg(Time::ZERO, NicId::new(0), NicId::new(1), 16, Tag::new(99)));
     let ups = drain(&mut vmmc, posts);
     let ctrl_at = ups
         .iter()

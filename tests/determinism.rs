@@ -14,8 +14,18 @@ fn assert_identical(app: &dyn App, topo: Topology, f: FeatureSet) {
         app.name(),
         f
     );
-    assert_eq!(a.report.events, b.report.events, "{}: event count", app.name());
-    assert_eq!(a.report.counters, b.report.counters, "{}: counters", app.name());
+    assert_eq!(
+        a.report.events,
+        b.report.events,
+        "{}: event count",
+        app.name()
+    );
+    assert_eq!(
+        a.report.counters,
+        b.report.counters,
+        "{}: counters",
+        app.name()
+    );
     for (x, y) in a.report.breakdowns.iter().zip(&b.report.breakdowns) {
         assert_eq!(x, y, "{}: per-process breakdowns", app.name());
     }

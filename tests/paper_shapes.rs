@@ -4,9 +4,7 @@
 //! is the *shape* of the evaluation: who wins, where, and why.
 
 use genima::{run_app, run_app_on_hwdsm, sequential_time, FeatureSet, Topology};
-use genima_apps::{
-    all_apps, App, BarnesSpatial, Fft, VolrendStealing, WaterNsquared,
-};
+use genima_apps::{all_apps, App, BarnesSpatial, Fft, VolrendStealing, WaterNsquared};
 use genima_nic::{SizeClass, Stage};
 
 fn topo() -> Topology {
@@ -145,7 +143,11 @@ fn genima_tolerates_small_message_contention() {
     for r in [&base, &genima] {
         let s = r.report.monitor.stats(Stage::Lanai, SizeClass::Large);
         if s.actual.count() > 0 {
-            assert!(s.ratio() < 3.0, "large-message LANai stage ratio {}", s.ratio());
+            assert!(
+                s.ratio() < 3.0,
+                "large-message LANai stage ratio {}",
+                s.ratio()
+            );
         }
     }
 }

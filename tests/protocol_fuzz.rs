@@ -76,9 +76,7 @@ fn build_programs(
             let use_lock = rng.next_below(3) == 0;
             let ops = &mut programs[*pid];
             if use_lock {
-                ops.push(Op::Acquire(LockId::new(
-                    (cell.page % 8) as usize,
-                )));
+                ops.push(Op::Acquire(LockId::new((cell.page % 8) as usize)));
             }
             ops.push(Op::WriteData {
                 addr: cell_addr(cell),

@@ -1,0 +1,185 @@
+//! Offline shim of the [`criterion`] API surface this workspace uses.
+//!
+//! The build environment has no network access, so the real crate
+//! cannot be fetched; this path dependency keeps the `genima-bench`
+//! bench targets compiling and runnable. Each benchmark runs a short
+//! timing loop and prints a single mean-per-iteration line — enough
+//! for relative comparisons, without criterion's statistics, HTML
+//! reports, or plotting.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration batch sizing for [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: fewer iterations per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures over a bounded number of iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+/// Iteration budget: stop after this many iterations or this much
+/// wall time, whichever comes first.
+const MAX_ITERS: u64 = 50;
+const MAX_TIME: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        let started = Instant::now();
+        while self.iters < MAX_ITERS && started.elapsed() < MAX_TIME {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup
+        let started = Instant::now();
+        while self.iters < MAX_ITERS && started.elapsed() < MAX_TIME {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<48} (no iterations)");
+        } else {
+            let mean = self.total / self.iters as u32;
+            println!("{name:<48} {mean:>12.2?}/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Records the group's throughput (informational in this shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Records the sample count (informational in this shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name.into()));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&name.into());
+        self
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::default();
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters > 0);
+        assert_eq!(n, b.iters + 1); // +1 warmup
+    }
+
+    #[test]
+    fn batched_runs_setup_per_iteration() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+}
