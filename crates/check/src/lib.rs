@@ -28,7 +28,7 @@ pub use audit::{audit_traces, Audit, Violation};
 pub use race::{detect_races, AccessSite, Race, ScheduleError, CELL_BYTES};
 
 use genima_apps::App;
-use genima_proto::{FeatureSet, Op, RunReport, SvmParams, SvmSystem, Topology};
+use genima_proto::{FeatureSet, Op, ProtoError, RunReport, SvmParams, SvmSystem, Topology};
 
 /// One application run with tracing enabled and its audit result.
 #[derive(Debug, Clone)]
@@ -72,6 +72,28 @@ pub fn check_app_races(app: &dyn App, topo: Topology) -> Result<Vec<Race>, Sched
 /// Mirrors `genima::run_app` exactly, so an audited run measures the
 /// same system as an ordinary one (tracing is purely observational).
 pub fn run_app_audited(app: &dyn App, topo: Topology, features: FeatureSet) -> AuditedRun {
+    run_app_audited_with(app, topo, features, |_| {})
+        .expect("a fault-free audited run cannot abort")
+}
+
+/// Like [`run_app_audited`], but lets `configure` adjust the built
+/// [`SvmSystem`] before the run — typically to install a fault
+/// injector — and surfaces a run abort instead of panicking.
+///
+/// This is how the fault sweeps audit faulty runs: recovery machinery
+/// (retransmits, duplicate suppression, backoff) must preserve every
+/// protocol invariant the clean path satisfies.
+///
+/// # Errors
+///
+/// Returns [`ProtoError::PeerUnreachable`] when a node exhausts its
+/// retransmission budget against an unresponsive peer.
+pub fn run_app_audited_with(
+    app: &dyn App,
+    topo: Topology,
+    features: FeatureSet,
+    configure: impl FnOnce(&mut SvmSystem),
+) -> Result<AuditedRun, ProtoError> {
     let spec = app.spec(topo);
     let mut params = SvmParams::new(topo, features);
     params.locks = spec.locks.max(1);
@@ -82,7 +104,8 @@ pub fn run_app_audited(app: &dyn App, topo: Topology, features: FeatureSet) -> A
         sys.assign_homes(start, count, node);
     }
     sys.set_tracing(true);
-    let report = sys.run();
+    configure(&mut sys);
+    let report = sys.try_run()?;
     let proto = sys.take_trace();
     let locks = sys.take_lock_trace();
     let mut audit = audit_traces(features, topo.nodes, &proto, &locks);
@@ -97,9 +120,9 @@ pub fn run_app_audited(app: &dyn App, topo: Topology, features: FeatureSet) -> A
         });
     }
 
-    AuditedRun {
+    Ok(AuditedRun {
         features,
         report,
         audit,
-    }
+    })
 }

@@ -34,11 +34,16 @@ mod tables;
 
 pub mod experiments;
 
-pub use runner::{run_app, run_app_on_hwdsm, sequential_time, AppOutcome};
+pub use runner::{
+    run_app, run_app_configured, run_app_on_hwdsm, sequential_time, AppOutcome, ConfiguredOutcome,
+    RunConfig,
+};
 pub use tables::TextTable;
 
 pub use genima_apps::{all_apps, app_by_name, App};
+pub use genima_fault::{FaultPlan, FaultStats, PlanInjector};
 pub use genima_proto::{
-    Breakdown, Counters, FeatureSet, ProtoConfig, RunReport, SvmParams, SvmSystem, Topology,
+    Breakdown, Counters, FeatureSet, ProtoConfig, ProtoError, RecoveryStats, RunReport, SvmParams,
+    SvmSystem, Topology,
 };
-pub use genima_sim::{Dur, Time};
+pub use genima_sim::{Dur, RunSeed, Time};

@@ -1,9 +1,10 @@
 //! Running applications on the simulated cluster.
 
 use genima_apps::App;
+use genima_fault::{FaultPlan, FaultStats, PlanInjector};
 use genima_hwdsm::{HwDsm, HwDsmConfig, HwReport};
-use genima_proto::{FeatureSet, RunReport, SvmParams, SvmSystem, Topology};
-use genima_sim::Dur;
+use genima_proto::{FeatureSet, ProtoError, RunReport, SvmParams, SvmSystem, Topology};
+use genima_sim::{Dur, RunSeed};
 
 /// Result of running one application on one protocol configuration.
 #[derive(Debug, Clone)]
@@ -12,6 +13,61 @@ pub struct AppOutcome {
     pub features: FeatureSet,
     /// The full measurement report.
     pub report: RunReport,
+}
+
+/// Everything a whole-run invocation can vary besides the application:
+/// cluster shape, protocol variant, the single workspace-level RNG
+/// seed, and the fault plan.
+///
+/// One [`RunSeed`] drives every pseudo-random stream in the run (fault
+/// fates, delay amounts, link jitter — each from its own named
+/// sub-stream), so a faulty run is reproducible from one `--seed`
+/// value.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Cluster shape.
+    pub topo: Topology,
+    /// Protocol variant.
+    pub features: FeatureSet,
+    /// Workspace-level seed all randomness derives from.
+    pub seed: RunSeed,
+    /// What goes wrong; [`FaultPlan::none`] for a clean run.
+    pub faults: FaultPlan,
+}
+
+impl RunConfig {
+    /// A clean-run configuration with the workspace default seed.
+    pub fn new(topo: Topology, features: FeatureSet) -> RunConfig {
+        RunConfig {
+            topo,
+            features,
+            seed: RunSeed::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Replaces the run seed.
+    pub fn with_seed(mut self, seed: u64) -> RunConfig {
+        self.seed = RunSeed::new(seed);
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> RunConfig {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Result of a configured (possibly faulty) run.
+#[derive(Debug, Clone)]
+pub struct ConfiguredOutcome {
+    /// The protocol variant used.
+    pub features: FeatureSet,
+    /// The full measurement report (includes loss-recovery counters).
+    pub report: RunReport,
+    /// What the fault injector actually did (all zero for a clean run).
+    pub faults: FaultStats,
 }
 
 /// Runs `app` on the SVM cluster with the given protocol variant.
@@ -41,6 +97,43 @@ pub fn run_app(app: &dyn App, topo: Topology, features: FeatureSet) -> AppOutcom
     }
     let report = sys.run();
     AppOutcome { features, report }
+}
+
+/// Runs `app` under a full [`RunConfig`], installing a fault injector
+/// when the plan is active.
+///
+/// An inactive plan ([`FaultPlan::none`]) installs no injector at all,
+/// so clean configured runs are bit-identical to [`run_app`].
+///
+/// # Errors
+///
+/// Returns [`ProtoError::PeerUnreachable`] when a node exhausts its
+/// retransmission budget against an unresponsive peer (e.g. an
+/// [`FaultPlan::outage`] longer than the full backoff schedule).
+pub fn run_app_configured(app: &dyn App, cfg: &RunConfig) -> Result<ConfiguredOutcome, ProtoError> {
+    let spec = app.spec(cfg.topo);
+    let mut params = SvmParams::new(cfg.topo, cfg.features);
+    params.locks = spec.locks.max(1);
+    params.bus_demand_per_proc = spec.bus_demand_per_proc;
+    params.warmup_barrier = spec.warmup_barrier;
+    let mut sys = SvmSystem::new(params, spec.sources);
+    for (start, count, node) in spec.homes {
+        sys.assign_homes(start, count, node);
+    }
+    let stats = if cfg.faults.is_active() {
+        let injector = PlanInjector::new(cfg.faults.clone(), cfg.seed);
+        let handle = injector.stats_handle();
+        sys.set_fault_injector(Box::new(injector));
+        Some(handle)
+    } else {
+        None
+    };
+    let report = sys.try_run()?;
+    Ok(ConfiguredOutcome {
+        features: cfg.features,
+        report,
+        faults: stats.map(|h| *h.borrow()).unwrap_or_default(),
+    })
 }
 
 /// Runs `app` sequentially and returns the parallel-section time — the

@@ -1,0 +1,378 @@
+//! Compiling a [`FaultPlan`] into a live injector.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use genima_net::{Fate, FaultInjector, NicId, PacketCtx};
+use genima_sim::{Dur, RunSeed, SplitMix64, Time};
+
+use crate::plan::{FaultPlan, TargetAction};
+
+/// Counters of what an injector actually did to a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Wire packets presented to the injector.
+    pub packets: u64,
+    /// Packets lost to the probabilistic drop rate.
+    pub dropped: u64,
+    /// Packets duplicated by the probabilistic duplicate rate.
+    pub duplicated: u64,
+    /// Packets delayed by the probabilistic delay rate.
+    pub delayed: u64,
+    /// Targeted nth-packet rules that fired.
+    pub targeted: u64,
+    /// Packets lost because their destination was in an outage window.
+    pub outage_drops: u64,
+    /// Firmware stalls imposed on deliveries.
+    pub stalls: u64,
+}
+
+impl FaultStats {
+    /// Total packets the injector perturbed in any way.
+    pub fn perturbed(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.targeted + self.outage_drops
+    }
+}
+
+/// Shared view of an injector's [`FaultStats`], still readable after
+/// the injector itself is boxed into the communication layer.
+pub type StatsHandle = Rc<RefCell<FaultStats>>;
+
+/// A [`FaultInjector`] that executes a [`FaultPlan`] deterministically.
+///
+/// All randomness comes from two named [`RunSeed`] streams
+/// (`"fault.fate"` and `"fault.delay"`), consulted in simulator event
+/// order, so one `(plan, seed)` pair always reproduces the same faulty
+/// schedule. The fate draw and the delay-amount draw use separate
+/// streams so that changing a delay bound never changes *which* packets
+/// fault.
+///
+/// # Example
+///
+/// ```
+/// use genima_fault::{FaultPlan, PlanInjector};
+/// use genima_sim::RunSeed;
+///
+/// let plan = FaultPlan::new().drop_rate(0.05);
+/// let inj = PlanInjector::new(plan, RunSeed::new(42));
+/// let stats = inj.stats_handle();
+/// // ... box `inj` into the comm layer, run, then:
+/// assert_eq!(stats.borrow().packets, 0);
+/// ```
+#[derive(Debug)]
+pub struct PlanInjector {
+    plan: FaultPlan,
+    /// One draw per packet decides the drop/duplicate/delay band.
+    fate_rng: SplitMix64,
+    /// Draws for delay amounts and link jitter.
+    delay_rng: SplitMix64,
+    /// Targeted rules already fired (parallel to `plan.targets`).
+    fired: Vec<bool>,
+    stats: StatsHandle,
+}
+
+impl PlanInjector {
+    /// Compiles `plan` under `seed`.
+    pub fn new(plan: FaultPlan, seed: RunSeed) -> PlanInjector {
+        let fired = vec![false; plan.targets.len()];
+        PlanInjector {
+            fate_rng: seed.stream("fault.fate"),
+            delay_rng: seed.stream("fault.delay"),
+            fired,
+            plan,
+            stats: Rc::new(RefCell::new(FaultStats::default())),
+        }
+    }
+
+    /// A handle to the injector's live counters; keep it before boxing
+    /// the injector into the communication layer.
+    pub fn stats_handle(&self) -> StatsHandle {
+        Rc::clone(&self.stats)
+    }
+
+    /// Snapshot of the counters so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.borrow()
+    }
+
+    /// Uniform draw in `[0, max]` from the delay stream.
+    fn draw_delay(&mut self, max: Dur) -> Dur {
+        if max.is_zero() {
+            return Dur::ZERO;
+        }
+        Dur::from_ns(self.delay_rng.next_below(max.as_ns() + 1))
+    }
+
+    /// Extra jitter for a delivery on `src → dst`, zero when no link
+    /// rule matches.
+    fn jitter_for(&mut self, src: NicId, dst: NicId) -> Dur {
+        let max = self
+            .plan
+            .jitter
+            .iter()
+            .filter(|j| j.src == src && j.dst == dst)
+            .map(|j| j.max)
+            .fold(Dur::ZERO, Dur::max);
+        self.draw_delay(max)
+    }
+
+    /// The first unfired targeted rule matching this first-transmission
+    /// packet, marking it fired.
+    fn take_target(&mut self, ctx: PacketCtx) -> Option<TargetAction> {
+        if ctx.attempt != 0 {
+            // Targeted rules hit first transmissions only; otherwise a
+            // drop_nth rule would re-kill every retransmission of the
+            // same sequence number and never be recoverable.
+            return None;
+        }
+        for (i, rule) in self.plan.targets.iter().enumerate() {
+            if !self.fired[i] && rule.src == ctx.src && rule.dst == ctx.dst && rule.nth == ctx.seq {
+                self.fired[i] = true;
+                return Some(rule.action);
+            }
+        }
+        None
+    }
+
+    fn in_outage(&self, dst: NicId, now: Time) -> bool {
+        self.plan
+            .outages
+            .iter()
+            .any(|o| o.node == dst && o.from <= now && now < o.until)
+    }
+}
+
+impl FaultInjector for PlanInjector {
+    fn fate(&mut self, ctx: PacketCtx) -> Fate {
+        self.stats.borrow_mut().packets += 1;
+
+        // 1. A node in an outage window receives nothing — not even a
+        //    lucky retransmission.
+        if self.in_outage(ctx.dst, ctx.now) {
+            self.stats.borrow_mut().outage_drops += 1;
+            return Fate::Drop;
+        }
+
+        // 2. Targeted nth-packet rules.
+        if let Some(action) = self.take_target(ctx) {
+            self.stats.borrow_mut().targeted += 1;
+            let jitter = self.jitter_for(ctx.src, ctx.dst);
+            return match action {
+                TargetAction::Drop => Fate::Drop,
+                TargetAction::Duplicate { lag } => Fate::Duplicate {
+                    extra: jitter,
+                    second: lag,
+                },
+                TargetAction::Delay { extra } => Fate::Deliver {
+                    extra: extra + jitter,
+                },
+            };
+        }
+
+        // 3. Probabilistic bands: one uniform draw split into
+        //    [drop | duplicate | delay | clean].
+        let x = self.fate_rng.next_f64();
+        let drop_band = self.plan.drop_rate;
+        let dup_band = drop_band + self.plan.dup_rate;
+        let delay_band = dup_band + self.plan.delay_rate;
+        if x < drop_band {
+            self.stats.borrow_mut().dropped += 1;
+            return Fate::Drop;
+        }
+
+        // 4. Link jitter composes with whatever delivery was decided.
+        let jitter = self.jitter_for(ctx.src, ctx.dst);
+        if x < dup_band {
+            self.stats.borrow_mut().duplicated += 1;
+            Fate::Duplicate {
+                extra: jitter,
+                second: self.plan.dup_lag,
+            }
+        } else if x < delay_band {
+            self.stats.borrow_mut().delayed += 1;
+            let extra = self.draw_delay(self.plan.delay_max);
+            Fate::Deliver {
+                extra: extra + jitter,
+            }
+        } else {
+            Fate::Deliver { extra: jitter }
+        }
+    }
+
+    fn recv_stall(&mut self, nic: NicId, now: Time) -> Dur {
+        let stall: Dur = self
+            .plan
+            .stalls
+            .iter()
+            .filter(|w| w.nic == nic && w.from <= now && now < w.until)
+            .map(|w| w.stall)
+            .sum();
+        if !stall.is_zero() {
+            self.stats.borrow_mut().stalls += 1;
+        }
+        stall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: usize, dst: usize, seq: u64, attempt: u32, now_ns: u64) -> PacketCtx {
+        PacketCtx {
+            src: NicId::new(src),
+            dst: NicId::new(dst),
+            bytes: 4096,
+            seq,
+            attempt,
+            now: Time::from_ns(now_ns),
+        }
+    }
+
+    #[test]
+    fn none_plan_is_always_clean() {
+        let mut inj = PlanInjector::new(FaultPlan::none(), RunSeed::new(1));
+        for s in 1..1000 {
+            assert_eq!(inj.fate(ctx(0, 1, s, 0, s)), Fate::CLEAN);
+        }
+        assert_eq!(inj.recv_stall(NicId::new(1), Time::ZERO), Dur::ZERO);
+        let st = inj.stats();
+        assert_eq!(st.packets, 999);
+        assert_eq!(st.perturbed(), 0);
+        assert_eq!(st.stalls, 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::new()
+            .drop_rate(0.2)
+            .duplicate_rate(0.1)
+            .delay(0.2, Dur::from_us(100));
+        let mut a = PlanInjector::new(plan.clone(), RunSeed::new(7));
+        let mut b = PlanInjector::new(plan.clone(), RunSeed::new(7));
+        let mut c = PlanInjector::new(plan, RunSeed::new(8));
+        let mut diverged = false;
+        for s in 1..500 {
+            let fa = a.fate(ctx(0, 1, s, 0, s));
+            assert_eq!(fa, b.fate(ctx(0, 1, s, 0, s)));
+            if fa != c.fate(ctx(0, 1, s, 0, s)) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds must produce different schedules");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut inj = PlanInjector::new(FaultPlan::new().drop_rate(0.1), RunSeed::new(3));
+        let n = 20_000;
+        for s in 1..=n {
+            inj.fate(ctx(0, 1, s, 0, s));
+        }
+        let dropped = inj.stats().dropped;
+        let expected = n / 10;
+        assert!(
+            dropped > expected / 2 && dropped < expected * 2,
+            "dropped {dropped} of {n} at rate 0.1"
+        );
+    }
+
+    #[test]
+    fn targeted_drop_fires_once_and_spares_retransmits() {
+        let a = NicId::new(0);
+        let b = NicId::new(2);
+        let mut inj = PlanInjector::new(FaultPlan::new().drop_nth(a, b, 3), RunSeed::new(5));
+        assert_eq!(inj.fate(ctx(0, 2, 1, 0, 10)), Fate::CLEAN);
+        assert_eq!(inj.fate(ctx(0, 2, 2, 0, 20)), Fate::CLEAN);
+        assert!(inj.fate(ctx(0, 2, 3, 0, 30)).is_drop());
+        // The retransmission of seq 3 must get through.
+        assert_eq!(inj.fate(ctx(0, 2, 3, 1, 40)), Fate::CLEAN);
+        // Other channels are untouched.
+        assert_eq!(inj.fate(ctx(2, 0, 3, 0, 50)), Fate::CLEAN);
+        assert_eq!(inj.stats().targeted, 1);
+    }
+
+    #[test]
+    fn targeted_duplicate_and_delay_shapes() {
+        let a = NicId::new(0);
+        let b = NicId::new(1);
+        let plan = FaultPlan::new()
+            .duplicate_nth(a, b, 1, Dur::from_us(70))
+            .delay_nth(a, b, 2, Dur::from_us(90));
+        let mut inj = PlanInjector::new(plan, RunSeed::new(11));
+        assert_eq!(
+            inj.fate(ctx(0, 1, 1, 0, 1)),
+            Fate::Duplicate {
+                extra: Dur::ZERO,
+                second: Dur::from_us(70)
+            }
+        );
+        assert_eq!(
+            inj.fate(ctx(0, 1, 2, 0, 2)),
+            Fate::Deliver {
+                extra: Dur::from_us(90)
+            }
+        );
+    }
+
+    #[test]
+    fn outage_window_drops_everything_then_recovers() {
+        let victim = NicId::new(1);
+        let plan = FaultPlan::new().outage(victim, Time::from_ns(100), Time::from_ns(200));
+        let mut inj = PlanInjector::new(plan, RunSeed::new(9));
+        assert_eq!(inj.fate(ctx(0, 1, 1, 0, 99)), Fate::CLEAN);
+        assert!(inj.fate(ctx(0, 1, 2, 0, 100)).is_drop());
+        // Retransmits inside the window die too.
+        assert!(inj.fate(ctx(0, 1, 2, 1, 150)).is_drop());
+        assert!(inj.fate(ctx(2, 1, 1, 0, 199)).is_drop());
+        // After the window the node answers again.
+        assert_eq!(inj.fate(ctx(0, 1, 2, 2, 200)), Fate::CLEAN);
+        assert_eq!(inj.stats().outage_drops, 3);
+        // Traffic to other nodes never faulted.
+        assert_eq!(inj.fate(ctx(1, 0, 1, 0, 150)), Fate::CLEAN);
+    }
+
+    #[test]
+    fn stall_window_applies_only_inside() {
+        let nic = NicId::new(2);
+        let plan =
+            FaultPlan::new().stall(nic, Time::from_ns(10), Time::from_ns(20), Dur::from_us(5));
+        let mut inj = PlanInjector::new(plan, RunSeed::new(13));
+        assert_eq!(inj.recv_stall(nic, Time::from_ns(9)), Dur::ZERO);
+        assert_eq!(inj.recv_stall(nic, Time::from_ns(10)), Dur::from_us(5));
+        assert_eq!(inj.recv_stall(nic, Time::from_ns(19)), Dur::from_us(5));
+        assert_eq!(inj.recv_stall(nic, Time::from_ns(20)), Dur::ZERO);
+        assert_eq!(inj.recv_stall(NicId::new(0), Time::from_ns(15)), Dur::ZERO);
+        assert_eq!(inj.stats().stalls, 2);
+    }
+
+    #[test]
+    fn link_jitter_delays_only_that_link() {
+        let plan = FaultPlan::new().link_jitter(NicId::new(0), NicId::new(1), Dur::from_us(50));
+        let mut inj = PlanInjector::new(plan, RunSeed::new(17));
+        let mut saw_jitter = false;
+        for s in 1..200 {
+            match inj.fate(ctx(0, 1, s, 0, s)) {
+                Fate::Deliver { extra } => {
+                    assert!(extra <= Dur::from_us(50));
+                    if !extra.is_zero() {
+                        saw_jitter = true;
+                    }
+                }
+                Fate::Drop | Fate::Duplicate { .. } => panic!("jitter never drops or duplicates"),
+            }
+            // The reverse link is clean.
+            assert_eq!(inj.fate(ctx(1, 0, s, 0, s)), Fate::CLEAN);
+        }
+        assert!(saw_jitter);
+    }
+
+    #[test]
+    fn stats_handle_outlives_boxing() {
+        let inj = PlanInjector::new(FaultPlan::new().drop_rate(1.0), RunSeed::new(21));
+        let handle = inj.stats_handle();
+        let mut boxed: Box<dyn FaultInjector> = Box::new(inj);
+        assert!(boxed.fate(ctx(0, 1, 1, 0, 1)).is_drop());
+        assert_eq!(handle.borrow().dropped, 1);
+    }
+}

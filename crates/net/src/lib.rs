@@ -17,9 +17,11 @@
 //! schedules simulation events from those instants.
 
 mod config;
+mod fault;
 mod network;
 mod packet;
 
 pub use config::NetConfig;
+pub use fault::{Fate, FaultInjector, NoFaults, PacketCtx};
 pub use network::{LinkStats, NetTiming, Network};
 pub use packet::NicId;

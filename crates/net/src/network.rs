@@ -1,8 +1,9 @@
 //! The crossbar network timing model.
 
-use genima_sim::{Dur, Resource, Time};
+use genima_sim::{Dur, Histogram, Resource, Time};
 
 use crate::config::NetConfig;
+use crate::fault::{Fate, FaultInjector, PacketCtx};
 use crate::packet::NicId;
 
 /// Wire-level timing of one packet transfer, as computed by
@@ -34,6 +35,14 @@ pub struct LinkStats {
     pub busy: Dur,
     /// Time packets spent queued waiting for the link.
     pub queued: Dur,
+    /// Median per-packet delay through this link (queueing delay for
+    /// injection links, full fabric residency for ejection links).
+    pub p50: Dur,
+    /// 95th-percentile per-packet delay; retry-induced tails show up
+    /// here long before they move the mean.
+    pub p95: Dur,
+    /// 99th-percentile per-packet delay.
+    pub p99: Dur,
 }
 
 /// A single-crossbar system-area network with in-order delivery
@@ -55,6 +64,8 @@ pub struct Network {
     inject: Vec<Resource>,
     out_port: Vec<Resource>,
     last_delivery: Vec<Time>, // indexed src * ports + dst
+    inject_wait: Vec<Histogram>,
+    eject_resid: Vec<Histogram>,
     ports: usize,
 }
 
@@ -71,6 +82,8 @@ impl Network {
             inject: (0..ports).map(|_| Resource::new("inject-link")).collect(),
             out_port: (0..ports).map(|_| Resource::new("switch-out")).collect(),
             last_delivery: vec![Time::ZERO; ports * ports],
+            inject_wait: vec![Histogram::new(); ports],
+            eject_resid: vec![Histogram::new(); ports],
             ports,
         }
     }
@@ -121,11 +134,32 @@ impl Network {
         let deliver = out_end.max(self.last_delivery[slot]);
         self.last_delivery[slot] = deliver;
 
+        self.inject_wait[src.index()].record(inj_start.saturating_since(now));
+        self.eject_resid[dst.index()].record(deliver.saturating_since(now));
+
         NetTiming {
             inject_start: inj_start,
             inject_end: inj_end,
             deliver,
         }
+    }
+
+    /// Like [`Network::transfer`], but additionally consults a
+    /// [`FaultInjector`] for the packet's [`Fate`].
+    ///
+    /// The wire timing is always charged — a dropped packet still
+    /// serialises onto its links before the switch loses it — and any
+    /// extra delay in the fate is applied by the caller *after* the
+    /// in-order clamp, so delayed packets genuinely reorder against
+    /// later traffic on the same channel.
+    pub fn transfer_with(
+        &mut self,
+        ctx: PacketCtx,
+        injector: &mut dyn FaultInjector,
+    ) -> (NetTiming, Fate) {
+        let timing = self.transfer(ctx.now, ctx.src, ctx.dst, ctx.bytes);
+        let fate = injector.fate(ctx);
+        (timing, fate)
     }
 
     /// Uncontended fabric traversal time for `payload` bytes: what the
@@ -137,23 +171,33 @@ impl Network {
         self.cfg.wire_time(payload) + self.cfg.switch_latency
     }
 
-    /// Utilisation statistics of `nic`'s injection link.
+    /// Utilisation statistics of `nic`'s injection link, with
+    /// queueing-delay percentiles.
     pub fn inject_stats(&self, nic: NicId) -> LinkStats {
         let r = &self.inject[nic.index()];
+        let h = &self.inject_wait[nic.index()];
         LinkStats {
             packets: r.served(),
             busy: r.busy_time(),
             queued: r.queued_time(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
         }
     }
 
-    /// Utilisation statistics of the switch output port feeding `nic`.
+    /// Utilisation statistics of the switch output port feeding `nic`,
+    /// with fabric-residency percentiles.
     pub fn eject_stats(&self, nic: NicId) -> LinkStats {
         let r = &self.out_port[nic.index()];
+        let h = &self.eject_resid[nic.index()];
         LinkStats {
             packets: r.served(),
             busy: r.busy_time(),
             queued: r.queued_time(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
         }
     }
 }
@@ -218,6 +262,43 @@ mod tests {
         assert!(s.queued > Dur::ZERO);
         let e = n.eject_stats(NicId::new(1));
         assert_eq!(e.packets, 2);
+        // Residency percentiles: both packets took at least one wire
+        // time through the fabric, and p99 >= p50 by construction.
+        assert!(e.p50 >= n.config().wire_time(4096));
+        assert!(e.p99 >= e.p50);
+    }
+
+    #[test]
+    fn transfer_with_charges_wire_time_even_for_drops() {
+        use crate::fault::{Fate, FaultInjector, NoFaults, PacketCtx};
+
+        #[derive(Debug)]
+        struct DropAll;
+        impl FaultInjector for DropAll {
+            fn fate(&mut self, _ctx: PacketCtx) -> Fate {
+                Fate::Drop
+            }
+            fn recv_stall(&mut self, _nic: NicId, _now: Time) -> Dur {
+                Dur::ZERO
+            }
+        }
+
+        let mut n = net();
+        let ctx = |seq| PacketCtx {
+            src: NicId::new(0),
+            dst: NicId::new(1),
+            bytes: 4096,
+            seq,
+            attempt: 0,
+            now: Time::ZERO,
+        };
+        let (t1, f1) = n.transfer_with(ctx(1), &mut DropAll);
+        assert!(f1.is_drop());
+        // The drop still consumed the injection link: a follow-up clean
+        // packet queues behind it.
+        let (t2, f2) = n.transfer_with(ctx(2), &mut NoFaults);
+        assert_eq!(f2, Fate::CLEAN);
+        assert!(t2.inject_start >= t1.inject_end);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 #![allow(clippy::field_reassign_with_default)]
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
-use genima_net::{NetConfig, Network, NicId};
-use genima_sim::{Dur, Resource, Time};
+use genima_net::{Fate, FaultInjector, NetConfig, Network, NicId};
+use genima_sim::{Dur, InlineVec, Resource, Time};
 
 use crate::config::NicConfig;
 use crate::lock::{FwLock, LockId, SlotState};
@@ -16,24 +16,43 @@ use crate::trace::{LockChange, LockTrace};
 /// Result of a host-side communication call: when the calling host
 /// processor is free to continue, plus any simulation events to
 /// schedule.
+///
+/// The event and upcall lists use inline storage ([`InlineVec`]): the
+/// common case is one event per post, and fault injection multiplies
+/// the number of posts without changing that per-post shape, so the
+/// hot path allocates nothing.
 #[derive(Debug, Default)]
 pub struct Post {
     /// The instant the posting host processor regains control.
     pub host_free: Time,
     /// Internal events to schedule (feed back via [`Comm::handle`]).
-    pub events: Vec<(Time, Event)>,
+    pub events: InlineVec<(Time, Event)>,
     /// Upcalls that became known immediately (e.g. a locally granted
     /// lock); delivered to the protocol layer at the given time.
-    pub upcalls: Vec<(Time, Upcall)>,
+    pub upcalls: InlineVec<(Time, Upcall)>,
 }
 
 /// Result of processing one internal event.
 #[derive(Debug, Default)]
 pub struct Step {
     /// Follow-up internal events to schedule.
-    pub events: Vec<(Time, Event)>,
+    pub events: InlineVec<(Time, Event)>,
     /// Completion notifications for the protocol layer.
-    pub upcalls: Vec<(Time, Upcall)>,
+    pub upcalls: InlineVec<(Time, Upcall)>,
+}
+
+/// Counters of the firmware's loss-recovery machinery. All zero on the
+/// clean path (no fault injector installed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Packets retransmitted after a retry timer fired.
+    pub retransmits: u64,
+    /// Arrived packets discarded as duplicates of an already-processed
+    /// sequence number.
+    pub duplicates_suppressed: u64,
+    /// Sends abandoned after exhausting every attempt
+    /// ([`Upcall::PeerUnreachable`] surfaced).
+    pub unreachable: u64,
 }
 
 /// Small on-wire sizes (bytes) for firmware-generated control packets.
@@ -112,6 +131,19 @@ pub struct Comm {
     /// Lock-ownership transitions, recorded only while tracing is on
     /// (`None` = disabled, the default: zero overhead).
     trace: Option<Vec<LockTrace>>,
+    /// Fault injector deciding each packet's fate (`None` = the clean
+    /// path: no sequencing, no timers, bit-identical to a build
+    /// without fault support).
+    injector: Option<Box<dyn FaultInjector>>,
+    /// Next sequence number per `(src, dst)` channel (indexed
+    /// `src * ports + dst`); allocated only when an injector is
+    /// installed.
+    seq_next: Vec<u64>,
+    /// Sequence numbers already processed at each destination, per
+    /// channel — the home-side duplicate-suppression table.
+    seen: Vec<HashSet<u64>>,
+    /// Loss-recovery counters.
+    recovery: RecoveryStats,
 }
 
 impl Comm {
@@ -127,9 +159,38 @@ impl Comm {
             atomic_cells: (0..ports).map(|_| Vec::new()).collect(),
             monitor: Monitor::new(),
             trace: None,
+            injector: None,
+            seq_next: Vec::new(),
+            seen: Vec::new(),
+            recovery: RecoveryStats::default(),
             cfg,
             net,
         }
+    }
+
+    /// Installs a fault injector: from now on every wire packet is
+    /// sequenced, its fate (deliver / delay / duplicate / drop) is
+    /// decided by `injector` at injection time, dropped packets are
+    /// retransmitted with exponential backoff, and duplicates are
+    /// suppressed at the destination.
+    ///
+    /// An injector that never faults (e.g. `FaultPlan::none()`)
+    /// produces timings and reports identical to the clean path.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        let ports = self.nics.len();
+        self.injector = Some(injector);
+        self.seq_next = vec![0; ports * ports];
+        self.seen = (0..ports * ports).map(|_| HashSet::new()).collect();
+    }
+
+    /// Returns `true` when a fault injector is installed.
+    pub fn fault_injection_enabled(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// The firmware's loss-recovery counters (all zero without faults).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// Turns lock-ownership tracing on or off. Turning it on clears
@@ -219,8 +280,7 @@ impl Comm {
         let t0 = self.acquire_post_slot(now, src);
         let posted_at = t0 + self.cfg.post_overhead;
         post.host_free = posted_at;
-        let (deliver, pkt) = self.send_pipeline(posted_at, src, desc, true);
-        post.events.push((deliver, Event::Delivered(pkt)));
+        self.send_pipeline(posted_at, src, desc, true, &mut post.events);
         post
     }
 
@@ -269,7 +329,17 @@ impl Comm {
             let nic = &mut self.nics[src.index()];
             let (_, inject_ready) = nic.lanai_send.reserve(cursor, cfg.inject_cost);
             cursor = inject_ready;
-            let timing = self.net.transfer(inject_ready, src, dst, bytes);
+            let pkt = Packet {
+                src,
+                dst,
+                bytes,
+                kind,
+                tag,
+                seq: 0,
+                posted_ns: posted_at.as_ns(),
+                source_done_ns: dma_done.as_ns(),
+            };
+            let timing = self.inject_packet(inject_ready, pkt, 0, &mut post.events);
             let wire = self.net.config().wire_time(bytes);
             self.monitor.record(
                 Stage::Lanai,
@@ -284,16 +354,6 @@ impl Comm {
                 cfg.inject_cost + self.net.uncontended(bytes),
             );
             self.monitor.count_packet(class, bytes);
-            let pkt = Packet {
-                src,
-                dst,
-                bytes,
-                kind,
-                tag,
-                posted_ns: posted_at.as_ns(),
-                source_done_ns: dma_done.as_ns(),
-            };
-            post.events.push((timing.deliver, Event::Delivered(pkt)));
         }
         post
     }
@@ -487,6 +547,7 @@ impl Comm {
     pub fn handle(&mut self, now: Time, ev: Event) -> Step {
         match ev {
             Event::Delivered(pkt) => self.deliver(now, pkt),
+            Event::RetryTimer { packet, attempt } => self.retransmit(now, packet, attempt),
         }
     }
 
@@ -508,17 +569,19 @@ impl Comm {
         }
     }
 
-    /// Runs the outgoing pipeline for one packet and returns the
-    /// delivery time. `from_post_queue` distinguishes host-posted
-    /// packets (which occupy a post-queue slot and are monitored in
-    /// the Source stage) from firmware-generated ones.
+    /// Runs the outgoing pipeline for one packet, pushing the resulting
+    /// events (delivery, or a retransmission timer under fault
+    /// injection) into `out`. `from_post_queue` distinguishes
+    /// host-posted packets (which occupy a post-queue slot and are
+    /// monitored in the Source stage) from firmware-generated ones.
     fn send_pipeline(
         &mut self,
         posted_at: Time,
         src: NicId,
         desc: SendDesc,
         from_post_queue: bool,
-    ) -> (Time, Packet) {
+        out: &mut InlineVec<(Time, Event)>,
+    ) {
         let cfg = self.cfg.clone();
         let class = self.size_class(desc.bytes);
         let nic = &mut self.nics[src.index()];
@@ -563,7 +626,17 @@ impl Comm {
             nic.post_slots.push_back(pick_done);
         }
         // Injection into the fabric.
-        let timing = self.net.transfer(inject_ready, src, desc.dst, desc.bytes);
+        let pkt = Packet {
+            src,
+            dst: desc.dst,
+            bytes: desc.bytes,
+            kind: desc.kind,
+            tag: desc.tag,
+            seq: 0,
+            posted_ns: posted_at.as_ns(),
+            source_done_ns: dma_done.as_ns(),
+        };
+        let timing = self.inject_packet(inject_ready, pkt, 0, out);
 
         // Monitor: Source / LANai / Net stages (paper §3.1 definitions).
         let wire = self.net.config().wire_time(desc.bytes);
@@ -588,17 +661,109 @@ impl Comm {
             cfg.inject_cost + self.net.uncontended(desc.bytes),
         );
         self.monitor.count_packet(class, desc.bytes);
+    }
 
-        let pkt = Packet {
-            src,
-            dst: desc.dst,
-            bytes: desc.bytes,
-            kind: desc.kind,
-            tag: desc.tag,
-            posted_ns: posted_at.as_ns(),
-            source_done_ns: dma_done.as_ns(),
-        };
-        (timing.deliver, pkt)
+    /// Hands one wire packet to the fabric. Without an injector this is
+    /// exactly the historical behaviour: one [`Event::Delivered`] at
+    /// the wire-accurate delivery time. With an injector the packet is
+    /// sequenced on its channel and its fate applied: extra delay is
+    /// added *after* the fabric's in-order clamp (genuine reordering),
+    /// a duplicate schedules two deliveries, and a drop schedules an
+    /// [`Event::RetryTimer`] one backed-off timeout after the send.
+    fn inject_packet(
+        &mut self,
+        inject_ready: Time,
+        mut pkt: Packet,
+        attempt: u32,
+        out: &mut InlineVec<(Time, Event)>,
+    ) -> genima_net::NetTiming {
+        debug_assert_ne!(pkt.src, pkt.dst, "local hops never enter the fabric");
+        match self.injector.as_mut() {
+            None => {
+                let timing = self.net.transfer(inject_ready, pkt.src, pkt.dst, pkt.bytes);
+                out.push((timing.deliver, Event::Delivered(pkt)));
+                timing
+            }
+            Some(inj) => {
+                if pkt.seq == 0 {
+                    let chan = pkt.src.index() * self.nics.len() + pkt.dst.index();
+                    self.seq_next[chan] += 1;
+                    pkt.seq = self.seq_next[chan];
+                }
+                let ctx = genima_net::PacketCtx {
+                    src: pkt.src,
+                    dst: pkt.dst,
+                    bytes: pkt.bytes,
+                    seq: pkt.seq,
+                    attempt,
+                    now: inject_ready,
+                };
+                let (timing, fate) = self.net.transfer_with(ctx, inj.as_mut());
+                match fate {
+                    Fate::Deliver { extra } => {
+                        out.push((timing.deliver + extra, Event::Delivered(pkt)));
+                    }
+                    Fate::Duplicate { extra, second } => {
+                        out.push((timing.deliver + extra, Event::Delivered(pkt)));
+                        out.push((timing.deliver + extra + second, Event::Delivered(pkt)));
+                    }
+                    Fate::Drop => {
+                        let rto = self.cfg.retry_timeout * (1u64 << attempt.min(10));
+                        out.push((
+                            timing.inject_end + rto,
+                            Event::RetryTimer {
+                                packet: pkt,
+                                attempt: attempt + 1,
+                            },
+                        ));
+                    }
+                }
+                timing
+            }
+        }
+    }
+
+    /// A retransmission timer fired: send the packet again (same
+    /// sequence number, so a late original and the retransmit dedupe at
+    /// the receiver) or give up and surface
+    /// [`Upcall::PeerUnreachable`].
+    fn retransmit(&mut self, now: Time, pkt: Packet, attempt: u32) -> Step {
+        let mut step = Step::default();
+        if attempt >= self.cfg.max_send_attempts {
+            self.recovery.unreachable += 1;
+            step.upcalls.push((
+                now,
+                Upcall::PeerUnreachable {
+                    nic: pkt.src,
+                    peer: pkt.dst,
+                    tag: pkt.tag,
+                },
+            ));
+            return step;
+        }
+        self.recovery.retransmits += 1;
+        // The packet is still staged in NI memory: retransmission is a
+        // pure firmware injection, like `fw_send`.
+        let cfg = self.cfg.clone();
+        let class = self.size_class(pkt.bytes);
+        let nic = &mut self.nics[pkt.src.index()];
+        let (_, inject_ready) = nic.lanai_send.reserve(now, cfg.inject_cost);
+        let timing = self.inject_packet(inject_ready, pkt, attempt, &mut step.events);
+        let wire = self.net.config().wire_time(pkt.bytes);
+        self.monitor.record(
+            Stage::Lanai,
+            class,
+            timing.inject_end.saturating_since(now),
+            cfg.inject_cost + wire,
+        );
+        self.monitor.record(
+            Stage::Net,
+            class,
+            timing.deliver.saturating_since(now),
+            cfg.inject_cost + self.net.uncontended(pkt.bytes),
+        );
+        self.monitor.count_packet(class, pkt.bytes);
+        step
     }
 
     /// Sends a firmware-generated packet (fetch reply, lock traffic).
@@ -621,6 +786,7 @@ impl Comm {
                 bytes,
                 kind,
                 tag,
+                seq: 0,
                 posted_ns: now.as_ns(),
                 source_done_ns: now.as_ns(),
             };
@@ -633,7 +799,17 @@ impl Comm {
         let class = self.size_class(bytes);
         let nic = &mut self.nics[src.index()];
         let (_, inject_ready) = nic.lanai_send.reserve(now, cfg.inject_cost);
-        let timing = self.net.transfer(inject_ready, src, dst, bytes);
+        let pkt = Packet {
+            src,
+            dst,
+            bytes,
+            kind,
+            tag,
+            seq: 0,
+            posted_ns: now.as_ns(),
+            source_done_ns: now.as_ns(),
+        };
+        let timing = self.inject_packet(inject_ready, pkt, 0, &mut step.events);
         let wire = self.net.config().wire_time(bytes);
         self.monitor.record(
             Stage::Lanai,
@@ -648,16 +824,6 @@ impl Comm {
             cfg.inject_cost + self.net.uncontended(bytes),
         );
         self.monitor.count_packet(class, bytes);
-        let pkt = Packet {
-            src,
-            dst,
-            bytes,
-            kind,
-            tag,
-            posted_ns: now.as_ns(),
-            source_done_ns: now.as_ns(),
-        };
-        step.events.push((timing.deliver, Event::Delivered(pkt)));
         (timing.deliver, step)
     }
 
@@ -667,6 +833,26 @@ impl Comm {
         let class = self.size_class(pkt.bytes);
         let mut step = Step::default();
         let local = pkt.src == pkt.dst; // firmware-local hop: skip wire-side costs
+        let mut now = now;
+        if pkt.seq != 0 {
+            // Fault-injected run: dedupe on the channel's sequence
+            // numbers (a retransmit racing its delayed original, or a
+            // fabric duplicate, must be applied exactly once), and let
+            // the injector stall this firmware's receive path.
+            let chan = pkt.src.index() * self.nics.len() + pkt.dst.index();
+            if !self.seen[chan].insert(pkt.seq) {
+                // Already processed: the firmware still spends receive
+                // time recognising and discarding the copy.
+                self.recovery.duplicates_suppressed += 1;
+                self.nics[pkt.dst.index()]
+                    .lanai_recv
+                    .reserve(now, cfg.recv_cost);
+                return step;
+            }
+            if let Some(inj) = self.injector.as_mut() {
+                now += inj.recv_stall(pkt.dst, now);
+            }
+        }
         let recv_done = if local {
             now
         } else {

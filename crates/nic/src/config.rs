@@ -62,6 +62,16 @@ pub struct NicConfig {
     /// Enable NI broadcast (§5): one posted descriptor is replicated
     /// by the firmware to several destinations.
     pub broadcast: bool,
+    /// Base retransmission timeout: how long the sending firmware
+    /// waits for the implicit acknowledgement of a packet before
+    /// retransmitting. Doubled on every attempt (exponential backoff).
+    /// Only consulted when a fault injector is installed — the clean
+    /// path never loses packets, so no timer is ever armed.
+    pub retry_timeout: Dur,
+    /// Maximum transmissions of one packet (first send plus
+    /// retransmits) before the firmware declares the peer unreachable
+    /// and surfaces [`Upcall::PeerUnreachable`](crate::Upcall).
+    pub max_send_attempts: u32,
 }
 
 impl NicConfig {
@@ -84,6 +94,11 @@ impl NicConfig {
             scatter_gather: false,
             gather_per_run: Dur::from_us(2),
             broadcast: false,
+            // A 4 KB page fetch round trip is ~110 us; the timeout must
+            // comfortably exceed it so implicit acks are never beaten
+            // by a slow-but-successful delivery.
+            retry_timeout: Dur::from_us(150),
+            max_send_attempts: 8,
         }
     }
 

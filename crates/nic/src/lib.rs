@@ -34,11 +34,11 @@ mod monitor;
 mod msg;
 mod trace;
 
-pub use comm::{Comm, Post, Step};
+pub use comm::{Comm, Post, RecoveryStats, Step};
 pub use config::NicConfig;
 pub use lock::LockId;
 pub use monitor::{Monitor, SizeClass, Stage, StageStats};
 pub use msg::{Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
 pub use trace::{LockChange, LockTrace};
 
-pub use genima_net::NicId;
+pub use genima_net::{Fate, FaultInjector, NicId, NoFaults, PacketCtx};

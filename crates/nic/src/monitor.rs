@@ -6,7 +6,7 @@
 //! the same stage. Tables 3 and 4 of the paper are ratios of these two
 //! quantities, split at 256 bytes into *small* and *large* messages.
 
-use genima_sim::{Accum, Dur};
+use genima_sim::{Accum, Dur, Histogram};
 
 /// One stage of the packet path (paper §3.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -84,6 +84,7 @@ impl StageStats {
 #[derive(Debug, Clone, Default)]
 pub struct Monitor {
     cells: [[StageStats; 2]; 4],
+    hists: [[Histogram; 2]; 4],
     packets: [u64; 2],
     bytes: u64,
 }
@@ -115,6 +116,7 @@ impl Monitor {
         let cell = &mut self.cells[stage_index(stage)][class_index(class)];
         cell.actual.record(actual);
         cell.uncontended.record(uncontended);
+        self.hists[stage_index(stage)][class_index(class)].record(actual);
     }
 
     /// Counts one packet of `bytes` payload toward traffic totals.
@@ -126,6 +128,14 @@ impl Monitor {
     /// Aggregate for one (stage, size-class) cell.
     pub fn stats(&self, stage: Stage, class: SizeClass) -> StageStats {
         self.cells[stage_index(stage)][class_index(class)]
+    }
+
+    /// Tail percentiles `(p50, p95, p99)` of the *actual* residency in
+    /// one (stage, size-class) cell. Means hide retry-induced tail
+    /// latency entirely; these do not.
+    pub fn tail(&self, stage: Stage, class: SizeClass) -> (Dur, Dur, Dur) {
+        let h = &self.hists[stage_index(stage)][class_index(class)];
+        (h.p50(), h.p95(), h.p99())
     }
 
     /// Number of packets observed in `class`.
@@ -146,6 +156,7 @@ impl Monitor {
                 self.cells[s][c]
                     .uncontended
                     .merge(&other.cells[s][c].uncontended);
+                self.hists[s][c].merge(&other.hists[s][c]);
             }
         }
         for c in 0..2 {
@@ -219,6 +230,37 @@ mod tests {
         assert_eq!(a.stats(Stage::Source, SizeClass::Large).ratio(), 3.0);
         assert_eq!(a.packets(SizeClass::Large), 2);
         assert_eq!(a.total_bytes(), 8192);
+    }
+
+    #[test]
+    fn tail_percentiles_track_actual_residency() {
+        let mut m = Monitor::new();
+        assert_eq!(
+            m.tail(Stage::Net, SizeClass::Small),
+            (Dur::ZERO, Dur::ZERO, Dur::ZERO)
+        );
+        for _ in 0..90 {
+            m.record(
+                Stage::Net,
+                SizeClass::Small,
+                Dur::from_us(10),
+                Dur::from_us(10),
+            );
+        }
+        // A few retry-delayed packets: barely visible in the mean,
+        // unmissable at p99.
+        for _ in 0..10 {
+            m.record(
+                Stage::Net,
+                SizeClass::Small,
+                Dur::from_us(1000),
+                Dur::from_us(10),
+            );
+        }
+        let (p50, p95, p99) = m.tail(Stage::Net, SizeClass::Small);
+        assert!(p50 <= Dur::from_us(17), "p50 {p50}");
+        assert!(p99 >= Dur::from_us(1000), "p99 {p99}");
+        assert!(p95 <= p99);
     }
 
     #[test]

@@ -17,6 +17,18 @@ pub enum ProtoError {
         /// The page the operation referenced.
         page: PageId,
     },
+    /// A node exhausted every retransmission attempt talking to a
+    /// peer: the peer is presumed dead or partitioned, and the run
+    /// cannot make progress. Surfaced by
+    /// [`SvmSystem::try_run`](crate::SvmSystem::try_run) instead of
+    /// wedging the event loop waiting for a completion that will never
+    /// arrive.
+    PeerUnreachable {
+        /// The node whose send was abandoned.
+        node: usize,
+        /// The peer that never acknowledged.
+        peer: usize,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -24,6 +36,12 @@ impl fmt::Display for ProtoError {
         match self {
             ProtoError::UnknownHomePage { page } => {
                 write!(f, "no home-page state for {page:?}")
+            }
+            ProtoError::PeerUnreachable { node, peer } => {
+                write!(
+                    f,
+                    "node {node} exhausted retransmissions to unresponsive peer {peer}"
+                )
             }
         }
     }

@@ -51,4 +51,4 @@ pub use trace::{TraceEvent, TsMap};
 pub use vclock::VClock;
 
 pub use genima_mem::{Addr, PageId, PAGE_SIZE};
-pub use genima_nic::{LockChange, LockId, LockTrace};
+pub use genima_nic::{FaultInjector, LockChange, LockId, LockTrace, RecoveryStats};

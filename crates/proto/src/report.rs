@@ -1,6 +1,6 @@
 //! Results of one cluster run.
 
-use genima_nic::Monitor;
+use genima_nic::{Monitor, RecoveryStats};
 use genima_sim::{Dur, Time};
 
 use crate::breakdown::{Breakdown, Counters};
@@ -17,6 +17,9 @@ pub struct RunReport {
     pub counters: Counters,
     /// Snapshot of the NI firmware performance monitor.
     pub monitor: Monitor,
+    /// Loss-recovery counters from the communication layer (all zero on
+    /// a fault-free run).
+    pub recovery: RecoveryStats,
     /// Shared pages pinned per node for incoming transfers, in bytes
     /// (the export/pin footprint remote fetch shrinks, §2).
     pub pinned_shared_bytes: Vec<u64>,
@@ -71,6 +74,7 @@ mod tests {
             ],
             counters: Counters::default(),
             monitor: Monitor::new(),
+            recovery: RecoveryStats::default(),
             pinned_shared_bytes: vec![0, 0],
             events: 0,
         };

@@ -23,6 +23,7 @@ use genima_vmmc::Vmmc;
 
 use crate::breakdown::{Breakdown, Counters};
 use crate::config::ProtoConfig;
+use crate::error::ProtoError;
 use crate::features::FeatureSet;
 use crate::ids::{BarrierId, NodeId, Topology};
 use crate::interval::{DirtyPage, IntervalRecord, PendingInterval};
@@ -422,6 +423,10 @@ pub struct SvmSystem {
     /// Protocol events recorded while tracing is on (`None` =
     /// disabled, the default: zero overhead).
     pub(crate) trace: Option<Vec<TraceEvent>>,
+    /// Set when the communication layer reports an unrecoverable
+    /// failure (e.g. an unreachable peer); the event loop drains out
+    /// and [`SvmSystem::try_run`] returns the error.
+    pub(crate) fatal: Option<ProtoError>,
 }
 
 impl SvmSystem {
@@ -504,8 +509,19 @@ impl SvmSystem {
             done_count: 0,
             measure_from: Time::ZERO,
             trace: None,
+            fatal: None,
             p: params,
         }
+    }
+
+    /// Installs a fault injector in the communication layer: every
+    /// wire packet is sequenced and its fate (deliver / delay /
+    /// duplicate / drop) decided by `injector`; the NI firmware
+    /// retransmits losses with exponential backoff and suppresses
+    /// duplicates at the receiver. See the `genima-fault` crate for
+    /// injector implementations.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn genima_nic::FaultInjector>) {
+        self.vmmc.comm_mut().set_fault_injector(injector);
     }
 
     /// Turns protocol *and* NI event tracing on or off. Turning it on
@@ -561,9 +577,30 @@ impl SvmSystem {
     /// # Panics
     ///
     /// Panics if the event budget (`max_events`) is exceeded, which
+    /// indicates a protocol livelock, if a [`Op::Validate`] check
+    /// fails, or if the communication layer reports an unrecoverable
+    /// failure (use [`SvmSystem::try_run`] to handle that gracefully).
+    pub fn run(&mut self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("protocol run aborted: {e}"),
+        }
+    }
+
+    /// Runs the cluster until every process finishes or the
+    /// communication layer reports an unrecoverable failure.
+    ///
+    /// A node that exhausts its retransmission attempts to a peer
+    /// surfaces [`ProtoError::PeerUnreachable`] here instead of
+    /// wedging the event loop: the run stops cleanly and its partial
+    /// state remains inspectable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget (`max_events`) is exceeded, which
     /// indicates a protocol livelock, or if a [`Op::Validate`] check
     /// fails.
-    pub fn run(&mut self) -> RunReport {
+    pub fn try_run(&mut self) -> Result<RunReport, ProtoError> {
         for p in 0..self.procs.len() {
             self.q.push(Time::ZERO, SysEvent::Resume(p));
         }
@@ -573,6 +610,9 @@ impl SvmSystem {
                 "event budget exceeded: protocol livelock?"
             );
             self.dispatch(t, ev);
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
+            }
         }
         assert_eq!(
             self.done_count,
@@ -587,7 +627,7 @@ impl SvmSystem {
                 .map(|(i, p)| (i, format!("{:?}", p.state)))
                 .collect::<Vec<_>>()
         );
-        self.build_report()
+        Ok(self.build_report())
     }
 
     fn dispatch(&mut self, t: Time, ev: SysEvent) {
@@ -701,6 +741,16 @@ impl SvmSystem {
                 {
                     self.atomic_lock_result(t, proc, lock, old);
                 }
+            }
+            Upcall::PeerUnreachable { nic, peer, tag } => {
+                // Drop whatever completion the abandoned send was
+                // carrying and abort the run: the peer is presumed
+                // dead, so the completion will never arrive.
+                self.tags.remove(&tag.value());
+                self.fatal = Some(ProtoError::PeerUnreachable {
+                    node: nic.index(),
+                    peer: peer.index(),
+                });
             }
         }
     }
@@ -953,6 +1003,7 @@ impl SvmSystem {
             breakdowns: self.procs.iter().map(|p| p.bd).collect(),
             counters: self.counters,
             monitor: self.vmmc.comm().monitor().clone(),
+            recovery: self.vmmc.comm().recovery_stats(),
             pinned_shared_bytes: pinned,
             events: self.q.delivered(),
         }

@@ -25,11 +25,13 @@
 mod queue;
 mod resource;
 mod rng;
+mod smallvec;
 mod stats;
 mod time;
 
 pub use queue::EventQueue;
 pub use resource::Resource;
-pub use rng::SplitMix64;
+pub use rng::{RunSeed, SplitMix64};
+pub use smallvec::InlineVec;
 pub use stats::{Accum, Counter, Histogram};
 pub use time::{Dur, Time};

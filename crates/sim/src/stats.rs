@@ -199,6 +199,33 @@ impl Histogram {
         }
         Some(Dur::from_ns(u64::MAX))
     }
+
+    /// Median (50th-percentile) sample, or [`Dur::ZERO`] when empty.
+    ///
+    /// Like [`Histogram::percentile`], the value is the upper bound of
+    /// the power-of-two bucket containing the rank, so it is an
+    /// at-most-2x overestimate of the true order statistic.
+    pub fn p50(&self) -> Dur {
+        self.percentile(0.50).unwrap_or(Dur::ZERO)
+    }
+
+    /// 95th-percentile sample, or [`Dur::ZERO`] when empty.
+    pub fn p95(&self) -> Dur {
+        self.percentile(0.95).unwrap_or(Dur::ZERO)
+    }
+
+    /// 99th-percentile sample, or [`Dur::ZERO`] when empty.
+    pub fn p99(&self) -> Dur {
+        self.percentile(0.99).unwrap_or(Dur::ZERO)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+    }
 }
 
 impl Default for Histogram {
@@ -256,6 +283,36 @@ mod tests {
         assert_eq!(h.bucket_for(Dur::from_ns(2)), 1);
         assert_eq!(h.bucket_for(Dur::from_ns(1024)), 10);
         assert_eq!(h.bucket_for(Dur::from_ns(1025)), 10);
+    }
+
+    #[test]
+    fn histogram_tail_accessors() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), Dur::ZERO);
+        assert_eq!(h.p99(), Dur::ZERO);
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Dur::from_ns(100)); // bucket [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(Dur::from_us(100)); // a long retry-induced tail
+        }
+        assert!(h.p50() <= Dur::from_ns(128));
+        assert!(h.p95() >= Dur::from_us(64));
+        assert!(h.p99() >= h.p95());
+        assert!(h.p95() >= h.p50());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(Dur::from_ns(4));
+        let mut b = Histogram::new();
+        b.record(Dur::from_ns(4));
+        b.record(Dur::from_ns(1 << 20));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[2], 2);
     }
 
     #[test]

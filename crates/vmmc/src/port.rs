@@ -281,7 +281,7 @@ mod tests {
 
     fn drain(v: &mut Vmmc, post: Post) -> Vec<(Time, Upcall)> {
         let mut q = EventQueue::new();
-        let mut ups = post.upcalls;
+        let mut ups: Vec<(Time, Upcall)> = post.upcalls.into_iter().collect();
         for (t, e) in post.events {
             q.push(t, e);
         }

@@ -24,6 +24,8 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/proto/src/system/mod.rs",
     "crates/proto/src/system/fault.rs",
     "crates/proto/src/system/sync.rs",
+    "crates/fault/src/inject.rs",
+    "crates/fault/src/plan.rs",
 ];
 
 /// One rule violation at a source line.

@@ -46,6 +46,27 @@ fn main() {
             t.row(vec![stage.label().to_string(), fmt(b), fmt(g)]);
         }
         println!("-- {label}\n{t}");
+
+        // Tail percentiles of the actual residency: means hide
+        // contention spikes (and, under fault injection, retry-induced
+        // tail latency) that p95/p99 expose.
+        let mut tails = TextTable::new(vec!["Stage", "Base p50/p95/p99", "GeNIMA p50/p95/p99"]);
+        let fmt_tail = |(p50, p95, p99): (genima::Dur, genima::Dur, genima::Dur)| {
+            format!(
+                "{:.1} / {:.1} / {:.1} us",
+                p50.as_us(),
+                p95.as_us(),
+                p99.as_us()
+            )
+        };
+        for stage in Stage::ALL {
+            tails.row(vec![
+                stage.label().to_string(),
+                fmt_tail(base.report.monitor.tail(stage, class)),
+                fmt_tail(genima.report.monitor.tail(stage, class)),
+            ]);
+        }
+        println!("-- {label}, residency tails\n{tails}");
     }
     println!(
         "packets: Base {} small / {} large; GeNIMA {} small / {} large",
