@@ -1,26 +1,80 @@
 //! `breakdowns` — developer tool: per-protocol execution-time
 //! breakdowns and protocol counters for one or more applications
 //! (all ten when run without arguments).
+//!
+//! ```text
+//! breakdowns [--seed N] [--json PATH] [APP...]
+//! ```
+//!
+//! With `--json PATH` the full sweep is additionally written as a
+//! machine-readable report (`BENCH_breakdowns.json` in CI): one entry
+//! per application, one column object per protocol variant carrying
+//! the parallel time, speedup, category shares and every protocol
+//! counter. `xtask obs-schema` checks the shape.
 
-use genima::{run_app, sequential_time, FeatureSet, Topology};
-use genima_apps::{all_apps, app_by_name};
+use genima::{run_app_configured, sequential_time, FeatureSet, Json, RunConfig, Topology};
+use genima_apps::{all_apps, app_by_name, App};
+use genima_sim::RunSeed;
+
+struct Args {
+    seed: u64,
+    json: Option<String>,
+    apps: Vec<Box<dyn App>>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: breakdowns [--seed N] [--json PATH] [APP...]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: RunSeed::default().value(),
+        json: None,
+        apps: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.seed = v.parse().unwrap_or_else(|_e| usage());
+            }
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            name => match app_by_name(name) {
+                Some(app) => args.apps.push(app),
+                None => {
+                    eprintln!("unknown app: {name}");
+                    usage()
+                }
+            },
+        }
+    }
+    if args.apps.is_empty() {
+        args.apps = all_apps();
+    }
+    args
+}
 
 fn main() {
     let topo = Topology::new(4, 4);
-    let args: Vec<String> = std::env::args().collect();
-    let apps = if args.len() > 1 {
-        args[1..]
-            .iter()
-            .map(|n| app_by_name(n).expect("app"))
-            .collect()
-    } else {
-        all_apps()
-    };
-    for app in apps {
+    let args = parse_args();
+    let mut apps_json = Json::obj();
+    for app in &args.apps {
         let seq = sequential_time(app.as_ref());
         println!("== {} (seq {:?})", app.name(), seq);
+        let mut columns = Json::obj();
         for f in FeatureSet::ALL {
-            let r = run_app(app.as_ref(), topo, f);
+            let cfg = RunConfig::new(topo, f).with_seed(args.seed);
+            let r = match run_app_configured(app.as_ref(), &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("FAIL {} on {}: {e}", f.name(), app.name());
+                    std::process::exit(1)
+                }
+            };
             let b = r.report.mean_breakdown();
             let c = r.report.counters;
             println!(
@@ -30,6 +84,42 @@ fn main() {
                 c.faults, c.page_transfers, c.fetch_retries, c.interrupts, c.diffs, c.diff_run_messages, c.notice_messages,
                 b.mprotect.as_ms(),
             );
+            if args.json.is_some() {
+                let full = r.report.to_json_value();
+                let mut col = Json::obj();
+                col.set("parallel_ms", Json::num(r.report.parallel_time().as_ms()));
+                col.set("speedup", Json::num(r.report.speedup(seq)));
+                for key in ["shares", "counters"] {
+                    match full.get(key) {
+                        Some(v) => col.set(key, v.clone()),
+                        None => unreachable!("report JSON always has {key}"),
+                    };
+                }
+                columns.set(f.name(), col);
+            }
+        }
+        if args.json.is_some() {
+            let mut entry = Json::obj();
+            entry.set("sequential_ms", Json::num(seq.as_ms()));
+            entry.set("columns", columns);
+            apps_json.set(app.name(), entry);
+        }
+    }
+    if let Some(path) = args.json {
+        let mut root = Json::obj();
+        root.set("bench", Json::str("breakdowns"));
+        root.set("seed", Json::u64(args.seed));
+        let mut topo_json = Json::obj();
+        topo_json.set("nodes", Json::u64(topo.nodes as u64));
+        topo_json.set("procs_per_node", Json::u64(topo.procs_per_node as u64));
+        root.set("topo", topo_json);
+        root.set("apps", apps_json);
+        match std::fs::write(&path, root.dump()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
         }
     }
 }

@@ -2,8 +2,14 @@
 //! protocol columns and audits every run.
 //!
 //! ```text
-//! fault_matrix [--seed N] [--grid G] [--nodes NODES]
+//! fault_matrix [--seed N] [--grid G] [--nodes NODES] [--json PATH]
 //! ```
+//!
+//! With `--json PATH` the sweep is additionally written as a
+//! machine-readable report (`BENCH_fault_matrix.json` in CI): one row
+//! per (drop rate, column) with the run time, recovery counters and
+//! what the injector actually did. `xtask obs-schema` checks the
+//! shape.
 //!
 //! For each drop rate in the sweep (0 %, 1 %, 5 %, 10 %, each faulty
 //! row also duplicating and delaying packets) and each of the paper's
@@ -24,6 +30,7 @@ use genima::TextTable;
 use genima_apps::OceanRowwise;
 use genima_check::run_app_audited_with;
 use genima_fault::{FaultPlan, PlanInjector, RunSeed};
+use genima_obs::Json;
 use genima_proto::{FeatureSet, Topology};
 use genima_sim::Dur;
 
@@ -31,10 +38,11 @@ struct Args {
     seed: u64,
     grid: usize,
     nodes: usize,
+    json: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fault_matrix [--seed N] [--grid G] [--nodes NODES]");
+    eprintln!("usage: fault_matrix [--seed N] [--grid G] [--nodes NODES] [--json PATH]");
     std::process::exit(2)
 }
 
@@ -43,10 +51,15 @@ fn parse_args() -> Args {
         seed: RunSeed::default().value(),
         grid: 96,
         nodes: 4,
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let value = it.next().unwrap_or_else(|| usage());
+        if flag.as_str() == "--json" {
+            args.json = Some(value);
+            continue;
+        }
         let parsed: u64 = value.parse().unwrap_or_else(|_| usage());
         match flag.as_str() {
             "--seed" => args.seed = parsed,
@@ -94,6 +107,7 @@ fn main() {
         "intr",
     ]);
     let mut failures = 0u32;
+    let mut rows = Vec::new();
     for &drop in &[0.0, 0.01, 0.05, 0.10] {
         for features in FeatureSet::ALL {
             let plan = plan_at(drop);
@@ -140,9 +154,39 @@ fn main() {
                 f.delayed.to_string(),
                 run.report.counters.interrupts.to_string(),
             ]);
+            let mut row = Json::obj();
+            row.set("drop_rate", Json::num(drop));
+            row.set("column", Json::str(features.name()));
+            row.set("time_ms", Json::num(run.report.parallel_time().as_ms()));
+            row.set("retransmits", Json::u64(run.report.recovery.retransmits));
+            row.set(
+                "duplicates_suppressed",
+                Json::u64(run.report.recovery.duplicates_suppressed),
+            );
+            row.set("injected_drops", Json::u64(f.dropped));
+            row.set("injected_dups", Json::u64(f.duplicated));
+            row.set("injected_delays", Json::u64(f.delayed));
+            row.set("interrupts", Json::u64(run.report.counters.interrupts));
+            row.set("audit_clean", Json::Bool(run.audit.is_clean()));
+            rows.push(row);
         }
     }
     println!("{table}");
+    if let Some(path) = args.json {
+        let mut root = Json::obj();
+        root.set("bench", Json::str("fault_matrix"));
+        root.set("seed", Json::u64(args.seed));
+        root.set("grid", Json::u64(args.grid as u64));
+        root.set("nodes", Json::u64(args.nodes as u64));
+        root.set("rows", Json::Arr(rows));
+        match std::fs::write(&path, root.dump()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("fault matrix: {failures} failure(s)");
         std::process::exit(1);

@@ -87,7 +87,9 @@ pub fn run_app_audited(app: &dyn App, topo: Topology, features: FeatureSet) -> A
 /// # Errors
 ///
 /// Returns [`ProtoError::PeerUnreachable`] when a node exhausts its
-/// retransmission budget against an unresponsive peer.
+/// retransmission budget against an unresponsive peer, and
+/// [`ProtoError::InvalidReport`] when the finished run's report fails
+/// [`RunReport::validate`].
 pub fn run_app_audited_with(
     app: &dyn App,
     topo: Topology,
@@ -106,6 +108,10 @@ pub fn run_app_audited_with(
     sys.set_tracing(true);
     configure(&mut sys);
     let report = sys.try_run()?;
+    // Self-consistency of the measurements themselves: breakdown
+    // categories must account for the parallel time and interrupt-free
+    // columns must report zero host interrupts.
+    report.validate(&features)?;
     let proto = sys.take_trace();
     let locks = sys.take_lock_trace();
     let mut audit = audit_traces(features, topo.nodes, &proto, &locks);

@@ -42,6 +42,9 @@ pub use tables::TextTable;
 
 pub use genima_apps::{all_apps, app_by_name, App};
 pub use genima_fault::{FaultPlan, FaultStats, PlanInjector};
+pub use genima_obs::{
+    timeline_json, validate_trace, Json, ObsConfig, ObsReport, SpanKind, SpanRecord, Track,
+};
 pub use genima_proto::{
     Breakdown, Counters, FeatureSet, ProtoConfig, ProtoError, RecoveryStats, RunReport, SvmParams,
     SvmSystem, Topology,

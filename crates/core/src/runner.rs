@@ -3,6 +3,7 @@
 use genima_apps::App;
 use genima_fault::{FaultPlan, FaultStats, PlanInjector};
 use genima_hwdsm::{HwDsm, HwDsmConfig, HwReport};
+use genima_obs::{ObsConfig, ObsReport, Recorder};
 use genima_proto::{FeatureSet, ProtoError, RunReport, SvmParams, SvmSystem, Topology};
 use genima_sim::{Dur, RunSeed};
 
@@ -33,6 +34,9 @@ pub struct RunConfig {
     pub seed: RunSeed,
     /// What goes wrong; [`FaultPlan::none`] for a clean run.
     pub faults: FaultPlan,
+    /// Span recording; [`ObsConfig::off`] keeps the run observation-free
+    /// (no recorder is allocated and no emission branch is taken).
+    pub obs: ObsConfig,
 }
 
 impl RunConfig {
@@ -43,6 +47,7 @@ impl RunConfig {
             features,
             seed: RunSeed::default(),
             faults: FaultPlan::none(),
+            obs: ObsConfig::off(),
         }
     }
 
@@ -57,6 +62,12 @@ impl RunConfig {
         self.faults = faults;
         self
     }
+
+    /// Replaces the observability configuration.
+    pub fn with_obs(mut self, obs: ObsConfig) -> RunConfig {
+        self.obs = obs;
+        self
+    }
 }
 
 /// Result of a configured (possibly faulty) run.
@@ -68,6 +79,8 @@ pub struct ConfiguredOutcome {
     pub report: RunReport,
     /// What the fault injector actually did (all zero for a clean run).
     pub faults: FaultStats,
+    /// Recorded spans (empty unless [`RunConfig::obs`] was enabled).
+    pub obs: ObsReport,
 }
 
 /// Runs `app` on the SVM cluster with the given protocol variant.
@@ -128,11 +141,16 @@ pub fn run_app_configured(app: &dyn App, cfg: &RunConfig) -> Result<ConfiguredOu
     } else {
         None
     };
+    let recorder = Recorder::shared(cfg.topo.nodes, &cfg.obs);
+    if let Some(h) = recorder.as_ref() {
+        sys.set_observer(h.clone());
+    }
     let report = sys.try_run()?;
     Ok(ConfiguredOutcome {
         features: cfg.features,
         report,
         faults: stats.map(|h| *h.borrow()).unwrap_or_default(),
+        obs: recorder.map(|h| h.borrow_mut().take()).unwrap_or_default(),
     })
 }
 

@@ -5,6 +5,7 @@
 use std::collections::{HashSet, VecDeque};
 
 use genima_net::{Fate, FaultInjector, NetConfig, Network, NicId};
+use genima_obs::{flow_lock_id, Flow, FlowDir, ObsHandle, Recorder, SpanKind, Track};
 use genima_sim::{Dur, InlineVec, Resource, Time};
 
 use crate::config::NicConfig;
@@ -144,6 +145,9 @@ pub struct Comm {
     seen: Vec<HashSet<u64>>,
     /// Loss-recovery counters.
     recovery: RecoveryStats,
+    /// Observability recorder for firmware-side spans (`None` =
+    /// disabled, the default: a single branch per emission site).
+    obs: Option<ObsHandle>,
 }
 
 impl Comm {
@@ -163,8 +167,23 @@ impl Comm {
             seq_next: Vec::new(),
             seen: Vec::new(),
             recovery: RecoveryStats::default(),
+            obs: None,
             cfg,
             net,
+        }
+    }
+
+    /// Installs an observability recorder: firmware service spans,
+    /// retransmissions, fault-injection instants and lock-grant flows
+    /// are recorded from now on. Without a recorder every emission site
+    /// is a single `Option` branch.
+    pub fn set_observer(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    fn obs_record(&mut self, f: impl FnOnce(&mut Recorder)) {
+        if let Some(h) = self.obs.as_ref() {
+            f(&mut h.borrow_mut());
         }
     }
 
@@ -678,11 +697,12 @@ impl Comm {
         out: &mut InlineVec<(Time, Event)>,
     ) -> genima_net::NetTiming {
         debug_assert_ne!(pkt.src, pkt.dst, "local hops never enter the fabric");
-        match self.injector.as_mut() {
+        let (src_idx, dst_idx) = (pkt.src.index(), pkt.dst.index() as u64);
+        let (timing, injected_fault) = match self.injector.as_mut() {
             None => {
                 let timing = self.net.transfer(inject_ready, pkt.src, pkt.dst, pkt.bytes);
                 out.push((timing.deliver, Event::Delivered(pkt)));
-                timing
+                (timing, None)
             }
             Some(inj) => {
                 if pkt.seq == 0 {
@@ -699,13 +719,19 @@ impl Comm {
                     now: inject_ready,
                 };
                 let (timing, fate) = self.net.transfer_with(ctx, inj.as_mut());
-                match fate {
+                let injected_fault = match fate {
                     Fate::Deliver { extra } => {
                         out.push((timing.deliver + extra, Event::Delivered(pkt)));
+                        if extra > Dur::ZERO {
+                            Some(SpanKind::FaultDelay)
+                        } else {
+                            None
+                        }
                     }
                     Fate::Duplicate { extra, second } => {
                         out.push((timing.deliver + extra, Event::Delivered(pkt)));
                         out.push((timing.deliver + extra + second, Event::Delivered(pkt)));
+                        Some(SpanKind::FaultDup)
                     }
                     Fate::Drop => {
                         let rto = self.cfg.retry_timeout * (1u64 << attempt.min(10));
@@ -716,11 +742,18 @@ impl Comm {
                                 attempt: attempt + 1,
                             },
                         ));
+                        Some(SpanKind::FaultDrop)
                     }
-                }
-                timing
+                };
+                (timing, injected_fault)
             }
+        };
+        if let Some(kind) = injected_fault {
+            self.obs_record(|o| {
+                o.instant(kind, src_idx, Track::Firmware, inject_ready, dst_idx);
+            });
         }
+        timing
     }
 
     /// A retransmission timer fired: send the packet again (same
@@ -742,6 +775,15 @@ impl Comm {
             return step;
         }
         self.recovery.retransmits += 1;
+        self.obs_record(|o| {
+            o.instant(
+                SpanKind::Retransmit,
+                pkt.src.index(),
+                Track::Firmware,
+                now,
+                pkt.dst.index() as u64,
+            );
+        });
         // The packet is still staged in NI memory: retransmission is a
         // pure firmware injection, like `fw_send`.
         let cfg = self.cfg.clone();
@@ -777,6 +819,25 @@ impl Comm {
         kind: MsgKind,
         tag: Tag,
     ) -> (Time, Step) {
+        // A departing lock grant starts a flow arrow; the receiving
+        // NI's `lock_op` records the matching finish with the same
+        // `(lock, tag)`-derived id.
+        if let MsgKind::LockMsg(LockOp::Grant { lock, tag: wtag }) = kind {
+            let id = flow_lock_id(lock.index() as u64, wtag.value());
+            self.obs_record(|o| {
+                o.instant_flow(
+                    SpanKind::NiLockGrant,
+                    src.index(),
+                    Track::Firmware,
+                    now,
+                    lock.index() as u64,
+                    Flow {
+                        id,
+                        dir: FlowDir::Start,
+                    },
+                );
+            });
+        }
         let mut step = Step::default();
         if src == dst {
             let at = now + LOCAL_HOP;
@@ -926,6 +987,16 @@ impl Comm {
                     dma_done - now,
                     cfg.recv_cost + cfg.fetch_service + dma,
                 );
+                self.obs_record(|o| {
+                    o.span(
+                        SpanKind::FetchService,
+                        pkt.dst.index(),
+                        Track::Firmware,
+                        recv_done,
+                        dma_done,
+                        pkt.src.index() as u64,
+                    );
+                });
                 let (_, sub) = self.fw_send(
                     dma_done,
                     pkt.dst,
@@ -983,6 +1054,21 @@ impl Comm {
                         cfg.recv_cost + cfg.lock_service,
                     );
                 }
+                let serviced = match op {
+                    LockOp::Request { lock, .. } => lock,
+                    LockOp::Transfer { lock, .. } => lock,
+                    LockOp::Grant { lock, .. } => lock,
+                };
+                self.obs_record(|o| {
+                    o.span(
+                        SpanKind::NiLockService,
+                        pkt.dst.index(),
+                        Track::Firmware,
+                        recv_done,
+                        svc_done,
+                        serviced.index() as u64,
+                    );
+                });
                 let sub = self.lock_op(svc_done, pkt.dst, op, pkt.tag);
                 step.events.extend(sub.events);
                 step.upcalls.extend(sub.upcalls);
@@ -1063,6 +1149,20 @@ impl Comm {
                 debug_assert_eq!(slot.state, SlotState::AwaitingGrant);
                 slot.state = SlotState::HeldLocal;
                 self.trace_lock(now, nic, lock, LockChange::Acquired);
+                let id = flow_lock_id(lock.index() as u64, tag.value());
+                self.obs_record(|o| {
+                    o.instant_flow(
+                        SpanKind::NiLockGrant,
+                        nic.index(),
+                        Track::Firmware,
+                        now,
+                        lock.index() as u64,
+                        Flow {
+                            id,
+                            dir: FlowDir::Finish,
+                        },
+                    );
+                });
                 let at = now + self.cfg.grant_notify;
                 step.upcalls
                     .push((at, Upcall::LockGranted { nic, lock, tag }));

@@ -1,0 +1,32 @@
+//! `genima-obs`: the observability layer for the GeNIMA simulator.
+//!
+//! The paper's evaluation is an exercise in *attribution* — Figure 3
+//! splits execution time into protocol categories, Tables 3/4 split
+//! packet latency into NI pipeline stages. This crate unifies the
+//! instrumentation those reproductions need:
+//!
+//! * a typed span registry ([`SpanKind`], [`SpanRecord`]) recorded into
+//!   bounded per-node ring buffers ([`Recorder`]) — zero-cost when
+//!   disabled, because no recorder exists at all;
+//! * a Chrome `trace_event`/Perfetto timeline exporter
+//!   ([`timeline_json`]) with one track per node host and one per NI
+//!   firmware, and flow arrows for cross-node handoffs;
+//! * a dependency-free JSON value ([`Json`]) used for `RunReport`
+//!   serialization, `BENCH_*.json` trajectories and schema checks;
+//! * text summaries ([`trace_top`], [`monitor_tables`]) shared by
+//!   `xtask obs-summary` and the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod ring;
+pub mod span;
+pub mod summary;
+pub mod timeline;
+
+pub use json::{Json, JsonError};
+pub use ring::{ObsConfig, ObsHandle, ObsReport, Recorder};
+pub use span::{flow_diff_id, flow_lock_id, Flow, FlowDir, SpanKind, SpanRecord, Track};
+pub use summary::{monitor_tables, trace_top, Grid};
+pub use timeline::{count_named, timeline_json, validate_trace, TraceStats};

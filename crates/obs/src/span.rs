@@ -1,0 +1,285 @@
+//! The span taxonomy: typed, per-node records of the protocol's hot
+//! operations.
+//!
+//! A [`SpanRecord`] is either a *span* (non-zero duration: a page
+//! fetch, a lock wait, a firmware service occupancy) or an *instant*
+//! (zero duration: a retry, a deposited diff, an injected fault).
+//! Records carry the node they happened on and the [`Track`] within
+//! that node — the host processors or the NI firmware — which becomes
+//! the thread lane in the exported timeline.
+
+use genima_sim::{Dur, Time};
+
+/// Which lane of a node a record belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Host processors (protocol handlers, application stalls).
+    Host,
+    /// NI firmware (LANai service loop, DMA engines).
+    Firmware,
+}
+
+impl Track {
+    /// Stable thread id used in the timeline export.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Host => 0,
+            Track::Firmware => 1,
+        }
+    }
+
+    /// Human label for the timeline thread-name metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Host => "host",
+            Track::Firmware => "ni-firmware",
+        }
+    }
+}
+
+/// The kind of operation a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Host span: page-fault start to copy installed (`arg` = page).
+    PageFetch,
+    /// Host instant: a stale-timestamp fetch was re-issued (`arg` = page).
+    FetchRetry,
+    /// Host span: twin comparison / diff run computation (`arg` = page).
+    DiffCompute,
+    /// Host instant at the writer: a diff deposited directly into home
+    /// memory (`arg` = page). Flow start toward [`SpanKind::DiffApply`].
+    DirectDiffDeposit,
+    /// Host instant at the home: a remote diff became visible
+    /// (`arg` = page). Flow end from [`SpanKind::DirectDiffDeposit`].
+    DiffApply,
+    /// Host span: lock acquire request to grant (`arg` = lock).
+    LockAcquire,
+    /// Host instant: lock released (`arg` = lock).
+    LockRelease,
+    /// Host span: barrier arrival to release (`arg` = barrier).
+    BarrierWait,
+    /// Host span: asynchronous protocol interrupt occupancy on the
+    /// handling processor (`arg` = service ns). Absent under GeNIMA.
+    Interrupt,
+    /// Firmware span: NI-lock message serviced by the LANai
+    /// (`arg` = lock).
+    NiLockService,
+    /// Firmware instant: a lock grant left (flow start) or reached
+    /// (flow end) an NI (`arg` = lock).
+    NiLockGrant,
+    /// Firmware span: remote page fetch served entirely by the NI
+    /// (`arg` = requesting node).
+    FetchService,
+    /// Firmware instant: a send timed out and was retransmitted
+    /// (`arg` = destination node).
+    Retransmit,
+    /// Firmware instant: fault injection dropped a packet
+    /// (`arg` = destination node).
+    FaultDrop,
+    /// Firmware instant: fault injection duplicated a packet
+    /// (`arg` = destination node).
+    FaultDup,
+    /// Firmware instant: fault injection delayed a packet
+    /// (`arg` = destination node).
+    FaultDelay,
+}
+
+impl SpanKind {
+    /// Every kind, in display order.
+    pub const ALL: [SpanKind; 16] = [
+        SpanKind::PageFetch,
+        SpanKind::FetchRetry,
+        SpanKind::DiffCompute,
+        SpanKind::DirectDiffDeposit,
+        SpanKind::DiffApply,
+        SpanKind::LockAcquire,
+        SpanKind::LockRelease,
+        SpanKind::BarrierWait,
+        SpanKind::Interrupt,
+        SpanKind::NiLockService,
+        SpanKind::NiLockGrant,
+        SpanKind::FetchService,
+        SpanKind::Retransmit,
+        SpanKind::FaultDrop,
+        SpanKind::FaultDup,
+        SpanKind::FaultDelay,
+    ];
+
+    /// Stable name used in timelines and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::PageFetch => "page_fetch",
+            SpanKind::FetchRetry => "fetch_retry",
+            SpanKind::DiffCompute => "diff_compute",
+            SpanKind::DirectDiffDeposit => "direct_diff_deposit",
+            SpanKind::DiffApply => "diff_apply",
+            SpanKind::LockAcquire => "lock_acquire",
+            SpanKind::LockRelease => "lock_release",
+            SpanKind::BarrierWait => "barrier_wait",
+            SpanKind::Interrupt => "interrupt",
+            SpanKind::NiLockService => "ni_lock_service",
+            SpanKind::NiLockGrant => "ni_lock_grant",
+            SpanKind::FetchService => "fetch_service",
+            SpanKind::Retransmit => "retransmit",
+            SpanKind::FaultDrop => "fault_drop",
+            SpanKind::FaultDup => "fault_dup",
+            SpanKind::FaultDelay => "fault_delay",
+        }
+    }
+
+    /// Coarse grouping used as the trace_event category.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::PageFetch
+            | SpanKind::FetchRetry
+            | SpanKind::DiffCompute
+            | SpanKind::DirectDiffDeposit
+            | SpanKind::DiffApply
+            | SpanKind::LockAcquire
+            | SpanKind::LockRelease
+            | SpanKind::BarrierWait
+            | SpanKind::Interrupt => "proto",
+            SpanKind::NiLockService
+            | SpanKind::NiLockGrant
+            | SpanKind::FetchService
+            | SpanKind::Retransmit => "nic",
+            SpanKind::FaultDrop | SpanKind::FaultDup | SpanKind::FaultDelay => "fault",
+        }
+    }
+
+    /// Kinds recorded as zero-duration instants.
+    pub fn is_instant(self) -> bool {
+        match self {
+            SpanKind::FetchRetry
+            | SpanKind::DirectDiffDeposit
+            | SpanKind::DiffApply
+            | SpanKind::LockRelease
+            | SpanKind::NiLockGrant
+            | SpanKind::Retransmit
+            | SpanKind::FaultDrop
+            | SpanKind::FaultDup
+            | SpanKind::FaultDelay => true,
+            SpanKind::PageFetch
+            | SpanKind::DiffCompute
+            | SpanKind::LockAcquire
+            | SpanKind::BarrierWait
+            | SpanKind::Interrupt
+            | SpanKind::NiLockService
+            | SpanKind::FetchService => false,
+        }
+    }
+}
+
+/// Direction of a flow arrow attached to a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowDir {
+    /// The record is the source of the arrow.
+    Start,
+    /// The record is the destination of the arrow.
+    Finish,
+}
+
+/// A correlated flow endpoint: records sharing an `id` are connected
+/// by an arrow in the exported timeline (deposit → apply, grant sent
+/// → grant received).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Flow {
+    /// Correlation id; both endpoints must derive the same value.
+    pub id: u64,
+    /// Whether this endpoint starts or finishes the arrow.
+    pub dir: FlowDir,
+}
+
+/// One recorded operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// What happened.
+    pub kind: SpanKind,
+    /// Node the record belongs to (timeline process).
+    pub node: usize,
+    /// Lane within the node (timeline thread).
+    pub track: Track,
+    /// Start of the span, or the moment of an instant.
+    pub start: Time,
+    /// Duration; [`Dur::ZERO`] for instants.
+    pub dur: Dur,
+    /// Kind-specific argument (page, lock, barrier, peer node…).
+    pub arg: u64,
+    /// Optional flow-arrow endpoint.
+    pub flow: Option<Flow>,
+}
+
+impl SpanRecord {
+    /// End of the span (equals `start` for instants).
+    pub fn end(&self) -> Time {
+        self.start + self.dur
+    }
+}
+
+/// Deterministic flow id for a lock handoff, computed independently on
+/// the granting and receiving NI from the grant's wait tag.
+pub fn flow_lock_id(lock: u64, tag: u64) -> u64 {
+    mix(lock.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag ^ 0x4c6f_636b)
+}
+
+/// Deterministic flow id for a direct-diff deposit, computed at the
+/// writer and again at the home from `(writer, interval, page)`.
+pub fn flow_diff_id(writer: u64, interval: u64, page: u64) -> u64 {
+    mix(writer
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(interval.rotate_left(17))
+        .wrapping_add(page.wrapping_mul(0x2545_f491_4f6c_dd1d))
+        ^ 0x4469_6666)
+}
+
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SpanKind::ALL.len());
+    }
+
+    #[test]
+    fn instants_have_fault_and_flow_kinds() {
+        assert!(SpanKind::FaultDrop.is_instant());
+        assert!(SpanKind::DirectDiffDeposit.is_instant());
+        assert!(!SpanKind::PageFetch.is_instant());
+        assert!(!SpanKind::NiLockService.is_instant());
+    }
+
+    #[test]
+    fn flow_ids_agree_across_sides() {
+        assert_eq!(flow_lock_id(3, 41), flow_lock_id(3, 41));
+        assert_ne!(flow_lock_id(3, 41), flow_lock_id(3, 42));
+        assert_eq!(flow_diff_id(1, 2, 3), flow_diff_id(1, 2, 3));
+        assert_ne!(flow_diff_id(1, 2, 3), flow_diff_id(2, 2, 3));
+    }
+
+    #[test]
+    fn span_end_adds_duration() {
+        let r = SpanRecord {
+            kind: SpanKind::PageFetch,
+            node: 0,
+            track: Track::Host,
+            start: Time::from_ns(100),
+            dur: Dur::from_ns(50),
+            arg: 7,
+            flow: None,
+        };
+        assert_eq!(r.end(), Time::from_ns(150));
+        assert_eq!(Track::Firmware.tid(), 1);
+    }
+}

@@ -29,6 +29,13 @@ pub enum ProtoError {
         /// The peer that never acknowledged.
         peer: usize,
     },
+    /// A finished [`RunReport`](crate::RunReport) failed its own
+    /// consistency checks (breakdown categories not summing to the
+    /// parallel time, or host interrupts on an interrupt-free column).
+    InvalidReport {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -42,6 +49,9 @@ impl fmt::Display for ProtoError {
                     f,
                     "node {node} exhausted retransmissions to unresponsive peer {peer}"
                 )
+            }
+            ProtoError::InvalidReport { detail } => {
+                write!(f, "run report failed validation: {detail}")
             }
         }
     }

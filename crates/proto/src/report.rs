@@ -1,9 +1,12 @@
 //! Results of one cluster run.
 
-use genima_nic::{Monitor, RecoveryStats};
+use genima_nic::{Monitor, RecoveryStats, SizeClass, Stage};
+use genima_obs::Json;
 use genima_sim::{Dur, Time};
 
 use crate::breakdown::{Breakdown, Counters};
+use crate::error::ProtoError;
+use crate::features::FeatureSet;
 
 /// Everything measured during one [`SvmSystem`](crate::SvmSystem) run.
 #[derive(Debug, Clone)]
@@ -51,6 +54,206 @@ impl RunReport {
             sequential.as_ns() as f64 / p as f64
         }
     }
+
+    /// Sanity-checks the report against the protocol configuration
+    /// that produced it.
+    ///
+    /// Two invariants are enforced:
+    ///
+    /// 1. **Accounting closure.** Each process's breakdown categories
+    ///    (compute + data + lock + acqrel + barrier) must sum to the
+    ///    parallel time within a documented tolerance band. The band is
+    ///    0.85x-1.15x: per-process totals drift below the wall clock
+    ///    when post/deposit overheads are absorbed by the NI rather
+    ///    than charged to the host, and slightly above it when
+    ///    interrupt service steals compute slices that are billed to
+    ///    both the victim and the faulting process (fault-free runs
+    ///    across every app x column land in 0.98x-1.09x empirically;
+    ///    fault injection widens the spread). A 1 ms absolute slack
+    ///    keeps short calibration runs out of the relative band.
+    /// 2. **Interrupt freedom.** The GeNIMA column dispatches every
+    ///    remote request in NI firmware, so a configuration whose
+    ///    [`FeatureSet::interrupt_free`] is true must report zero host
+    ///    interrupts.
+    pub fn validate(&self, features: &FeatureSet) -> Result<(), ProtoError> {
+        if features.interrupt_free() && self.counters.interrupts != 0 {
+            return Err(ProtoError::InvalidReport {
+                detail: format!(
+                    "{} column must be interrupt-free but report shows {} host interrupts",
+                    features.name(),
+                    self.counters.interrupts
+                ),
+            });
+        }
+        let par = self.parallel_time().as_ns() as f64;
+        let slack = 1_000_000.0_f64; // 1 ms absolute slack for tiny runs
+        let mut max_total = 0.0_f64;
+        for (proc, bd) in self.breakdowns.iter().enumerate() {
+            let total = bd.total().as_ns() as f64;
+            max_total = max_total.max(total);
+            if total > par * 1.15 + slack {
+                return Err(ProtoError::InvalidReport {
+                    detail: format!(
+                        "proc {proc} breakdown total {:.3} ms exceeds parallel time \
+                         {:.3} ms by more than 15%",
+                        total / 1e6,
+                        par / 1e6
+                    ),
+                });
+            }
+        }
+        if !self.breakdowns.is_empty() && max_total + slack < par * 0.85 {
+            return Err(ProtoError::InvalidReport {
+                detail: format!(
+                    "no process accounts for the run: max breakdown total {:.3} ms \
+                     is under 85% of parallel time {:.3} ms",
+                    max_total / 1e6,
+                    par / 1e6
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The full report as a [`Json`] value (stable key order).
+    ///
+    /// Schema: `finish_ns`, `parallel_ms`, `breakdowns` (per-process
+    /// category times in ms), `mean_breakdown`, `shares` (fraction of
+    /// the mean total per category), `counters`, `monitor` (per
+    /// stage/size-class contention ratios and tail latencies plus
+    /// packet/byte traffic), `recovery`, `pinned_shared_bytes`,
+    /// `events`.
+    pub fn to_json_value(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("finish_ns", Json::u64(self.finish.as_ns()));
+        root.set("parallel_ms", Json::num(self.parallel_time().as_ms()));
+
+        let mut bds = Vec::with_capacity(self.breakdowns.len());
+        for b in &self.breakdowns {
+            bds.push(breakdown_json(b));
+        }
+        root.set("breakdowns", Json::Arr(bds));
+
+        let mean = self.mean_breakdown();
+        root.set("mean_breakdown", breakdown_json(&mean));
+        root.set("shares", shares_json(&mean));
+        root.set("counters", counters_json(&self.counters));
+        root.set("monitor", monitor_json(&self.monitor));
+
+        let mut rec = Json::obj();
+        rec.set("retransmits", Json::u64(self.recovery.retransmits));
+        rec.set(
+            "duplicates_suppressed",
+            Json::u64(self.recovery.duplicates_suppressed),
+        );
+        rec.set("unreachable", Json::u64(self.recovery.unreachable));
+        root.set("recovery", rec);
+
+        root.set(
+            "pinned_shared_bytes",
+            Json::Arr(
+                self.pinned_shared_bytes
+                    .iter()
+                    .map(|&b| Json::u64(b))
+                    .collect(),
+            ),
+        );
+        root.set("events", Json::u64(self.events));
+        root
+    }
+
+    /// The full report serialized as a compact JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().dump()
+    }
+}
+
+fn breakdown_json(b: &Breakdown) -> Json {
+    let mut o = Json::obj();
+    o.set("compute_ms", Json::num(b.compute.as_ms()));
+    o.set("data_ms", Json::num(b.data.as_ms()));
+    o.set("lock_ms", Json::num(b.lock.as_ms()));
+    o.set("acqrel_ms", Json::num(b.acqrel.as_ms()));
+    o.set("barrier_ms", Json::num(b.barrier.as_ms()));
+    o.set("barrier_protocol_ms", Json::num(b.barrier_protocol.as_ms()));
+    o.set("mprotect_ms", Json::num(b.mprotect.as_ms()));
+    o.set("total_ms", Json::num(b.total().as_ms()));
+    o
+}
+
+fn shares_json(mean: &Breakdown) -> Json {
+    let total = mean.total().as_ns() as f64;
+    let share = |d: Dur| {
+        if total == 0.0 {
+            Json::num(0.0)
+        } else {
+            Json::num(d.as_ns() as f64 / total)
+        }
+    };
+    let mut o = Json::obj();
+    o.set("compute", share(mean.compute));
+    o.set("data", share(mean.data));
+    o.set("lock", share(mean.lock));
+    o.set("acqrel", share(mean.acqrel));
+    o.set("barrier", share(mean.barrier));
+    o
+}
+
+fn counters_json(c: &Counters) -> Json {
+    let mut o = Json::obj();
+    o.set("faults", Json::u64(c.faults));
+    o.set("page_transfers", Json::u64(c.page_transfers));
+    o.set("fetch_retries", Json::u64(c.fetch_retries));
+    o.set("interrupts", Json::u64(c.interrupts));
+    o.set("diffs", Json::u64(c.diffs));
+    o.set("diff_run_messages", Json::u64(c.diff_run_messages));
+    o.set("intervals", Json::u64(c.intervals));
+    o.set("notice_messages", Json::u64(c.notice_messages));
+    o.set("remote_lock_acquires", Json::u64(c.remote_lock_acquires));
+    o.set("local_lock_acquires", Json::u64(c.local_lock_acquires));
+    o.set("lock_spin_retries", Json::u64(c.lock_spin_retries));
+    o.set("barriers", Json::u64(c.barriers));
+    o.set("mprotect_calls", Json::u64(c.mprotect_calls));
+    o.set("invalidations", Json::u64(c.invalidations));
+    o
+}
+
+fn monitor_json(m: &Monitor) -> Json {
+    let mut stages = Vec::with_capacity(8);
+    for class in [SizeClass::Small, SizeClass::Large] {
+        for stage in Stage::ALL {
+            let st = m.stats(stage, class);
+            let (p50, p95, p99) = m.tail(stage, class);
+            let mut row = Json::obj();
+            row.set("stage", Json::str(stage.label()));
+            row.set(
+                "class",
+                Json::str(match class {
+                    SizeClass::Small => "small",
+                    SizeClass::Large => "large",
+                }),
+            );
+            row.set("n", Json::u64(st.actual.count()));
+            row.set("ratio", Json::num(st.ratio()));
+            row.set("actual_mean_us", Json::num(st.actual.mean().as_us()));
+            row.set(
+                "uncontended_mean_us",
+                Json::num(st.uncontended.mean().as_us()),
+            );
+            row.set("p50_us", Json::num(p50.as_us()));
+            row.set("p95_us", Json::num(p95.as_us()));
+            row.set("p99_us", Json::num(p99.as_us()));
+            stages.push(row);
+        }
+    }
+    let mut pk = Json::obj();
+    pk.set("small", Json::u64(m.packets(SizeClass::Small)));
+    pk.set("large", Json::u64(m.packets(SizeClass::Large)));
+    let mut o = Json::obj();
+    o.set("stages", Json::Arr(stages));
+    o.set("packets", pk);
+    o.set("total_bytes", Json::u64(m.total_bytes()));
+    o
 }
 
 #[cfg(test)]
@@ -83,5 +286,93 @@ mod tests {
         let mean = report.mean_breakdown();
         assert_eq!(mean.compute, Dur::from_us(800));
         assert_eq!(mean.data, Dur::from_us(200));
+    }
+
+    fn sample_report(interrupts: u64) -> RunReport {
+        let counters = Counters {
+            interrupts,
+            ..Counters::default()
+        };
+        RunReport {
+            finish: Time::from_ns(100_000_000),
+            breakdowns: vec![
+                Breakdown {
+                    compute: Dur::from_ms(60),
+                    data: Dur::from_ms(40),
+                    ..Breakdown::default()
+                },
+                Breakdown {
+                    compute: Dur::from_ms(98),
+                    ..Breakdown::default()
+                },
+            ],
+            counters,
+            monitor: Monitor::new(),
+            recovery: RecoveryStats::default(),
+            pinned_shared_bytes: vec![4096, 0],
+            events: 7,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_closed_accounting() {
+        let report = sample_report(3);
+        assert!(report.validate(&FeatureSet::dw_rf_dd()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_interrupts_on_genima() {
+        let report = sample_report(1);
+        let err = report.validate(&FeatureSet::genima());
+        assert!(matches!(err, Err(ProtoError::InvalidReport { .. })));
+        assert!(sample_report(0).validate(&FeatureSet::genima()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unaccounted_time() {
+        let mut report = sample_report(0);
+        // All breakdowns far below the 100 ms wall clock.
+        for b in &mut report.breakdowns {
+            *b = Breakdown {
+                compute: Dur::from_ms(10),
+                ..Breakdown::default()
+            };
+        }
+        assert!(report.validate(&FeatureSet::base()).is_err());
+        // ... and far above it.
+        report.breakdowns[0].compute = Dur::from_ms(200);
+        assert!(report.validate(&FeatureSet::base()).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_has_schema_keys() {
+        let report = sample_report(2);
+        let text = report.to_json();
+        let v = Json::parse(&text).expect("report JSON parses");
+        assert_eq!(v.get("finish_ns").and_then(Json::as_u64), Some(100_000_000));
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("interrupts"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let stages = v
+            .get("monitor")
+            .and_then(|m| m.get("stages"))
+            .and_then(Json::as_arr)
+            .expect("monitor.stages array");
+        assert_eq!(stages.len(), 8);
+        let shares = v.get("shares").expect("shares object");
+        let total: f64 = ["compute", "data", "lock", "acqrel", "barrier"]
+            .iter()
+            .map(|k| shares.get(k).and_then(Json::as_f64).expect("share"))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(
+            v.get("pinned_shared_bytes")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(2)
+        );
     }
 }

@@ -210,6 +210,15 @@ impl SvmSystem {
         // Stale reply: ask the home again with the tightened
         // requirement (served once the missing diffs are applied).
         self.counters.fetch_retries += 1;
+        self.obs_record(|o| {
+            o.instant(
+                genima_obs::SpanKind::FetchRetry,
+                node,
+                genima_obs::Track::Host,
+                t,
+                page.index() as u64,
+            );
+        });
         let home = self.home_of(page).index();
         let tag = self.tag(Pending::PageRequestMsg {
             requester: node,
@@ -264,6 +273,15 @@ impl SvmSystem {
             self.install_copy(t, node, page, ts, data);
         } else {
             self.counters.fetch_retries += 1;
+            self.obs_record(|o| {
+                o.instant(
+                    genima_obs::SpanKind::FetchRetry,
+                    node,
+                    genima_obs::Track::Host,
+                    t,
+                    page.index() as u64,
+                );
+            });
             self.q.push(
                 t + self.p.proto.fetch_retry_backoff,
                 SysEvent::RetryFetch(proc, page),
@@ -385,6 +403,16 @@ impl SvmSystem {
         self.procs[p].bd.acqrel += twin_cost;
         self.procs[p].bd.mprotect += mpro;
         self.counters.mprotect_calls += 1;
+        self.obs_record(|o| {
+            o.span(
+                genima_obs::SpanKind::PageFetch,
+                node,
+                genima_obs::Track::Host,
+                started,
+                end,
+                page.index() as u64,
+            );
+        });
         if write {
             self.make_writable(p, node, page);
         } else {
@@ -501,6 +529,23 @@ impl SvmSystem {
             interval,
         });
         let home = self.home_of(page).index();
+        self.obs_record(|o| {
+            o.instant_flow(
+                genima_obs::SpanKind::DiffApply,
+                home,
+                genima_obs::Track::Host,
+                t,
+                page.index() as u64,
+                genima_obs::Flow {
+                    id: genima_obs::flow_diff_id(
+                        writer as u64,
+                        interval as u64,
+                        page.index() as u64,
+                    ),
+                    dir: genima_obs::FlowDir::Finish,
+                },
+            );
+        });
         let data_mode = self.p.data_mode;
         let hp = self.home_pages.entry(page).or_default();
         if let Some(d) = diff {

@@ -423,6 +423,9 @@ pub struct SvmSystem {
     /// Protocol events recorded while tracing is on (`None` =
     /// disabled, the default: zero overhead).
     pub(crate) trace: Option<Vec<TraceEvent>>,
+    /// Observability recorder for host-side spans (`None` = disabled,
+    /// the default: a single branch per emission site, like `trace`).
+    pub(crate) obs: Option<genima_obs::ObsHandle>,
     /// Set when the communication layer reports an unrecoverable
     /// failure (e.g. an unreachable peer); the event loop drains out
     /// and [`SvmSystem::try_run`] returns the error.
@@ -509,8 +512,26 @@ impl SvmSystem {
             done_count: 0,
             measure_from: Time::ZERO,
             trace: None,
+            obs: None,
             fatal: None,
             p: params,
+        }
+    }
+
+    /// Installs an observability recorder: protocol spans (page
+    /// fetches, lock waits, barrier phases, diff work, interrupts) are
+    /// recorded on the host tracks and the NI firmware records its
+    /// service spans on the firmware tracks. Like tracing, recording is
+    /// observational only — simulated timing is unchanged.
+    pub fn set_observer(&mut self, obs: genima_obs::ObsHandle) {
+        self.vmmc.comm_mut().set_observer(obs.clone());
+        self.obs = Some(obs);
+    }
+
+    /// Records an observability span when a recorder is installed.
+    pub(crate) fn obs_record(&mut self, f: impl FnOnce(&mut genima_obs::Recorder)) {
+        if let Some(h) = self.obs.as_ref() {
+            f(&mut h.borrow_mut());
         }
     }
 
@@ -706,7 +727,18 @@ impl SvmSystem {
         self.emit(TraceEvent::Interrupt { at: t, node });
         let lat = self.p.proto.interrupt_latency;
         let node_rt = &mut self.nodes[node];
-        let (_, done) = node_rt.handler.reserve(t + lat, svc);
+        let (start, done) = node_rt.handler.reserve(t + lat, svc);
+        self.obs_record(|o| {
+            o.span(
+                genima_obs::SpanKind::Interrupt,
+                node,
+                genima_obs::Track::Host,
+                start,
+                done,
+                svc.as_ns(),
+            );
+        });
+        let node_rt = &mut self.nodes[node];
         // The floating protocol process preempts one compute processor.
         let ppn = self.p.topo.procs_per_node;
         let victim = node * ppn + node_rt.steal_rr % ppn;

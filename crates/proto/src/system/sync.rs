@@ -130,7 +130,18 @@ impl SvmSystem {
             }
             let cost = self.p.mem.diff_cost(dp.runs());
             self.charge(sink, cost);
+            let diff_start = cursor;
             cursor += cost;
+            self.obs_record(|o| {
+                o.span(
+                    genima_obs::SpanKind::DiffCompute,
+                    node,
+                    genima_obs::Track::Host,
+                    diff_start,
+                    diff_start + cost,
+                    page.index() as u64,
+                );
+            });
             let diff = self.materialise_diff(node, page, &dp);
             let home = self.home_of(page).index();
             if home == node {
@@ -157,6 +168,23 @@ impl SvmSystem {
                     .deposit_gather(cursor, my_nic, hn, dp.bytes() + 16, runs, tag);
                 cursor = self.absorb_post(post);
                 self.counters.diff_run_messages += 1;
+                self.obs_record(|o| {
+                    o.instant_flow(
+                        genima_obs::SpanKind::DirectDiffDeposit,
+                        node,
+                        genima_obs::Track::Host,
+                        cursor,
+                        page.index() as u64,
+                        genima_obs::Flow {
+                            id: genima_obs::flow_diff_id(
+                                p as u64,
+                                pi.interval as u64,
+                                page.index() as u64,
+                            ),
+                            dir: genima_obs::FlowDir::Start,
+                        },
+                    );
+                });
             } else if direct {
                 // One deposit per contiguous run, then the timestamp.
                 let hn = NodeId::new(home).nic();
@@ -174,6 +202,23 @@ impl SvmSystem {
                 });
                 let post = self.vmmc.deposit(cursor, my_nic, hn, 16, tag);
                 cursor = self.absorb_post(post);
+                self.obs_record(|o| {
+                    o.instant_flow(
+                        genima_obs::SpanKind::DirectDiffDeposit,
+                        node,
+                        genima_obs::Track::Host,
+                        cursor,
+                        page.index() as u64,
+                        genima_obs::Flow {
+                            id: genima_obs::flow_diff_id(
+                                p as u64,
+                                pi.interval as u64,
+                                page.index() as u64,
+                            ),
+                            dir: genima_obs::FlowDir::Start,
+                        },
+                    );
+                });
             } else {
                 // Packed diff in one host message (interrupts the home).
                 let hn = NodeId::new(home).nic();
@@ -772,6 +817,17 @@ impl SvmSystem {
             other => panic!("p{proc} granted {l} while in state {other:?}"),
         };
         self.procs[proc].bd.lock += t.saturating_since(started);
+        let wait_node = self.p.topo.node_of(ProcId::new(proc)).index();
+        self.obs_record(|o| {
+            o.span(
+                genima_obs::SpanKind::LockAcquire,
+                wait_node,
+                genima_obs::Track::Host,
+                started,
+                t,
+                l.index() as u64,
+            );
+        });
         self.procs[proc].vc.join(vc);
         let flow = self.enter_notice_stage(t, proc, WaitReason::Lock);
         if flow == Flow::Continue {
@@ -875,6 +931,15 @@ impl SvmSystem {
             Some(p),
             "p{p} released {l} it does not hold"
         );
+        self.obs_record(|o| {
+            o.instant(
+                genima_obs::SpanKind::LockRelease,
+                node,
+                genima_obs::Track::Host,
+                now,
+                l.index() as u64,
+            );
+        });
         let mut cursor = now;
 
         // Close the interval and propagate coherence information.
@@ -903,6 +968,16 @@ impl SvmSystem {
                 other => panic!("local waiter p{next} in state {other:?}"),
             };
             self.procs[next].bd.lock += t.saturating_since(started);
+            self.obs_record(|o| {
+                o.span(
+                    genima_obs::SpanKind::LockAcquire,
+                    node,
+                    genima_obs::Track::Host,
+                    started,
+                    t,
+                    l.index() as u64,
+                );
+            });
             let lvc = self.locks[l.index()].vc.clone();
             self.procs[next].vc.join(&lvc);
             self.enter_notice_stage(t, next, WaitReason::Lock);
@@ -1127,6 +1202,16 @@ impl SvmSystem {
                 ) => continue,
             };
             self.procs[p].bd.barrier += t.saturating_since(started);
+            self.obs_record(|o| {
+                o.span(
+                    genima_obs::SpanKind::BarrierWait,
+                    node,
+                    genima_obs::Track::Host,
+                    started,
+                    t,
+                    b.index() as u64,
+                );
+            });
             self.procs[p].vc.join(&joined);
             self.enter_notice_stage(t, p, WaitReason::Barrier);
         }

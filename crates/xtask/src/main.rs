@@ -14,7 +14,17 @@
 //! `#[cfg(test)]` in each file. A finding can be waived in place with
 //! a trailing `// lint: allow-wildcard` or `// lint: allow-unwrap`
 //! comment on the offending line.
+//!
+//! Two observability commands ride along:
+//!
+//! * `xtask obs-summary <file> [top]` — prints a top-N aggregation of
+//!   a Chrome-trace timeline (per span kind and per node), or the NI
+//!   monitor tables when given a `RunReport` JSON instead.
+//! * `xtask obs-schema <file>...` — checks `BENCH_breakdowns.json` /
+//!   `BENCH_fault_matrix.json` against the expected shape; CI fails
+//!   the `obs-smoke` job on a mismatch.
 
+use genima_obs::{monitor_tables, trace_top, Json};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -26,7 +36,16 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/proto/src/system/sync.rs",
     "crates/fault/src/inject.rs",
     "crates/fault/src/plan.rs",
+    "crates/obs/src/json.rs",
+    "crates/obs/src/ring.rs",
+    "crates/obs/src/span.rs",
+    "crates/obs/src/summary.rs",
+    "crates/obs/src/timeline.rs",
+    "crates/obs/src/lib.rs",
 ];
+
+/// The five protocol columns every breakdowns report must carry.
+const COLUMNS: &[&str] = &["Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA"];
 
 /// One rule violation at a source line.
 #[derive(Debug, PartialEq, Eq)]
@@ -135,16 +154,178 @@ fn run_lint() -> ExitCode {
     }
 }
 
+fn load_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `xtask obs-summary <file> [top]`: a Chrome-trace array gets the
+/// top-N span aggregation; a `RunReport` JSON gets the monitor tables.
+fn run_obs_summary(path: &str, top: usize) -> ExitCode {
+    let v = match load_json(path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask obs-summary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = if v.as_arr().is_some() {
+        trace_top(&v, top)
+    } else if v.get("monitor").is_some() {
+        monitor_tables(&[(path, &v)])
+    } else {
+        Err("expected a trace-event array or a RunReport object with a `monitor` key".to_string())
+    };
+    match rendered {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask obs-summary: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check_breakdowns_schema(v: &Json) -> Result<(), String> {
+    let apps = v
+        .get("apps")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| "missing `apps` object".to_string())?;
+    if apps.is_empty() {
+        return Err("`apps` is empty".to_string());
+    }
+    for (name, entry) in apps {
+        if entry.get("sequential_ms").and_then(Json::as_f64).is_none() {
+            return Err(format!("app {name}: missing numeric `sequential_ms`"));
+        }
+        let cols = entry
+            .get("columns")
+            .ok_or_else(|| format!("app {name}: missing `columns`"))?;
+        for col in COLUMNS {
+            let c = cols
+                .get(col)
+                .ok_or_else(|| format!("app {name}: missing column `{col}`"))?;
+            for key in ["parallel_ms", "speedup"] {
+                if c.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!("app {name} column {col}: missing numeric `{key}`"));
+                }
+            }
+            for key in ["shares", "counters"] {
+                if c.get(key).and_then(Json::as_obj).is_none() {
+                    return Err(format!("app {name} column {col}: missing object `{key}`"));
+                }
+            }
+            let interrupts = c
+                .get("counters")
+                .and_then(|cc| cc.get("interrupts"))
+                .and_then(Json::as_u64);
+            if interrupts.is_none() {
+                return Err(format!(
+                    "app {name} column {col}: counters missing integer `interrupts`"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_fault_matrix_schema(v: &Json) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if row.get("column").and_then(Json::as_str).is_none() {
+            return Err(format!("row {i}: missing string `column`"));
+        }
+        for key in ["drop_rate", "time_ms"] {
+            if row.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("row {i}: missing numeric `{key}`"));
+            }
+        }
+        for key in [
+            "retransmits",
+            "duplicates_suppressed",
+            "injected_drops",
+            "injected_dups",
+            "injected_delays",
+            "interrupts",
+        ] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("row {i}: missing integer `{key}`"));
+            }
+        }
+        if row.get("audit_clean").and_then(Json::as_bool).is_none() {
+            return Err(format!("row {i}: missing boolean `audit_clean`"));
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches a parsed bench report to the matching schema check.
+fn check_schema(v: &Json) -> Result<&'static str, String> {
+    if v.get("seed").and_then(Json::as_u64).is_none() {
+        return Err("missing integer `seed`".to_string());
+    }
+    match v.get("bench").and_then(Json::as_str) {
+        Some("breakdowns") => check_breakdowns_schema(v).map(|()| "breakdowns"),
+        Some("fault_matrix") => check_fault_matrix_schema(v).map(|()| "fault_matrix"),
+        Some(other) => Err(format!("unknown bench kind `{other}`")),
+        None => Err("missing string `bench`".to_string()),
+    }
+}
+
+fn run_obs_schema(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: xtask obs-schema <file>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0u32;
+    for path in paths {
+        match load_json(path).and_then(|v| check_schema(&v)) {
+            Ok(kind) => println!("xtask obs-schema: {path}: valid {kind} report"),
+            Err(e) => {
+                eprintln!("xtask obs-schema: {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "usage: xtask lint | obs-summary <file> [top] | obs-schema <file>...";
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => run_lint(),
+        Some("obs-summary") => {
+            let path = match args.next() {
+                Some(p) => p,
+                None => {
+                    eprintln!("usage: xtask obs-summary <file> [top]");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let top = args.next().and_then(|t| t.parse().ok()).unwrap_or(10);
+            run_obs_summary(&path, top)
+        }
+        Some("obs-schema") => run_obs_schema(&args.collect::<Vec<_>>()),
         Some(other) => {
-            eprintln!("xtask: unknown command `{other}`\nusage: xtask lint");
+            eprintln!("xtask: unknown command `{other}`\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -201,6 +382,57 @@ mod tests {
     fn trailing_comment_does_not_hide_code() {
         let src = "let v = o.unwrap(); // grab it\n";
         assert_eq!(lint_source("x.rs", src).len(), 1);
+    }
+
+    fn minimal_breakdowns_json() -> String {
+        let cols: Vec<String> = COLUMNS
+            .iter()
+            .map(|c| {
+                format!(
+                    "\"{c}\":{{\"parallel_ms\":1.0,\"speedup\":2.0,\
+                     \"shares\":{{}},\"counters\":{{\"interrupts\":0}}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"breakdowns\",\"seed\":42,\"apps\":{{\"LU\":{{\
+             \"sequential_ms\":9.0,\"columns\":{{{}}}}}}}}}",
+            cols.join(",")
+        )
+    }
+
+    #[test]
+    fn breakdowns_schema_accepts_all_five_columns() {
+        let v = Json::parse(&minimal_breakdowns_json()).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("breakdowns"));
+    }
+
+    #[test]
+    fn breakdowns_schema_rejects_missing_column() {
+        let text = minimal_breakdowns_json().replace("\"GeNIMA\"", "\"GeNIMA-typo\"");
+        let v = Json::parse(&text).expect("fixture parses");
+        let err = check_schema(&v).expect_err("must flag the missing column");
+        assert!(err.contains("GeNIMA"), "{err}");
+    }
+
+    #[test]
+    fn fault_matrix_schema_round_trips() {
+        let row = "{\"drop_rate\":0.05,\"column\":\"Base\",\"time_ms\":3.5,\
+                   \"retransmits\":2,\"duplicates_suppressed\":1,\
+                   \"injected_drops\":4,\"injected_dups\":1,\"injected_delays\":2,\
+                   \"interrupts\":0,\"audit_clean\":true}";
+        let text = format!("{{\"bench\":\"fault_matrix\",\"seed\":7,\"rows\":[{row}]}}");
+        let v = Json::parse(&text).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("fault_matrix"));
+        let broken = text.replace("\"audit_clean\":true", "\"audit_clean\":3");
+        let v = Json::parse(&broken).expect("fixture parses");
+        assert!(check_schema(&v).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_unknown_kind() {
+        let v = Json::parse("{\"bench\":\"mystery\",\"seed\":1}").expect("fixture parses");
+        assert!(check_schema(&v).is_err());
     }
 
     #[test]

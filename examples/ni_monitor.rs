@@ -1,14 +1,18 @@
 //! NI firmware performance monitor: reproduce the paper's §4 analysis
-//! for one application — per-stage contention ratios for small and
-//! large messages, Base versus GeNIMA.
+//! for one application — per-stage contention ratios and residency
+//! tails for small and large messages, Base versus GeNIMA.
 //!
 //! ```sh
 //! cargo run --release --example ni_monitor [app-name]
 //! ```
+//!
+//! The tables are rendered from the run's machine-readable report
+//! (`RunReport::to_json`) by [`genima_obs::monitor_tables`] — the same
+//! code path `xtask obs-summary <report.json>` uses, so the printed
+//! tables and the CI artifacts can never drift apart.
 
-use genima::{run_app, FeatureSet, TextTable, Topology};
+use genima::{run_app, FeatureSet, Json, Topology};
 use genima_apps::app_by_name;
-use genima_nic::{SizeClass, Stage};
 
 fn main() {
     let name = std::env::args()
@@ -23,60 +27,24 @@ fn main() {
     let base = run_app(app.as_ref(), topo, FeatureSet::base());
     let genima = run_app(app.as_ref(), topo, FeatureSet::genima());
 
+    // Round-trip through the JSON report: what gets printed is exactly
+    // what a saved report file would show.
+    let base_json = Json::parse(&base.report.to_json()).expect("Base report serializes");
+    let genima_json = Json::parse(&genima.report.to_json()).expect("GeNIMA report serializes");
+
     println!(
         "{}: firmware monitor, ratios of average to uncontended residency\n\
-         (each cell is Base/GeNIMA, as in the paper's Tables 3 and 4)\n",
+         (columns as in the paper's Tables 3 and 4; tails expose what means hide)\n",
         app.name()
     );
-    for (label, class) in [
-        ("small messages (<=256B)", SizeClass::Small),
-        ("large messages", SizeClass::Large),
-    ] {
-        let mut t = TextTable::new(vec!["Stage", "Base", "GeNIMA"]);
-        for stage in Stage::ALL {
-            let b = base.report.monitor.stats(stage, class);
-            let g = genima.report.monitor.stats(stage, class);
-            let fmt = |s: genima_nic::StageStats| {
-                if s.actual.count() == 0 {
-                    "-".to_string()
-                } else {
-                    format!("{:.2}  (n={})", s.ratio(), s.actual.count())
-                }
-            };
-            t.row(vec![stage.label().to_string(), fmt(b), fmt(g)]);
-        }
-        println!("-- {label}\n{t}");
-
-        // Tail percentiles of the actual residency: means hide
-        // contention spikes (and, under fault injection, retry-induced
-        // tail latency) that p95/p99 expose.
-        let mut tails = TextTable::new(vec!["Stage", "Base p50/p95/p99", "GeNIMA p50/p95/p99"]);
-        let fmt_tail = |(p50, p95, p99): (genima::Dur, genima::Dur, genima::Dur)| {
-            format!(
-                "{:.1} / {:.1} / {:.1} us",
-                p50.as_us(),
-                p95.as_us(),
-                p99.as_us()
-            )
-        };
-        for stage in Stage::ALL {
-            tails.row(vec![
-                stage.label().to_string(),
-                fmt_tail(base.report.monitor.tail(stage, class)),
-                fmt_tail(genima.report.monitor.tail(stage, class)),
-            ]);
-        }
-        println!("-- {label}, residency tails\n{tails}");
-    }
+    let tables = genima_obs::monitor_tables(&[("Base", &base_json), ("GeNIMA", &genima_json)])
+        .unwrap_or_else(|e| {
+            eprintln!("report JSON malformed: {e}");
+            std::process::exit(1)
+        });
+    println!("{tables}");
     println!(
-        "packets: Base {} small / {} large; GeNIMA {} small / {} large",
-        base.report.monitor.packets(SizeClass::Small),
-        base.report.monitor.packets(SizeClass::Large),
-        genima.report.monitor.packets(SizeClass::Small),
-        genima.report.monitor.packets(SizeClass::Large),
-    );
-    println!(
-        "\nGeNIMA sends many more small messages (eager notices, direct diffs) and\n\
+        "GeNIMA sends many more small messages (eager notices, direct diffs) and\n\
          tolerates the extra contention because every operation is asynchronous —\n\
          the paper's §4 conclusion."
     );
