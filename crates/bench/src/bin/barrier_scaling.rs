@@ -1,0 +1,264 @@
+//! `barrier_scaling` — barrier latency versus node count, host-managed
+//! node-0 manager versus NI-tree collectives.
+//!
+//! ```text
+//! barrier_scaling [--seed N] [--iters I] [--json PATH]
+//! ```
+//!
+//! With `--json PATH` the sweep is additionally written as a
+//! machine-readable report (`BENCH_barrier.json` in CI); `xtask
+//! obs-schema` checks the shape.
+//!
+//! The workload is a synthetic barrier storm: every process writes one
+//! private shared page, computes briefly, and hits a barrier, repeated
+//! `--iters` times past the warmup barrier. Everything except the
+//! barrier implementation is held fixed (GeNIMA feature column), so
+//! the sweep isolates the host-barrier vs NI-barrier axis of the
+//! ablation:
+//!
+//! * `host` — the node-0 manager collects per-node arrival messages
+//!   and sends per-node releases: O(nodes) serialized host messages
+//!   per episode, linear fan-in.
+//! * `ni-tree-K` — the k-ary NI-tree collective combines arrivals in
+//!   firmware up the tree and broadcasts the release down it:
+//!   O(log_K nodes) tree depth, zero host messages, zero interrupts.
+//!
+//! Exits non-zero if the best NI-tree fanout fails to beat the host
+//! manager at 16 nodes and beyond, or if an NI-tree run takes a host
+//! interrupt or a barrier-manager message, so CI can run it as a smoke
+//! gate (`.github/workflows/ci.yml`, job `coll-smoke`). (A fanout-2
+//! tree is legitimately slower than the manager at 32+ nodes — depth
+//! log2(n) with a firmware combine per hop — which is why fanout is a
+//! swept parameter and the protocol default is 4.)
+
+use genima::{
+    run_app_configured, BarrierImpl, FeatureSet, RunConfig, RunReport, TextTable, Topology,
+};
+use genima_apps::{App, Layout, OpsBuilder, WorkloadSpec};
+use genima_obs::Json;
+use genima_proto::BarrierId;
+use genima_sim::RunSeed;
+
+struct Args {
+    seed: u64,
+    iters: usize,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: barrier_scaling [--seed N] [--iters I] [--json PATH]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: RunSeed::default().value(),
+        iters: 12,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| usage());
+        if flag.as_str() == "--json" {
+            args.json = Some(value);
+            continue;
+        }
+        let parsed: u64 = value.parse().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--seed" => args.seed = parsed,
+            "--iters" => args.iters = parsed as usize,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Synthetic barrier-dominated workload: each process writes its own
+/// page (so write notices ride every episode), computes a sliver, and
+/// joins the next barrier. Barrier 0 is the warmup barrier, so
+/// statistics cover exactly `iters` measured episodes.
+struct BarrierStorm {
+    iters: usize,
+}
+
+impl App for BarrierStorm {
+    fn name(&self) -> &'static str {
+        "Barrier-storm"
+    }
+
+    fn problem(&self) -> String {
+        format!("{} episodes", self.iters)
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let nprocs = topo.procs();
+        let mut layout = Layout::new();
+        let pages = layout.alloc_pages(nprocs);
+        let mut sources = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            let mut b = OpsBuilder::new();
+            b.barrier(0);
+            for i in 0..self.iters {
+                // A deterministic sliver of imbalance so arrivals are
+                // staggered, as in a real iteration.
+                b.compute_us(5.0 + 0.25 * (p as f64));
+                b.write(pages.page(p).base(), 64);
+                b.barrier(1 + i);
+            }
+            sources.push(b.into_source());
+        }
+        WorkloadSpec {
+            sources,
+            homes: pages.homes_blocked(topo),
+            locks: 1,
+            bus_demand_per_proc: 0,
+            warmup_barrier: Some(BarrierId::new(0)),
+        }
+    }
+}
+
+/// Mean per-episode barrier time across processes, in microseconds.
+fn barrier_us(report: &RunReport, iters: usize) -> f64 {
+    report.mean_breakdown().barrier.as_us() / iters as f64
+}
+
+fn mode_name(barrier: BarrierImpl) -> String {
+    match barrier {
+        BarrierImpl::HostManager => "host".to_string(),
+        BarrierImpl::NiTree { fanout } => format!("ni-tree-{fanout}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let app = BarrierStorm { iters: args.iters };
+    let modes = [
+        BarrierImpl::HostManager,
+        BarrierImpl::NiTree { fanout: 2 },
+        BarrierImpl::NiTree { fanout: 4 },
+        BarrierImpl::NiTree { fanout: 8 },
+    ];
+    println!(
+        "barrier scaling: {} episodes per run, seed {:#x}",
+        args.iters, args.seed
+    );
+
+    let mut table = TextTable::new(vec![
+        "nodes",
+        "mode",
+        "barrier(us)",
+        "time(ms)",
+        "mgr-msgs",
+        "intr",
+    ]);
+    let mut failures = 0u32;
+    let mut rows = Vec::new();
+    for &nodes in &[4usize, 8, 16, 32, 64] {
+        let mut host_us = None;
+        let mut best_ni: Option<(f64, BarrierImpl)> = None;
+        for &mode in &modes {
+            let cfg = RunConfig::new(Topology::new(nodes, 1), FeatureSet::genima())
+                .with_seed(args.seed)
+                .with_barrier(mode);
+            let run = match run_app_configured(&app, &cfg) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!(
+                        "FAIL {} at {nodes} nodes: run aborted: {e}",
+                        mode_name(mode)
+                    );
+                    failures += 1;
+                    continue;
+                }
+            };
+            if let Err(e) = run.report.validate(&cfg.features) {
+                eprintln!("FAIL {} at {nodes} nodes: {e}", mode_name(mode));
+                failures += 1;
+            }
+            let us = barrier_us(&run.report, args.iters);
+            let ni = matches!(mode, BarrierImpl::NiTree { .. });
+            if ni && run.report.counters.barrier_manager_msgs != 0 {
+                eprintln!(
+                    "FAIL {} at {nodes} nodes: {} barrier-manager messages (must be 0)",
+                    mode_name(mode),
+                    run.report.counters.barrier_manager_msgs
+                );
+                failures += 1;
+            }
+            if run.report.counters.interrupts != 0 {
+                eprintln!(
+                    "FAIL {} at {nodes} nodes: {} host interrupts (must be 0 on GeNIMA)",
+                    mode_name(mode),
+                    run.report.counters.interrupts
+                );
+                failures += 1;
+            }
+            match mode {
+                BarrierImpl::HostManager => host_us = Some(us),
+                BarrierImpl::NiTree { .. } => {
+                    if best_ni.is_none_or(|(b, _)| us < b) {
+                        best_ni = Some((us, mode));
+                    }
+                }
+            }
+            table.row(vec![
+                nodes.to_string(),
+                mode_name(mode),
+                format!("{us:.2}"),
+                format!("{:.2}", run.report.parallel_time().as_ms()),
+                run.report.counters.barrier_manager_msgs.to_string(),
+                run.report.counters.interrupts.to_string(),
+            ]);
+            let mut row = Json::obj();
+            row.set("nodes", Json::u64(nodes as u64));
+            row.set("mode", Json::str(mode_name(mode)));
+            row.set(
+                "fanout",
+                Json::u64(match mode {
+                    BarrierImpl::HostManager => 0,
+                    BarrierImpl::NiTree { fanout } => fanout as u64,
+                }),
+            );
+            row.set("barrier_us", Json::num(us));
+            row.set("time_ms", Json::num(run.report.parallel_time().as_ms()));
+            row.set("barriers", Json::u64(run.report.counters.barriers));
+            row.set(
+                "manager_msgs",
+                Json::u64(run.report.counters.barrier_manager_msgs),
+            );
+            row.set("interrupts", Json::u64(run.report.counters.interrupts));
+            row.set("ni_barrier", Json::Bool(run.report.ni_barrier));
+            rows.push(row);
+        }
+        if let (Some(host), Some((ni, mode))) = (host_us, best_ni) {
+            if nodes >= 16 && ni >= host {
+                eprintln!(
+                    "FAIL at {nodes} nodes: best NI tree ({}, {ni:.2}us) must beat the \
+                     host manager ({host:.2}us) at scale",
+                    mode_name(mode)
+                );
+                failures += 1;
+            }
+        }
+    }
+    println!("{table}");
+    if let Some(path) = args.json {
+        let mut root = Json::obj();
+        root.set("bench", Json::str("barrier"));
+        root.set("seed", Json::u64(args.seed));
+        root.set("iters", Json::u64(args.iters as u64));
+        root.set("rows", Json::Arr(rows));
+        match std::fs::write(&path, root.dump()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("barrier scaling: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("barrier scaling: NI tree beats the host manager at every measured scale point");
+}

@@ -20,8 +20,13 @@
 //! 5. **Zero interrupts** — an interrupt-free configuration (full
 //!    GeNIMA) must record no host interrupt at all
 //!    ([`Violation::UnexpectedInterrupt`]).
+//! 6. **Barrier epochs** — under NI-tree barriers, no node may exit
+//!    epoch `e` of a barrier before every node's arrival for `e` has
+//!    been combined, and no node exits the same epoch twice
+//!    ([`Violation::EarlyBarrierExit`],
+//!    [`Violation::DuplicateBarrierExit`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use genima_proto::{FeatureSet, LockChange, LockId, LockTrace, PageId, ProcId, TraceEvent, TsMap};
@@ -119,6 +124,33 @@ pub enum Violation {
         /// The interrupted node.
         node: usize,
     },
+    /// A node was released from a barrier epoch before every node's
+    /// arrival for that epoch had been combined by the NI tree.
+    EarlyBarrierExit {
+        /// Release time at the node.
+        at: Time,
+        /// The prematurely released node.
+        node: usize,
+        /// The barrier concerned.
+        barrier: usize,
+        /// The epoch exited.
+        epoch: u32,
+        /// Distinct nodes whose arrivals were combined by then.
+        have: usize,
+        /// Arrivals a release requires (the node count).
+        need: usize,
+    },
+    /// A node was released from the same barrier epoch twice.
+    DuplicateBarrierExit {
+        /// Time of the second release.
+        at: Time,
+        /// The doubly released node.
+        node: usize,
+        /// The barrier concerned.
+        barrier: usize,
+        /// The epoch exited twice.
+        epoch: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -192,6 +224,27 @@ impl fmt::Display for Violation {
                 f,
                 "[{at}] host interrupt on node {node} under an \
                  interrupt-free configuration"
+            ),
+            Violation::EarlyBarrierExit {
+                at,
+                node,
+                barrier,
+                epoch,
+                have,
+                need,
+            } => write!(
+                f,
+                "[{at}] node {node} exited epoch {epoch} of barrier{barrier} \
+                 with only {have} of {need} arrivals combined"
+            ),
+            Violation::DuplicateBarrierExit {
+                at,
+                node,
+                barrier,
+                epoch,
+            } => write!(
+                f,
+                "[{at}] node {node} exited epoch {epoch} of barrier{barrier} twice"
             ),
         }
     }
@@ -274,6 +327,10 @@ pub fn audit_traces(
     //
     // Highest interval applied so far, per (home page, writer).
     let mut applied: BTreeMap<(PageId, usize), u32> = BTreeMap::new();
+    // NI-tree barriers: nodes whose arrival was combined, per
+    // (barrier, epoch), and nodes already released from that epoch.
+    let mut coll_arrived: BTreeMap<(usize, u32), BTreeSet<usize>> = BTreeMap::new();
+    let mut coll_released: BTreeSet<(usize, u32, usize)> = BTreeSet::new();
 
     for ev in proto {
         match ev {
@@ -340,6 +397,46 @@ pub fn audit_traces(
                     });
                 } else {
                     *prev = *interval;
+                }
+            }
+            TraceEvent::CollArrived {
+                node,
+                barrier,
+                epoch,
+                ..
+            } => {
+                coll_arrived
+                    .entry((*barrier, *epoch))
+                    .or_default()
+                    .insert(*node);
+            }
+            TraceEvent::CollReleased {
+                at,
+                node,
+                barrier,
+                epoch,
+            } => {
+                let have = coll_arrived
+                    .get(&(*barrier, *epoch))
+                    .map(|s| s.len())
+                    .unwrap_or(0);
+                if have < nnodes {
+                    audit.violations.push(Violation::EarlyBarrierExit {
+                        at: *at,
+                        node: *node,
+                        barrier: *barrier,
+                        epoch: *epoch,
+                        have,
+                        need: nnodes,
+                    });
+                }
+                if !coll_released.insert((*barrier, *epoch, *node)) {
+                    audit.violations.push(Violation::DuplicateBarrierExit {
+                        at: *at,
+                        node: *node,
+                        barrier: *barrier,
+                        epoch: *epoch,
+                    });
                 }
             }
             TraceEvent::SyncDone {
@@ -540,6 +637,78 @@ mod tests {
         assert!(matches!(
             audit.violations[0],
             Violation::UnexpectedInterrupt { node: 0, .. }
+        ));
+    }
+
+    fn arrive(at: u64, node: usize, epoch: u32) -> TraceEvent {
+        TraceEvent::CollArrived {
+            at: Time::from_ns(at),
+            node,
+            barrier: 0,
+            epoch,
+        }
+    }
+
+    fn release(at: u64, node: usize, epoch: u32) -> TraceEvent {
+        TraceEvent::CollReleased {
+            at: Time::from_ns(at),
+            node,
+            barrier: 0,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn full_barrier_epoch_is_clean() {
+        let ev = [
+            arrive(1, 0, 0),
+            arrive(2, 1, 0),
+            arrive(3, 2, 0),
+            release(4, 0, 0),
+            release(5, 1, 0),
+            release(6, 2, 0),
+            // Next epoch of the same barrier starts over.
+            arrive(7, 2, 1),
+            arrive(8, 0, 1),
+            arrive(9, 1, 1),
+            release(10, 0, 1),
+            release(11, 1, 1),
+            release(12, 2, 1),
+        ];
+        assert!(audit_traces(FeatureSet::genima(), 3, &ev, &[]).is_clean());
+    }
+
+    #[test]
+    fn early_barrier_exit_is_flagged() {
+        // Node 1 never arrives, yet node 0 is released.
+        let ev = [arrive(1, 0, 0), release(2, 0, 0)];
+        let audit = audit_traces(FeatureSet::genima(), 2, &ev, &[]);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(matches!(
+            audit.violations[0],
+            Violation::EarlyBarrierExit {
+                node: 0,
+                epoch: 0,
+                have: 1,
+                need: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_barrier_exit_is_flagged() {
+        let ev = [
+            arrive(1, 0, 0),
+            arrive(2, 1, 0),
+            release(3, 0, 0),
+            release(4, 0, 0),
+        ];
+        let audit = audit_traces(FeatureSet::genima(), 2, &ev, &[]);
+        assert_eq!(audit.violations.len(), 1);
+        assert!(matches!(
+            audit.violations[0],
+            Violation::DuplicateBarrierExit { node: 0, .. }
         ));
     }
 

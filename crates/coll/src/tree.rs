@@ -1,0 +1,105 @@
+//! k-ary fan-in/fan-out tree shape.
+//!
+//! Collectives run over a complete k-ary tree rooted at node 0, the
+//! classic NIC-based barrier topology (Yu et al., PAPERS.md): arrivals
+//! combine up the tree, the release broadcasts back down. Node `i`'s
+//! parent is `(i - 1) / k` and its children are `i*k + 1 ..= i*k + k`,
+//! so the shape is fully determined by the fanout — no membership
+//! tables live in NI memory.
+
+/// Parent of `node` in a k-ary tree rooted at node 0, or `None` for
+/// the root.
+///
+/// # Panics
+///
+/// Panics if `fanout` is zero.
+pub fn parent(node: u32, fanout: u32) -> Option<u32> {
+    assert!(fanout >= 1, "tree fanout must be at least 1");
+    if node == 0 {
+        None
+    } else {
+        Some((node - 1) / fanout)
+    }
+}
+
+/// Children of `node` among `nodes` participants, in index order.
+///
+/// # Panics
+///
+/// Panics if `fanout` is zero.
+pub fn children(node: u32, fanout: u32, nodes: u32) -> impl Iterator<Item = u32> {
+    assert!(fanout >= 1, "tree fanout must be at least 1");
+    (1..=fanout as u64)
+        .map(move |k| node as u64 * fanout as u64 + k)
+        .take_while(move |&c| c < nodes as u64)
+        .map(|c| c as u32)
+}
+
+/// Depth of `node` below the root (the root is at depth 0): the number
+/// of fan-in hops its contribution travels, and therefore the lever
+/// that turns the host manager's O(N) serial fan-in into the tree's
+/// O(log_k N) critical path.
+///
+/// # Panics
+///
+/// Panics if `fanout` is zero.
+pub fn depth(node: u32, fanout: u32) -> u32 {
+    let mut d = 0;
+    let mut n = node;
+    while let Some(p) = parent(n, fanout) {
+        d += 1;
+        n = p;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_parent() {
+        assert_eq!(parent(0, 4), None);
+        assert_eq!(parent(1, 4), Some(0));
+        assert_eq!(parent(4, 4), Some(0));
+        assert_eq!(parent(5, 4), Some(1));
+    }
+
+    #[test]
+    fn children_invert_parent() {
+        for fanout in 1..6 {
+            for nodes in 1..40 {
+                for n in 0..nodes {
+                    for c in children(n, fanout, nodes) {
+                        assert_eq!(parent(c, fanout), Some(n));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_root_is_someones_child() {
+        for fanout in 1..6u32 {
+            for nodes in 1..40u32 {
+                let mut seen = vec![false; nodes as usize];
+                seen[0] = true;
+                for n in 0..nodes {
+                    for c in children(n, fanout, nodes) {
+                        assert!(!seen[c as usize], "node {c} has two parents");
+                        seen[c as usize] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "orphan in {nodes}/{fanout}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // 64 nodes, fanout 4: depth at most 3; fanout 1 degenerates to
+        // a 63-deep chain.
+        assert!((0..64).map(|n| depth(n, 4)).max() == Some(3));
+        assert_eq!(depth(63, 1), 63);
+    }
+}

@@ -4,7 +4,9 @@ use genima_apps::App;
 use genima_fault::{FaultPlan, FaultStats, PlanInjector};
 use genima_hwdsm::{HwDsm, HwDsmConfig, HwReport};
 use genima_obs::{ObsConfig, ObsReport, Recorder};
-use genima_proto::{FeatureSet, ProtoError, RunReport, SvmParams, SvmSystem, Topology};
+use genima_proto::{
+    BarrierImpl, FeatureSet, ProtoError, RunReport, SvmParams, SvmSystem, Topology,
+};
 use genima_sim::{Dur, RunSeed};
 
 /// Result of running one application on one protocol configuration.
@@ -37,6 +39,11 @@ pub struct RunConfig {
     /// Span recording; [`ObsConfig::off`] keeps the run observation-free
     /// (no recorder is allocated and no emission branch is taken).
     pub obs: ObsConfig,
+    /// Barrier implementation override; `None` keeps the feature-set
+    /// default (NI-tree collectives on GeNIMA, the host-side node-0
+    /// manager everywhere else). Benches use this to isolate the
+    /// host-barrier vs NI-barrier axis on an otherwise identical run.
+    pub barrier: Option<BarrierImpl>,
 }
 
 impl RunConfig {
@@ -48,6 +55,7 @@ impl RunConfig {
             seed: RunSeed::default(),
             faults: FaultPlan::none(),
             obs: ObsConfig::off(),
+            barrier: None,
         }
     }
 
@@ -66,6 +74,12 @@ impl RunConfig {
     /// Replaces the observability configuration.
     pub fn with_obs(mut self, obs: ObsConfig) -> RunConfig {
         self.obs = obs;
+        self
+    }
+
+    /// Forces a barrier implementation regardless of the feature set.
+    pub fn with_barrier(mut self, barrier: BarrierImpl) -> RunConfig {
+        self.barrier = Some(barrier);
         self
     }
 }
@@ -129,6 +143,9 @@ pub fn run_app_configured(app: &dyn App, cfg: &RunConfig) -> Result<ConfiguredOu
     params.locks = spec.locks.max(1);
     params.bus_demand_per_proc = spec.bus_demand_per_proc;
     params.warmup_barrier = spec.warmup_barrier;
+    if let Some(b) = cfg.barrier {
+        params.barrier = b;
+    }
     let mut sys = SvmSystem::new(params, spec.sources);
     for (start, count, node) in spec.homes {
         sys.assign_homes(start, count, node);

@@ -2,16 +2,17 @@
 
 #![allow(clippy::field_reassign_with_default)]
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
+use genima_coll::{Action, CollId, CollState, ReduceOp};
 use genima_net::{Fate, FaultInjector, NetConfig, Network, NicId};
-use genima_obs::{flow_lock_id, Flow, FlowDir, ObsHandle, Recorder, SpanKind, Track};
+use genima_obs::{flow_coll_id, flow_lock_id, Flow, FlowDir, ObsHandle, Recorder, SpanKind, Track};
 use genima_sim::{Dur, InlineVec, Resource, Time};
 
 use crate::config::NicConfig;
 use crate::lock::{FwLock, LockId, SlotState};
 use crate::monitor::{Monitor, SizeClass, Stage};
-use crate::msg::{Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
+use crate::msg::{CollOp, Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
 use crate::trace::{LockChange, LockTrace};
 
 /// Result of a host-side communication call: when the calling host
@@ -59,6 +60,9 @@ pub struct RecoveryStats {
 /// Small on-wire sizes (bytes) for firmware-generated control packets.
 const LOCK_REQ_BYTES: u32 = 16;
 const FETCH_REQ_BYTES: u32 = 16;
+/// Header bytes of a collective fan-in / fan-out packet; the reduce
+/// payload adds 8 bytes per element on top.
+const COLL_HDR_BYTES: u32 = 16;
 /// Cost of a firmware-local handoff when source and destination NIC
 /// coincide (e.g. the home forwarding a lock transfer to itself).
 const LOCAL_HOP: Dur = Dur::from_ns(200);
@@ -125,6 +129,11 @@ pub struct Comm {
     net: Network,
     nics: Vec<NicState>,
     locks: Vec<FwLock>,
+    /// Firmware collective instances (tree barrier / all-reduce
+    /// combine tables), created lazily on first entry.
+    colls: BTreeMap<CollId, CollState>,
+    /// Tree fanout for collective instances created from now on.
+    coll_fanout: u32,
     /// Firmware word arrays used by remote atomic operations, one per
     /// NIC (lazily grown).
     atomic_cells: Vec<Vec<u64>>,
@@ -160,6 +169,8 @@ impl Comm {
             locks: (0..nlocks)
                 .map(|i| FwLock::new(NicId::new(i % ports), ports))
                 .collect(),
+            colls: BTreeMap::new(),
+            coll_fanout: 4,
             atomic_cells: (0..ports).map(|_| Vec::new()).collect(),
             monitor: Monitor::new(),
             trace: None,
@@ -553,6 +564,131 @@ impl Comm {
         post
     }
 
+    /// Sets the tree fanout used by collective instances created from
+    /// now on (existing instances keep their shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn set_coll_fanout(&mut self, fanout: u32) {
+        assert!(fanout >= 1, "tree fanout must be at least 1");
+        self.coll_fanout = fanout;
+    }
+
+    /// The epoch `nic`'s next entry into `coll` will join (zero before
+    /// the instance exists).
+    pub fn coll_epoch(&self, coll: CollId, nic: NicId) -> u32 {
+        match self.colls.get(&coll) {
+            Some(cs) => cs.node_epoch(nic.index() as u32),
+            None => 0,
+        }
+    }
+
+    /// The combined result of `coll`'s most recently completed epoch.
+    /// Valid to read from the moment [`Upcall::CollCompleted`] for
+    /// that epoch surfaces at a node until the node re-enters the
+    /// collective — the same window in which a granted lock's
+    /// timestamp sits in NI memory.
+    pub fn coll_result(&self, coll: CollId) -> Option<(u32, Vec<u64>)> {
+        self.colls
+            .get(&coll)
+            .and_then(|cs| cs.result())
+            .map(|(e, vals)| (*e, vals.clone()))
+    }
+
+    /// Enters collective `coll` at `nic`: the host writes its local
+    /// contribution (`vals`, element-wise combined with `op`; empty
+    /// for a pure barrier) into NI memory and returns immediately —
+    /// the whole fan-in/combine/fan-out runs in firmware, and
+    /// completion surfaces as [`Upcall::CollCompleted`], noticed like
+    /// a granted lock flag. The first entry cluster-wide fixes the
+    /// instance's operator, element width and tree fanout (see
+    /// [`Comm::set_coll_fanout`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node re-enters before its previous epoch
+    /// completed, or if `vals`' width disagrees with the instance.
+    pub fn coll_enter(
+        &mut self,
+        now: Time,
+        nic: NicId,
+        coll: CollId,
+        op: ReduceOp,
+        vals: &[u64],
+    ) -> Post {
+        let ports = self.nics.len();
+        let fanout = self.coll_fanout;
+        self.colls
+            .entry(coll)
+            .or_insert_with(|| CollState::new(ports as u32, fanout, op, vals.len()));
+        let mut post = Post::default();
+        post.host_free = now + self.cfg.post_overhead;
+        // The firmware folds the local contribution into its combine
+        // table on the send-side service loop.
+        let (_, svc_done) = self.nics[nic.index()]
+            .lanai_send
+            .reserve(post.host_free, self.cfg.coll_service);
+        let (_, actions) = self
+            .colls
+            .get_mut(&coll)
+            .expect("instance created above")
+            .local_arrive(nic.index() as u32, vals);
+        self.obs_record(|o| {
+            o.span(
+                SpanKind::CollCombine,
+                nic.index(),
+                Track::Firmware,
+                post.host_free,
+                svc_done,
+                coll.index() as u64,
+            );
+        });
+        let mut step = Step::default();
+        self.apply_coll_actions(svc_done, coll, actions, &mut step);
+        post.events = step.events;
+        post.upcalls = step.upcalls;
+        post
+    }
+
+    /// Root-initiated collective broadcast: the root's host posts
+    /// `vals` and the firmware fans it out down the tree; every node
+    /// (root included) observes [`Upcall::CollCompleted`] and reads
+    /// the payload with [`Comm::coll_result`]. The fan-out stage of
+    /// the barrier machinery running standalone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nic` is not the tree root (node 0), or on width
+    /// mismatch with an existing instance.
+    pub fn coll_broadcast(&mut self, now: Time, nic: NicId, coll: CollId, vals: &[u64]) -> Post {
+        assert_eq!(
+            nic.index(),
+            0,
+            "collective broadcasts start at the tree root"
+        );
+        let ports = self.nics.len();
+        let fanout = self.coll_fanout;
+        self.colls
+            .entry(coll)
+            .or_insert_with(|| CollState::new(ports as u32, fanout, ReduceOp::Max, vals.len()));
+        let mut post = Post::default();
+        post.host_free = now + self.cfg.post_overhead;
+        let (_, svc_done) = self.nics[nic.index()]
+            .lanai_send
+            .reserve(post.host_free, self.cfg.coll_service);
+        let (_, actions) = self
+            .colls
+            .get_mut(&coll)
+            .expect("instance created above")
+            .broadcast(vals);
+        let mut step = Step::default();
+        self.apply_coll_actions(svc_done, coll, actions, &mut step);
+        post.events = step.events;
+        post.upcalls = step.upcalls;
+        post
+    }
+
     /// Returns `true` if `nic` currently owns `lock` (held or
     /// released-but-kept), i.e. a local host-level handoff is legal.
     pub fn lock_owned_by(&self, nic: NicId, lock: LockId) -> bool {
@@ -621,6 +757,7 @@ impl Comm {
             | MsgKind::FetchReq { .. }
             | MsgKind::FetchReply
             | MsgKind::LockMsg(_)
+            | MsgKind::CollMsg(_)
             | MsgKind::FetchAndStore { .. }
             | MsgKind::AtomicReply { .. } => cfg.pick_cost,
         };
@@ -1043,6 +1180,49 @@ impl Comm {
                     },
                 ));
             }
+            MsgKind::CollMsg(op) => {
+                let nic = &mut self.nics[pkt.dst.index()];
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.coll_service);
+                self.monitor.record(
+                    Stage::Dest,
+                    class,
+                    svc_done - now,
+                    cfg.recv_cost + cfg.coll_service,
+                );
+                let (coll, epoch, kind, edge_child) = match op {
+                    CollOp::Arrive { coll, epoch } => {
+                        (coll, epoch, SpanKind::CollFanIn, pkt.src.index())
+                    }
+                    CollOp::Release { coll, epoch } => {
+                        (coll, epoch, SpanKind::CollFanOut, pkt.dst.index())
+                    }
+                };
+                let id = flow_coll_id(coll.index() as u64, epoch as u64, edge_child as u64);
+                self.obs_record(|o| {
+                    o.instant_flow(
+                        kind,
+                        pkt.dst.index(),
+                        Track::Firmware,
+                        recv_done,
+                        coll.index() as u64,
+                        Flow {
+                            id,
+                            dir: FlowDir::Finish,
+                        },
+                    );
+                    o.span(
+                        SpanKind::CollCombine,
+                        pkt.dst.index(),
+                        Track::Firmware,
+                        recv_done,
+                        svc_done,
+                        coll.index() as u64,
+                    );
+                });
+                let sub = self.coll_op(svc_done, pkt.dst, pkt.src, op);
+                step.events.extend(sub.events);
+                step.upcalls.extend(sub.upcalls);
+            }
             MsgKind::LockMsg(op) => {
                 let nic = &mut self.nics[pkt.dst.index()];
                 let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.lock_service);
@@ -1169,6 +1349,115 @@ impl Comm {
             }
         }
         step
+    }
+
+    /// Firmware collective state machine, executed at `nic` at `now`
+    /// after a [`MsgKind::CollMsg`] packet from `src` was serviced.
+    fn coll_op(&mut self, now: Time, nic: NicId, src: NicId, op: CollOp) -> Step {
+        let mut step = Step::default();
+        let (coll, actions) = match op {
+            CollOp::Arrive { coll, epoch } => {
+                let cs = self
+                    .colls
+                    .get_mut(&coll)
+                    .unwrap_or_else(|| panic!("fan-in signal for unknown collective {coll:?}"));
+                (
+                    coll,
+                    cs.child_arrive(nic.index() as u32, src.index() as u32, epoch),
+                )
+            }
+            CollOp::Release { coll, epoch } => {
+                let cs = self
+                    .colls
+                    .get_mut(&coll)
+                    .unwrap_or_else(|| panic!("release signal for unknown collective {coll:?}"));
+                (coll, cs.release(nic.index() as u32, epoch))
+            }
+        };
+        self.apply_coll_actions(now, coll, actions, &mut step);
+        step
+    }
+
+    /// Maps [`Action`]s from the collective state machine onto the
+    /// firmware send path and host completion flags: fan-in and
+    /// fan-out signals become firmware-generated packets (whose byte
+    /// count carries the reduce payload), an exit becomes a
+    /// [`Upcall::CollCompleted`] one `grant_notify` later — the host
+    /// notices the completion flag exactly as it notices a granted
+    /// lock.
+    fn apply_coll_actions(&mut self, t: Time, coll: CollId, actions: Vec<Action>, step: &mut Step) {
+        let width = self
+            .colls
+            .get(&coll)
+            .map(|cs| cs.width())
+            .expect("collective instance exists");
+        let bytes = COLL_HDR_BYTES + 8 * width as u32;
+        for a in actions {
+            match a {
+                Action::SendArrive { from, to, epoch } => {
+                    let id = flow_coll_id(coll.index() as u64, epoch as u64, from as u64);
+                    self.obs_record(|o| {
+                        o.instant_flow(
+                            SpanKind::CollFanIn,
+                            from as usize,
+                            Track::Firmware,
+                            t,
+                            coll.index() as u64,
+                            Flow {
+                                id,
+                                dir: FlowDir::Start,
+                            },
+                        );
+                    });
+                    let (_, sub) = self.fw_send(
+                        t,
+                        NicId::new(from as usize),
+                        NicId::new(to as usize),
+                        bytes,
+                        MsgKind::CollMsg(CollOp::Arrive { coll, epoch }),
+                        Tag::NONE,
+                    );
+                    step.events.extend(sub.events);
+                    step.upcalls.extend(sub.upcalls);
+                }
+                Action::SendRelease { from, to, epoch } => {
+                    let id = flow_coll_id(coll.index() as u64, epoch as u64, to as u64);
+                    self.obs_record(|o| {
+                        o.instant_flow(
+                            SpanKind::CollFanOut,
+                            from as usize,
+                            Track::Firmware,
+                            t,
+                            coll.index() as u64,
+                            Flow {
+                                id,
+                                dir: FlowDir::Start,
+                            },
+                        );
+                    });
+                    let (_, sub) = self.fw_send(
+                        t,
+                        NicId::new(from as usize),
+                        NicId::new(to as usize),
+                        bytes,
+                        MsgKind::CollMsg(CollOp::Release { coll, epoch }),
+                        Tag::NONE,
+                    );
+                    step.events.extend(sub.events);
+                    step.upcalls.extend(sub.upcalls);
+                }
+                Action::Exit { node, epoch, .. } => {
+                    step.upcalls.push((
+                        t + self.cfg.grant_notify,
+                        Upcall::CollCompleted {
+                            nic: NicId::new(node as usize),
+                            coll,
+                            epoch,
+                        },
+                    ));
+                }
+            }
+        }
     }
 }
 
@@ -1618,5 +1907,100 @@ mod tests {
         let lock = LockId::new(0);
         c.lock_acquire(Time::ZERO, NicId::new(1), lock, Tag::new(1));
         c.lock_acquire(Time::ZERO, NicId::new(1), lock, Tag::new(2));
+    }
+
+    /// Runs one all-reduce epoch over `ports` nodes, returning the
+    /// completion upcalls in time order.
+    fn run_coll_epoch(c: &mut Comm, ports: usize, coll: CollId) -> Vec<(Time, Upcall)> {
+        let mut posts = Vec::new();
+        for n in 0..ports {
+            posts.push(c.coll_enter(
+                Time::ZERO,
+                NicId::new(n),
+                coll,
+                ReduceOp::Max,
+                &[n as u64, 100 + n as u64],
+            ));
+        }
+        drain(c, posts)
+    }
+
+    #[test]
+    fn tree_all_reduce_completes_on_every_node() {
+        for ports in [1, 2, 5, 8] {
+            let mut c = comm(ports, 0);
+            let coll = CollId::new(0);
+            let ups = run_coll_epoch(&mut c, ports, coll);
+            let mut done: Vec<usize> = ups
+                .iter()
+                .filter_map(|(_, u)| match u {
+                    Upcall::CollCompleted { nic, epoch: 0, .. } => Some(nic.index()),
+                    _ => None,
+                })
+                .collect();
+            done.sort_unstable();
+            assert_eq!(done, (0..ports).collect::<Vec<_>>());
+            let (epoch, vals) = c.coll_result(coll).expect("combined result");
+            assert_eq!(epoch, 0);
+            assert_eq!(vals, vec![ports as u64 - 1, 100 + ports as u64 - 1]);
+        }
+    }
+
+    #[test]
+    fn ni_barrier_beats_serial_fan_in_latency() {
+        // 16 nodes, fanout 4: the last completion must arrive well
+        // before 16 serialised one-way hops (~18us each) would allow.
+        let mut c = comm(16, 0);
+        c.set_coll_fanout(4);
+        let ups = run_coll_epoch(&mut c, 16, CollId::new(3));
+        let last = ups.last().expect("completions").0;
+        assert!(
+            last.as_us() < 16.0 * 18.0,
+            "tree barrier slower than serial fan-in: {last}"
+        );
+    }
+
+    #[test]
+    fn coll_broadcast_reaches_every_node() {
+        let mut c = comm(6, 0);
+        c.set_coll_fanout(2);
+        let coll = CollId::new(1);
+        let post = c.coll_broadcast(Time::ZERO, NicId::new(0), coll, &[42, 7]);
+        let ups = drain(&mut c, vec![post]);
+        let done = ups
+            .iter()
+            .filter(|(_, u)| matches!(u, Upcall::CollCompleted { epoch: 0, .. }))
+            .count();
+        assert_eq!(done, 6);
+        assert_eq!(c.coll_result(coll).expect("payload").1, vec![42, 7]);
+    }
+
+    #[test]
+    fn coll_epochs_chain_without_reset() {
+        let mut c = comm(4, 0);
+        let coll = CollId::new(0);
+        for epoch in 0..3u32 {
+            let mut posts = Vec::new();
+            for n in 0..4 {
+                assert_eq!(c.coll_epoch(coll, NicId::new(n)), epoch);
+                posts.push(c.coll_enter(
+                    Time::ZERO,
+                    NicId::new(n),
+                    coll,
+                    ReduceOp::Sum,
+                    &[1 + epoch as u64],
+                ));
+            }
+            let ups = drain(&mut c, posts);
+            let done = ups
+                .iter()
+                .filter(|(_, u)| matches!(u, Upcall::CollCompleted { epoch: e, .. } if *e == epoch))
+                .count();
+            assert_eq!(done, 4, "epoch {epoch}");
+            assert_eq!(
+                c.coll_result(coll),
+                Some((epoch, vec![4 * (1 + epoch as u64)]))
+            );
+        }
     }
 }

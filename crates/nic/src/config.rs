@@ -32,6 +32,9 @@ pub struct NicConfig {
     pub fetch_service: Dur,
     /// Firmware time to process one lock protocol message.
     pub lock_service: Dur,
+    /// Firmware time to process one collective protocol message (fold
+    /// a contribution into the combine table, or apply a release).
+    pub coll_service: Dur,
     /// Host-side cost to notice a granted lock flag in NI memory.
     pub grant_notify: Dur,
     /// Fixed setup cost of one DMA transaction on the I/O bus.
@@ -84,6 +87,7 @@ impl NicConfig {
             recv_cost: Dur::from_us(4),
             fetch_service: Dur::from_us(3),
             lock_service: Dur::from_us(2),
+            coll_service: Dur::from_us(2),
             grant_notify: Dur::from_us(1),
             dma_setup: Dur::from_us(1),
             pci_bandwidth: 133_000_000,

@@ -14,7 +14,12 @@
 //! * **NI locks** — the distributed lock algorithm (home NIC +
 //!   last-owner chain) runs entirely in firmware; lock messages are
 //!   never delivered to host memory, so they cannot get stuck behind
-//!   data traffic in the incoming FIFO.
+//!   data traffic in the incoming FIFO;
+//! * **NI collectives** — the k-ary tree barrier / broadcast /
+//!   all-reduce state machines of `genima-coll` run in firmware
+//!   ([`Comm::coll_enter`]): hosts post a local contribution and later
+//!   notice a completion flag, with the whole fan-in, combine and
+//!   fan-out handled NI-to-NI.
 //!
 //! Messages destined for the host (the Base protocol's page/lock/diff
 //! requests) are DMA'd into host memory and surfaced as
@@ -38,7 +43,8 @@ pub use comm::{Comm, Post, RecoveryStats, Step};
 pub use config::NicConfig;
 pub use lock::LockId;
 pub use monitor::{Monitor, SizeClass, Stage, StageStats};
-pub use msg::{Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
+pub use msg::{CollOp, Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
 pub use trace::{LockChange, LockTrace};
 
+pub use genima_coll::{CollId, ReduceOp};
 pub use genima_net::{Fate, FaultInjector, NicId, NoFaults, PacketCtx};

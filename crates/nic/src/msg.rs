@@ -1,5 +1,6 @@
 //! Message kinds, send descriptors, internal events and upcalls.
 
+use genima_coll::CollId;
 use genima_net::NicId;
 
 use crate::lock::LockId;
@@ -62,6 +63,10 @@ pub enum MsgKind {
     /// Firmware lock traffic (request / transfer / grant); never
     /// delivered to host memory.
     LockMsg(LockOp),
+    /// Firmware collective traffic (tree fan-in / fan-out); like lock
+    /// messages it is served entirely in firmware and never delivered
+    /// to host memory.
+    CollMsg(CollOp),
     /// Remote atomic fetch-and-store on a firmware word (§2's simpler
     /// alternative to full NI locks: the locking *algorithm* stays in
     /// the protocol layer, the NI only provides the atomic primitive).
@@ -106,6 +111,34 @@ pub enum LockOp {
         lock: LockId,
         /// Correlation tag of the requester's acquire call.
         tag: Tag,
+    },
+}
+
+/// Collective protocol operations carried by [`MsgKind::CollMsg`]
+/// packets.
+///
+/// These are pure *signals*: the reduce payload travels in the packet
+/// (its byte count reflects the element width) but logically lives in
+/// the firmware combine tables of `genima-coll`, exactly as a lock's
+/// protocol timestamp lives in NI memory and the grant packet merely
+/// announces it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollOp {
+    /// Child → parent fan-in: the child's subtree is fully combined
+    /// for `epoch` and its frozen contribution is ready to fold in.
+    Arrive {
+        /// The collective instance.
+        coll: CollId,
+        /// The collective episode.
+        epoch: u32,
+    },
+    /// Parent → child fan-out: the root combine of `epoch` is done
+    /// and the child may exit once it propagates further down.
+    Release {
+        /// The collective instance.
+        coll: CollId,
+        /// The collective episode.
+        epoch: u32,
     },
 }
 
@@ -226,6 +259,20 @@ pub enum Upcall {
         tag: Tag,
         /// The previous value of the cell.
         old: u64,
+    },
+    /// A collective this NIC participates in completed an epoch: the
+    /// fan-out reached this node and the combined result sits in NI
+    /// memory (read it with
+    /// [`Comm::coll_result`](crate::Comm::coll_result)). The host
+    /// notices a completion flag, exactly like a granted lock — no
+    /// interrupt, no polling loop in the protocol layer.
+    CollCompleted {
+        /// The NIC that exited the epoch.
+        nic: NicId,
+        /// The completed collective.
+        coll: CollId,
+        /// The epoch exited.
+        epoch: u32,
     },
     /// The firmware exhausted every retransmission attempt for a
     /// packet: the peer is presumed dead or partitioned. The protocol

@@ -27,6 +27,8 @@ pub mod timeline;
 
 pub use json::{Json, JsonError};
 pub use ring::{ObsConfig, ObsHandle, ObsReport, Recorder};
-pub use span::{flow_diff_id, flow_lock_id, Flow, FlowDir, SpanKind, SpanRecord, Track};
+pub use span::{
+    flow_coll_id, flow_diff_id, flow_lock_id, Flow, FlowDir, SpanKind, SpanRecord, Track,
+};
 pub use summary::{monitor_tables, trace_top, Grid};
 pub use timeline::{count_named, timeline_json, validate_trace, TraceStats};

@@ -82,11 +82,22 @@ pub enum SpanKind {
     /// Firmware instant: fault injection delayed a packet
     /// (`arg` = destination node).
     FaultDelay,
+    /// Firmware instant: a collective fan-in signal left a child NI
+    /// (flow start) or reached its tree parent (flow end);
+    /// `arg` = collective.
+    CollFanIn,
+    /// Firmware span: the LANai folded a contribution into its combine
+    /// table — a local arrival, a child's frozen subtree, or a release
+    /// being applied (`arg` = collective).
+    CollCombine,
+    /// Firmware instant: a collective release left a parent NI (flow
+    /// start) or reached a child (flow end); `arg` = collective.
+    CollFanOut,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 16] = [
+    pub const ALL: [SpanKind; 19] = [
         SpanKind::PageFetch,
         SpanKind::FetchRetry,
         SpanKind::DiffCompute,
@@ -103,6 +114,9 @@ impl SpanKind {
         SpanKind::FaultDrop,
         SpanKind::FaultDup,
         SpanKind::FaultDelay,
+        SpanKind::CollFanIn,
+        SpanKind::CollCombine,
+        SpanKind::CollFanOut,
     ];
 
     /// Stable name used in timelines and summaries.
@@ -124,6 +138,9 @@ impl SpanKind {
             SpanKind::FaultDrop => "fault_drop",
             SpanKind::FaultDup => "fault_dup",
             SpanKind::FaultDelay => "fault_delay",
+            SpanKind::CollFanIn => "coll_fan_in",
+            SpanKind::CollCombine => "coll_combine",
+            SpanKind::CollFanOut => "coll_fan_out",
         }
     }
 
@@ -142,7 +159,10 @@ impl SpanKind {
             SpanKind::NiLockService
             | SpanKind::NiLockGrant
             | SpanKind::FetchService
-            | SpanKind::Retransmit => "nic",
+            | SpanKind::Retransmit
+            | SpanKind::CollFanIn
+            | SpanKind::CollCombine
+            | SpanKind::CollFanOut => "nic",
             SpanKind::FaultDrop | SpanKind::FaultDup | SpanKind::FaultDelay => "fault",
         }
     }
@@ -158,14 +178,17 @@ impl SpanKind {
             | SpanKind::Retransmit
             | SpanKind::FaultDrop
             | SpanKind::FaultDup
-            | SpanKind::FaultDelay => true,
+            | SpanKind::FaultDelay
+            | SpanKind::CollFanIn
+            | SpanKind::CollFanOut => true,
             SpanKind::PageFetch
             | SpanKind::DiffCompute
             | SpanKind::LockAcquire
             | SpanKind::BarrierWait
             | SpanKind::Interrupt
             | SpanKind::NiLockService
-            | SpanKind::FetchService => false,
+            | SpanKind::FetchService
+            | SpanKind::CollCombine => false,
         }
     }
 }
@@ -230,6 +253,18 @@ pub fn flow_diff_id(writer: u64, interval: u64, page: u64) -> u64 {
         .wrapping_add(interval.rotate_left(17))
         .wrapping_add(page.wrapping_mul(0x2545_f491_4f6c_dd1d))
         ^ 0x4469_6666)
+}
+
+/// Deterministic flow id for one tree edge of a collective epoch,
+/// computed at both ends from `(coll, epoch, child)` — the child node
+/// names the edge for fan-in (child → parent) and fan-out (parent →
+/// child) alike.
+pub fn flow_coll_id(coll: u64, epoch: u64, child: u64) -> u64 {
+    mix(coll
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(epoch.rotate_left(23))
+        .wrapping_add(child.wrapping_mul(0x2545_f491_4f6c_dd1d))
+        ^ 0x436f_6c6c)
 }
 
 fn mix(mut x: u64) -> u64 {

@@ -115,6 +115,10 @@ pub struct Counters {
     pub lock_spin_retries: u64,
     /// Barrier episodes completed.
     pub barriers: u64,
+    /// Host messages exchanged with the node-0 barrier manager
+    /// (arrival notifications and releases). Zero under NI-tree
+    /// barriers, where the whole episode runs in firmware.
+    pub barrier_manager_msgs: u64,
     /// `mprotect` system calls issued (after coalescing).
     pub mprotect_calls: u64,
     /// Pages invalidated.

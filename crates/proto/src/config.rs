@@ -16,6 +16,27 @@ pub enum LockImpl {
     RemoteAtomics,
 }
 
+/// How barriers are implemented.
+///
+/// The host-managed barrier is the paper's centralized scheme: every
+/// process notifies a manager process on node 0, which releases
+/// everyone once the last arrival lands. The NI-tree barrier moves the
+/// whole episode into firmware (`genima-coll`): the last local arrival
+/// posts one contribution to a k-ary combining tree of NIs, which
+/// max-reduces the joined vector clock and write-notice watermarks up
+/// the tree and broadcasts them down — no manager messages, no host
+/// processing on any intermediate node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierImpl {
+    /// Centralized manager on node 0 (Base through DW+RF+DD).
+    HostManager,
+    /// k-ary combining tree in NI firmware (the GeNIMA column).
+    NiTree {
+        /// Children per tree node.
+        fanout: u32,
+    },
+}
+
 /// Host-software costs of the SVM protocol layer.
 ///
 /// The interrupt-path constants are calibrated so the Base protocol

@@ -39,7 +39,7 @@ mod trace;
 mod vclock;
 
 pub use breakdown::{Breakdown, Counters};
-pub use config::{LockImpl, ProtoConfig};
+pub use config::{BarrierImpl, LockImpl, ProtoConfig};
 pub use error::ProtoError;
 pub use features::FeatureSet;
 pub use ids::{BarrierId, NodeId, ProcId, Topology};

@@ -18,6 +18,9 @@ pub struct RunReport {
     pub breakdowns: Vec<Breakdown>,
     /// Cluster-wide protocol counters.
     pub counters: Counters,
+    /// Whether the run used NI-tree barriers (firmware combining tree)
+    /// instead of the host-managed node-0 barrier manager.
+    pub ni_barrier: bool,
     /// Snapshot of the NI firmware performance monitor.
     pub monitor: Monitor,
     /// Loss-recovery counters from the communication layer (all zero on
@@ -74,7 +77,9 @@ impl RunReport {
     /// 2. **Interrupt freedom.** The GeNIMA column dispatches every
     ///    remote request in NI firmware, so a configuration whose
     ///    [`FeatureSet::interrupt_free`] is true must report zero host
-    ///    interrupts.
+    ///    interrupts. A run with NI-tree barriers must likewise report
+    ///    zero messages to the node-0 barrier manager — the firmware
+    ///    combining tree replaces it entirely.
     pub fn validate(&self, features: &FeatureSet) -> Result<(), ProtoError> {
         if features.interrupt_free() && self.counters.interrupts != 0 {
             return Err(ProtoError::InvalidReport {
@@ -82,6 +87,15 @@ impl RunReport {
                     "{} column must be interrupt-free but report shows {} host interrupts",
                     features.name(),
                     self.counters.interrupts
+                ),
+            });
+        }
+        if self.ni_barrier && self.counters.barrier_manager_msgs != 0 {
+            return Err(ProtoError::InvalidReport {
+                detail: format!(
+                    "NI-tree barriers must bypass the node-0 manager but report shows \
+                     {} barrier manager messages",
+                    self.counters.barrier_manager_msgs
                 ),
             });
         }
@@ -213,6 +227,7 @@ fn counters_json(c: &Counters) -> Json {
     o.set("local_lock_acquires", Json::u64(c.local_lock_acquires));
     o.set("lock_spin_retries", Json::u64(c.lock_spin_retries));
     o.set("barriers", Json::u64(c.barriers));
+    o.set("barrier_manager_msgs", Json::u64(c.barrier_manager_msgs));
     o.set("mprotect_calls", Json::u64(c.mprotect_calls));
     o.set("invalidations", Json::u64(c.invalidations));
     o
@@ -276,6 +291,7 @@ mod tests {
                 },
             ],
             counters: Counters::default(),
+            ni_barrier: false,
             monitor: Monitor::new(),
             recovery: RecoveryStats::default(),
             pinned_shared_bytes: vec![0, 0],
@@ -307,11 +323,29 @@ mod tests {
                 },
             ],
             counters,
+            ni_barrier: false,
             monitor: Monitor::new(),
             recovery: RecoveryStats::default(),
             pinned_shared_bytes: vec![4096, 0],
             events: 7,
         }
+    }
+
+    #[test]
+    fn validate_rejects_manager_msgs_under_ni_barrier() {
+        let mut report = sample_report(0);
+        report.ni_barrier = true;
+        report.counters.barrier_manager_msgs = 2;
+        assert!(matches!(
+            report.validate(&FeatureSet::genima()),
+            Err(ProtoError::InvalidReport { .. })
+        ));
+        report.counters.barrier_manager_msgs = 0;
+        assert!(report.validate(&FeatureSet::genima()).is_ok());
+        // Host-managed runs may message the manager freely.
+        let mut host = sample_report(0);
+        host.counters.barrier_manager_msgs = 40;
+        assert!(host.validate(&FeatureSet::dw_rf_dd()).is_ok());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use genima_sim::{Dur, EventQueue, Resource, Time};
 use genima_vmmc::Vmmc;
 
 use crate::breakdown::{Breakdown, Counters};
-use crate::config::ProtoConfig;
+use crate::config::{BarrierImpl, ProtoConfig};
 use crate::error::ProtoError;
 use crate::features::FeatureSet;
 use crate::ids::{BarrierId, NodeId, Topology};
@@ -68,6 +68,9 @@ pub struct SvmParams {
     pub net: NetConfig,
     /// Number of application locks.
     pub locks: usize,
+    /// Barrier implementation: host-managed (node-0 manager) or the
+    /// NI combining tree.
+    pub barrier: BarrierImpl,
     /// Maintain real page contents (tests/examples); the large
     /// workload generators run with dirty-range tracking only.
     pub data_mode: bool,
@@ -91,9 +94,19 @@ impl SvmParams {
     /// protocol variant.
     pub fn new(topo: Topology, features: FeatureSet) -> SvmParams {
         features.validate();
+        // The interrupt-free column gets the NI barrier by default —
+        // it is the last piece of asynchronous protocol processing the
+        // host otherwise retains. Every other column keeps the node-0
+        // manager so the ablation isolates the NI-barrier axis.
+        let barrier = if features.interrupt_free() {
+            BarrierImpl::NiTree { fanout: 4 }
+        } else {
+            BarrierImpl::HostManager
+        };
         SvmParams {
             topo,
             features,
+            barrier,
             proto: ProtoConfig::paper(),
             mem: MemConfig::pentium_pro(),
             nic: NicConfig::lanai(),
@@ -352,6 +365,10 @@ pub(crate) struct NodeRt {
     /// Piggyback watermark: per destination node, per writer, the
     /// highest interval already carried there by this node's messages.
     pub(crate) sent_upto: Vec<Vec<u32>>,
+    /// NI-tree barriers: local arrivals collected per barrier — count
+    /// and joined vector clock. The last local arrival posts the
+    /// node's contribution to the firmware combining tree.
+    pub(crate) coll_arrivals: BTreeMap<BarrierId, (usize, VClock)>,
 }
 
 /// Home-side state of one shared page.
@@ -448,7 +465,10 @@ impl SvmSystem {
             "need exactly one op source per processor"
         );
         let nnodes = params.topo.nodes;
-        let vmmc = Vmmc::new(params.nic.clone(), params.net.clone(), nnodes, params.locks);
+        let mut vmmc = Vmmc::new(params.nic.clone(), params.net.clone(), nnodes, params.locks);
+        if let BarrierImpl::NiTree { fanout } = params.barrier {
+            vmmc.set_coll_fanout(fanout);
+        }
         let procs = sources
             .into_iter()
             .map(|src| ProcRt {
@@ -479,6 +499,7 @@ impl SvmSystem {
                 locks: (0..params.locks).map(|_| NodeLock::default()).collect(),
                 steal_rr: 0,
                 sent_upto: vec![vec![0; nprocs]; nnodes],
+                coll_arrivals: BTreeMap::new(),
             })
             .collect();
         let locks = (0..params.locks)
@@ -768,6 +789,9 @@ impl SvmSystem {
             Upcall::LockDeparted { nic, lock } => {
                 self.nodes[nic.index()].locks[lock.index()].owned = false;
             }
+            Upcall::CollCompleted { nic, coll, epoch } => {
+                self.coll_completed(t, nic.index(), coll, epoch);
+            }
             Upcall::AtomicCompleted { tag, old, .. } => {
                 if let Some(Pending::AtomicLockTry { proc, lock }) = self.tags.remove(&tag.value())
                 {
@@ -1034,6 +1058,7 @@ impl SvmSystem {
             finish: Time::from_ns(finish.saturating_since(self.measure_from).as_ns()),
             breakdowns: self.procs.iter().map(|p| p.bd).collect(),
             counters: self.counters,
+            ni_barrier: matches!(self.p.barrier, BarrierImpl::NiTree { .. }),
             monitor: self.vmmc.comm().monitor().clone(),
             recovery: self.vmmc.comm().recovery_stats(),
             pinned_shared_bytes: pinned,

@@ -3,11 +3,11 @@
 #![allow(clippy::needless_range_loop)]
 
 use genima_mem::{compute_diff, Access, Diff, PageId};
-use genima_nic::{LockId, Tag};
+use genima_nic::{CollId, LockId, ReduceOp, Tag};
 use genima_sim::{Dur, Time};
 
 use super::{Block, Bucket, Flow, Pending, ProcState, SvmSystem, SysEvent, WaitReason};
-use crate::config::LockImpl;
+use crate::config::{BarrierImpl, LockImpl};
 use crate::ids::{BarrierId, NodeId, ProcId};
 use crate::interval::{DirtyPage, IntervalRecord, PendingInterval};
 use crate::trace::TraceEvent;
@@ -73,9 +73,14 @@ impl SvmSystem {
         let _ = cursor;
         let i = self.procs[p].vc.bump(ProcId::new(p));
         self.procs[p].seen[p] = i;
-        let mut pages: Vec<PageId> = dirty.keys().copied().chain(early).collect();
-        pages.sort_unstable();
-        pages.dedup();
+        // The BTreeMap keys are already sorted and unique; only an
+        // early mid-interval flush forces a re-sort.
+        let mut pages: Vec<PageId> = dirty.keys().copied().collect();
+        if !early.is_empty() {
+            pages.extend(early);
+            pages.sort_unstable();
+            pages.dedup();
+        }
         self.records[p].insert(
             i,
             IntervalRecord {
@@ -379,8 +384,11 @@ impl SvmSystem {
         for q in 0..nprocs {
             let have = self.nodes[from].arrived[q];
             let sent = self.nodes[from].sent_upto[to][q];
-            for i in sent + 1..=have {
-                if let Some(r) = self.records[q].get(&i) {
+            if have > sent {
+                // Range-scan only the records that exist instead of
+                // probing every interval number in the gap — barrier
+                // arrivals at the manager hit this once per process.
+                for r in self.records[q].range(sent + 1..=have).map(|(_, r)| r) {
                     bytes += r.wire_bytes(self.p.proto.notice_header_bytes);
                 }
             }
@@ -430,7 +438,11 @@ impl SvmSystem {
                     Block::PageFault { .. } | Block::LockWait { .. } | Block::BarrierWait { .. },
                 ) => continue,
             };
-            if self.notices_covered(node, &self.procs[p].vc.clone()) {
+            // Comparing lanes in place avoids cloning every blocked
+            // process's clock on every notice arrival.
+            let covered = (0..self.p.topo.procs())
+                .all(|q| self.nodes[node].arrived[q] >= self.procs[p].vc.get(ProcId::new(q)));
+            if covered {
                 let wait = t.saturating_since(started);
                 match reason {
                     WaitReason::Lock => self.procs[p].bd.lock += wait,
@@ -1042,18 +1054,26 @@ impl SvmSystem {
         cursor = self.procs[p].clock.max(cursor);
         cursor = self.flush_proc_pending(cursor, p, Bucket::Barrier);
 
-        // Arrival notification to the manager (node 0).
+        // Arrival notification: either to the node-0 manager (host
+        // path) or into the NI combining tree.
         let vc = self.procs[p].vc.clone();
         let work = cursor.saturating_since(now);
         self.procs[p].bd.barrier += work;
         self.procs[p].bd.barrier_protocol += work;
-        if node == 0 {
+        if let BarrierImpl::NiTree { .. } = self.p.barrier {
+            self.procs[p].state = ProcState::Blocked(Block::BarrierWait {
+                barrier: b,
+                started: cursor,
+            });
+            cursor = self.coll_barrier_arrive(cursor, node, b, vc);
+        } else if node == 0 {
             self.procs[p].state = ProcState::Blocked(Block::BarrierWait {
                 barrier: b,
                 started: cursor,
             });
             self.manager_note_arrival(cursor + EPS, b, p, vc, None);
         } else {
+            self.counters.barrier_manager_msgs += 1;
             let my_nic = NodeId::new(node).nic();
             if self.p.features.dw {
                 let tag = self.tag(Pending::BarrierArriveMsg {
@@ -1087,6 +1107,91 @@ impl SvmSystem {
             });
         }
         self.procs[p].clock = self.procs[p].clock.max(cursor);
+    }
+
+    /// NI-tree barrier: register one local arrival; the node's *last*
+    /// arrival posts the contribution into the firmware combining
+    /// tree. The reduce vector carries the joined vector clock in its
+    /// first `nprocs` lanes and the node's write-notice watermarks
+    /// (`arrived`) in the next `nprocs` — max-reduced up the tree and
+    /// broadcast down, this replaces both the manager's clock join and
+    /// its piggyback bookkeeping.
+    fn coll_barrier_arrive(&mut self, cursor: Time, node: usize, b: BarrierId, vc: VClock) -> Time {
+        let nprocs = self.p.topo.procs();
+        let entry = self.nodes[node]
+            .coll_arrivals
+            .entry(b)
+            .or_insert_with(|| (0, VClock::new(nprocs)));
+        entry.0 += 1;
+        entry.1.join(&vc);
+        if entry.0 < self.p.topo.procs_per_node {
+            return cursor;
+        }
+        let (_, joined) = self.nodes[node]
+            .coll_arrivals
+            .remove(&b)
+            .expect("entry inserted above");
+        let mut vals: Vec<u64> = (0..nprocs)
+            .map(|q| joined.get(ProcId::new(q)) as u64)
+            .collect();
+        vals.extend(self.nodes[node].arrived.iter().map(|&a| a as u64));
+        let coll = CollId::new(b.index() as u32);
+        let nic = NodeId::new(node).nic();
+        let epoch = self.vmmc.coll_epoch(coll, nic);
+        self.emit(TraceEvent::CollArrived {
+            at: cursor,
+            node,
+            barrier: b.index(),
+            epoch,
+        });
+        let post = self
+            .vmmc
+            .coll_enter(cursor, nic, coll, ReduceOp::Max, &vals);
+        self.absorb_post(post)
+    }
+
+    /// The NI fan-out released `node` from one epoch of the collective
+    /// backing barrier `b`: split the combined reduce vector back into
+    /// the joined vector clock and the global write-notice watermarks,
+    /// then wake the node's waiters exactly as a manager release would.
+    pub(crate) fn coll_completed(&mut self, t: Time, node: usize, coll: CollId, epoch: u32) {
+        let b = BarrierId::new(coll.index());
+        let nprocs = self.p.topo.procs();
+        let (res_epoch, vals) = self
+            .vmmc
+            .coll_result(coll)
+            .expect("completed collective must hold a result");
+        assert_eq!(
+            res_epoch, epoch,
+            "collective result advanced past the released epoch"
+        );
+        assert_eq!(vals.len(), 2 * nprocs, "reduce vector width mismatch");
+        let mut joined = VClock::new(nprocs);
+        for q in 0..nprocs {
+            joined.set(ProcId::new(q), vals[q] as u32);
+        }
+        let upto: Vec<u32> = vals[nprocs..].iter().map(|&v| v as u32).collect();
+        if node == 0 {
+            // The root exits first (its release precedes the fan-out),
+            // so episode-global bookkeeping lives here — mirroring the
+            // manager's release point on the host path.
+            self.counters.barriers += 1;
+            if self.p.warmup_barrier == Some(b) {
+                self.measure_from = t;
+                self.counters = Default::default();
+                self.vmmc.reset_monitor();
+                for p in 0..nprocs {
+                    self.procs[p].warmup_reset = true;
+                }
+            }
+        }
+        self.emit(TraceEvent::CollReleased {
+            at: t,
+            node,
+            barrier: b.index(),
+            epoch,
+        });
+        self.release_at_node(t, b, node, joined, Some(upto));
     }
 
     /// Manager-side barrier bookkeeping (runs at node 0, either as a
@@ -1132,6 +1237,7 @@ impl SvmSystem {
                 self.release_at_node(cursor, b, 0, joined.clone(), None);
                 continue;
             }
+            self.counters.barrier_manager_msgs += 1;
             if self.p.features.dw {
                 let tag = self.tag(Pending::BarrierReleaseMsg {
                     barrier: b,

@@ -77,6 +77,33 @@ pub enum TraceEvent {
         /// The writer's interval number.
         interval: u32,
     },
+    /// The last local arrival of barrier `barrier` on `node` posted the
+    /// node's contribution to the NI combining tree (NI-tree barriers
+    /// only). Exactly one arrival per node per epoch is legal.
+    CollArrived {
+        /// Contribution post time.
+        at: Time,
+        /// The arriving node.
+        node: usize,
+        /// The barrier (also the collective instance).
+        barrier: usize,
+        /// The collective epoch (episode counter of this barrier).
+        epoch: u32,
+    },
+    /// The NI fan-out released `node` from epoch `epoch` of barrier
+    /// `barrier` (NI-tree barriers only). A release must never precede
+    /// the arrivals of all nodes for the same epoch — the auditor's
+    /// barrier-epoch invariant.
+    CollReleased {
+        /// Release notice time at the node.
+        at: Time,
+        /// The released node.
+        node: usize,
+        /// The barrier (also the collective instance).
+        barrier: usize,
+        /// The collective epoch.
+        epoch: u32,
+    },
     /// Process `proc` completed an acquire or barrier exit: its vector
     /// clock advanced to `vc`, and `arrived` is the per-writer count
     /// of interval records present at its node at that instant. Write

@@ -21,4 +21,7 @@ mod port;
 pub use port::{PinClass, Vmmc};
 
 pub use genima_net::{NetConfig, NicId};
-pub use genima_nic::{Comm, Event, LockId, MsgKind, NicConfig, Post, SendDesc, Step, Tag, Upcall};
+pub use genima_nic::{
+    CollId, CollOp, Comm, Event, LockId, MsgKind, NicConfig, Post, ReduceOp, SendDesc, Step, Tag,
+    Upcall,
+};

@@ -6,7 +6,9 @@
 use std::collections::HashMap;
 
 use genima_net::{NetConfig, NicId};
-use genima_nic::{Comm, Event, LockId, MsgKind, NicConfig, Post, SendDesc, Step, Tag, Upcall};
+use genima_nic::{
+    CollId, Comm, Event, LockId, MsgKind, NicConfig, Post, ReduceOp, SendDesc, Step, Tag, Upcall,
+};
 use genima_sim::Time;
 
 /// What a pinned region is for — lets experiments report the memory
@@ -239,6 +241,43 @@ impl Vmmc {
     /// Returns `true` if `nic`'s NI currently owns `lock`.
     pub fn lock_owned_by(&self, nic: NicId, lock: LockId) -> bool {
         self.comm.lock_owned_by(nic, lock)
+    }
+
+    /// Sets the fan-out of collective trees created from now on (see
+    /// [`Comm::set_coll_fanout`]).
+    pub fn set_coll_fanout(&mut self, fanout: u32) {
+        self.comm.set_coll_fanout(fanout);
+    }
+
+    /// Posts `nic`'s contribution to a firmware collective (see
+    /// [`Comm::coll_enter`]).
+    pub fn coll_enter(
+        &mut self,
+        now: Time,
+        nic: NicId,
+        coll: CollId,
+        op: ReduceOp,
+        vals: &[u64],
+    ) -> Post {
+        self.comm.coll_enter(now, nic, coll, op, vals)
+    }
+
+    /// Root-initiated firmware broadcast over the collective tree (see
+    /// [`Comm::coll_broadcast`]).
+    pub fn coll_broadcast(&mut self, now: Time, nic: NicId, coll: CollId, vals: &[u64]) -> Post {
+        self.comm.coll_broadcast(now, nic, coll, vals)
+    }
+
+    /// The combined result of `coll`'s most recent root combine (see
+    /// [`Comm::coll_result`]).
+    pub fn coll_result(&self, coll: CollId) -> Option<(u32, Vec<u64>)> {
+        self.comm.coll_result(coll)
+    }
+
+    /// The epoch `nic` would contribute to next on `coll` (see
+    /// [`Comm::coll_epoch`]).
+    pub fn coll_epoch(&self, coll: CollId, nic: NicId) -> u32 {
+        self.comm.coll_epoch(coll, nic)
     }
 
     /// Processes one communication event, aggregating multi-fragment

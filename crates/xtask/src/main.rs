@@ -21,8 +21,9 @@
 //!   a Chrome-trace timeline (per span kind and per node), or the NI
 //!   monitor tables when given a `RunReport` JSON instead.
 //! * `xtask obs-schema <file>...` — checks `BENCH_breakdowns.json` /
-//!   `BENCH_fault_matrix.json` against the expected shape; CI fails
-//!   the `obs-smoke` job on a mismatch.
+//!   `BENCH_fault_matrix.json` / `BENCH_barrier.json` against the
+//!   expected shape; CI fails the `obs-smoke` and `coll-smoke` jobs on
+//!   a mismatch.
 
 use genima_obs::{monitor_tables, trace_top, Json};
 use std::path::{Path, PathBuf};
@@ -30,6 +31,9 @@ use std::process::ExitCode;
 
 /// Files the lint gate covers, relative to the repo root.
 const PROTOCOL_PATHS: &[&str] = &[
+    "crates/coll/src/lib.rs",
+    "crates/coll/src/state.rs",
+    "crates/coll/src/tree.rs",
     "crates/nic/src/comm.rs",
     "crates/proto/src/system/mod.rs",
     "crates/proto/src/system/fault.rs",
@@ -267,6 +271,41 @@ fn check_fault_matrix_schema(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_barrier_schema(v: &Json) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if row.get("mode").and_then(Json::as_str).is_none() {
+            return Err(format!("row {i}: missing string `mode`"));
+        }
+        for key in ["barrier_us", "time_ms"] {
+            if row.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("row {i}: missing numeric `{key}`"));
+            }
+        }
+        for key in ["nodes", "fanout", "barriers", "manager_msgs", "interrupts"] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("row {i}: missing integer `{key}`"));
+            }
+        }
+        let ni = row
+            .get("ni_barrier")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("row {i}: missing boolean `ni_barrier`"))?;
+        if ni && row.get("manager_msgs").and_then(Json::as_u64) != Some(0) {
+            return Err(format!(
+                "row {i}: NI-tree barrier reported nonzero `manager_msgs`"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed bench report to the matching schema check.
 fn check_schema(v: &Json) -> Result<&'static str, String> {
     if v.get("seed").and_then(Json::as_u64).is_none() {
@@ -275,6 +314,7 @@ fn check_schema(v: &Json) -> Result<&'static str, String> {
     match v.get("bench").and_then(Json::as_str) {
         Some("breakdowns") => check_breakdowns_schema(v).map(|()| "breakdowns"),
         Some("fault_matrix") => check_fault_matrix_schema(v).map(|()| "fault_matrix"),
+        Some("barrier") => check_barrier_schema(v).map(|()| "barrier"),
         Some(other) => Err(format!("unknown bench kind `{other}`")),
         None => Err("missing string `bench`".to_string()),
     }
@@ -427,6 +467,20 @@ mod tests {
         let broken = text.replace("\"audit_clean\":true", "\"audit_clean\":3");
         let v = Json::parse(&broken).expect("fixture parses");
         assert!(check_schema(&v).is_err());
+    }
+
+    #[test]
+    fn barrier_schema_round_trips() {
+        let row = "{\"nodes\":16,\"mode\":\"ni-tree-4\",\"fanout\":4,\
+                   \"barrier_us\":268.9,\"time_ms\":3.2,\"barriers\":12,\
+                   \"manager_msgs\":0,\"interrupts\":0,\"ni_barrier\":true}";
+        let text = format!("{{\"bench\":\"barrier\",\"seed\":7,\"iters\":12,\"rows\":[{row}]}}");
+        let v = Json::parse(&text).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("barrier"));
+        let broken = text.replace("\"manager_msgs\":0", "\"manager_msgs\":5");
+        let v = Json::parse(&broken).expect("fixture parses");
+        let err = check_schema(&v).expect_err("NI rows must carry zero manager messages");
+        assert!(err.contains("manager_msgs"), "{err}");
     }
 
     #[test]

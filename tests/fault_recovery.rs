@@ -212,6 +212,7 @@ fn arrivals(ups: &[(Time, Upcall)]) -> Vec<(Time, u64)> {
             | Upcall::LockGranted { .. }
             | Upcall::LockDeparted { .. }
             | Upcall::AtomicCompleted { .. }
+            | Upcall::CollCompleted { .. }
             | Upcall::PeerUnreachable { .. } => None,
         })
         .collect()
