@@ -6,8 +6,12 @@
 //! * **twinning and diffing** ([`Diff`]) — the classic multiple-writer
 //!   solution: before the first write in an interval the page is
 //!   copied (the *twin*); at a release the page is compared with its
-//!   twin word by word and each contiguous run of modified words is
-//!   propagated to the home copy,
+//!   twin — in 32-byte blocks with word refinement, or only over
+//!   the tracked dirty ranges — and each contiguous run of modified
+//!   words is propagated to the home copy,
+//! * **pooled page buffers** ([`PagePool`]) — a free list of 4 KB
+//!   buffers so twinning, diff application, and page-fetch replies
+//!   recycle a fixed working set instead of allocating per operation,
 //! * **dirty-range tracking** ([`DirtyRanges`]) — the synthetic-data
 //!   path used by the large workload generators, which records which
 //!   byte ranges an interval modified without materialising page
@@ -27,12 +31,16 @@ mod config;
 mod diff;
 mod dirty;
 mod mprotect;
+mod pool;
 mod protect;
 
 pub use addr::{pages_in_range, Addr, PageId, PAGE_SIZE};
 pub use bus::BusModel;
 pub use config::MemConfig;
-pub use diff::{compute_diff, Diff, Page, Run, WORD};
+pub use diff::{
+    compute_diff, compute_diff_reference, compute_diff_tracked, Diff, DiffScratch, Page, WORD,
+};
 pub use dirty::DirtyRanges;
 pub use mprotect::MprotectModel;
+pub use pool::{PagePool, PoolStats};
 pub use protect::{Access, PageTable};

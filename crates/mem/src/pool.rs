@@ -1,0 +1,142 @@
+//! Pooled 4 KB page buffers.
+//!
+//! Twinning, diff application at the home, and page-fetch replies all
+//! need page-sized buffers on the steady-state path. Allocating (and
+//! dropping) a fresh 4 KB box for each is the single largest avoidable
+//! host cost in the data plane — exactly the buffer-reuse discipline
+//! RDMA protocol studies identify as decisive for NIC-speed data
+//! planes. [`PagePool`] keeps retired pages on a free list and hands
+//! them back zeroed or pre-copied, so after warm-up the protocol
+//! recycles a fixed working set of buffers and the allocator drops out
+//! of the hot path entirely.
+
+use crate::diff::Page;
+
+/// A free-list of 4 KB page buffers.
+///
+/// # Example
+///
+/// ```
+/// use genima_mem::{Page, PagePool};
+/// let mut pool = PagePool::new();
+/// let mut src = Page::zeroed();
+/// src.write(0, &[7; 4]);
+/// let twin = pool.copy_of(&src);      // fresh allocation (pool empty)
+/// assert_eq!(twin, src);
+/// pool.recycle(twin);
+/// let reused = pool.zeroed();         // reuses the recycled buffer
+/// assert_eq!(reused, Page::zeroed());
+/// assert_eq!(pool.stats().reuses, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PagePool {
+    free: Vec<Page>,
+    stats: PoolStats,
+}
+
+/// Allocation-behaviour counters for a [`PagePool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pages handed out by allocating (free list was empty).
+    pub fresh_allocs: u64,
+    /// Pages handed out from the free list (no allocation).
+    pub reuses: u64,
+    /// Pages returned to the free list.
+    pub recycled: u64,
+}
+
+impl PagePool {
+    /// Creates an empty pool.
+    pub fn new() -> PagePool {
+        PagePool::default()
+    }
+
+    /// Takes a page of zeros — recycled if one is free, else fresh.
+    pub fn zeroed(&mut self) -> Page {
+        match self.free.pop() {
+            Some(mut p) => {
+                self.stats.reuses += 1;
+                p.zero();
+                p
+            }
+            None => {
+                self.stats.fresh_allocs += 1;
+                Page::zeroed()
+            }
+        }
+    }
+
+    /// Takes a page holding a copy of `src` — the pooled replacement
+    /// for `src.twin()` / `src.clone()`.
+    pub fn copy_of(&mut self, src: &Page) -> Page {
+        match self.free.pop() {
+            Some(mut p) => {
+                self.stats.reuses += 1;
+                p.copy_from(src);
+                p
+            }
+            None => {
+                self.stats.fresh_allocs += 1;
+                src.twin()
+            }
+        }
+    }
+
+    /// Returns a no-longer-needed page to the free list.
+    pub fn recycle(&mut self, page: Page) {
+        self.stats.recycled += 1;
+        self.free.push(page);
+    }
+
+    /// Pages currently sitting on the free list.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocation-behaviour counters since construction.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_then_reuse() {
+        let mut pool = PagePool::new();
+        let a = pool.zeroed();
+        let b = pool.zeroed();
+        assert_eq!(pool.stats().fresh_allocs, 2);
+        pool.recycle(a);
+        pool.recycle(b);
+        assert_eq!(pool.available(), 2);
+        let _c = pool.zeroed();
+        assert_eq!(pool.stats().reuses, 1);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_clean() {
+        let mut pool = PagePool::new();
+        let mut dirty = pool.zeroed();
+        dirty.write(100, &[0xff; 16]);
+        pool.recycle(dirty);
+        assert_eq!(pool.zeroed(), Page::zeroed());
+    }
+
+    #[test]
+    fn copy_of_matches_source_fresh_and_reused() {
+        let mut pool = PagePool::new();
+        let mut src = Page::zeroed();
+        src.write(4000, &[9; 8]);
+        let fresh = pool.copy_of(&src);
+        assert_eq!(fresh, src);
+        pool.recycle(fresh);
+        src.write(0, &[1; 4]);
+        let reused = pool.copy_of(&src);
+        assert_eq!(reused, src);
+        assert_eq!(pool.stats().reuses, 1);
+    }
+}

@@ -332,17 +332,16 @@ impl Comm {
     ) -> Post {
         assert!(self.cfg.broadcast, "broadcast without NicConfig::broadcast");
         assert!(!dsts.is_empty(), "broadcast needs at least one destination");
-        let cfg = self.cfg.clone();
         let mut post = Post::default();
         let t0 = self.acquire_post_slot(now, src);
-        let posted_at = t0 + cfg.post_overhead;
+        let posted_at = t0 + self.cfg.post_overhead;
         post.host_free = posted_at;
 
         let nic = &mut self.nics[src.index()];
-        let (_, pick_done) = nic.lanai_send.reserve(posted_at, cfg.pick_cost);
-        let dma = cfg.dma_time(bytes);
+        let (_, pick_done) = nic.lanai_send.reserve(posted_at, self.cfg.pick_cost);
+        let dma = self.cfg.dma_time(bytes);
         let (_, dma_done) = nic.pci_send.reserve(pick_done, dma);
-        if !cfg.pipelined_sends {
+        if !self.cfg.pipelined_sends {
             nic.lanai_send.block_until(dma_done);
         }
         nic.post_slots.push_back(pick_done);
@@ -351,13 +350,13 @@ impl Comm {
             Stage::Source,
             class,
             dma_done - posted_at,
-            cfg.pick_cost + dma,
+            self.cfg.pick_cost + dma,
         );
         let mut cursor = dma_done;
         for &(dst, tag) in dsts {
             assert_ne!(dst, src, "broadcast to self");
             let nic = &mut self.nics[src.index()];
-            let (_, inject_ready) = nic.lanai_send.reserve(cursor, cfg.inject_cost);
+            let (_, inject_ready) = nic.lanai_send.reserve(cursor, self.cfg.inject_cost);
             cursor = inject_ready;
             let pkt = Packet {
                 src,
@@ -375,13 +374,13 @@ impl Comm {
                 Stage::Lanai,
                 class,
                 timing.inject_end.saturating_since(dma_done),
-                cfg.inject_cost + wire,
+                self.cfg.inject_cost + wire,
             );
             self.monitor.record(
                 Stage::Net,
                 class,
                 timing.deliver.saturating_since(dma_done),
-                cfg.inject_cost + self.net.uncontended(bytes),
+                self.cfg.inject_cost + self.net.uncontended(bytes),
             );
             self.monitor.count_packet(class, bytes);
         }
@@ -589,11 +588,11 @@ impl Comm {
     /// that epoch surfaces at a node until the node re-enters the
     /// collective — the same window in which a granted lock's
     /// timestamp sits in NI memory.
-    pub fn coll_result(&self, coll: CollId) -> Option<(u32, Vec<u64>)> {
+    pub fn coll_result(&self, coll: CollId) -> Option<(u32, &[u64])> {
         self.colls
             .get(&coll)
             .and_then(|cs| cs.result())
-            .map(|(e, vals)| (*e, vals.clone()))
+            .map(|(e, vals)| (*e, vals.as_slice()))
     }
 
     /// Enters collective `coll` at `nic`: the host writes its local
@@ -737,7 +736,6 @@ impl Comm {
         from_post_queue: bool,
         out: &mut InlineVec<(Time, Event)>,
     ) {
-        let cfg = self.cfg.clone();
         let class = self.size_class(desc.bytes);
         let nic = &mut self.nics[src.index()];
 
@@ -747,10 +745,10 @@ impl Comm {
         let pick = match desc.kind {
             MsgKind::GatherDeposit { runs } => {
                 assert!(
-                    cfg.scatter_gather,
+                    self.cfg.scatter_gather,
                     "scatter-gather send without NicConfig::scatter_gather"
                 );
-                cfg.pick_cost + cfg.gather_per_run * runs as u64
+                self.cfg.pick_cost + self.cfg.gather_per_run * runs as u64
             }
             MsgKind::Deposit
             | MsgKind::HostMsg
@@ -759,12 +757,12 @@ impl Comm {
             | MsgKind::LockMsg(_)
             | MsgKind::CollMsg(_)
             | MsgKind::FetchAndStore { .. }
-            | MsgKind::AtomicReply { .. } => cfg.pick_cost,
+            | MsgKind::AtomicReply { .. } => self.cfg.pick_cost,
         };
         let (_, pick_done) = nic.lanai_send.reserve(posted_at, pick);
-        let dma = cfg.dma_time(desc.bytes);
+        let dma = self.cfg.dma_time(desc.bytes);
         let (_, dma_done) = nic.pci_send.reserve(pick_done, dma);
-        let inject_ready = if cfg.pipelined_sends {
+        let inject_ready = if self.cfg.pipelined_sends {
             // Deep pipelining (the Windows NT firmware, §3.3 (iii)):
             // pick, DMA and injection of successive messages overlap,
             // so each message occupies the LANai only for its pick and
@@ -775,7 +773,7 @@ impl Comm {
             // injection itself before touching the next request (the
             // Linux-version behaviour that lets the post queue fill).
             nic.lanai_send.block_until(dma_done);
-            let (_, e) = nic.lanai_send.reserve(dma_done, cfg.inject_cost);
+            let (_, e) = nic.lanai_send.reserve(dma_done, self.cfg.inject_cost);
             e
         };
         if from_post_queue {
@@ -801,20 +799,20 @@ impl Comm {
                 Stage::Source,
                 class,
                 dma_done - posted_at,
-                cfg.pick_cost + dma,
+                self.cfg.pick_cost + dma,
             );
         }
         self.monitor.record(
             Stage::Lanai,
             class,
             timing.inject_end.saturating_since(dma_done),
-            cfg.inject_cost + wire,
+            self.cfg.inject_cost + wire,
         );
         self.monitor.record(
             Stage::Net,
             class,
             timing.deliver.saturating_since(dma_done),
-            cfg.inject_cost + self.net.uncontended(desc.bytes),
+            self.cfg.inject_cost + self.net.uncontended(desc.bytes),
         );
         self.monitor.count_packet(class, desc.bytes);
     }
@@ -923,23 +921,22 @@ impl Comm {
         });
         // The packet is still staged in NI memory: retransmission is a
         // pure firmware injection, like `fw_send`.
-        let cfg = self.cfg.clone();
         let class = self.size_class(pkt.bytes);
         let nic = &mut self.nics[pkt.src.index()];
-        let (_, inject_ready) = nic.lanai_send.reserve(now, cfg.inject_cost);
+        let (_, inject_ready) = nic.lanai_send.reserve(now, self.cfg.inject_cost);
         let timing = self.inject_packet(inject_ready, pkt, attempt, &mut step.events);
         let wire = self.net.config().wire_time(pkt.bytes);
         self.monitor.record(
             Stage::Lanai,
             class,
             timing.inject_end.saturating_since(now),
-            cfg.inject_cost + wire,
+            self.cfg.inject_cost + wire,
         );
         self.monitor.record(
             Stage::Net,
             class,
             timing.deliver.saturating_since(now),
-            cfg.inject_cost + self.net.uncontended(pkt.bytes),
+            self.cfg.inject_cost + self.net.uncontended(pkt.bytes),
         );
         self.monitor.count_packet(class, pkt.bytes);
         step
@@ -993,10 +990,9 @@ impl Comm {
         }
         // Firmware-generated packets are already staged in NI memory:
         // no post queue, no pick, no source DMA — just injection.
-        let cfg = self.cfg.clone();
         let class = self.size_class(bytes);
         let nic = &mut self.nics[src.index()];
-        let (_, inject_ready) = nic.lanai_send.reserve(now, cfg.inject_cost);
+        let (_, inject_ready) = nic.lanai_send.reserve(now, self.cfg.inject_cost);
         let pkt = Packet {
             src,
             dst,
@@ -1013,13 +1009,13 @@ impl Comm {
             Stage::Lanai,
             class,
             timing.inject_end.saturating_since(now),
-            cfg.inject_cost + wire,
+            self.cfg.inject_cost + wire,
         );
         self.monitor.record(
             Stage::Net,
             class,
             timing.deliver.saturating_since(now),
-            cfg.inject_cost + self.net.uncontended(bytes),
+            self.cfg.inject_cost + self.net.uncontended(bytes),
         );
         self.monitor.count_packet(class, bytes);
         (timing.deliver, step)
@@ -1027,7 +1023,6 @@ impl Comm {
 
     /// Destination-side processing of an arrived packet.
     fn deliver(&mut self, now: Time, pkt: Packet) -> Step {
-        let cfg = self.cfg.clone();
         let class = self.size_class(pkt.bytes);
         let mut step = Step::default();
         let local = pkt.src == pkt.dst; // firmware-local hop: skip wire-side costs
@@ -1044,7 +1039,7 @@ impl Comm {
                 self.recovery.duplicates_suppressed += 1;
                 self.nics[pkt.dst.index()]
                     .lanai_recv
-                    .reserve(now, cfg.recv_cost);
+                    .reserve(now, self.cfg.recv_cost);
                 return step;
             }
             if let Some(inj) = self.injector.as_mut() {
@@ -1055,7 +1050,7 @@ impl Comm {
             now
         } else {
             let nic = &mut self.nics[pkt.dst.index()];
-            let (_, e) = nic.lanai_recv.reserve(now, cfg.recv_cost);
+            let (_, e) = nic.lanai_recv.reserve(now, self.cfg.recv_cost);
             e
         };
 
@@ -1066,14 +1061,15 @@ impl Comm {
                 let nic = &mut self.nics[pkt.dst.index()];
                 let (_, svc_done) = nic
                     .lanai_recv
-                    .reserve(recv_done, cfg.gather_per_run * runs as u64);
-                let dma = cfg.dma_time(pkt.bytes) + cfg.dma_setup * runs.saturating_sub(1) as u64;
+                    .reserve(recv_done, self.cfg.gather_per_run * runs as u64);
+                let dma = self.cfg.dma_time(pkt.bytes)
+                    + self.cfg.dma_setup * runs.saturating_sub(1) as u64;
                 let (_, dma_done) = nic.pci_recv.reserve(svc_done, dma);
                 self.monitor.record(
                     Stage::Dest,
                     class,
                     dma_done - now,
-                    cfg.recv_cost + cfg.gather_per_run * runs as u64 + dma,
+                    self.cfg.recv_cost + self.cfg.gather_per_run * runs as u64 + dma,
                 );
                 step.upcalls.push((
                     dma_done,
@@ -1085,11 +1081,11 @@ impl Comm {
                 ));
             }
             MsgKind::Deposit | MsgKind::HostMsg | MsgKind::FetchReply => {
-                let dma = cfg.dma_time(pkt.bytes);
+                let dma = self.cfg.dma_time(pkt.bytes);
                 let nic = &mut self.nics[pkt.dst.index()];
                 let (_, dma_done) = nic.pci_recv.reserve(recv_done, dma);
                 self.monitor
-                    .record(Stage::Dest, class, dma_done - now, cfg.recv_cost + dma);
+                    .record(Stage::Dest, class, dma_done - now, self.cfg.recv_cost + dma);
                 let upcall = match pkt.kind {
                     MsgKind::Deposit => Upcall::DepositArrived {
                         nic: pkt.dst,
@@ -1115,14 +1111,14 @@ impl Comm {
                 // DMA moves host→NI, i.e. the send direction of the
                 // I/O bus.
                 let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.fetch_service);
-                let dma = cfg.dma_time(reply_bytes);
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.fetch_service);
+                let dma = self.cfg.dma_time(reply_bytes);
                 let (_, dma_done) = nic.pci_send.reserve(svc_done, dma);
                 self.monitor.record(
                     Stage::Dest,
                     class,
                     dma_done - now,
-                    cfg.recv_cost + cfg.fetch_service + dma,
+                    self.cfg.recv_cost + self.cfg.fetch_service + dma,
                 );
                 self.obs_record(|o| {
                     o.span(
@@ -1149,12 +1145,12 @@ impl Comm {
                 // Served in firmware like a fetch: swap the word, send
                 // the old value back.
                 let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.lock_service);
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.lock_service);
                 self.monitor.record(
                     Stage::Dest,
                     class,
                     svc_done - now,
-                    cfg.recv_cost + cfg.lock_service,
+                    self.cfg.recv_cost + self.cfg.lock_service,
                 );
                 let old = self.atomic_swap(pkt.dst, cell, new);
                 let (_, sub) = self.fw_send(
@@ -1170,9 +1166,9 @@ impl Comm {
             }
             MsgKind::AtomicReply { old } => {
                 let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.lock_service);
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.lock_service);
                 step.upcalls.push((
-                    svc_done + cfg.grant_notify,
+                    svc_done + self.cfg.grant_notify,
                     Upcall::AtomicCompleted {
                         nic: pkt.dst,
                         tag: pkt.tag,
@@ -1182,12 +1178,12 @@ impl Comm {
             }
             MsgKind::CollMsg(op) => {
                 let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.coll_service);
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.coll_service);
                 self.monitor.record(
                     Stage::Dest,
                     class,
                     svc_done - now,
-                    cfg.recv_cost + cfg.coll_service,
+                    self.cfg.recv_cost + self.cfg.coll_service,
                 );
                 let (coll, epoch, kind, edge_child) = match op {
                     CollOp::Arrive { coll, epoch } => {
@@ -1225,13 +1221,13 @@ impl Comm {
             }
             MsgKind::LockMsg(op) => {
                 let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, cfg.lock_service);
+                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.lock_service);
                 if !local {
                     self.monitor.record(
                         Stage::Dest,
                         class,
                         svc_done - now,
-                        cfg.recv_cost + cfg.lock_service,
+                        self.cfg.recv_cost + self.cfg.lock_service,
                     );
                 }
                 let serviced = match op {
@@ -1768,9 +1764,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        let mut sorted = olds.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1], "exactly one winner: {olds:?}");
+        assert_eq!(olds.len(), 2, "both swaps complete: {olds:?}");
+        assert!(
+            matches!((olds[0], olds[1]), (0, 1) | (1, 0)),
+            "exactly one winner: {olds:?}"
+        );
     }
 
     #[test]
@@ -1942,7 +1940,7 @@ mod tests {
             assert_eq!(done, (0..ports).collect::<Vec<_>>());
             let (epoch, vals) = c.coll_result(coll).expect("combined result");
             assert_eq!(epoch, 0);
-            assert_eq!(vals, vec![ports as u64 - 1, 100 + ports as u64 - 1]);
+            assert_eq!(vals, [ports as u64 - 1, 100 + ports as u64 - 1]);
         }
     }
 
@@ -1972,7 +1970,7 @@ mod tests {
             .filter(|(_, u)| matches!(u, Upcall::CollCompleted { epoch: 0, .. }))
             .count();
         assert_eq!(done, 6);
-        assert_eq!(c.coll_result(coll).expect("payload").1, vec![42, 7]);
+        assert_eq!(c.coll_result(coll).expect("payload").1, [42, 7]);
     }
 
     #[test]
@@ -1999,7 +1997,7 @@ mod tests {
             assert_eq!(done, 4, "epoch {epoch}");
             assert_eq!(
                 c.coll_result(coll),
-                Some((epoch, vec![4 * (1 + epoch as u64)]))
+                Some((epoch, &[4 * (1 + epoch as u64)][..]))
             );
         }
     }

@@ -247,17 +247,23 @@ impl SvmSystem {
         let home = self.home_of(page).index();
         if home == node {
             let hp = self.home_pages.entry(page).or_default();
-            hp.data
-                .get_or_insert_with(genima_mem::Page::zeroed)
-                .write(off, data);
+            if hp.data.is_none() {
+                hp.data = Some(self.pool.zeroed());
+            }
+            if let Some(d) = hp.data.as_mut() {
+                d.write(off, data);
+            }
         } else {
             let c = self.nodes[node]
                 .copies
                 .get_mut(&page)
                 .expect("write to a page the node has no copy of");
-            c.data
-                .get_or_insert_with(genima_mem::Page::zeroed)
-                .write(off, data);
+            if c.data.is_none() {
+                c.data = Some(self.pool.zeroed());
+            }
+            if let Some(d) = c.data.as_mut() {
+                d.write(off, data);
+            }
         }
     }
 }

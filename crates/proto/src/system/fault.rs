@@ -148,15 +148,18 @@ impl SvmSystem {
         self.procs[p].pt.set(page, Access::ReadWrite);
         let twin = if self.p.data_mode {
             let home = self.home_of(page).index();
-            let data = if home == node {
-                self.home_pages.get(&page).and_then(|h| h.data.clone())
+            let src = if home == node {
+                self.home_pages.get(&page).and_then(|h| h.data.as_ref())
             } else {
                 self.nodes[node]
                     .copies
                     .get(&page)
-                    .and_then(|c| c.data.clone())
+                    .and_then(|c| c.data.as_ref())
             };
-            Some(data.unwrap_or_else(Page::zeroed))
+            Some(match src {
+                Some(data) => self.pool.copy_of(data),
+                None => self.pool.zeroed(),
+            })
         } else {
             None
         };
@@ -266,7 +269,10 @@ impl SvmSystem {
         if Self::covered(&hp.applied, &need) {
             let ts = hp.applied.clone();
             let data = if self.p.data_mode {
-                Some(hp.data.clone().unwrap_or_else(Page::zeroed))
+                Some(match &hp.data {
+                    Some(d) => self.pool.copy_of(d),
+                    None => self.pool.zeroed(),
+                })
             } else {
                 None
             };
@@ -307,7 +313,7 @@ impl SvmSystem {
             let old = self.nodes[node]
                 .copies
                 .get(&page)
-                .and_then(|c| c.data.clone());
+                .and_then(|c| c.data.as_ref());
             if let Some(old) = old {
                 let locals: Vec<usize> = self
                     .p
@@ -315,12 +321,17 @@ impl SvmSystem {
                     .procs_of(crate::ids::NodeId::new(node))
                     .map(|q| q.index())
                     .collect();
+                let mut scratch = std::mem::take(&mut self.diff_scratch);
                 for q in locals {
                     // Open interval: writes live in the old node copy.
+                    // The tracked scan covers exactly this writer's
+                    // ranges; looping over every local writer covers
+                    // the union a full scan would find.
                     if let Some(dp) = self.procs[q].dirty.get(&page) {
                         if let Some(twin) = &dp.twin {
-                            let w = genima_mem::compute_diff(twin, &old);
-                            w.apply(incoming);
+                            scratch
+                                .compute_tracked(twin, old, &dp.ranges)
+                                .apply(incoming);
                         }
                     }
                     // Closed-but-unflushed intervals: same — their
@@ -330,13 +341,15 @@ impl SvmSystem {
                         for (pg, dp) in &pi.pages {
                             if *pg == page {
                                 if let Some(twin) = &dp.twin {
-                                    let w = genima_mem::compute_diff(twin, &old);
-                                    w.apply(incoming);
+                                    scratch
+                                        .compute_tracked(twin, old, &dp.ranges)
+                                        .apply(incoming);
                                 }
                             }
                         }
                     }
                 }
+                self.diff_scratch = scratch;
             }
         }
         if self.trace.is_some() {
@@ -349,7 +362,10 @@ impl SvmSystem {
                 required,
             });
         }
-        self.nodes[node].copies.insert(page, CopyState { ts, data });
+        let prev = self.nodes[node].copies.insert(page, CopyState { ts, data });
+        if let Some(old_data) = prev.and_then(|c| c.data) {
+            self.pool.recycle(old_data);
+        }
         if let Some(waiters) = self.nodes[node].inflight.remove(&page) {
             for p in waiters {
                 self.complete_fault(t, p, page);
@@ -437,7 +453,10 @@ impl SvmSystem {
         if Self::covered(&hp.applied, &required) {
             let ts = hp.applied.clone();
             let data = if self.p.data_mode {
-                Some(hp.data.clone().unwrap_or_else(Page::zeroed))
+                Some(match &hp.data {
+                    Some(d) => self.pool.copy_of(d),
+                    None => self.pool.zeroed(),
+                })
             } else {
                 None
             };
@@ -550,7 +569,12 @@ impl SvmSystem {
         let hp = self.home_pages.entry(page).or_default();
         if let Some(d) = diff {
             if data_mode {
-                d.apply(hp.data.get_or_insert_with(Page::zeroed));
+                if hp.data.is_none() {
+                    hp.data = Some(self.pool.zeroed());
+                }
+                if let Some(dst) = hp.data.as_mut() {
+                    d.apply(dst);
+                }
             }
         }
         let e = hp.applied.entry(writer as u32).or_insert(0);

@@ -447,6 +447,13 @@ pub struct SvmSystem {
     /// failure (e.g. an unreachable peer); the event loop drains out
     /// and [`SvmSystem::try_run`] returns the error.
     pub(crate) fatal: Option<ProtoError>,
+    /// Free list of 4 KB buffers: twins, home copies, and page-reply
+    /// payloads recycle through here so steady-state execution
+    /// allocates no page-sized buffers.
+    pub(crate) pool: genima_mem::PagePool,
+    /// Reusable diff arena for scans whose result is applied
+    /// immediately (no per-scan run/payload allocations).
+    pub(crate) diff_scratch: genima_mem::DiffScratch,
 }
 
 impl SvmSystem {
@@ -535,6 +542,8 @@ impl SvmSystem {
             trace: None,
             obs: None,
             fatal: None,
+            pool: genima_mem::PagePool::new(),
+            diff_scratch: genima_mem::DiffScratch::new(),
             p: params,
         }
     }

@@ -2,7 +2,7 @@
 
 #![allow(clippy::needless_range_loop)]
 
-use genima_mem::{compute_diff, Access, Diff, PageId};
+use genima_mem::{compute_diff_tracked, Access, Diff, PageId};
 use genima_nic::{CollId, LockId, ReduceOp, Tag};
 use genima_sim::{Dur, Time};
 
@@ -124,7 +124,7 @@ impl SvmSystem {
     ) -> Time {
         let node = self.p.topo.node_of(ProcId::new(p)).index();
         let my_nic = NodeId::new(node).nic();
-        for (page, dp) in pi.pages {
+        for (page, mut dp) in pi.pages {
             self.counters.diffs += 1;
             {
                 // A future fetch of this page by this node must not
@@ -237,6 +237,11 @@ impl SvmSystem {
                 let post = self.vmmc.host_msg(cursor, my_nic, hn, bytes, tag);
                 cursor = self.absorb_post(post);
             }
+            // The twin is consumed by this flush; return its buffer to
+            // the pool for the next twin/copy/reply on this node.
+            if let Some(twin) = dp.twin.take() {
+                self.pool.recycle(twin);
+            }
             if let Sink::Proc(q, _) = sink {
                 // Posting overhead already advanced `cursor` via
                 // host_free; keep the process clock in step.
@@ -247,6 +252,10 @@ impl SvmSystem {
     }
 
     /// Computes the real diff content (data mode) for a dirty page.
+    /// Only the byte ranges this writer recorded are scanned — a page
+    /// whose interval wrote nothing costs nothing — and for a single
+    /// writer the result is bit-identical to a full twin scan (the
+    /// write path records every write in `dp.ranges`).
     fn materialise_diff(&self, node: usize, page: PageId, dp: &DirtyPage) -> Option<Diff> {
         if !self.p.data_mode {
             return None;
@@ -261,7 +270,7 @@ impl SvmSystem {
                 .get(&page)
                 .and_then(|c| c.data.as_ref())
         }?;
-        Some(compute_diff(twin, cur))
+        Some(compute_diff_tracked(twin, cur, &dp.ranges))
     }
 
     /// Flushes all closed-but-unflushed intervals of every process on
@@ -1157,20 +1166,25 @@ impl SvmSystem {
     pub(crate) fn coll_completed(&mut self, t: Time, node: usize, coll: CollId, epoch: u32) {
         let b = BarrierId::new(coll.index());
         let nprocs = self.p.topo.procs();
-        let (res_epoch, vals) = self
-            .vmmc
-            .coll_result(coll)
-            .expect("completed collective must hold a result");
-        assert_eq!(
-            res_epoch, epoch,
-            "collective result advanced past the released epoch"
-        );
-        assert_eq!(vals.len(), 2 * nprocs, "reduce vector width mismatch");
-        let mut joined = VClock::new(nprocs);
-        for q in 0..nprocs {
-            joined.set(ProcId::new(q), vals[q] as u32);
-        }
-        let upto: Vec<u32> = vals[nprocs..].iter().map(|&v| v as u32).collect();
+        // The combined vector is borrowed from NI memory; decode it
+        // into owned protocol state before touching anything else.
+        let (joined, upto) = {
+            let (res_epoch, vals) = self
+                .vmmc
+                .coll_result(coll)
+                .expect("completed collective must hold a result");
+            assert_eq!(
+                res_epoch, epoch,
+                "collective result advanced past the released epoch"
+            );
+            assert_eq!(vals.len(), 2 * nprocs, "reduce vector width mismatch");
+            let mut joined = VClock::new(nprocs);
+            for q in 0..nprocs {
+                joined.set(ProcId::new(q), vals[q] as u32);
+            }
+            let upto: Vec<u32> = vals[nprocs..].iter().map(|&v| v as u32).collect();
+            (joined, upto)
+        };
         if node == 0 {
             // The root exits first (its release precedes the fan-out),
             // so episode-global bookkeeping lives here — mirroring the

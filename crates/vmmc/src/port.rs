@@ -92,18 +92,11 @@ impl Vmmc {
         self.pinned.get(&(node, class)).copied().unwrap_or(0)
     }
 
-    fn split(&self, bytes: u32) -> Vec<u32> {
+    /// Fragment count for a `bytes`-sized transfer: full packets first,
+    /// then the remainder (a zero-byte transfer is one empty packet).
+    fn fragments(&self, bytes: u32) -> u32 {
         let max = self.comm.network().config().max_packet;
-        if bytes <= max {
-            return vec![bytes];
-        }
-        let full = bytes / max;
-        let rem = bytes % max;
-        let mut v = vec![max; full as usize];
-        if rem > 0 {
-            v.push(rem);
-        }
-        v
+        bytes.div_ceil(max).max(1)
     }
 
     fn post_fragments(
@@ -115,13 +108,17 @@ impl Vmmc {
         kind_of: impl Fn(u32) -> MsgKind,
         tag: Tag,
     ) -> Post {
-        let frags = self.split(bytes);
-        if frags.len() > 1 && tag != Tag::NONE {
-            self.pending.insert(tag, frags.len() as u32);
+        let max = self.comm.network().config().max_packet;
+        let frags = self.fragments(bytes);
+        if frags > 1 && tag != Tag::NONE {
+            self.pending.insert(tag, frags);
         }
         let mut out = Post::default();
         out.host_free = now;
-        for b in frags {
+        let mut remaining = bytes;
+        for _ in 0..frags {
+            let b = remaining.min(max);
+            remaining -= b;
             let p = self.comm.post_send(
                 out.host_free,
                 src,
@@ -192,13 +189,17 @@ impl Vmmc {
     /// local host memory; completion fires [`Upcall::FetchCompleted`]
     /// after the last fragment arrives.
     pub fn fetch(&mut self, now: Time, nic: NicId, from: NicId, bytes: u32, tag: Tag) -> Post {
-        let frags = self.split(bytes);
-        if frags.len() > 1 && tag != Tag::NONE {
-            self.pending.insert(tag, frags.len() as u32);
+        let max = self.comm.network().config().max_packet;
+        let frags = self.fragments(bytes);
+        if frags > 1 && tag != Tag::NONE {
+            self.pending.insert(tag, frags);
         }
         let mut out = Post::default();
         out.host_free = now;
-        for b in frags {
+        let mut remaining = bytes;
+        for _ in 0..frags {
+            let b = remaining.min(max);
+            remaining -= b;
             let p = self.comm.fetch(out.host_free, nic, from, b, tag);
             out.host_free = p.host_free;
             out.events.extend(p.events);
@@ -270,7 +271,7 @@ impl Vmmc {
 
     /// The combined result of `coll`'s most recent root combine (see
     /// [`Comm::coll_result`]).
-    pub fn coll_result(&self, coll: CollId) -> Option<(u32, Vec<u64>)> {
+    pub fn coll_result(&self, coll: CollId) -> Option<(u32, &[u64])> {
         self.comm.coll_result(coll)
     }
 

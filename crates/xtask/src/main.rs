@@ -34,6 +34,8 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/coll/src/lib.rs",
     "crates/coll/src/state.rs",
     "crates/coll/src/tree.rs",
+    "crates/mem/src/diff.rs",
+    "crates/mem/src/pool.rs",
     "crates/nic/src/comm.rs",
     "crates/proto/src/system/mod.rs",
     "crates/proto/src/system/fault.rs",
@@ -306,6 +308,60 @@ fn check_barrier_schema(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_diff_schema(v: &Json) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".to_string());
+    }
+    let mut sparse_seen = false;
+    for (i, row) in rows.iter().enumerate() {
+        let case = row
+            .get("case")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string `case`"))?;
+        for key in [
+            "ref_ns",
+            "block_ns",
+            "tracked_ns",
+            "speedup_block",
+            "speedup_tracked",
+        ] {
+            if row.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("row {i}: missing numeric `{key}`"));
+            }
+        }
+        for key in ["runs", "bytes"] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("row {i}: missing integer `{key}`"));
+            }
+        }
+        if row.get("identical").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "row {i}: `identical` must be true — the engines must be bit-identical"
+            ));
+        }
+        if case == "sparse" {
+            sparse_seen = true;
+            let speedup = row
+                .get("speedup_block")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row {i}: missing numeric `speedup_block`"))?;
+            if speedup < 3.0 {
+                return Err(format!(
+                    "row {i}: sparse block-scan speedup {speedup:.2}x below the 3x gate"
+                ));
+            }
+        }
+    }
+    if !sparse_seen {
+        return Err("no `sparse` case row".to_string());
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed bench report to the matching schema check.
 fn check_schema(v: &Json) -> Result<&'static str, String> {
     if v.get("seed").and_then(Json::as_u64).is_none() {
@@ -315,6 +371,7 @@ fn check_schema(v: &Json) -> Result<&'static str, String> {
         Some("breakdowns") => check_breakdowns_schema(v).map(|()| "breakdowns"),
         Some("fault_matrix") => check_fault_matrix_schema(v).map(|()| "fault_matrix"),
         Some("barrier") => check_barrier_schema(v).map(|()| "barrier"),
+        Some("diff") => check_diff_schema(v).map(|()| "diff"),
         Some(other) => Err(format!("unknown bench kind `{other}`")),
         None => Err("missing string `bench`".to_string()),
     }
@@ -481,6 +538,24 @@ mod tests {
         let v = Json::parse(&broken).expect("fixture parses");
         let err = check_schema(&v).expect_err("NI rows must carry zero manager messages");
         assert!(err.contains("manager_msgs"), "{err}");
+    }
+
+    #[test]
+    fn diff_schema_round_trips() {
+        let row = "{\"case\":\"sparse\",\"runs\":8,\"bytes\":48,\
+                   \"ref_ns\":1500.0,\"block_ns\":250.0,\"tracked_ns\":60.0,\
+                   \"speedup_block\":6.0,\"speedup_tracked\":25.0,\"identical\":true}";
+        let text = format!("{{\"bench\":\"diff\",\"seed\":7,\"iters\":4000,\"rows\":[{row}]}}");
+        let v = Json::parse(&text).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("diff"));
+        let slow = text.replace("\"speedup_block\":6.0", "\"speedup_block\":1.4");
+        let v = Json::parse(&slow).expect("fixture parses");
+        let err = check_schema(&v).expect_err("sparse speedup below 3x must fail");
+        assert!(err.contains("gate"), "{err}");
+        let wrong = text.replace("\"identical\":true", "\"identical\":false");
+        let v = Json::parse(&wrong).expect("fixture parses");
+        let err = check_schema(&v).expect_err("non-identical output must fail");
+        assert!(err.contains("identical"), "{err}");
     }
 
     #[test]

@@ -200,7 +200,7 @@ fn reduce_rounds(vmmc: &mut Vmmc, ports: usize, epochs: u32) -> Vec<Vec<u64>> {
             .coll_result(coll)
             .expect("result readable at completion");
         assert_eq!(res_epoch, e);
-        results.push(vals);
+        results.push(vals.to_vec());
     }
     results
 }
