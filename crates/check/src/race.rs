@@ -333,6 +333,9 @@ pub fn detect_races(programs: &[Vec<Op>]) -> Result<Vec<Race>, ScheduleError> {
                     Op::Validate { addr, expected } => {
                         det.access(p, i, addr.value(), expected.len() as u64, false);
                     }
+                    Op::Observe { addr, len } => {
+                        det.access(p, i, addr.value(), *len as u64, false);
+                    }
                     Op::Write { addr, len } => {
                         det.access(p, i, addr.value(), *len as u64, true);
                     }
@@ -550,5 +553,77 @@ mod tests {
         let races = detect_races(&[p0, p1]).unwrap();
         assert_eq!(races.len(), 1);
         assert_eq!(races[0].cell_base, 64);
+    }
+
+    #[test]
+    fn gap_between_same_epoch_segments_does_not_race() {
+        // [0,4) and [32,36) are same-epoch but not touching, so they
+        // must stay separate segments; a foreign write into the gap is
+        // race-free. (A buggy merge into [0,36) would false-positive.)
+        let races = detect_races(&[vec![w(0, 4), w(32, 4)], vec![w(8, 4)]]).unwrap();
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn touching_same_epoch_writes_merge_in_place() {
+        // [0,8) then [8,16) are one logical access split across ops:
+        // they merge, and a conflicting access reports the merged
+        // segment's latest op index.
+        let races = detect_races(&[vec![w(0, 8), w(8, 8)], vec![w(12, 4)]]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first.op_index, 1);
+    }
+
+    #[test]
+    fn merge_widens_leftwards_too() {
+        // The second write lands *before* the first ([8,16) then
+        // [0,8)); the touching-range merge must handle either side.
+        let races = detect_races(&[vec![w(8, 8), w(0, 8)], vec![w(4, 4)]]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first.op_index, 1);
+    }
+
+    #[test]
+    fn epoch_rollover_rewrite_supersedes_older_segment() {
+        let l = LockId::new(0);
+        // p0 writes [0,8), rolls its epoch over via the release bump,
+        // and rewrites the same range. The epoch-1 segment is covered
+        // and dropped; the unsynchronised foreign write must race
+        // against the epoch-2 replacement (op 3), proving the drop
+        // lost no conflict.
+        let p0 = vec![Op::Acquire(l), w(0, 8), Op::Release(l), w(0, 8)];
+        let p1 = vec![w(0, 8)];
+        let races = detect_races(&[p0, p1]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first.op_index, 3);
+    }
+
+    #[test]
+    fn partial_later_epoch_write_keeps_the_wider_old_segment() {
+        let l = LockId::new(0);
+        // The epoch-2 write [0,8) covers only part of the epoch-1
+        // [0,32) segment, so the old segment must survive — dropping
+        // it would miss the race with a foreign write at [16,24).
+        let p0 = vec![Op::Acquire(l), w(0, 32), Op::Release(l), w(0, 8)];
+        let p1 = vec![w(16, 8)];
+        let races = detect_races(&[p0, p1]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first.op_index, 1);
+    }
+
+    #[test]
+    fn touching_ranges_across_epochs_do_not_merge() {
+        let l = LockId::new(0);
+        // [0,8) at epoch 1 and [8,16) at epoch 2 touch but must not
+        // merge: p1's lock-ordered read of [0,8) is race-free, while
+        // its unordered read of [8,16) races with the epoch-2 half
+        // only. A cross-epoch merge would misreport the first read.
+        let p0 = vec![Op::Acquire(l), w(0, 8), Op::Release(l), w(8, 8)];
+        let p1 = vec![Op::Acquire(l), r(0, 8), Op::Release(l), r(8, 8)];
+        let races = detect_races(&[p0, p1]).unwrap();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first.op_index, 3);
+        assert_eq!(races[0].second.op_index, 3);
+        assert!(!races[0].second.write);
     }
 }

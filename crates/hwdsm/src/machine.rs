@@ -229,6 +229,7 @@ impl HwDsm {
                 Op::Write { addr, len } => self.access(p, addr, len, true),
                 Op::WriteData { addr, data } => self.access(p, addr, data.len() as u32, true),
                 Op::Validate { .. } => {}
+                Op::Observe { addr, len } => self.access(p, addr, len, false),
                 Op::Acquire(l) => {
                     if self.procs[p].clock > now {
                         // Resync is cheap for the hardware machine:

@@ -1,0 +1,226 @@
+//! Model-checking benchmark: exhaustively explores the CI litmus
+//! corpus on every protocol column, bounds the extended classic
+//! shapes, calibrates DPOR pruning against naive enumeration on the
+//! lock-handoff litmus, and demonstrates the seeded-mutant catch.
+//! Emits `BENCH_mc.json` with `--json`.
+//!
+//! The JSON is checked in and validated by `xtask obs-schema`; CI
+//! never regenerates it (the extended rows and the naive calibration
+//! take minutes of single-core time).
+
+use std::time::Instant;
+
+use genima_mc::{corpus, litmus, Config, Explorer, Mode, ScheduleTrace};
+use genima_proto::{FeatureSet, Mutation};
+
+/// Schedule cap for the extended (classic, large) shapes: enough for
+/// `sb` and `lock-handoff` to exhaust on Base, a bounded sweep
+/// elsewhere.
+const EXT_CAP: u64 = 1_000_000;
+
+/// Naive-enumeration budget for the prune-ratio calibration. DPOR
+/// exhausts lock-handoff on Base in ~800k schedules; naive enumeration
+/// still isn't done at five times that, so the reported ratio is a
+/// lower bound.
+const NAIVE_CAP: u64 = 4_000_000;
+
+fn explore_row(
+    l: genima_mc::Litmus,
+    f: FeatureSet,
+    config: Config,
+    tier: &str,
+) -> (genima_obs::Json, bool) {
+    let start = Instant::now();
+    let rep = Explorer::new(l, f, config).run();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let clean = rep.violation.is_none();
+    let per_sec = rep.schedules as f64 / secs;
+    println!(
+        "{:<20} {:>9} {:>12} {:>9} {:>10} {:>9.0} {:>11}",
+        format!("{}/{}", l.name, f.name()),
+        rep.schedules,
+        rep.sleep_blocked,
+        rep.outcomes.len(),
+        rep.steps_total,
+        per_sec,
+        if rep.exhaustive() {
+            "exhaustive"
+        } else {
+            "bounded"
+        },
+    );
+    if let Some(v) = &rep.violation {
+        eprintln!("  UNEXPECTED VIOLATION: {}", v.desc);
+    }
+
+    let mut row = genima_obs::Json::obj();
+    row.set("litmus", genima_obs::Json::str(l.name));
+    row.set("column", genima_obs::Json::str(f.name()));
+    row.set("tier", genima_obs::Json::str(tier));
+    row.set("schedules", genima_obs::Json::u64(rep.schedules));
+    row.set("sleep_pruned", genima_obs::Json::u64(rep.sleep_blocked));
+    row.set("truncated", genima_obs::Json::u64(rep.depth_truncated));
+    row.set("violations", genima_obs::Json::u64(u64::from(!clean)));
+    row.set(
+        "distinct_outcomes",
+        genima_obs::Json::u64(rep.outcomes.len() as u64),
+    );
+    row.set("steps_total", genima_obs::Json::u64(rep.steps_total));
+    row.set("states_per_sec", genima_obs::Json::num(per_sec));
+    row.set("races_precise", genima_obs::Json::u64(rep.races_precise));
+    row.set("races_fallback", genima_obs::Json::u64(rep.races_fallback));
+    row.set("exhaustive", genima_obs::Json::Bool(rep.exhaustive()));
+    (row, clean)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: mc_bench [--json FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json_out = Some(it.next().unwrap_or_else(|| "BENCH_mc.json".into())),
+            _ => usage(), // lint: allow-wildcard — open set of CLI flags
+        }
+    }
+
+    let config = Config::default();
+    let mut rows = Vec::new();
+    let mut all_clean = true;
+
+    println!(
+        "{:<20} {:>9} {:>12} {:>9} {:>10} {:>9} {:>11}",
+        "litmus/column", "scheds", "sleep-pruned", "outcomes", "steps", "sched/s", "coverage"
+    );
+    // CI corpus: every cell must exhaust on every column.
+    for l in corpus() {
+        for f in FeatureSet::ALL {
+            let (row, clean) = explore_row(l, f, config, "ci");
+            all_clean &= clean;
+            rows.push(row);
+        }
+    }
+    // Extended classics: exhaustive where the cap allows (Base),
+    // bounded on the NI-rich end.
+    let ext_cfg = Config {
+        max_schedules: EXT_CAP,
+        ..config
+    };
+    for l in litmus::extended() {
+        for f in [FeatureSet::base(), FeatureSet::genima()] {
+            let (row, clean) = explore_row(l, f, ext_cfg, "extended");
+            all_clean &= clean;
+            rows.push(row);
+        }
+    }
+
+    // Calibrate DPOR pruning against naive enumeration on the
+    // lock-handoff litmus, Base column — the cell where DPOR itself
+    // completes an exhaustive proof.
+    let lh = litmus::by_name("lock-handoff").expect("lock-handoff litmus exists");
+    let base = FeatureSet::base();
+    let dpor = Explorer::new(lh, base, ext_cfg).run();
+    let naive_cfg = Config {
+        mode: Mode::Naive,
+        max_schedules: NAIVE_CAP,
+        ..config
+    };
+    let naive = Explorer::new(lh, base, naive_cfg).run();
+    let ratio = naive.schedules as f64 / dpor.schedules.max(1) as f64;
+    println!(
+        "lock-handoff/Base calibration: dpor {} ({}), naive {} schedules{} -> prune ratio {:.1}x{}",
+        dpor.schedules,
+        if dpor.exhaustive() {
+            "exhaustive"
+        } else {
+            "bounded"
+        },
+        naive.schedules,
+        if naive.budget_exhausted {
+            " (capped)"
+        } else {
+            ""
+        },
+        ratio,
+        if naive.budget_exhausted {
+            " (lower bound)"
+        } else {
+            ""
+        },
+    );
+    let mut calib = genima_obs::Json::obj();
+    calib.set("litmus", genima_obs::Json::str(lh.name));
+    calib.set("column", genima_obs::Json::str(base.name()));
+    calib.set("dpor_schedules", genima_obs::Json::u64(dpor.schedules));
+    calib.set("dpor_exhaustive", genima_obs::Json::Bool(dpor.exhaustive()));
+    calib.set("naive_schedules", genima_obs::Json::u64(naive.schedules));
+    calib.set(
+        "naive_capped",
+        genima_obs::Json::Bool(naive.budget_exhausted),
+    );
+    calib.set("prune_ratio", genima_obs::Json::num(ratio));
+
+    // Seeded-mutant demonstration: the checker must catch the
+    // reordered write notice within 10k schedules and the minimized
+    // counterexample must replay bit-identically.
+    let mutation = Mutation::ReorderWriteNotice;
+    let hunt_cfg = Config {
+        max_schedules: 10_000,
+        ..config
+    };
+    let l = litmus::by_name("mp").expect("mp litmus exists");
+    let f = FeatureSet::genima();
+    let start = Instant::now();
+    let rep = Explorer::new(l, f, hunt_cfg).with_mutation(mutation).run();
+    let caught = rep.violation.is_some();
+    let replay_ok = rep.violation.as_ref().is_some_and(|v| {
+        ScheduleTrace::new(l.name, f.name(), Some(mutation), v)
+            .verify()
+            .is_ok()
+    });
+    println!(
+        "mutant {}: {} after {} schedules in {:.2}s (replay {})",
+        mutation.name(),
+        if caught { "caught" } else { "MISSED" },
+        rep.schedules,
+        start.elapsed().as_secs_f64(),
+        if replay_ok { "ok" } else { "FAILED" },
+    );
+    let mut mutant = genima_obs::Json::obj();
+    mutant.set("name", genima_obs::Json::str(mutation.name()));
+    mutant.set("litmus", genima_obs::Json::str(l.name));
+    mutant.set("column", genima_obs::Json::str(f.name()));
+    mutant.set("caught", genima_obs::Json::Bool(caught));
+    mutant.set("replay_ok", genima_obs::Json::Bool(replay_ok));
+    mutant.set(
+        "schedules_to_violation",
+        genima_obs::Json::u64(rep.schedules_to_violation),
+    );
+    mutant.set(
+        "minimized_steps",
+        genima_obs::Json::u64(rep.violation.as_ref().map_or(0, |v| v.steps.len() as u64)),
+    );
+
+    if let Some(path) = json_out {
+        let mut root = genima_obs::Json::obj();
+        root.set("bench", genima_obs::Json::str("mc"));
+        root.set("seed", genima_obs::Json::u64(1999));
+        root.set("rows", genima_obs::Json::Arr(rows));
+        root.set("calibration", calib);
+        root.set("mutant", mutant);
+        std::fs::write(&path, root.dump() + "\n").expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    let ratio_ok = ratio >= 5.0;
+    if !ratio_ok {
+        eprintln!("prune ratio {ratio:.1}x below the 5x gate");
+    }
+    if !all_clean || !caught || !replay_ok || !ratio_ok {
+        std::process::exit(1);
+    }
+}

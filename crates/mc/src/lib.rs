@@ -1,0 +1,40 @@
+//! genima-mc: a stateless model checker for the GeNIMA protocol state
+//! machines.
+//!
+//! The paper's claim — that deposit/fetch/NI-lock mechanisms avoid
+//! asynchronous protocol processing *without breaking lazy release
+//! consistency* — must hold under every message interleaving, not just
+//! the deterministic schedule the simulator happens to produce. This
+//! crate drives [`genima_proto::SvmSystem`] through every inequivalent
+//! delivery schedule of small configurations (2–4 nodes, a few pages)
+//! via the controlled-scheduler seam ([`genima_proto::sched`]):
+//!
+//! * **Exploration** ([`explore`]) is a replay-based depth-first
+//!   search with *dynamic partial-order reduction* (Flanagan–Godefroid
+//!   backtrack sets over a vector-clock happens-before relation, plus
+//!   sleep sets), a naive full-enumeration mode for calibration, and
+//!   depth/preemption bounds as a fallback for unbounded retry loops.
+//! * **Oracles** run on every completed schedule: the `genima-check`
+//!   trace auditor (timestamp coverage, notices-before-access, diff
+//!   ordering, single lock owner, zero interrupts, barrier epochs),
+//!   deadlock detection, and per-litmus *allowed outcome sets*.
+//! * **Litmus tests** ([`litmus`]) encode the classic LRC shapes —
+//!   message passing, store buffering, IRIW, lock handoff, and
+//!   barrier-epoch publication — with the outcomes lazy release
+//!   consistency allows and forbids. The sets are protocol-column
+//!   independent: every column from Base to full GeNIMA must satisfy
+//!   the same memory model.
+//! * **Counterexamples** ([`trace`]) are minimized pick sequences,
+//!   serialized to JSON, and bit-identically replayable.
+//!
+//! Seeded mutants ([`genima_proto::Mutation`]) prove the oracles have
+//! teeth: `mc --mutate reorder-write-notice` drops the write-notice
+//! arrival guard and the checker finds the schedule that exposes it.
+
+pub mod explore;
+pub mod litmus;
+pub mod trace;
+
+pub use explore::{Config, ExploreReport, Explorer, Mode, Violation};
+pub use litmus::{corpus, Litmus};
+pub use trace::ScheduleTrace;

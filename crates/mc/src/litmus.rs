@@ -1,0 +1,439 @@
+//! The LRC litmus corpus: small programs whose allowed/forbidden
+//! outcome sets define what lazy release consistency promises.
+//!
+//! Each litmus places one shared variable per page (so invalidations
+//! and diffs are exercised page-by-page), writes small constants into
+//! variables, and collects outcomes with [`Op::Observe`]. The allowed
+//! sets are *protocol-column independent*: Base through full GeNIMA
+//! implement the same memory model, so a forbidden outcome on any
+//! column is a protocol bug, not a weaker consistency choice.
+//!
+//! Shapes come in two tiers. [`corpus`] is the CI tier: two-process
+//! shapes whose state spaces exhaust on every column in seconds.
+//! [`extended`] holds the classic larger shapes (`sb`, `iriw`,
+//! `lock-handoff`) whose inequivalent-schedule counts on the NI-rich
+//! columns run into the millions: exhaustive on the cheap columns
+//! locally, bounded elsewhere.
+//!
+//! All programs synchronize every access with locks or barriers —
+//! LRC only constrains data-race-free programs, and
+//! [`genima_check::detect_races`] verifies each litmus is DRF before
+//! exploration starts.
+
+use genima_proto::{
+    ops_source, Addr, BarrierId, FeatureSet, LockId, Op, OpSource, SvmParams, SvmSystem, Topology,
+    PAGE_SIZE,
+};
+
+/// One litmus shape: topology, programs, and the LRC-allowed outcome
+/// set.
+#[derive(Clone, Copy)]
+pub struct Litmus {
+    /// Short CLI name (`mp`, `sb`, `iriw`, `lock-handoff`,
+    /// `barrier-epoch`).
+    pub name: &'static str,
+    /// What the shape tests.
+    pub desc: &'static str,
+    /// Cluster nodes.
+    pub nodes: usize,
+    /// Processes per node.
+    pub ppn: usize,
+    /// Builds the per-process operation streams.
+    pub programs: fn() -> Vec<Vec<Op>>,
+    /// Returns `true` if the outcome (per-process observation vectors)
+    /// is allowed under lazy release consistency.
+    pub allowed: fn(&[Vec<u64>]) -> bool,
+    /// Exhaustive exploration must find at least this many distinct
+    /// outcomes — evidence the checker actually reaches the
+    /// interesting interleavings rather than one FIFO schedule.
+    pub min_outcomes: usize,
+}
+
+/// Byte address of litmus variable `v` (one variable per page).
+fn var(v: usize) -> Addr {
+    Addr::new(v as u64 * PAGE_SIZE as u64)
+}
+
+fn w(v: usize) -> Op {
+    wv(v, 1)
+}
+
+/// Write the 32-bit value `val` into variable `v`.
+fn wv(v: usize, val: u32) -> Op {
+    Op::WriteData {
+        addr: var(v),
+        data: val.to_le_bytes().to_vec(),
+    }
+}
+
+fn obs(v: usize) -> Op {
+    Op::Observe {
+        addr: var(v),
+        len: 4,
+    }
+}
+
+fn acq(l: usize) -> Op {
+    Op::Acquire(LockId::new(l))
+}
+
+fn rel(l: usize) -> Op {
+    Op::Release(LockId::new(l))
+}
+
+fn bar(b: usize) -> Op {
+    Op::Barrier(BarrierId::new(b))
+}
+
+/// Message passing: writer publishes data then flag under one lock;
+/// reader observes flag then data under the same lock. Seeing the flag
+/// without the data would violate the lock's consistency-acquire.
+fn mp_programs() -> Vec<Vec<Op>> {
+    vec![
+        vec![acq(0), w(0), w(1), rel(0)],
+        vec![acq(0), obs(1), obs(0), rel(0)],
+    ]
+}
+
+fn mp_allowed(o: &[Vec<u64>]) -> bool {
+    matches!((o[1][0], o[1][1]), (0, 0) | (1, 1))
+}
+
+/// Store buffering: each process writes its own variable (under that
+/// variable's lock) and then reads the other's. Both reads returning
+/// zero would need both locks acquired "before" the other's release —
+/// impossible under the lock-carried vector clocks.
+fn sb_programs() -> Vec<Vec<Op>> {
+    vec![
+        vec![acq(0), w(0), rel(0), acq(1), obs(1), rel(1)],
+        vec![acq(1), w(1), rel(1), acq(0), obs(0), rel(0)],
+    ]
+}
+
+fn sb_allowed(o: &[Vec<u64>]) -> bool {
+    !(o[0][0] == 0 && o[1][0] == 0)
+}
+
+/// IRIW: two independent writers, two readers observing in opposite
+/// orders under the writers' locks. The readers disagreeing about the
+/// write order is forbidden — lock grants carry vector clocks
+/// transitively, so lock-synchronized LRC is store-atomic.
+fn iriw_programs() -> Vec<Vec<Op>> {
+    vec![
+        vec![acq(0), w(0), rel(0)],
+        vec![acq(1), w(1), rel(1)],
+        vec![acq(0), obs(0), rel(0), acq(1), obs(1), rel(1)],
+        vec![acq(1), obs(1), rel(1), acq(0), obs(0), rel(0)],
+    ]
+}
+
+fn iriw_allowed(o: &[Vec<u64>]) -> bool {
+    // p2 saw x=1 then y=0, and p3 saw y=1 then x=0: each orders its
+    // second writer after the first, in contradiction.
+    !(o[2] == [1, 0] && o[3] == [1, 0])
+}
+
+/// Lock handoff: three processes take one global lock; p0 marks its
+/// slot, p1 observes p0's slot and marks its own, p2 observes both.
+/// The observations must match *some* total hold order — in
+/// particular, if p1 saw p0 and p2 saw p1, then p2 must also see p0:
+/// a grant that moves the lock without its full consistency history
+/// breaks exactly that transitivity.
+///
+/// The chain is asymmetric (3/4/5 ops instead of three six-op
+/// critical sections) so that exhaustive exploration stays feasible
+/// on the NI-rich columns.
+fn lock_handoff_programs() -> Vec<Vec<Op>> {
+    vec![
+        vec![acq(0), w(0), rel(0)],
+        vec![acq(0), obs(0), w(1), rel(0)],
+        vec![acq(0), obs(0), obs(1), rel(0)],
+    ]
+}
+
+fn lock_handoff_allowed(o: &[Vec<u64>]) -> bool {
+    // Predicted observations for each total hold order: a process sees
+    // slot j iff process j held before it.
+    const ORDERS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    ORDERS.iter().any(|order| {
+        let pos = |p: usize| order.iter().position(|&q| q == p).unwrap(); // lint: allow-unwrap
+        let saw = |i: usize, j: usize| u64::from(pos(j) < pos(i));
+        o[1] == [saw(1, 0)] && o[2] == [saw(2, 0), saw(2, 1)]
+    })
+}
+
+/// Lost update: both processes read-modify-write one variable under
+/// the same lock (p0 stores 1, p1 stores 2), observing the old value
+/// first. Whoever holds the lock second must see the first holder's
+/// store — both observing zero is the classic lost update, and means
+/// the grant moved the lock without the protected write.
+fn lost_update_programs() -> Vec<Vec<Op>> {
+    vec![
+        vec![acq(0), obs(0), wv(0, 1), rel(0)],
+        vec![acq(0), obs(0), wv(0, 2), rel(0)],
+    ]
+}
+
+fn lost_update_allowed(o: &[Vec<u64>]) -> bool {
+    // p0 first: p0 saw 0, p1 saw 1. p1 first: p1 saw 0, p0 saw 2.
+    matches!((o[0][0], o[1][0]), (0, 1) | (2, 0))
+}
+
+/// Coherence monotonicity: one process writes 1 then 2 into a single
+/// variable in separate critical sections; a reader observes it twice
+/// inside one critical section. Reads going backwards (2 then 1, or
+/// 1 then 0) would mean a write notice or diff was applied out of
+/// interval order.
+fn mono_programs() -> Vec<Vec<Op>> {
+    vec![
+        vec![acq(0), wv(0, 1), rel(0), acq(0), wv(0, 2), rel(0)],
+        vec![acq(0), obs(0), obs(0), rel(0)],
+    ]
+}
+
+fn mono_allowed(o: &[Vec<u64>]) -> bool {
+    let (a, b) = (o[1][0], o[1][1]);
+    a <= b && b <= 2
+}
+
+/// Lock-then-barrier chaining: the writer publishes under a lock and
+/// then crosses the barrier; the reader crosses the barrier and reads
+/// without the lock. The barrier join must carry the lock-protected
+/// interval, so zero is forbidden.
+fn mp_bar_programs() -> Vec<Vec<Op>> {
+    vec![vec![acq(0), w(0), rel(0), bar(0)], vec![bar(0), obs(0)]]
+}
+
+fn mp_bar_allowed(o: &[Vec<u64>]) -> bool {
+    o[1] == [1]
+}
+
+/// Barrier-epoch publication: everyone writes its variable, crosses
+/// one barrier, and observes its neighbour's. The barrier join makes
+/// every pre-barrier write visible — zero is forbidden.
+///
+/// Two processes, not three: barrier arrivals are mutually dependent
+/// (a clique), so each extra arrival multiplies the inequivalent
+/// interleavings factorially — the three-process shape exceeds two
+/// million schedules before exhausting even on Base.
+fn barrier_epoch_programs() -> Vec<Vec<Op>> {
+    (0..2)
+        .map(|i| vec![w(i), bar(0), obs((i + 1) % 2)])
+        .collect()
+}
+
+fn barrier_epoch_allowed(o: &[Vec<u64>]) -> bool {
+    o.iter().all(|p| p == &[1])
+}
+
+/// The CI litmus corpus: every shape here is exhaustively explorable
+/// on every protocol column (Base through full GeNIMA) in seconds to
+/// a couple of minutes on one core — `mc --litmus all --column all
+/// --require-exhaustive` is the `mc-smoke` CI gate.
+pub fn corpus() -> Vec<Litmus> {
+    vec![
+        Litmus {
+            name: "mp",
+            desc: "message passing via one lock",
+            nodes: 2,
+            ppn: 1,
+            programs: mp_programs,
+            allowed: mp_allowed,
+            min_outcomes: 2,
+        },
+        Litmus {
+            name: "lost-update",
+            desc: "locked read-modify-write never loses a store",
+            nodes: 2,
+            ppn: 1,
+            programs: lost_update_programs,
+            allowed: lost_update_allowed,
+            min_outcomes: 2,
+        },
+        Litmus {
+            name: "mono",
+            desc: "same-variable writes observed in interval order",
+            nodes: 2,
+            ppn: 1,
+            programs: mono_programs,
+            allowed: mono_allowed,
+            // The reader's section lands before, between, or after the
+            // writer's two sections: (0,0), (1,1), (2,2) at least.
+            min_outcomes: 3,
+        },
+        Litmus {
+            name: "mp-bar",
+            desc: "barrier join carries lock-protected intervals",
+            nodes: 2,
+            ppn: 1,
+            programs: mp_bar_programs,
+            allowed: mp_bar_allowed,
+            min_outcomes: 1,
+        },
+        Litmus {
+            name: "barrier-epoch",
+            desc: "pre-barrier writes visible after the epoch",
+            nodes: 2,
+            ppn: 1,
+            programs: barrier_epoch_programs,
+            allowed: barrier_epoch_allowed,
+            min_outcomes: 1,
+        },
+    ]
+}
+
+/// Larger classic shapes whose state spaces exceed what CI can
+/// exhaust on the NI-rich columns: still fully checkable by name
+/// (`mc --litmus sb --column Base` exhausts in under a minute), and
+/// covered by bounded exploration in `mc_bench`.
+pub fn extended() -> Vec<Litmus> {
+    vec![
+        Litmus {
+            name: "sb",
+            desc: "store buffering with per-variable locks",
+            nodes: 2,
+            ppn: 1,
+            programs: sb_programs,
+            allowed: sb_allowed,
+            min_outcomes: 2,
+        },
+        Litmus {
+            name: "iriw",
+            desc: "independent reads of independent writes",
+            nodes: 4,
+            ppn: 1,
+            programs: iriw_programs,
+            allowed: iriw_allowed,
+            min_outcomes: 2,
+        },
+        Litmus {
+            name: "lock-handoff",
+            desc: "three-way lock handoff carries full history",
+            nodes: 3,
+            ppn: 1,
+            programs: lock_handoff_programs,
+            allowed: lock_handoff_allowed,
+            // Every one of the six total hold orders yields a distinct
+            // observation tuple, and all six are reachable.
+            min_outcomes: 6,
+        },
+    ]
+}
+
+/// Finds a litmus by its CLI name, in the CI corpus or the extended
+/// set.
+pub fn by_name(name: &str) -> Option<Litmus> {
+    corpus()
+        .into_iter()
+        .chain(extended())
+        .find(|l| l.name == name)
+}
+
+impl Litmus {
+    /// Builds a fresh system for one exploration run.
+    pub fn build(&self, features: FeatureSet) -> SvmSystem {
+        let topo = Topology::new(self.nodes, self.ppn);
+        let mut params = SvmParams::new(topo, features);
+        params.data_mode = true;
+        params.locks = 4;
+        let sources: Vec<Box<dyn OpSource>> = (self.programs)()
+            .into_iter()
+            .map(|ops| Box::new(ops_source(ops)) as Box<dyn OpSource>)
+            .collect();
+        SvmSystem::new(params, sources)
+    }
+
+    /// The litmus programs as plain op vectors (for the static race
+    /// check).
+    pub fn op_vectors(&self) -> Vec<Vec<Op>> {
+        (self.programs)()
+    }
+}
+
+/// Parses a protocol-column CLI name.
+pub fn column_by_name(name: &str) -> Option<FeatureSet> {
+    FeatureSet::ALL.into_iter().find(|f| f.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_shapes() -> Vec<Litmus> {
+        corpus().into_iter().chain(extended()).collect()
+    }
+
+    #[test]
+    fn every_litmus_is_race_free() {
+        for l in all_shapes() {
+            let races =
+                genima_check::detect_races(&l.op_vectors()).expect("litmus must be schedulable");
+            assert!(races.is_empty(), "{}: races {races:?}", l.name);
+        }
+    }
+
+    #[test]
+    fn litmus_names_are_unique() {
+        let mut names: Vec<_> = all_shapes().iter().map(|l| l.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all_shapes().len());
+    }
+
+    #[test]
+    fn fifo_outcomes_are_allowed() {
+        for l in all_shapes() {
+            for f in FeatureSet::ALL {
+                let mut sys = l.build(f);
+                sys.run();
+                let o = sys.take_observations();
+                assert!(
+                    (l.allowed)(&o),
+                    "{} on {f}: FIFO outcome {o:?} forbidden",
+                    l.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lock_handoff_order_logic() {
+        // Hold order 1, 0, 2: p1 saw nothing, p2 saw both slots.
+        assert!(lock_handoff_allowed(&[vec![], vec![0], vec![1, 1]]));
+        // Hold order 2, 0, 1: p2 saw nothing, p1 saw p0's slot.
+        assert!(lock_handoff_allowed(&[vec![], vec![1], vec![0, 0]]));
+        // Broken transitivity: p1 saw p0 and p2 saw p1, yet p2 missed
+        // p0's slot — no total order explains that.
+        assert!(!lock_handoff_allowed(&[vec![], vec![1], vec![0, 1]]));
+        // p2 saw p1's slot but p1 claims it held after p0 while p2
+        // missed p0 — also unexplainable.
+        assert!(!lock_handoff_allowed(&[vec![], vec![0], vec![1, 0]]));
+    }
+
+    #[test]
+    fn allowed_sets_reject_the_classic_forbidden_outcomes() {
+        assert!(!mp_allowed(&[vec![], vec![1, 0]]));
+        assert!(mp_allowed(&[vec![], vec![1, 1]]));
+        assert!(!sb_allowed(&[vec![0], vec![0]]));
+        assert!(sb_allowed(&[vec![1], vec![0]]));
+        assert!(!iriw_allowed(&[vec![], vec![], vec![1, 0], vec![1, 0]]));
+        assert!(iriw_allowed(&[vec![], vec![], vec![1, 1], vec![1, 0]]));
+        assert!(!barrier_epoch_allowed(&[vec![1], vec![0]]));
+        // Lost update: both holders observing zero means the second
+        // grant dropped the first holder's store.
+        assert!(!lost_update_allowed(&[vec![0], vec![0]]));
+        assert!(lost_update_allowed(&[vec![2], vec![0]]));
+        // Monotonicity: reads must never go backwards.
+        assert!(!mono_allowed(&[vec![], vec![2, 1]]));
+        assert!(!mono_allowed(&[vec![], vec![1, 0]]));
+        assert!(mono_allowed(&[vec![], vec![1, 2]]));
+        assert!(!mp_bar_allowed(&[vec![], vec![0]]));
+    }
+}

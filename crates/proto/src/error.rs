@@ -36,6 +36,19 @@ pub enum ProtoError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// A controlled run drained its event queue with processes still
+    /// blocked. Surfaced (instead of the panic
+    /// [`SvmSystem::try_run`](crate::SvmSystem::try_run) raises)
+    /// because a schedule that wedges the protocol is a model-checking
+    /// *finding*, not a harness bug.
+    Deadlock {
+        /// The unfinished processes and what they are blocked on.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The [`EventPicker`](crate::sched::EventPicker) driving a
+    /// controlled run stopped it early (exploration prune or depth
+    /// bound) — the run's partial state is not a finished execution.
+    Halted,
 }
 
 impl fmt::Display for ProtoError {
@@ -53,6 +66,17 @@ impl fmt::Display for ProtoError {
             ProtoError::InvalidReport { detail } => {
                 write!(f, "run report failed validation: {detail}")
             }
+            ProtoError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} processes blocked: ", blocked.len())?;
+                for (i, (p, why)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "p{p} on {why}")?;
+                }
+                Ok(())
+            }
+            ProtoError::Halted => write!(f, "controlled run halted by its scheduler"),
         }
     }
 }

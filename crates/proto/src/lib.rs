@@ -34,6 +34,7 @@ mod ids;
 mod interval;
 mod ops;
 mod report;
+pub mod sched;
 mod system;
 mod trace;
 mod vclock;
@@ -46,6 +47,7 @@ pub use ids::{BarrierId, NodeId, ProcId, Topology};
 pub use interval::IntervalRecord;
 pub use ops::{ops_source, Op, OpSource, OpVec};
 pub use report::RunReport;
+pub use sched::{ChanKey, Choice, EventPicker, FifoPicker, Mutation, SchedObj};
 pub use system::{SvmParams, SvmSystem};
 pub use trace::{TraceEvent, TsMap};
 pub use vclock::VClock;

@@ -62,6 +62,19 @@ pub enum Op {
         /// Expected contents.
         expected: Vec<u8>,
     },
+    /// Read `len` bytes at `addr` (at most 8) and record them as a
+    /// little-endian value in the process's observation log
+    /// (data-fidelity mode only; must stay within one page).
+    ///
+    /// Unlike [`Op::Validate`] this never asserts: litmus tests use it
+    /// to collect an *outcome* whose membership in the allowed set is
+    /// judged by the model checker's oracle after the run.
+    Observe {
+        /// First byte observed.
+        addr: Addr,
+        /// Bytes observed (1..=8).
+        len: u32,
+    },
 }
 
 /// A stream of operations for one simulated process.
@@ -71,6 +84,22 @@ pub enum Op {
 pub trait OpSource {
     /// Returns the next operation, or `None` when the process is done.
     fn next_op(&mut self) -> Option<Op>;
+
+    /// The complete operation stream, when the source can produce it
+    /// up front (pre-materialised streams like [`OpVec`]); `None` for
+    /// lazy generators.
+    ///
+    /// The controlled scheduler uses this to bound what a resumed
+    /// process may touch: every synchronous effect of resuming — the
+    /// parked operation, later operations run until the next block,
+    /// and release-time flushes of earlier writes — names a lock,
+    /// barrier, or page that appears in *some* operation of the full
+    /// program. Sources that return `None` get the coarse
+    /// conflicts-with-all-synchronization footprint instead, which is
+    /// always sound.
+    fn program(&self) -> Option<&[Op]> {
+        None
+    }
 }
 
 /// A pre-materialised operation stream.
@@ -87,25 +116,34 @@ pub trait OpSource {
 /// ```
 #[derive(Debug, Clone)]
 pub struct OpVec {
-    ops: std::vec::IntoIter<Op>,
+    ops: Vec<Op>,
+    pos: usize,
 }
 
 impl OpSource for OpVec {
     fn next_op(&mut self) -> Option<Op> {
-        self.ops.next()
+        let op = self.ops.get(self.pos).cloned();
+        self.pos += op.is_some() as usize;
+        op
+    }
+
+    fn program(&self) -> Option<&[Op]> {
+        Some(&self.ops)
     }
 }
 
 /// Wraps a vector of operations as an [`OpSource`].
 pub fn ops_source(ops: Vec<Op>) -> OpVec {
-    OpVec {
-        ops: ops.into_iter(),
-    }
+    OpVec { ops, pos: 0 }
 }
 
 impl<T: OpSource + ?Sized> OpSource for Box<T> {
     fn next_op(&mut self) -> Option<Op> {
         (**self).next_op()
+    }
+
+    fn program(&self) -> Option<&[Op]> {
+        (**self).program()
     }
 }
 

@@ -90,14 +90,20 @@ impl SvmSystem {
                 );
                 let page = addr.page();
                 if self.procs[p].pt.access(page).read_faults() {
-                    // Fault it in like a read first.
-                    let len = expected.len() as u32;
-                    let op = Op::Validate { addr, expected };
+                    // Fault it in like a read first. A synchronous
+                    // resolution (protection upgrade, covered home
+                    // copy) falls through to the check; a blocking one
+                    // re-executes the parked op on resume.
+                    let op = Op::Validate {
+                        addr,
+                        expected: expected.clone(),
+                    };
                     if self.need_sync(now, p, op.clone(), prog) {
                         return Flow::Stop;
                     }
-                    let _ = len;
-                    return self.start_fault(now, p, page, false, op, prog);
+                    if let Flow::Stop = self.start_fault(now, p, page, false, op, prog) {
+                        return Flow::Stop;
+                    }
                 }
                 let got = self
                     .read_bytes(p, page, addr.offset() as usize, expected.len())
@@ -106,6 +112,35 @@ impl SvmSystem {
                     got, expected,
                     "validation failed at {addr} for process p{p} (page {page})"
                 );
+                Flow::Continue
+            }
+            Op::Observe { addr, len } => {
+                assert!(
+                    self.p.data_mode,
+                    "Op::Observe requires SvmParams::data_mode"
+                );
+                assert!(
+                    (1..=8).contains(&len) && addr.offset() as usize + len as usize <= PAGE_SIZE,
+                    "Observe must read 1..=8 bytes within one page"
+                );
+                let page = addr.page();
+                if self.procs[p].pt.access(page).read_faults() {
+                    // Fault it in like a read first; same fall-through
+                    // as Validate so a synchronously resolved fault
+                    // still records the observation.
+                    let op = Op::Observe { addr, len };
+                    if self.need_sync(now, p, op.clone(), prog) {
+                        return Flow::Stop;
+                    }
+                    if let Flow::Stop = self.start_fault(now, p, page, false, op, prog) {
+                        return Flow::Stop;
+                    }
+                }
+                let got = self.read_bytes(p, page, addr.offset() as usize, len as usize);
+                let mut buf = [0u8; 8];
+                buf[..len as usize].copy_from_slice(got);
+                let v = u64::from_le_bytes(buf);
+                self.observations[p].push(v);
                 Flow::Continue
             }
             Op::Acquire(l) => {

@@ -29,6 +29,7 @@ use crate::ids::{BarrierId, NodeId, Topology};
 use crate::interval::{DirtyPage, IntervalRecord, PendingInterval};
 use crate::ops::{Op, OpSource};
 use crate::report::RunReport;
+use crate::sched::{ChanKey, Choice, EventPicker, Mutation, SchedObj};
 use crate::trace::TraceEvent;
 use crate::vclock::VClock;
 
@@ -454,6 +455,11 @@ pub struct SvmSystem {
     /// Reusable diff arena for scans whose result is applied
     /// immediately (no per-scan run/payload allocations).
     pub(crate) diff_scratch: genima_mem::DiffScratch,
+    /// A deliberately seeded protocol bug (checker validation only).
+    pub(crate) mutation: Option<crate::sched::Mutation>,
+    /// Values recorded by [`Op::Observe`], per process in program
+    /// order.
+    pub(crate) observations: Vec<Vec<u64>>,
 }
 
 impl SvmSystem {
@@ -544,6 +550,8 @@ impl SvmSystem {
             fatal: None,
             pool: genima_mem::PagePool::new(),
             diff_scratch: genima_mem::DiffScratch::new(),
+            mutation: None,
+            observations: vec![Vec::new(); nprocs],
             p: params,
         }
     }
@@ -679,6 +687,511 @@ impl SvmSystem {
                 .collect::<Vec<_>>()
         );
         Ok(self.build_report())
+    }
+
+    /// Runs the cluster under a controlled scheduler: at every step the
+    /// picker chooses which pending channel head fires next (see
+    /// [`crate::sched`]). With [`crate::sched::FifoPicker`] this is
+    /// equivalent to [`SvmSystem::try_run`].
+    ///
+    /// Unlike `try_run`, a deadlock (every process blocked with no
+    /// pending events) is surfaced as [`ProtoError::Deadlock`] rather
+    /// than a panic, because a controlled schedule that wedges the
+    /// protocol is a *finding*, not a harness bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget (`max_events`) is exceeded, if a
+    /// [`Op::Validate`] check fails, or if the picker returns an
+    /// out-of-range index.
+    pub fn try_run_with_picker(
+        &mut self,
+        picker: &mut dyn EventPicker,
+    ) -> Result<RunReport, ProtoError> {
+        for p in 0..self.procs.len() {
+            self.q.push(Time::ZERO, SysEvent::Resume(p));
+        }
+        let mut step = 0u64;
+        loop {
+            let choices = self.sched_choices();
+            if choices.is_empty() {
+                break;
+            }
+            let next_seq = self.q.next_seq();
+            let i = match picker.pick(step, next_seq, &choices) {
+                Some(i) => i,
+                None => return Err(ProtoError::Halted),
+            };
+            assert!(i < choices.len(), "picker index {i} out of range");
+            let seq = choices[i].seq;
+            let (t, ev) = self
+                .q
+                .remove_clamped(seq)
+                .expect("picked choice must be pending");
+            assert!(
+                self.q.delivered() <= self.p.max_events,
+                "event budget exceeded: protocol livelock?"
+            );
+            self.dispatch(t, ev);
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
+            }
+            step += 1;
+        }
+        if self.done_count != self.procs.len() {
+            return Err(ProtoError::Deadlock {
+                blocked: self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !matches!(p.state, ProcState::Done))
+                    .map(|(i, p)| (i, format!("{:?}", p.state)))
+                    .collect(),
+            });
+        }
+        Ok(self.build_report())
+    }
+
+    /// Installs a deliberately seeded protocol bug; see
+    /// [`Mutation`](crate::sched::Mutation). Checker validation only.
+    pub fn set_mutation(&mut self, m: Mutation) {
+        self.mutation = Some(m);
+    }
+
+    /// Drains the values recorded by [`Op::Observe`], one vector per
+    /// process in program order.
+    pub fn take_observations(&mut self) -> Vec<Vec<u64>> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// The current schedulable choice set: the earliest `(time, seq)`
+    /// pending event of every delivery channel, sorted by
+    /// `(time, seq)`. Empty exactly when the event queue is drained.
+    pub fn sched_choices(&self) -> Vec<Choice> {
+        let mut heads: Vec<Choice> = Vec::new();
+        for (time, seq, ev) in self.q.iter_pending() {
+            let key = self.chan_of(ev);
+            match heads.iter_mut().find(|c| c.key == key) {
+                Some(c) if (c.time, c.seq) <= (time, seq) => {}
+                Some(c) => {
+                    c.time = time;
+                    c.seq = seq;
+                }
+                None => heads.push(Choice {
+                    key,
+                    time,
+                    seq,
+                    label: String::new(),
+                    footprint: Vec::new(),
+                }),
+            }
+        }
+        heads.sort_by_key(|c| (c.time, c.seq));
+        // Fill labels/footprints only for the surviving heads.
+        for c in &mut heads {
+            if let Some((_, _, ev)) = self.q.iter_pending().find(|&(_, s, _)| s == c.seq) {
+                let (label, footprint) = self.describe(ev);
+                c.label = label;
+                c.footprint = footprint;
+            }
+        }
+        heads
+    }
+
+    /// The delivery channel of a pending event.
+    fn chan_of(&self, ev: &SysEvent) -> ChanKey {
+        match ev {
+            SysEvent::Comm(CommEvent::Delivered(p)) => ChanKey::Wire {
+                src: p.src.index(),
+                dst: p.dst.index(),
+            },
+            SysEvent::Comm(CommEvent::RetryTimer { packet, .. }) => ChanKey::Wire {
+                src: packet.src.index(),
+                dst: packet.dst.index(),
+            },
+            SysEvent::Up(u) => match u {
+                Upcall::DepositArrived { nic, src, .. }
+                | Upcall::HostMsgArrived { nic, src, .. } => ChanKey::Mem {
+                    nic: nic.index(),
+                    src: src.index(),
+                },
+                Upcall::FetchCompleted { nic, .. } => ChanKey::Fetch { nic: nic.index() },
+                Upcall::LockGranted { nic, .. } | Upcall::LockDeparted { nic, .. } => {
+                    ChanKey::Lock { nic: nic.index() }
+                }
+                Upcall::CollCompleted { nic, .. } => ChanKey::Coll { nic: nic.index() },
+                Upcall::AtomicCompleted { nic, .. } => ChanKey::Atomic { nic: nic.index() },
+                Upcall::PeerUnreachable { nic, .. } => ChanKey::Lock { nic: nic.index() },
+            },
+            SysEvent::Resume(p) | SysEvent::RetryFetch(p, _) | SysEvent::RetrySpin(p, _) => {
+                ChanKey::Proc { proc: *p }
+            }
+            SysEvent::Job(node, _) => ChanKey::Handler { node: *node },
+        }
+    }
+
+    /// Label and footprint of a pending event (heads only — this is
+    /// the expensive half of classification).
+    fn describe(&self, ev: &SysEvent) -> (String, Vec<SchedObj>) {
+        let node_of = |p: usize| self.p.topo.node_of(crate::ids::ProcId::new(p)).index();
+        let page_obj = |page: PageId| SchedObj::Page {
+            page: page.index(),
+            home: self.home_of(page).index(),
+        };
+        // Firmware processes some packet kinds at delivery time (lock
+        // state machine, collective combine, remote atomics); those
+        // deliveries carry the touched object. Pure data movement
+        // (deposits, host messages, replies) mutates protocol state
+        // only via its later upcall, which has its own footprint.
+        let pkt_fp = |pkt: &genima_nic::Packet| match pkt.kind {
+            genima_nic::MsgKind::LockMsg(op) => {
+                let lock = match op {
+                    genima_nic::LockOp::Request { lock, .. }
+                    | genima_nic::LockOp::Transfer { lock, .. }
+                    | genima_nic::LockOp::Grant { lock, .. } => lock,
+                };
+                vec![SchedObj::Lock { lock: lock.index() }]
+            }
+            genima_nic::MsgKind::CollMsg(op) => {
+                let coll = match op {
+                    genima_nic::CollOp::Arrive { coll, .. }
+                    | genima_nic::CollOp::Release { coll, .. } => coll,
+                };
+                vec![SchedObj::Coll { coll: coll.index() }]
+            }
+            genima_nic::MsgKind::FetchAndStore { cell, .. } => {
+                // Atomic cells are the per-lock spin words.
+                vec![SchedObj::Lock {
+                    lock: cell as usize,
+                }]
+            }
+            genima_nic::MsgKind::Deposit
+            | genima_nic::MsgKind::GatherDeposit { .. }
+            | genima_nic::MsgKind::HostMsg
+            | genima_nic::MsgKind::FetchReq { .. }
+            | genima_nic::MsgKind::FetchReply
+            | genima_nic::MsgKind::AtomicReply { .. } => Vec::new(),
+        };
+        match ev {
+            SysEvent::Comm(CommEvent::Delivered(p)) => (
+                format!("pkt {}>{} {:?}", p.src.index(), p.dst.index(), p.kind),
+                pkt_fp(p),
+            ),
+            SysEvent::Comm(CommEvent::RetryTimer { packet, .. }) => (
+                format!("retry {}>{}", packet.src.index(), packet.dst.index()),
+                Vec::new(),
+            ),
+            SysEvent::Up(u) => self.describe_upcall(u),
+            // A resume runs the process until it blocks: the parked
+            // op, later ops, and release-time flushes of earlier
+            // writes. When the full program is known every one of
+            // those names a lock/barrier/page from it, so the
+            // footprint lists exactly those objects; otherwise fall
+            // back to conflicting with all synchronization.
+            SysEvent::Resume(p) => {
+                let mut fp = vec![
+                    SchedObj::Proc {
+                        proc: *p,
+                        node: node_of(*p),
+                    },
+                    SchedObj::Node { node: node_of(*p) },
+                ];
+                match self.procs[*p].src.program() {
+                    Some(prog) => {
+                        for op in prog {
+                            let obj = match op {
+                                Op::Compute(_) => None,
+                                Op::Read { addr, .. }
+                                | Op::Write { addr, .. }
+                                | Op::WriteData { addr, .. }
+                                | Op::Validate { addr, .. }
+                                | Op::Observe { addr, .. } => Some(page_obj(addr.page())),
+                                Op::Acquire(l) | Op::Release(l) => {
+                                    Some(SchedObj::Lock { lock: l.index() })
+                                }
+                                Op::Barrier(b) => {
+                                    // NI-collective columns run the
+                                    // barrier as CollId(b), so cover
+                                    // both objects.
+                                    let coll = SchedObj::Coll { coll: b.index() };
+                                    if !fp.contains(&coll) {
+                                        fp.push(coll);
+                                    }
+                                    Some(SchedObj::Barrier { barrier: b.index() })
+                                }
+                            };
+                            if let Some(obj) = obj {
+                                if !fp.contains(&obj) {
+                                    fp.push(obj);
+                                }
+                            }
+                        }
+                    }
+                    None => fp.push(SchedObj::Sync),
+                }
+                (format!("resume p{p}"), fp)
+            }
+            SysEvent::RetryFetch(p, page) => (
+                format!("refetch p{p} {page:?}"),
+                vec![
+                    SchedObj::Proc {
+                        proc: *p,
+                        node: node_of(*p),
+                    },
+                    SchedObj::Node { node: node_of(*p) },
+                    page_obj(*page),
+                ],
+            ),
+            SysEvent::RetrySpin(p, lock) => (
+                format!("respin p{p} l{}", lock.index()),
+                vec![
+                    SchedObj::Proc {
+                        proc: *p,
+                        node: node_of(*p),
+                    },
+                    SchedObj::Node { node: node_of(*p) },
+                    SchedObj::Lock { lock: lock.index() },
+                ],
+            ),
+            SysEvent::Job(node, job) => {
+                let (what, obj) = match job {
+                    Job::PageRequest { page, .. } => ("pagereq", Some(page_obj(*page))),
+                    Job::ApplyDiff { page, .. } => ("applydiff", Some(page_obj(*page))),
+                    Job::LockForward { lock, .. } | Job::LockOwner { lock, .. } => {
+                        ("lockjob", Some(SchedObj::Lock { lock: lock.index() }))
+                    }
+                    Job::BarrierArrive { barrier, .. } | Job::BarrierRelease { barrier, .. } => (
+                        "barrierjob",
+                        Some(SchedObj::Barrier {
+                            barrier: barrier.index(),
+                        }),
+                    ),
+                };
+                let mut fp = vec![SchedObj::Node { node: *node }];
+                fp.extend(obj);
+                (format!("{what}@n{node}"), fp)
+            }
+        }
+    }
+
+    fn describe_upcall(&self, u: &Upcall) -> (String, Vec<SchedObj>) {
+        let node_of = |p: usize| self.p.topo.node_of(crate::ids::ProcId::new(p)).index();
+        let page_obj = |page: PageId| SchedObj::Page {
+            page: page.index(),
+            home: self.home_of(page).index(),
+        };
+        let pending_fp = |tag: &Tag| -> (String, Vec<SchedObj>) {
+            match self.tags.get(&tag.value()) {
+                Some(Pending::PageRequestMsg { page, .. }) => (
+                    format!("pagereq {page:?}"),
+                    vec![
+                        page_obj(*page),
+                        SchedObj::Node {
+                            node: self.home_of(*page).index(),
+                        },
+                    ],
+                ),
+                Some(Pending::PageReply { node, page, .. }) => (
+                    format!("pagereply {page:?}>n{node}"),
+                    vec![
+                        SchedObj::Copy {
+                            node: *node,
+                            page: page.index(),
+                        },
+                        SchedObj::Node { node: *node },
+                    ],
+                ),
+                Some(Pending::FetchPage { proc, page }) => (
+                    format!("fetch {page:?}>p{proc}"),
+                    vec![
+                        SchedObj::Copy {
+                            node: node_of(*proc),
+                            page: page.index(),
+                        },
+                        SchedObj::Proc {
+                            proc: *proc,
+                            node: node_of(*proc),
+                        },
+                        SchedObj::Node {
+                            node: node_of(*proc),
+                        },
+                        // Completion re-reads the home copy's applied
+                        // map (and data) to decide install vs retry.
+                        page_obj(*page),
+                    ],
+                ),
+                Some(Pending::Notice {
+                    node,
+                    writer,
+                    interval,
+                }) => (
+                    format!("notice w{writer}i{interval}>n{node}"),
+                    vec![SchedObj::Arrived {
+                        node: *node,
+                        writer: *writer,
+                    }],
+                ),
+                Some(Pending::NoticeFetch { node, writer, upto }) => (
+                    format!("noticefetch w{writer}..{upto}>n{node}"),
+                    vec![SchedObj::Arrived {
+                        node: *node,
+                        writer: *writer,
+                    }],
+                ),
+                Some(Pending::DiffMsg {
+                    writer,
+                    interval,
+                    page,
+                    ..
+                }) => (
+                    format!("diff w{writer}i{interval} {page:?}"),
+                    vec![
+                        page_obj(*page),
+                        SchedObj::Node {
+                            node: self.home_of(*page).index(),
+                        },
+                    ],
+                ),
+                Some(Pending::DiffTsUpdate {
+                    writer,
+                    interval,
+                    page,
+                    ..
+                }) => (
+                    format!("diffts w{writer}i{interval} {page:?}"),
+                    vec![page_obj(*page)],
+                ),
+                Some(Pending::LockRequestMsg { lock, proc, .. }) => (
+                    format!("lockreq l{} p{proc}", lock.index()),
+                    vec![
+                        SchedObj::Lock { lock: lock.index() },
+                        SchedObj::Node {
+                            node: self.lock_home(*lock),
+                        },
+                    ],
+                ),
+                Some(Pending::LockForwardMsg {
+                    lock, proc, owner, ..
+                }) => (
+                    format!("lockfwd l{} p{proc}>n{owner}", lock.index()),
+                    vec![
+                        SchedObj::Lock { lock: lock.index() },
+                        SchedObj::Node { node: *owner },
+                    ],
+                ),
+                Some(Pending::LockGrantMsg { lock, proc, .. }) => (
+                    format!("lockgrant l{} p{proc}", lock.index()),
+                    vec![
+                        SchedObj::Lock { lock: lock.index() },
+                        SchedObj::Proc {
+                            proc: *proc,
+                            node: node_of(*proc),
+                        },
+                        SchedObj::Node {
+                            node: node_of(*proc),
+                        },
+                    ],
+                ),
+                Some(Pending::NiLockWait { proc }) => (
+                    format!("nilock p{proc}"),
+                    vec![
+                        SchedObj::Proc {
+                            proc: *proc,
+                            node: node_of(*proc),
+                        },
+                        SchedObj::Node {
+                            node: node_of(*proc),
+                        },
+                    ],
+                ),
+                Some(Pending::AtomicLockTry { proc, lock }) => (
+                    format!("atomtry l{} p{proc}", lock.index()),
+                    vec![
+                        SchedObj::Lock { lock: lock.index() },
+                        SchedObj::Proc {
+                            proc: *proc,
+                            node: node_of(*proc),
+                        },
+                        SchedObj::Node {
+                            node: node_of(*proc),
+                        },
+                    ],
+                ),
+                Some(Pending::BarrierArriveMsg { barrier, proc, .. }) => (
+                    format!("bararrive b{} p{proc}", barrier.index()),
+                    vec![
+                        SchedObj::Barrier {
+                            barrier: barrier.index(),
+                        },
+                        SchedObj::Node { node: 0 },
+                    ],
+                ),
+                Some(Pending::BarrierReleaseMsg { barrier, node, .. }) => (
+                    format!("barrelease b{}>n{node}", barrier.index()),
+                    vec![
+                        SchedObj::Barrier {
+                            barrier: barrier.index(),
+                        },
+                        SchedObj::Node { node: *node },
+                    ],
+                ),
+                None => ("orphan".to_string(), Vec::new()),
+            }
+        };
+        match u {
+            Upcall::DepositArrived { tag, .. }
+            | Upcall::HostMsgArrived { tag, .. }
+            | Upcall::FetchCompleted { tag, .. } => pending_fp(tag),
+            Upcall::LockGranted { nic, lock, tag } => {
+                let proc_fp = match self.tags.get(&tag.value()) {
+                    Some(Pending::NiLockWait { proc }) => vec![
+                        SchedObj::Proc {
+                            proc: *proc,
+                            node: node_of(*proc),
+                        },
+                        SchedObj::Node {
+                            node: node_of(*proc),
+                        },
+                    ],
+                    _ => vec![SchedObj::Node { node: nic.index() }],
+                };
+                let mut fp = vec![SchedObj::Lock { lock: lock.index() }];
+                fp.extend(proc_fp);
+                (format!("grant l{}>n{}", lock.index(), nic.index()), fp)
+            }
+            Upcall::LockDeparted { nic, lock } => (
+                format!("depart l{}<n{}", lock.index(), nic.index()),
+                vec![
+                    SchedObj::Lock { lock: lock.index() },
+                    SchedObj::Node { node: nic.index() },
+                ],
+            ),
+            Upcall::CollCompleted { nic, coll, epoch } => (
+                format!("coll c{}e{epoch}>n{}", coll.index(), nic.index()),
+                vec![
+                    SchedObj::Coll { coll: coll.index() },
+                    SchedObj::Node { node: nic.index() },
+                ],
+            ),
+            Upcall::AtomicCompleted { nic, tag, .. } => {
+                let mut fp = match self.tags.get(&tag.value()) {
+                    Some(Pending::AtomicLockTry { proc, lock }) => vec![
+                        SchedObj::Lock { lock: lock.index() },
+                        SchedObj::Proc {
+                            proc: *proc,
+                            node: node_of(*proc),
+                        },
+                    ],
+                    _ => Vec::new(),
+                };
+                fp.push(SchedObj::Node { node: nic.index() });
+                (format!("atomdone n{}", nic.index()), fp)
+            }
+            Upcall::PeerUnreachable { nic, peer, .. } => (
+                format!("unreachable n{}!{}", nic.index(), peer.index()),
+                vec![SchedObj::Node { node: nic.index() }],
+            ),
+        }
     }
 
     fn dispatch(&mut self, t: Time, ev: SysEvent) {

@@ -427,6 +427,12 @@ impl SvmSystem {
     /// Returns `true` if all records needed by `vc` have arrived at
     /// `node`.
     fn notices_covered(&self, node: usize, vc: &VClock) -> bool {
+        if self.mutation == Some(crate::sched::Mutation::ReorderWriteNotice) {
+            // Seeded bug: assume write notices always land before the
+            // synchronization that covers them, i.e. skip the arrival
+            // guard. Only adversarial schedules expose this.
+            return true;
+        }
         (0..self.p.topo.procs()).all(|q| self.nodes[node].arrived[q] >= vc.get(ProcId::new(q)))
     }
 

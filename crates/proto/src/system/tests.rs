@@ -530,3 +530,82 @@ fn first_touch_homes_follow_the_toucher() {
     // Pin accounting sees page 0 homed on node 1.
     assert_eq!(r.pinned_shared_bytes[1], PAGE_SIZE as u64);
 }
+
+/// A workload exercising locks, barriers, faults and diffs, used to
+/// compare the two run loops.
+fn picker_workload() -> Vec<Box<dyn OpSource>> {
+    let l = LockId::new(0);
+    let b = BarrierId::new(0);
+    let p0 = boxed(vec![
+        Op::Acquire(l),
+        Op::WriteData {
+            addr: addr(1, 0),
+            data: vec![1, 2, 3, 4],
+        },
+        Op::Release(l),
+        Op::Barrier(b),
+        Op::Observe {
+            addr: addr(0, 64),
+            len: 4,
+        },
+    ]);
+    let p1 = boxed(vec![
+        Op::WriteData {
+            addr: addr(0, 64),
+            data: vec![9, 9, 9, 9],
+        },
+        Op::Acquire(l),
+        Op::Observe {
+            addr: addr(1, 0),
+            len: 4,
+        },
+        Op::Release(l),
+        Op::Barrier(b),
+    ]);
+    vec![p0, p1]
+}
+
+#[test]
+fn fifo_picker_matches_try_run_exactly() {
+    for f in FeatureSet::ALL {
+        let mut a = SvmSystem::new(params(f, 2, 1), picker_workload());
+        a.set_tracing(true);
+        let ra = a.try_run().expect("plain run");
+        let ta = a.take_trace();
+
+        let mut b = SvmSystem::new(params(f, 2, 1), picker_workload());
+        b.set_tracing(true);
+        let rb = b
+            .try_run_with_picker(&mut crate::sched::FifoPicker)
+            .expect("picker run");
+        let tb = b.take_trace();
+
+        assert_eq!(ra.finish, rb.finish, "{f}: finish times diverge");
+        assert_eq!(ra.events, rb.events, "{f}: event counts diverge");
+        assert_eq!(ta, tb, "{f}: traces diverge");
+        assert_eq!(
+            a.take_observations(),
+            b.take_observations(),
+            "{f}: observations diverge"
+        );
+    }
+}
+
+#[test]
+fn sched_choices_head_per_channel() {
+    let mut sys = SvmSystem::new(params(FeatureSet::genima(), 2, 1), picker_workload());
+    for p in 0..sys.procs.len() {
+        sys.q.push(Time::ZERO, SysEvent::Resume(p));
+    }
+    let choices = sys.sched_choices();
+    // Two processes, one Resume each: two distinct Proc channels.
+    assert_eq!(choices.len(), 2);
+    let keys: Vec<_> = choices.iter().map(|c| c.key).collect();
+    assert!(keys.contains(&crate::sched::ChanKey::Proc { proc: 0 }));
+    assert!(keys.contains(&crate::sched::ChanKey::Proc { proc: 1 }));
+    // Choices are sorted by (time, seq) and carry footprints.
+    assert!(choices
+        .windows(2)
+        .all(|w| (w[0].time, w[0].seq) <= (w[1].time, w[1].seq)));
+    assert!(choices.iter().all(|c| !c.footprint.is_empty()));
+}

@@ -124,6 +124,46 @@ impl<E> EventQueue<E> {
     pub fn delivered(&self) -> u64 {
         self.popped
     }
+
+    /// Returns the sequence number the next [`EventQueue::push`] will
+    /// be assigned. Controlled schedulers use this watermark to
+    /// attribute newly created events to the step that pushed them.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Iterates over every pending entry as `(time, seq, event)` in
+    /// **unspecified order** — callers that need an order must sort by
+    /// `(time, seq)` themselves.
+    pub fn iter_pending(&self) -> impl Iterator<Item = (Time, u64, &E)> {
+        self.heap.iter().map(|e| (e.time, e.seq, &e.event))
+    }
+
+    /// Removes the pending entry with sequence number `seq` and
+    /// delivers it **at or after the current time**: the returned
+    /// timestamp is `max(scheduled, now)`, and *now* advances to it.
+    ///
+    /// This is the controlled-scheduler escape hatch: a model checker
+    /// may deliver pending events out of their `(time, seq)` order to
+    /// explore alternative interleavings, which corresponds to
+    /// adversarially delaying the skipped events. Clamping keeps the
+    /// causality invariant of [`EventQueue::push`] intact — handlers
+    /// dispatched with the clamped time never schedule into the past.
+    ///
+    /// Returns `None` if no entry with that sequence number is pending.
+    /// Counts toward [`EventQueue::delivered`] exactly like
+    /// [`EventQueue::pop`].
+    pub fn remove_clamped(&mut self, seq: u64) -> Option<(Time, E)> {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        let idx = entries.iter().position(|e| e.seq == seq);
+        let removed = idx.map(|i| entries.swap_remove(i));
+        self.heap = BinaryHeap::from(entries);
+        let entry = removed?;
+        let at = entry.time.max(self.now);
+        self.now = at;
+        self.popped += 1;
+        Some((at, entry.event))
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -200,5 +240,89 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 'b');
         assert_eq!(q.pop().unwrap().1, 'c');
         assert_eq!(q.pop().unwrap().1, 'd');
+    }
+
+    #[test]
+    fn next_seq_is_the_allocation_watermark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_seq(), 0);
+        q.push(Time::from_ns(1), 'a');
+        q.push(Time::from_ns(2), 'b');
+        assert_eq!(q.next_seq(), 2);
+        // Popping never reuses or rewinds sequence numbers.
+        q.pop();
+        assert_eq!(q.next_seq(), 2);
+        q.push(Time::from_ns(3), 'c');
+        assert_eq!(q.next_seq(), 3);
+    }
+
+    #[test]
+    fn iter_pending_exposes_every_entry_with_stable_seqs() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), 'c');
+        q.push(Time::from_ns(10), 'a');
+        q.push(Time::from_ns(20), 'b');
+        q.pop(); // 'a' leaves
+        let mut pending: Vec<(Time, u64, char)> =
+            q.iter_pending().map(|(t, s, &e)| (t, s, e)).collect();
+        pending.sort_by_key(|&(t, s, _)| (t, s));
+        assert_eq!(
+            pending,
+            vec![(Time::from_ns(20), 2, 'b'), (Time::from_ns(30), 0, 'c')]
+        );
+    }
+
+    #[test]
+    fn remove_clamped_delivers_out_of_order_at_now() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 'a'); // seq 0
+        q.push(Time::from_ns(20), 'b'); // seq 1
+        q.push(Time::from_ns(30), 'c'); // seq 2
+                                        // Deliver 'c' first: its own time is later than now, so it
+                                        // arrives at its scheduled time.
+        assert_eq!(q.remove_clamped(2), Some((Time::from_ns(30), 'c')));
+        assert_eq!(q.now(), Time::from_ns(30));
+        // 'a' was scheduled earlier than now: clamped forward.
+        assert_eq!(q.remove_clamped(0), Some((Time::from_ns(30), 'a')));
+        assert_eq!(q.delivered(), 2);
+        // The clamp keeps push's causality check satisfied.
+        q.push(Time::from_ns(30), 'd');
+        // Once delivery has run ahead of schedule, the remaining
+        // skipped events are clamped forward too (a controlled
+        // scheduler drains everything through remove_clamped).
+        assert_eq!(q.remove_clamped(1), Some((Time::from_ns(30), 'b')));
+        assert_eq!(q.pop(), Some((Time::from_ns(30), 'd')));
+    }
+
+    #[test]
+    fn remove_clamped_missing_seq_is_none_and_harmless() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 'a');
+        assert_eq!(q.remove_clamped(77), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.delivered(), 0);
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 'a')));
+    }
+
+    #[test]
+    fn remove_clamped_head_matches_pop() {
+        // Removing the head seq behaves exactly like pop, so a FIFO
+        // picker driving remove_clamped reproduces the normal run.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (t, e) in [(5u64, 'x'), (9, 'y'), (9, 'z')] {
+            a.push(Time::from_ns(t), e);
+            b.push(Time::from_ns(t), e);
+        }
+        while let Some(got) = {
+            let head = a
+                .iter_pending()
+                .min_by_key(|&(t, s, _)| (t, s))
+                .map(|(_, s, _)| s);
+            head.and_then(|s| a.remove_clamped(s))
+        } {
+            assert_eq!(Some(got), b.pop());
+        }
+        assert!(b.pop().is_none());
     }
 }

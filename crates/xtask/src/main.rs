@@ -11,9 +11,17 @@
 //!    a stated invariant is allowed).
 //!
 //! Both rules apply only to non-test code: everything before the first
-//! `#[cfg(test)]` in each file. A finding can be waived in place with
-//! a trailing `// lint: allow-wildcard` or `// lint: allow-unwrap`
-//! comment on the offending line.
+//! `#[cfg(test)]` in each file, and only to actual code — comments and
+//! string/char literals are stripped before matching, so an error
+//! message mentioning `.unwrap()` or a doc example with `_ =>` never
+//! trips the gate. A finding can be waived in place with a trailing
+//! `// lint: allow-wildcard` or `// lint: allow-unwrap` comment on the
+//! offending line.
+//!
+//! `cargo run -p xtask -- clippy` is the warnings gate: it runs
+//! `cargo clippy --workspace --all-targets -- -D warnings` plus the
+//! pinned [`CLIPPY_ALLOW`] list, so the allow-list lives in one
+//! reviewed place instead of scattered CI flags.
 //!
 //! Two observability commands ride along:
 //!
@@ -37,11 +45,19 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/mem/src/diff.rs",
     "crates/mem/src/pool.rs",
     "crates/nic/src/comm.rs",
+    "crates/proto/src/sched.rs",
     "crates/proto/src/system/mod.rs",
+    "crates/proto/src/system/exec.rs",
     "crates/proto/src/system/fault.rs",
     "crates/proto/src/system/sync.rs",
     "crates/fault/src/inject.rs",
     "crates/fault/src/plan.rs",
+    "crates/mc/src/lib.rs",
+    "crates/mc/src/explore.rs",
+    "crates/mc/src/litmus.rs",
+    "crates/mc/src/trace.rs",
+    "crates/mc/src/bin/mc.rs",
+    "crates/mc/src/bin/mc_bench.rs",
     "crates/obs/src/json.rs",
     "crates/obs/src/ring.rs",
     "crates/obs/src/span.rs",
@@ -49,6 +65,12 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/obs/src/timeline.rs",
     "crates/obs/src/lib.rs",
 ];
+
+/// Clippy lints deliberately allowed workspace-wide by `xtask clippy`,
+/// each pinned with the reason it stays. Everything else is `-D
+/// warnings`. Keep this list empty unless a lint is structurally
+/// unavoidable — prefer a scoped in-source `#[allow]` with a comment.
+const CLIPPY_ALLOW: &[(&str, &str)] = &[];
 
 /// The five protocol columns every breakdowns report must carry.
 const COLUMNS: &[&str] = &["Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA"];
@@ -75,19 +97,139 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Strips a line down to the part the rules apply to: nothing for
-/// comment-only lines, and everything before a trailing `//` comment
-/// otherwise. This is a lexical approximation (no string-literal
-/// awareness), which is fine for the narrow patterns we match.
-fn code_part(line: &str) -> &str {
-    let trimmed = line.trim_start();
-    if trimmed.starts_with("//") {
-        return "";
+/// Strips comments and string/char-literal contents from Rust source,
+/// preserving the line structure (every `\n` survives) so findings in
+/// the result map back to the original line numbers. Handles line
+/// comments, nested block comments, plain and raw (byte) strings, char
+/// literals, and leaves lifetimes (`'a`) alone. A proper lexer would
+/// be overkill; this scanner exists so `_ =>` or `.unwrap()` inside a
+/// doc comment, an error message, or a format string never trips the
+/// lint.
+fn strip_noncode(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let keep_newlines = |out: &mut String, span: &[char]| {
+        out.extend(span.iter().filter(|&&c| c == '\n'));
+    };
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                // Line comment: drop to end of line (newline kept by
+                // the outer loop).
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                // Block comment; Rust nests them.
+                let start = i;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                keep_newlines(&mut out, &b[start..i]);
+            }
+            '"' => {
+                // String literal: skip contents, honoring escapes.
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                keep_newlines(&mut out, &b[start..i]);
+            }
+            'r' | 'b' if raw_string_hashes(&b, i).is_some() && (i == 0 || !is_ident(b[i - 1])) => {
+                // Raw (byte) string: r"..", r#".."#, br#".."# — no
+                // escapes; ends at `"` followed by the opening hashes.
+                let hashes = raw_string_hashes(&b, i).expect("guard checked");
+                let start = i;
+                while i < b.len() && b[i] != '"' {
+                    i += 1;
+                }
+                i += 1; // opening quote
+                'scan: while i < b.len() {
+                    if b[i] == '"' {
+                        let mut j = 0;
+                        while j < hashes && b.get(i + 1 + j) == Some(&'#') {
+                            j += 1;
+                        }
+                        if j == hashes {
+                            i += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    i += 1;
+                }
+                keep_newlines(&mut out, &b[start..i.min(b.len())]);
+            }
+            '\'' => {
+                if next == Some('\\') {
+                    // Escaped char literal ('\n', '\u{..}', '\'').
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if next.is_some() && b.get(i + 2) == Some(&'\'') {
+                    // Plain char literal 'x'.
+                    i += 3;
+                } else {
+                    // Lifetime — part of the code proper.
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
     }
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
+    out
+}
+
+/// If `b[i]` starts a raw-string opener (`r` or `br` followed by zero
+/// or more `#` and a quote), returns the hash count.
+fn raw_string_hashes(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
     }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Identifier character, for telling `r"..."` from an identifier that
+/// merely ends in `r`.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
 }
 
 /// Returns `true` when the line carries the given waiver comment.
@@ -95,16 +237,18 @@ fn waived(line: &str, waiver: &str) -> bool {
     line.contains(waiver)
 }
 
-/// Lints one file's contents, reporting findings under `name`.
+/// Lints one file's contents, reporting findings under `name`. Rules
+/// match against the comment- and string-stripped view of each line;
+/// waivers match against the original line (they live in comments).
 fn lint_source(name: &str, source: &str) -> Vec<Finding> {
+    let stripped = strip_noncode(source);
     let mut findings = Vec::new();
-    for (i, line) in source.lines().enumerate() {
+    for (i, (code, line)) in stripped.lines().zip(source.lines()).enumerate() {
         // The first `#[cfg(test)]` starts the test module; everything
         // after it is exercised only by the test harness.
-        if line.trim_start().starts_with("#[cfg(test)]") {
+        if code.trim_start().starts_with("#[cfg(test)]") {
             break;
         }
-        let code = code_part(line);
         if code.contains("_ =>") && !waived(line, "lint: allow-wildcard") {
             findings.push(Finding {
                 file: name.to_string(),
@@ -362,8 +506,172 @@ fn check_diff_schema(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+fn check_mc_schema(v: &Json) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".to_string());
+    }
+    let mut ci_rows = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["litmus", "column", "tier"] {
+            if row.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("row {i}: missing string `{key}`"));
+            }
+        }
+        for key in [
+            "schedules",
+            "sleep_pruned",
+            "truncated",
+            "violations",
+            "distinct_outcomes",
+            "steps_total",
+        ] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("row {i}: missing integer `{key}`"));
+            }
+        }
+        if row.get("states_per_sec").and_then(Json::as_f64).is_none() {
+            return Err(format!("row {i}: missing numeric `states_per_sec`"));
+        }
+        if row.get("exhaustive").and_then(Json::as_bool).is_none() {
+            return Err(format!("row {i}: missing boolean `exhaustive`"));
+        }
+        if row.get("violations").and_then(Json::as_u64) != Some(0) {
+            return Err(format!("row {i}: litmus exploration found violations"));
+        }
+        if row.get("truncated").and_then(Json::as_u64) != Some(0) {
+            return Err(format!(
+                "row {i}: exploration hit the depth bound — raise max_steps"
+            ));
+        }
+        // Every CI-corpus cell must be a completed exhaustive proof;
+        // only the extended classic shapes may report bounded coverage.
+        if row.get("tier").and_then(Json::as_str) == Some("ci") {
+            ci_rows += 1;
+            if row.get("exhaustive").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("row {i}: CI-corpus cell is not exhaustive"));
+            }
+        }
+    }
+    if ci_rows < 10 {
+        return Err(format!(
+            "only {ci_rows} CI-corpus rows — expected the full litmus × column grid"
+        ));
+    }
+    // The DPOR-vs-naive calibration must show real pruning on a cell
+    // DPOR itself exhausted.
+    let calib = v
+        .get("calibration")
+        .ok_or_else(|| "missing `calibration` object".to_string())?;
+    for key in ["dpor_schedules", "naive_schedules"] {
+        if calib.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("calibration: missing integer `{key}`"));
+        }
+    }
+    if calib.get("dpor_exhaustive").and_then(Json::as_bool) != Some(true) {
+        return Err("calibration: DPOR side must be an exhaustive proof".to_string());
+    }
+    match calib.get("prune_ratio").and_then(Json::as_f64) {
+        Some(ratio) if ratio >= 5.0 => {}
+        Some(ratio) => {
+            return Err(format!(
+                "calibration: DPOR prune ratio {ratio:.1}x below the 5x gate"
+            ));
+        }
+        None => return Err("calibration: missing numeric `prune_ratio`".to_string()),
+    }
+    let m = v
+        .get("mutant")
+        .ok_or_else(|| "missing `mutant` object".to_string())?;
+    for key in ["name", "litmus", "column"] {
+        if m.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("mutant: missing string `{key}`"));
+        }
+    }
+    if m.get("caught").and_then(Json::as_bool) != Some(true) {
+        return Err("mutant: seeded bug was not caught".to_string());
+    }
+    if m.get("replay_ok").and_then(Json::as_bool) != Some(true) {
+        return Err("mutant: counterexample failed replay verification".to_string());
+    }
+    let to_violation = m
+        .get("schedules_to_violation")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "mutant: missing integer `schedules_to_violation`".to_string())?;
+    if to_violation >= 10_000 {
+        return Err(format!(
+            "mutant: caught only after {to_violation} schedules (gate: < 10000)"
+        ));
+    }
+    if m.get("minimized_steps").and_then(Json::as_u64).is_none() {
+        return Err("mutant: missing integer `minimized_steps`".to_string());
+    }
+    Ok(())
+}
+
+/// The channel-key spellings a `schedule_trace` may use (the `Display`
+/// forms of the proto crate's `ChanKey`).
+const CHAN_KEY_PREFIXES: &[&str] = &[
+    "wire:", "mem:", "fetch:", "lock:", "coll:", "atom:", "proc:", "hnd:",
+];
+
+fn valid_chan_key(s: &str) -> bool {
+    CHAN_KEY_PREFIXES.iter().any(|p| s.starts_with(p)) && s.len() > s.find(':').unwrap_or(0) + 1
+}
+
+fn check_schedule_trace_schema(v: &Json) -> Result<(), String> {
+    for key in ["litmus", "column", "violation"] {
+        if v.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("missing string `{key}`"));
+        }
+    }
+    match v.get("mutation") {
+        Some(Json::Null) | Some(Json::Str(_)) => {}
+        Some(_) => return Err("`mutation` must be a string or null".to_string()),
+        None => return Err("missing `mutation`".to_string()),
+    }
+    let prefix = v
+        .get("prefix")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `prefix` array".to_string())?;
+    for (i, k) in prefix.iter().enumerate() {
+        let s = k
+            .as_str()
+            .ok_or_else(|| format!("prefix[{i}]: must be a string channel key"))?;
+        if !valid_chan_key(s) {
+            return Err(format!("prefix[{i}]: `{s}` is not a channel key"));
+        }
+    }
+    let steps = v
+        .get("steps")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `steps` array".to_string())?;
+    if steps.len() < prefix.len() {
+        return Err("`steps` must cover at least the forced prefix".to_string());
+    }
+    for (i, s) in steps.iter().enumerate() {
+        let key = s
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("steps[{i}]: missing string `key`"))?;
+        if !valid_chan_key(key) {
+            return Err(format!("steps[{i}]: `{key}` is not a channel key"));
+        }
+        if s.get("label").and_then(Json::as_str).is_none() {
+            return Err(format!("steps[{i}]: missing string `label`"));
+        }
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed bench report to the matching schema check.
 fn check_schema(v: &Json) -> Result<&'static str, String> {
+    if v.get("kind").and_then(Json::as_str) == Some("schedule_trace") {
+        return check_schedule_trace_schema(v).map(|()| "schedule_trace");
+    }
     if v.get("seed").and_then(Json::as_u64).is_none() {
         return Err("missing integer `seed`".to_string());
     }
@@ -372,6 +680,7 @@ fn check_schema(v: &Json) -> Result<&'static str, String> {
         Some("fault_matrix") => check_fault_matrix_schema(v).map(|()| "fault_matrix"),
         Some("barrier") => check_barrier_schema(v).map(|()| "barrier"),
         Some("diff") => check_diff_schema(v).map(|()| "diff"),
+        Some("mc") => check_mc_schema(v).map(|()| "mc"),
         Some(other) => Err(format!("unknown bench kind `{other}`")),
         None => Err("missing string `bench`".to_string()),
     }
@@ -399,12 +708,43 @@ fn run_obs_schema(paths: &[String]) -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: xtask lint | obs-summary <file> [top] | obs-schema <file>...";
+/// Runs clippy over the workspace with warnings denied, applying the
+/// pinned [`CLIPPY_ALLOW`] list.
+fn run_clippy() -> ExitCode {
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.args([
+        "clippy",
+        "--workspace",
+        "--all-targets",
+        "--",
+        "-D",
+        "warnings",
+    ]);
+    for (lint, reason) in CLIPPY_ALLOW {
+        println!("xtask clippy: allowing {lint} ({reason})");
+        cmd.args(["-A", lint]);
+    }
+    cmd.current_dir(repo_root());
+    match cmd.status() {
+        Ok(s) if s.success() => {
+            println!("xtask clippy: workspace clean (-D warnings)");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask clippy: cannot run cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: xtask lint | clippy | obs-summary <file> [top] | obs-schema <file>...";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => run_lint(),
+        Some("clippy") => run_clippy(),
         Some("obs-summary") => {
             let path = match args.next() {
                 Some(p) => p,
@@ -478,6 +818,69 @@ mod tests {
     #[test]
     fn trailing_comment_does_not_hide_code() {
         let src = "let v = o.unwrap(); // grab it\n";
+        assert_eq!(lint_source("x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn patterns_inside_string_literals_are_ignored() {
+        let src = "let msg = \"fallback _ => arm calls .unwrap()\";\n\
+                   eprintln!(\"usage: _ => or .unwrap()\");\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_block_comments_are_ignored() {
+        let src = "/* a note: _ => arms and .unwrap() are banned\n\
+                   spanning lines /* nested: .unwrap() */ still out */\n\
+                   fn f() {}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_raw_strings_are_ignored() {
+        let src = "let re = r#\"match x { _ => y.unwrap() }\"#;\n\
+                   let b = br\"_ => .unwrap()\";\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_string_on_same_line_is_still_linted() {
+        let src = "let v = o.expect(\"_ => in message\").field.unwrap();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].rule.contains("unwrap"));
+    }
+
+    #[test]
+    fn stripping_preserves_line_numbers() {
+        let src = "/* one\n   two\n   three */\nmatch m {\n    _ => 0,\n}\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_structure() {
+        let src = "let s = \"first _ =>\n  second .unwrap()\n  third\";\nlet v = o.unwrap();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        // A quote char literal must not open a string that swallows
+        // the rest of the file, and lifetimes must not be taken for
+        // char literals.
+        let src = "fn f<'a>(x: &'a str) -> char { '\"' }\nlet v = o.unwrap();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_inside_string_does_not_end_linting() {
+        let src = "let s = \"#[cfg(test)]\";\nlet v = o.unwrap();\n";
         assert_eq!(lint_source("x.rs", src).len(), 1);
     }
 
@@ -561,6 +964,123 @@ mod tests {
     #[test]
     fn schema_rejects_unknown_kind() {
         let v = Json::parse("{\"bench\":\"mystery\",\"seed\":1}").expect("fixture parses");
+        assert!(check_schema(&v).is_err());
+    }
+
+    fn minimal_mc_json() -> String {
+        let row = |litmus: &str, column: &str, tier: &str| {
+            format!(
+                "{{\"litmus\":\"{litmus}\",\"column\":\"{column}\",\"tier\":\"{tier}\",\
+                 \"schedules\":100,\
+                 \"sleep_pruned\":40,\"truncated\":0,\"violations\":0,\
+                 \"distinct_outcomes\":2,\"steps_total\":5000,\
+                 \"states_per_sec\":12000.0,\"exhaustive\":true}}"
+            )
+        };
+        let ci: Vec<String> = ["mp", "lost-update", "mono", "mp-bar", "barrier-epoch"]
+            .iter()
+            .flat_map(|l| ["Base", "GeNIMA"].iter().map(|c| row(l, c, "ci")))
+            .collect();
+        format!(
+            "{{\"bench\":\"mc\",\"seed\":1999,\"rows\":[{},{}],\
+             \"calibration\":{{\"litmus\":\"lock-handoff\",\"column\":\"Base\",\
+             \"dpor_schedules\":800000,\"dpor_exhaustive\":true,\
+             \"naive_schedules\":4000000,\"naive_capped\":true,\"prune_ratio\":5.0}},\
+             \"mutant\":{{\"name\":\"reorder-write-notice\",\"litmus\":\"mp\",\
+             \"column\":\"GeNIMA\",\"caught\":true,\"replay_ok\":true,\
+             \"schedules_to_violation\":180,\"minimized_steps\":32}}}}",
+            ci.join(","),
+            row("lock-handoff", "Base", "extended"),
+        )
+    }
+
+    #[test]
+    fn mc_schema_round_trips() {
+        let v = Json::parse(&minimal_mc_json()).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("mc"));
+    }
+
+    #[test]
+    fn mc_schema_gates_violations_pruning_and_mutant() {
+        let base = minimal_mc_json();
+        for (broken, needle) in [
+            (
+                base.replacen("\"violations\":0", "\"violations\":1", 1),
+                "violation",
+            ),
+            (
+                base.replacen("\"truncated\":0", "\"truncated\":3", 1),
+                "depth bound",
+            ),
+            (
+                base.replace("\"prune_ratio\":5.0", "\"prune_ratio\":2.0"),
+                "5x gate",
+            ),
+            (
+                base.replace("\"dpor_exhaustive\":true", "\"dpor_exhaustive\":false"),
+                "exhaustive proof",
+            ),
+            (
+                base.replacen("\"exhaustive\":true", "\"exhaustive\":false", 1),
+                "not exhaustive",
+            ),
+            (
+                base.replace("\"caught\":true", "\"caught\":false"),
+                "not caught",
+            ),
+            (
+                base.replace("\"replay_ok\":true", "\"replay_ok\":false"),
+                "replay",
+            ),
+            (
+                base.replace(
+                    "\"schedules_to_violation\":180",
+                    "\"schedules_to_violation\":20000",
+                ),
+                "10000",
+            ),
+        ] {
+            let v = Json::parse(&broken).expect("fixture parses");
+            let err = check_schema(&v).expect_err("must fail the gate");
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+        // Dropping the calibration object entirely must also fail.
+        let no_cal = base.replace("\"calibration\"", "\"calibration_gone\"");
+        let v = Json::parse(&no_cal).expect("fixture parses");
+        assert!(check_schema(&v).is_err());
+    }
+
+    fn minimal_trace_json() -> String {
+        "{\"kind\":\"schedule_trace\",\"litmus\":\"mp\",\"column\":\"GeNIMA\",\
+         \"mutation\":\"reorder-write-notice\",\"violation\":\"audit: stale acquire\",\
+         \"prefix\":[\"proc:0\",\"wire:0>1\"],\
+         \"steps\":[{\"key\":\"proc:0\",\"label\":\"resume p0\"},\
+                    {\"key\":\"wire:0>1\",\"label\":\"pkt\"},\
+                    {\"key\":\"mem:1<0\",\"label\":\"deposit\"}]}"
+            .to_string()
+    }
+
+    #[test]
+    fn schedule_trace_schema_round_trips() {
+        let v = Json::parse(&minimal_trace_json()).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("schedule_trace"));
+    }
+
+    #[test]
+    fn schedule_trace_schema_rejects_bad_keys_and_short_steps() {
+        let base = minimal_trace_json();
+        let bad_key = base.replace("\"proc:0\",\"wire:0>1\"", "\"proc:0\",\"bogus:1\"");
+        let v = Json::parse(&bad_key).expect("fixture parses");
+        assert!(check_schema(&v)
+            .expect_err("bad key")
+            .contains("channel key"));
+        // Steps shorter than the forced prefix cannot replay it.
+        let short = base.replace(
+            ",{\"key\":\"wire:0>1\",\"label\":\"pkt\"},\
+             {\"key\":\"mem:1<0\",\"label\":\"deposit\"}",
+            "",
+        );
+        let v = Json::parse(&short).expect("fixture parses");
         assert!(check_schema(&v).is_err());
     }
 

@@ -6,6 +6,7 @@ use genima_nic::{LockId, Tag, Upcall};
 use genima_sim::{EventQueue, Time};
 use genima_vmmc::{NicConfig, Vmmc};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 /// Drives a Vmmc to quiescence, returning (time, upcall) pairs in
 /// delivery order.
@@ -27,6 +28,96 @@ fn drain(vmmc: &mut Vmmc, posts: Vec<genima_nic::Post>) -> Vec<(Time, Upcall)> {
     }
     ups.sort_by_key(|&(t, _)| t);
     ups
+}
+
+/// Core of `ni_locks_are_exclusive_and_live`, shared with the promoted
+/// regression test below: requests the lock from every distinct NIC up
+/// front, releases after each hold, and checks mutual exclusion plus
+/// single-grant liveness.
+fn check_ni_locks_exclusive_and_live(
+    requesters: &[usize],
+    hold_us: &[u64],
+) -> Result<(), TestCaseError> {
+    let mut vmmc = Vmmc::new(NicConfig::default(), NetConfig::myrinet(), 4, 1);
+    let lock = LockId::new(0);
+    // Deduplicate requesters so no NIC double-requests.
+    let mut reqs: Vec<usize> = Vec::new();
+    for &r in requesters {
+        if !reqs.contains(&r) {
+            reqs.push(r);
+        }
+    }
+    // Everyone requests up front; grants will chain.
+    let mut posts = Vec::new();
+    for (i, &r) in reqs.iter().enumerate() {
+        posts.push(vmmc.lock_acquire(Time::ZERO, NicId::new(r), lock, Tag::new(i as u64)));
+    }
+    // Process grants as they arrive; release after a hold time.
+    let mut q = EventQueue::new();
+    let mut granted: Vec<(Time, usize)> = Vec::new();
+    let mut pending: Vec<(Time, Upcall)> = Vec::new();
+    for p in posts {
+        pending.extend(p.upcalls);
+        for (t, e) in p.events {
+            q.push(t, e);
+        }
+    }
+    let mut held_until = Time::ZERO;
+    loop {
+        pending.sort_by_key(|&(t, _)| t);
+        // Service any grant upcalls by scheduling the release.
+        let mut next_round = Vec::new();
+        for (t, u) in pending.drain(..) {
+            if let Upcall::LockGranted { nic, tag, .. } = u {
+                // Mutual exclusion: the previous holder must have
+                // released before this grant fires.
+                prop_assert!(
+                    t >= held_until,
+                    "grant at {t} overlaps hold until {held_until}"
+                );
+                let hold = genima_sim::Dur::from_us(hold_us[tag.value() as usize % hold_us.len()]);
+                held_until = t + hold;
+                granted.push((t, nic.index()));
+                let rel = vmmc.lock_release(held_until, nic, lock);
+                next_round.extend(rel.upcalls);
+                for (t2, e2) in rel.events {
+                    q.push(t2.max(q.now()), e2);
+                }
+            }
+        }
+        pending = next_round;
+        match q.pop() {
+            None if pending.is_empty() => break,
+            None => continue,
+            Some((t, e)) => {
+                let s = vmmc.handle(t, e);
+                pending.extend(s.upcalls);
+                for (t2, e2) in s.events {
+                    q.push(t2, e2);
+                }
+            }
+        }
+    }
+    // Liveness: every distinct requester was granted exactly once.
+    prop_assert_eq!(
+        granted.len(),
+        reqs.len(),
+        "grants {:?} vs requests {:?}",
+        granted,
+        reqs
+    );
+    Ok(())
+}
+
+/// Regression: promoted from `tests/comm_properties.proptest-regressions`
+/// (cc a020f91f…, shrinks to `requesters = [0, 0], hold_us = [1, 1]`) so
+/// the shrunken case runs deterministically on every `cargo test`. A
+/// duplicate requester must be deduplicated into one request and
+/// produce exactly one grant — the original failure double-granted the
+/// lock to the same NIC.
+#[test]
+fn regression_duplicate_requester_gets_one_grant() {
+    check_ni_locks_exclusive_and_live(&[0, 0], &[1, 1]).expect("promoted seed must stay green");
 }
 
 proptest! {
@@ -69,70 +160,7 @@ proptest! {
         requesters in proptest::collection::vec(0usize..4, 2..12),
         hold_us in proptest::collection::vec(1u64..500, 2..12),
     ) {
-        let mut vmmc = Vmmc::new(NicConfig::default(), NetConfig::myrinet(), 4, 1);
-        let lock = LockId::new(0);
-        // Deduplicate consecutive requesters so no NIC double-requests.
-        let mut reqs: Vec<usize> = Vec::new();
-        for &r in &requesters {
-            if !reqs.contains(&r) {
-                reqs.push(r);
-            }
-        }
-        // Everyone requests up front; grants will chain.
-        let mut posts = Vec::new();
-        for (i, &r) in reqs.iter().enumerate() {
-            posts.push(vmmc.lock_acquire(
-                Time::ZERO,
-                NicId::new(r),
-                lock,
-                Tag::new(i as u64),
-            ));
-        }
-        // Process grants as they arrive; release after a hold time.
-        let mut q = EventQueue::new();
-        let mut granted: Vec<(Time, usize)> = Vec::new();
-        let mut pending: Vec<(Time, Upcall)> = Vec::new();
-        for p in posts {
-            pending.extend(p.upcalls);
-            for (t, e) in p.events {
-                q.push(t, e);
-            }
-        }
-        let mut held_until = Time::ZERO;
-        loop {
-            pending.sort_by_key(|&(t, _)| t);
-            // Service any grant upcalls by scheduling the release.
-            let mut next_round = Vec::new();
-            for (t, u) in pending.drain(..) {
-                if let Upcall::LockGranted { nic, tag, .. } = u {
-                    // Mutual exclusion: the previous holder must have
-                    // released before this grant fires.
-                    prop_assert!(t >= held_until, "grant at {t} overlaps hold until {held_until}");
-                    let hold = genima_sim::Dur::from_us(hold_us[tag.value() as usize % hold_us.len()]);
-                    held_until = t + hold;
-                    granted.push((t, nic.index()));
-                    let rel = vmmc.lock_release(held_until, nic, lock);
-                    next_round.extend(rel.upcalls);
-                    for (t2, e2) in rel.events {
-                        q.push(t2.max(q.now()), e2);
-                    }
-                }
-            }
-            pending = next_round;
-            match q.pop() {
-                None if pending.is_empty() => break,
-                None => continue,
-                Some((t, e)) => {
-                    let s = vmmc.handle(t, e);
-                    pending.extend(s.upcalls);
-                    for (t2, e2) in s.events {
-                        q.push(t2, e2);
-                    }
-                }
-            }
-        }
-        // Liveness: every distinct requester was granted exactly once.
-        prop_assert_eq!(granted.len(), reqs.len(), "grants {:?} vs requests {:?}", granted, reqs);
+        check_ni_locks_exclusive_and_live(&requesters, &hold_us)?;
     }
 
     /// Mixed host-bound and deposit traffic: every tagged message

@@ -220,3 +220,37 @@ fn regression_stale_reply_rollback() {
         run_fuzz(seed, f, 2, 2);
     }
 }
+
+/// Regression: promoted from `tests/protocol_fuzz.proptest-regressions`
+/// (cc 2c5370af…, shrinks to seed = 16791101178840247249) so the exact
+/// shrunken case runs deterministically on every `cargo test`, not only
+/// when proptest replays its seed file. Historically tripped validation
+/// on the delayed-diff columns; kept across the full 2x2 matrix plus
+/// the all-remote 4x1 shape.
+#[test]
+fn regression_fuzz_seed_16791101178840247249() {
+    let seed = 16791101178840247249u64;
+    for f in FeatureSet::ALL {
+        run_fuzz(seed, f, 2, 2);
+    }
+    run_fuzz(seed, FeatureSet::base(), 4, 1);
+    run_fuzz(seed, FeatureSet::genima(), 4, 1);
+}
+
+/// Regression: promoted from `tests/protocol_fuzz.proptest-regressions`
+/// (cc c0738985…, shrinks to seed = 3448139302961865587). Same
+/// promotion rationale as above; this seed also covers the §5 NI
+/// extension combinations that the `fuzz_ni_extensions` property
+/// exercises randomly.
+#[test]
+fn regression_fuzz_seed_3448139302961865587() {
+    let seed = 3448139302961865587u64;
+    for f in FeatureSet::ALL {
+        run_fuzz(seed, f, 2, 2);
+    }
+    run_fuzz_with(seed, FeatureSet::genima(), 2, 2, |p| {
+        p.nic.scatter_gather = true;
+        p.nic.broadcast = true;
+        p.proto.pull_notices = true;
+    });
+}
