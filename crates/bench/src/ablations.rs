@@ -47,7 +47,7 @@ pub fn post_queue_sweep(topo: Topology) -> TextTable {
     let mut base = None;
     for depth in [8usize, 16, 32, 64, 256] {
         let r = run_tweaked(&app, topo, FeatureSet::genima(), |p| {
-            p.nic.post_queue_capacity = depth;
+            p.hw.nic.post_queue_capacity = depth;
         });
         let su = r.speedup(seq);
         if depth == 32 {
@@ -72,7 +72,7 @@ pub fn send_pipelining(topo: Topology) -> TextTable {
     for f in [FeatureSet::dw_rf(), FeatureSet::genima()] {
         for pipelined in [false, true] {
             let r = run_tweaked(&app, topo, f, |p| {
-                p.nic.pipelined_sends = pipelined;
+                p.hw.nic.pipelined_sends = pipelined;
             });
             t.row(vec![
                 f.name().to_string(),
@@ -104,7 +104,7 @@ pub fn scatter_gather(topo: Topology) -> TextTable {
         (dd.report.counters.diffs + dd.report.counters.diff_run_messages).to_string(),
     ]);
     let sg = run_tweaked(&app, topo, FeatureSet::genima(), |p| {
-        p.nic.scatter_gather = true;
+        p.hw.nic.scatter_gather = true;
     });
     t.row(vec![
         "GeNIMA + scatter-gather".into(),
@@ -123,7 +123,7 @@ pub fn ni_broadcast(topo: Topology) -> TextTable {
     let mut t = TextTable::new(vec!["Variant", "Speedup"]);
     for (label, bc) in [("per-destination deposits", false), ("NI broadcast", true)] {
         let r = run_tweaked(&app, topo, FeatureSet::genima(), |p| {
-            p.nic.broadcast = bc;
+            p.hw.nic.broadcast = bc;
         });
         t.row(vec![label.to_string(), format!("{:.2}", r.speedup(seq))]);
     }
@@ -280,10 +280,10 @@ mod tests {
         let app = BarnesSpatial::paper();
         let seq = sequential_time(&app);
         let serial = run_tweaked(&app, topo, FeatureSet::genima(), |p| {
-            p.nic.pipelined_sends = false;
+            p.hw.nic.pipelined_sends = false;
         });
         let pipelined = run_tweaked(&app, topo, FeatureSet::genima(), |p| {
-            p.nic.pipelined_sends = true;
+            p.hw.nic.pipelined_sends = true;
         });
         assert!(
             pipelined.speedup(seq) > serial.speedup(seq),
@@ -302,7 +302,7 @@ mod tests {
         let seq = sequential_time(&app);
         let dd = run_app(&app, topo, FeatureSet::genima());
         let sg = run_tweaked(&app, topo, FeatureSet::genima(), |p| {
-            p.nic.scatter_gather = true;
+            p.hw.nic.scatter_gather = true;
         });
         assert!(
             sg.speedup(seq) > dd.report.speedup(seq),

@@ -12,7 +12,7 @@
 //! the parallel time, speedup, category shares and every protocol
 //! counter. `xtask obs-schema` checks the shape.
 
-use genima::{run_app_configured, sequential_time, FeatureSet, Json, RunConfig, Topology};
+use genima::{run_app_configured, sequential_time, Column, Json, RunConfig, Topology};
 use genima_apps::{all_apps, app_by_name, App};
 use genima_sim::RunSeed;
 
@@ -66,12 +66,12 @@ fn main() {
         let seq = sequential_time(app.as_ref());
         println!("== {} (seq {:?})", app.name(), seq);
         let mut columns = Json::obj();
-        for f in FeatureSet::ALL {
-            let cfg = RunConfig::new(topo, f).with_seed(args.seed);
+        for column in Column::all() {
+            let cfg = RunConfig::from_column(topo, column).with_seed(args.seed);
             let r = match run_app_configured(app.as_ref(), &cfg) {
                 Ok(r) => r,
                 Err(e) => {
-                    eprintln!("FAIL {} on {}: {e}", f.name(), app.name());
+                    eprintln!("FAIL {} on {}: {e}", column.name(), app.name());
                     std::process::exit(1)
                 }
             };
@@ -79,7 +79,7 @@ fn main() {
             let c = r.report.counters;
             println!(
                 "  {:9} su={:5.2} cmp={:7.1}ms dat={:7.1}ms lck={:7.1}ms ar={:6.1}ms bar={:7.1}ms bp={:6.1}ms | flt={} xfer={} retry={} int={} diffs={} runs={} ntc={} mpro={:5.1}ms",
-                f.name(), r.report.speedup(seq),
+                column.name(), r.report.speedup(seq),
                 b.compute.as_ms(), b.data.as_ms(), b.lock.as_ms(), b.acqrel.as_ms(), b.barrier.as_ms(), b.barrier_protocol.as_ms(),
                 c.faults, c.page_transfers, c.fetch_retries, c.interrupts, c.diffs, c.diff_run_messages, c.notice_messages,
                 b.mprotect.as_ms(),
@@ -95,7 +95,7 @@ fn main() {
                         None => unreachable!("report JSON always has {key}"),
                     };
                 }
-                columns.set(f.name(), col);
+                columns.set(column.name(), col);
             }
         }
         if args.json.is_some() {

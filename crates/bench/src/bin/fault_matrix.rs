@@ -1,5 +1,5 @@
-//! `fault_matrix` — sweeps fault-injection rates across all five
-//! protocol columns and audits every run.
+//! `fault_matrix` — sweeps fault-injection rates across all six
+//! evaluation columns and audits every run.
 //!
 //! ```text
 //! fault_matrix [--seed N] [--grid G] [--nodes NODES] [--json PATH]
@@ -13,7 +13,8 @@
 //!
 //! For each drop rate in the sweep (0 %, 1 %, 5 %, 10 %, each faulty
 //! row also duplicating and delaying packets) and each of the paper's
-//! five protocol configurations, the matrix runs Ocean with a
+//! six evaluation columns (the paper's five on the 1999 LANai plus
+//! GeNIMA-2025 on the RNIC), the matrix runs Ocean with a
 //! [`PlanInjector`] installed, replays the run's traces through the
 //! genima-check protocol auditor, and asserts:
 //!
@@ -28,10 +29,10 @@
 
 use genima::TextTable;
 use genima_apps::OceanRowwise;
-use genima_check::run_app_audited_with;
+use genima_check::run_app_audited_on_with;
 use genima_fault::{FaultPlan, PlanInjector, RunSeed};
 use genima_obs::Json;
-use genima_proto::{FeatureSet, Topology};
+use genima_proto::{Column, Topology};
 use genima_sim::Dur;
 
 struct Args {
@@ -109,18 +110,19 @@ fn main() {
     let mut failures = 0u32;
     let mut rows = Vec::new();
     for &drop in &[0.0, 0.01, 0.05, 0.10] {
-        for features in FeatureSet::ALL {
+        for column in Column::all() {
+            let features = column.features;
             let plan = plan_at(drop);
             let injector = PlanInjector::new(plan.clone(), seed);
             let stats = injector.stats_handle();
-            let run = match run_app_audited_with(&app, topo, features, |sys| {
+            let run = match run_app_audited_on_with(&app, topo, column, |sys| {
                 if plan.is_active() {
                     sys.set_fault_injector(Box::new(injector));
                 }
             }) {
                 Ok(run) => run,
                 Err(e) => {
-                    eprintln!("FAIL {} at drop {drop}: run aborted: {e}", features.name());
+                    eprintln!("FAIL {} at drop {drop}: run aborted: {e}", column.name());
                     failures += 1;
                     continue;
                 }
@@ -128,7 +130,7 @@ fn main() {
             if !run.audit.is_clean() {
                 eprintln!(
                     "FAIL {} at drop {drop}: {} invariant violation(s), first: {:?}",
-                    features.name(),
+                    column.name(),
                     run.audit.violations.len(),
                     run.audit.violations.first()
                 );
@@ -137,7 +139,7 @@ fn main() {
             if features.interrupt_free() && run.report.counters.interrupts != 0 {
                 eprintln!(
                     "FAIL {}: {} host interrupts under faults (must be 0)",
-                    features.name(),
+                    column.name(),
                     run.report.counters.interrupts
                 );
                 failures += 1;
@@ -145,7 +147,7 @@ fn main() {
             let f = stats.borrow();
             table.row(vec![
                 format!("{:.0}", drop * 100.0),
-                features.name().to_string(),
+                column.name().to_string(),
                 format!("{:.2}", run.report.parallel_time().as_ms()),
                 run.report.recovery.retransmits.to_string(),
                 run.report.recovery.duplicates_suppressed.to_string(),
@@ -156,7 +158,7 @@ fn main() {
             ]);
             let mut row = Json::obj();
             row.set("drop_rate", Json::num(drop));
-            row.set("column", Json::str(features.name()));
+            row.set("column", Json::str(column.name()));
             row.set("time_ms", Json::num(run.report.parallel_time().as_ms()));
             row.set("retransmits", Json::u64(run.report.recovery.retransmits));
             row.set(

@@ -28,7 +28,7 @@ pub use audit::{audit_traces, Audit, Violation};
 pub use race::{detect_races, AccessSite, Race, ScheduleError, CELL_BYTES};
 
 use genima_apps::App;
-use genima_proto::{FeatureSet, Op, ProtoError, RunReport, SvmParams, SvmSystem, Topology};
+use genima_proto::{Column, FeatureSet, Op, ProtoError, RunReport, SvmSystem, Topology};
 
 /// One application run with tracing enabled and its audit result.
 #[derive(Debug, Clone)]
@@ -76,6 +76,16 @@ pub fn run_app_audited(app: &dyn App, topo: Topology, features: FeatureSet) -> A
         .expect("a fault-free audited run cannot abort")
 }
 
+/// Runs `app` with tracing enabled for one evaluation [`Column`] and
+/// audits the traces. `Column::genima_2025()` audits the full GeNIMA
+/// protocol on the 2025 RNIC with masked-CAS locks (the NI lock-chain
+/// replay sees no firmware grant events there; the protocol invariants
+/// and the interrupt-free cross-check still apply in full).
+pub fn run_app_audited_on(app: &dyn App, topo: Topology, column: Column) -> AuditedRun {
+    run_app_audited_on_with(app, topo, column, |_| {})
+        .expect("a fault-free audited run cannot abort")
+}
+
 /// Like [`run_app_audited`], but lets `configure` adjust the built
 /// [`SvmSystem`] before the run — typically to install a fault
 /// injector — and surfaces a run abort instead of panicking.
@@ -96,8 +106,25 @@ pub fn run_app_audited_with(
     features: FeatureSet,
     configure: impl FnOnce(&mut SvmSystem),
 ) -> Result<AuditedRun, ProtoError> {
+    run_app_audited_on_with(app, topo, Column::lanai(features), configure)
+}
+
+/// Like [`run_app_audited_on`], but lets `configure` adjust the built
+/// [`SvmSystem`] before the run and surfaces a run abort instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Same contract as [`run_app_audited_with`].
+pub fn run_app_audited_on_with(
+    app: &dyn App,
+    topo: Topology,
+    column: Column,
+    configure: impl FnOnce(&mut SvmSystem),
+) -> Result<AuditedRun, ProtoError> {
+    let features = column.features;
     let spec = app.spec(topo);
-    let mut params = SvmParams::new(topo, features);
+    let mut params = column.params(topo);
     params.locks = spec.locks.max(1);
     params.bus_demand_per_proc = spec.bus_demand_per_proc;
     params.warmup_barrier = spec.warmup_barrier;

@@ -3,8 +3,10 @@
 //! protocol invariants.
 
 use genima_apps::{App, BarnesOriginal, OceanRowwise, WaterNsquared};
-use genima_check::run_app_audited;
-use genima_proto::{FeatureSet, Topology};
+use genima_check::{run_app_audited, run_app_audited_on, run_app_audited_on_with};
+use genima_fault::{FaultPlan, PlanInjector};
+use genima_proto::{Column, FeatureSet, Topology};
+use genima_sim::RunSeed;
 
 /// Every invariant holds for a barrier-heavy stencil and a lock-heavy
 /// molecular-dynamics workload under all five protocol columns.
@@ -34,6 +36,79 @@ fn auditor_is_clean_across_all_five_configurations() {
             );
         }
     }
+}
+
+/// The sixth column: the full GeNIMA protocol on the 2025 RNIC audits
+/// clean on every workload, with masked-CAS locks replacing the
+/// firmware lock machines (so the NI lock-chain trace is empty) and
+/// RDMA completions replacing host interrupts entirely.
+#[test]
+fn genima_2025_audits_clean_across_workloads() {
+    let topo = Topology::new(2, 2);
+    let apps: Vec<Box<dyn App>> = vec![
+        Box::new(OceanRowwise::with_grid(128, 2)),
+        Box::new(WaterNsquared::with_molecules(256, 1)),
+        Box::new(BarnesOriginal::with_bodies(512, 1)),
+    ];
+    for app in &apps {
+        let run = run_app_audited_on(app.as_ref(), topo, Column::genima_2025());
+        assert!(
+            run.audit.is_clean(),
+            "{} under GeNIMA-2025: {}",
+            app.name(),
+            run.audit
+        );
+        assert!(run.audit.proto_events > 0, "tracing recorded nothing");
+        assert_eq!(
+            run.audit.lock_events, 0,
+            "masked-CAS locks bypass the firmware lock machines"
+        );
+        assert_eq!(
+            run.report.counters.interrupts,
+            0,
+            "{}: the RNIC column must be interrupt-free",
+            app.name()
+        );
+        assert!(
+            run.report.ni.doorbells > 0 && run.report.ni.cqes > 0,
+            "{}: RNIC counters must move (doorbells {}, cqes {})",
+            app.name(),
+            run.report.ni.doorbells,
+            run.report.ni.cqes
+        );
+    }
+}
+
+/// Acceptance gate: GeNIMA-2025 survives 10% packet loss plus
+/// duplication with every protocol invariant intact and still zero
+/// host interrupts — seq/retry recovery comes with the deterministic
+/// transport, not from asynchronous host processing.
+#[test]
+fn genima_2025_audits_clean_at_ten_percent_loss() {
+    let app = OceanRowwise::with_grid(96, 2);
+    let topo = Topology::new(4, 1);
+    let plan = FaultPlan::new().drop_rate(0.10).duplicate_rate(0.05);
+    let injector = PlanInjector::new(plan, RunSeed::new(0x2025));
+    let stats = injector.stats_handle();
+    let run = run_app_audited_on_with(&app, topo, Column::genima_2025(), |sys| {
+        sys.set_fault_injector(Box::new(injector));
+    })
+    .unwrap_or_else(|e| panic!("GeNIMA-2025 aborted under 10% loss: {e}"));
+    assert!(
+        run.audit.is_clean(),
+        "invariant violations under faults: {:?}",
+        run.audit.violations
+    );
+    assert_eq!(
+        run.report.counters.interrupts, 0,
+        "recovery must not reintroduce host interrupts"
+    );
+    let s = stats.borrow();
+    assert!(s.dropped > 0, "10% loss must actually hit live traffic");
+    assert_eq!(
+        run.report.recovery.retransmits, s.dropped,
+        "every drop is retransmitted (deterministic for this seed)"
+    );
 }
 
 /// The zero-interrupt invariant (paper §2.3): host interrupts vanish

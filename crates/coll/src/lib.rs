@@ -180,10 +180,14 @@ mod tests {
                             inflight.push(Msg::Arrive { from, to, epoch }),
                         Action::SendRelease { to, epoch, .. } =>
                             inflight.push(Msg::Release { to, epoch }),
-                        Action::Exit { node, epoch, vals } => {
+                        Action::Exit { node, epoch } => {
                             exits[epoch as usize][node as usize] += 1;
+                            // The single result slot must hold this
+                            // epoch's value for the whole exit window.
+                            let (re, rv) = cs.result().expect("result before exit");
+                            prop_assert_eq!(*re, epoch, "stale result slot");
                             prop_assert_eq!(
-                                &vals,
+                                rv,
                                 &expected[epoch as usize],
                                 "node {} epoch {}", node, epoch
                             );

@@ -26,7 +26,11 @@ use crate::tree::{children, parent};
 use crate::ReduceOp;
 
 /// What the firmware must do after feeding an input to [`CollState`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Actions are plain `Copy` signals: the reduce payload stays in the
+/// firmware tables (read it with [`CollState::result`] during the
+/// exit window), so emitting an action allocates nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Action {
     /// Send a fan-in signal: `from`'s subtree is fully combined for
     /// `epoch` and its contribution is frozen for `to` (its parent).
@@ -49,14 +53,14 @@ pub enum Action {
         epoch: u32,
     },
     /// `node` exits `epoch` with the fully combined result — surface
-    /// it to the host through a completion flag in NI memory.
+    /// it to the host through a completion flag in NI memory. The
+    /// combined values sit in the instance's result slot
+    /// ([`CollState::result`]), valid for the whole exit window.
     Exit {
         /// The exiting node.
         node: u32,
         /// The collective episode.
         epoch: u32,
-        /// The combined reduce result (empty for a pure barrier).
-        vals: Vec<u64>,
     },
 }
 
@@ -146,6 +150,15 @@ impl CollState {
     /// Panics if `vals` has the wrong width or if the node re-arrives
     /// before exiting its previous epoch (a protocol-layer bug).
     pub fn local_arrive(&mut self, node: u32, vals: &[u64]) -> (u32, Vec<Action>) {
+        let mut out = Vec::new();
+        let epoch = self.local_arrive_into(node, vals, &mut out);
+        (epoch, out)
+    }
+
+    /// [`CollState::local_arrive`] pushing its actions into a
+    /// caller-owned buffer (the firmware service loop reuses one
+    /// buffer across packets, so the hot path allocates nothing).
+    pub fn local_arrive_into(&mut self, node: u32, vals: &[u64], out: &mut Vec<Action>) -> u32 {
         assert_eq!(vals.len(), self.width, "contribution width mismatch");
         let st = &mut self.node[node as usize];
         assert_eq!(
@@ -155,7 +168,8 @@ impl CollState {
         );
         let epoch = st.epoch;
         st.epoch += 1;
-        (epoch, self.contribute(node, epoch, vals))
+        self.contribute(node, epoch, vals, out);
+        epoch
     }
 
     /// A fan-in signal from `child` for `epoch` arrived at `node`:
@@ -167,6 +181,14 @@ impl CollState {
     /// Panics if the child has no frozen contribution for `epoch` —
     /// the transport delivered a signal it never sent, or twice.
     pub fn child_arrive(&mut self, node: u32, child: u32, epoch: u32) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.child_arrive_into(node, child, epoch, &mut out);
+        out
+    }
+
+    /// [`CollState::child_arrive`] pushing its actions into a
+    /// caller-owned buffer.
+    pub fn child_arrive_into(&mut self, node: u32, child: u32, epoch: u32, out: &mut Vec<Action>) {
         debug_assert_eq!(parent(child, self.fanout), Some(node));
         let frozen = self.node[child as usize]
             .outbox
@@ -174,7 +196,7 @@ impl CollState {
             .unwrap_or_else(|| {
                 panic!("child {child} signalled epoch {epoch} without a frozen contribution")
             });
-        self.contribute(node, epoch, &frozen)
+        self.contribute(node, epoch, &frozen, out);
     }
 
     /// A fan-out signal for `epoch` arrived at `node` (or the root
@@ -187,13 +209,21 @@ impl CollState {
     /// already exited it — both indicate a transport exactly-once
     /// failure.
     pub fn release(&mut self, node: u32, epoch: u32) -> Vec<Action> {
-        let vals = match &self.result {
-            Some((e, vals)) if *e == epoch => vals.clone(),
+        let mut out = Vec::new();
+        self.release_into(node, epoch, &mut out);
+        out
+    }
+
+    /// [`CollState::release`] pushing its actions into a caller-owned
+    /// buffer.
+    pub fn release_into(&mut self, node: u32, epoch: u32, out: &mut Vec<Action>) {
+        match &self.result {
+            Some((e, _)) if *e == epoch => {}
             other => panic!(
                 "release of epoch {epoch} at node {node} but combined result is {:?}",
                 other.as_ref().map(|(e, _)| e)
             ),
-        };
+        }
         let st = &mut self.node[node as usize];
         assert_eq!(
             st.released, epoch,
@@ -201,7 +231,7 @@ impl CollState {
             st.released
         );
         st.released = epoch + 1;
-        let mut out = vec![Action::Exit { node, epoch, vals }];
+        out.push(Action::Exit { node, epoch });
         out.extend(
             children(node, self.fanout, self.nodes).map(|c| Action::SendRelease {
                 from: node,
@@ -209,7 +239,6 @@ impl CollState {
                 epoch,
             }),
         );
-        out
     }
 
     /// Root-initiated broadcast: publish `vals` as the result of the
@@ -223,6 +252,14 @@ impl CollState {
     /// Panics if `vals` has the wrong width or the root has an epoch
     /// in flight.
     pub fn broadcast(&mut self, vals: &[u64]) -> (u32, Vec<Action>) {
+        let mut out = Vec::new();
+        let epoch = self.broadcast_into(vals, &mut out);
+        (epoch, out)
+    }
+
+    /// [`CollState::broadcast`] pushing its actions into a
+    /// caller-owned buffer.
+    pub fn broadcast_into(&mut self, vals: &[u64], out: &mut Vec<Action>) -> u32 {
         assert_eq!(vals.len(), self.width, "broadcast width mismatch");
         let root = &mut self.node[0];
         assert_eq!(
@@ -237,13 +274,14 @@ impl CollState {
             st.epoch += 1;
         }
         self.result = Some((epoch, vals.to_vec()));
-        (epoch, self.release(0, epoch))
+        self.release_into(0, epoch, out);
+        epoch
     }
 
     /// Fold one contribution into `node`'s combine for `epoch`; when
     /// the count reaches `1 + |children|` the subtree is complete and
     /// either freezes (interior node) or publishes + releases (root).
-    fn contribute(&mut self, node: u32, epoch: u32, vals: &[u64]) -> Vec<Action> {
+    fn contribute(&mut self, node: u32, epoch: u32, vals: &[u64], out: &mut Vec<Action>) {
         let need = 1 + children(node, self.fanout, self.nodes).count() as u32;
         let op = self.op;
         let width = self.width;
@@ -255,7 +293,7 @@ impl CollState {
         op.combine(&mut acc.vals, vals);
         acc.got += 1;
         if acc.got < need {
-            return Vec::new();
+            return;
         }
         let done = st
             .acc
@@ -268,15 +306,15 @@ impl CollState {
                     prior.is_none(),
                     "node {node} froze epoch {epoch} twice — parent never consumed it"
                 );
-                vec![Action::SendArrive {
+                out.push(Action::SendArrive {
                     from: node,
                     to: p,
                     epoch,
-                }]
+                });
             }
             None => {
                 self.result = Some((epoch, done.vals));
-                self.release(node, epoch)
+                self.release_into(node, epoch, out);
             }
         }
     }
@@ -304,10 +342,12 @@ mod tests {
                 Action::SendRelease { to, epoch, .. } => {
                     queue.extend(cs.release(to, epoch));
                 }
-                Action::Exit { node, vals, .. } => {
+                Action::Exit { node, epoch } => {
                     assert!(!exited[node as usize], "node {node} exited twice");
                     exited[node as usize] = true;
-                    exits[node as usize] = vals;
+                    let (e, vals) = cs.result().expect("result published before exit");
+                    assert_eq!(*e, epoch, "exit saw a stale result slot");
+                    exits[node as usize] = vals.clone();
                 }
             }
         }
@@ -353,14 +393,8 @@ mod tests {
         let mut cs = CollState::new(1, 4, ReduceOp::Sum, 1);
         let (epoch, acts) = cs.local_arrive(0, &[7]);
         assert_eq!(epoch, 0);
-        assert_eq!(
-            acts,
-            vec![Action::Exit {
-                node: 0,
-                epoch: 0,
-                vals: vec![7],
-            }]
-        );
+        assert_eq!(acts, vec![Action::Exit { node: 0, epoch: 0 }]);
+        assert_eq!(cs.result(), Some(&(0, vec![7])));
     }
 
     #[test]
@@ -373,8 +407,8 @@ mod tests {
         while let Some(a) = queue.pop() {
             match a {
                 Action::SendRelease { to, epoch, .. } => queue.extend(cs.release(to, epoch)),
-                Action::Exit { vals, .. } => {
-                    assert_eq!(vals, vec![11, 13]);
+                Action::Exit { epoch, .. } => {
+                    assert_eq!(cs.result(), Some(&(epoch, vec![11, 13])));
                     exits += 1;
                 }
                 Action::SendArrive { .. } => panic!("broadcast must not fan in"),

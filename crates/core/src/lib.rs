@@ -35,8 +35,8 @@ mod tables;
 pub mod experiments;
 
 pub use runner::{
-    run_app, run_app_configured, run_app_on_hwdsm, sequential_time, AppOutcome, ConfiguredOutcome,
-    RunConfig,
+    run_app, run_app_configured, run_app_on, run_app_on_hwdsm, sequential_time, AppOutcome,
+    ConfiguredOutcome, RunConfig,
 };
 pub use tables::TextTable;
 
@@ -46,7 +46,7 @@ pub use genima_obs::{
     timeline_json, validate_trace, Json, ObsConfig, ObsReport, SpanKind, SpanRecord, Track,
 };
 pub use genima_proto::{
-    BarrierImpl, Breakdown, Counters, FeatureSet, ProtoConfig, ProtoError, RecoveryStats,
-    RunReport, SvmParams, SvmSystem, Topology,
+    BarrierImpl, Breakdown, Column, Counters, FeatureSet, HwProfile, NiStats, ProtoConfig,
+    ProtoError, RecoveryStats, RunReport, SvmParams, SvmSystem, Topology,
 };
 pub use genima_sim::{Dur, RunSeed, Time};

@@ -5,7 +5,7 @@ use genima_fault::{FaultPlan, FaultStats, PlanInjector};
 use genima_hwdsm::{HwDsm, HwDsmConfig, HwReport};
 use genima_obs::{ObsConfig, ObsReport, Recorder};
 use genima_proto::{
-    BarrierImpl, FeatureSet, ProtoError, RunReport, SvmParams, SvmSystem, Topology,
+    BarrierImpl, Column, FeatureSet, HwProfile, ProtoError, RunReport, SvmSystem, Topology,
 };
 use genima_sim::{Dur, RunSeed};
 
@@ -32,6 +32,9 @@ pub struct RunConfig {
     pub topo: Topology,
     /// Protocol variant.
     pub features: FeatureSet,
+    /// Hardware generation the run executes on; the 1999 LANai unless
+    /// overridden, so existing callers are bit-identical.
+    pub hw: HwProfile,
     /// Workspace-level seed all randomness derives from.
     pub seed: RunSeed,
     /// What goes wrong; [`FaultPlan::none`] for a clean run.
@@ -52,11 +55,24 @@ impl RunConfig {
         RunConfig {
             topo,
             features,
+            hw: HwProfile::lanai_1999(),
             seed: RunSeed::default(),
             faults: FaultPlan::none(),
             obs: ObsConfig::off(),
             barrier: None,
         }
+    }
+
+    /// A clean-run configuration for a whole evaluation [`Column`]
+    /// (feature set + hardware generation).
+    pub fn from_column(topo: Topology, column: Column) -> RunConfig {
+        RunConfig::new(topo, column.features).with_hw(column.hw)
+    }
+
+    /// Replaces the hardware profile.
+    pub fn with_hw(mut self, hw: HwProfile) -> RunConfig {
+        self.hw = hw;
+        self
     }
 
     /// Replaces the run seed.
@@ -113,8 +129,15 @@ pub struct ConfiguredOutcome {
 /// assert!(out.report.counters.barriers > 0);
 /// ```
 pub fn run_app(app: &dyn App, topo: Topology, features: FeatureSet) -> AppOutcome {
+    run_app_on(app, topo, Column::lanai(features))
+}
+
+/// Runs `app` on the cluster for one evaluation [`Column`] — a feature
+/// set on a hardware generation. `Column::genima_2025()` runs the full
+/// GeNIMA protocol on the 2025 RNIC model with masked-CAS locks.
+pub fn run_app_on(app: &dyn App, topo: Topology, column: Column) -> AppOutcome {
     let spec = app.spec(topo);
-    let mut params = SvmParams::new(topo, features);
+    let mut params = column.params(topo);
     params.locks = spec.locks.max(1);
     params.bus_demand_per_proc = spec.bus_demand_per_proc;
     params.warmup_barrier = spec.warmup_barrier;
@@ -123,7 +146,10 @@ pub fn run_app(app: &dyn App, topo: Topology, features: FeatureSet) -> AppOutcom
         sys.assign_homes(start, count, node);
     }
     let report = sys.run();
-    AppOutcome { features, report }
+    AppOutcome {
+        features: column.features,
+        report,
+    }
 }
 
 /// Runs `app` under a full [`RunConfig`], installing a fault injector
@@ -139,7 +165,11 @@ pub fn run_app(app: &dyn App, topo: Topology, features: FeatureSet) -> AppOutcom
 /// [`FaultPlan::outage`] longer than the full backoff schedule).
 pub fn run_app_configured(app: &dyn App, cfg: &RunConfig) -> Result<ConfiguredOutcome, ProtoError> {
     let spec = app.spec(cfg.topo);
-    let mut params = SvmParams::new(cfg.topo, cfg.features);
+    let column = Column {
+        features: cfg.features,
+        hw: cfg.hw,
+    };
+    let mut params = column.params(cfg.topo);
     params.locks = spec.locks.max(1);
     params.bus_demand_per_proc = spec.bus_demand_per_proc;
     params.warmup_barrier = spec.warmup_barrier;
@@ -230,6 +260,23 @@ mod tests {
         assert!(
             speedup > 3.0,
             "16 processors must beat 1 on Ocean: speedup {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn genima_2025_runs_interrupt_free_and_faster_than_1999() {
+        let app = OceanRowwise::with_grid(128, 4);
+        let topo = Topology::new(2, 2);
+        let old = run_app_on(&app, topo, Column::lanai(FeatureSet::genima()));
+        let new = run_app_on(&app, topo, Column::genima_2025());
+        assert_eq!(new.report.counters.interrupts, 0);
+        assert_eq!(new.report.hw, "RNIC-2025");
+        assert!(new.report.ni.doorbells > 0, "RNIC path must ring doorbells");
+        assert!(
+            new.report.finish < old.report.finish,
+            "2025 hardware must beat 1999: {:?} vs {:?}",
+            new.report.finish,
+            old.report.finish
         );
     }
 

@@ -17,7 +17,7 @@
 use std::process::ExitCode;
 
 use genima_mc::{corpus, litmus, Config, Explorer, Mode, ScheduleTrace};
-use genima_proto::{FeatureSet, Mutation};
+use genima_proto::{Column, Mutation};
 
 struct Args {
     litmus: String,
@@ -101,14 +101,14 @@ fn selected_litmus(name: &str) -> Vec<genima_mc::Litmus> {
     }
 }
 
-fn selected_columns(name: &str) -> Vec<FeatureSet> {
+fn selected_columns(name: &str) -> Vec<Column> {
     if name == "all" {
-        FeatureSet::ALL.to_vec()
+        Column::all().to_vec()
     } else {
         match litmus::column_by_name(name) {
-            Some(f) => vec![f],
+            Some(c) => vec![c],
             None => {
-                let names: Vec<_> = FeatureSet::ALL.iter().map(|f| f.name()).collect();
+                let names: Vec<_> = Column::all().iter().map(|c| c.name()).collect();
                 eprintln!("unknown column `{name}` (have: {})", names.join(", "));
                 std::process::exit(2);
             }

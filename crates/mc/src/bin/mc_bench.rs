@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use genima_mc::{corpus, litmus, Config, Explorer, Mode, ScheduleTrace};
-use genima_proto::{FeatureSet, Mutation};
+use genima_proto::{Column, FeatureSet, Mutation};
 
 /// Schedule cap for the extended (classic, large) shapes: enough for
 /// `sb` and `lock-handoff` to exhaust on Base, a bounded sweep
@@ -26,18 +26,18 @@ const NAIVE_CAP: u64 = 4_000_000;
 
 fn explore_row(
     l: genima_mc::Litmus,
-    f: FeatureSet,
+    c: Column,
     config: Config,
     tier: &str,
 ) -> (genima_obs::Json, bool) {
     let start = Instant::now();
-    let rep = Explorer::new(l, f, config).run();
+    let rep = Explorer::new(l, c, config).run();
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     let clean = rep.violation.is_none();
     let per_sec = rep.schedules as f64 / secs;
     println!(
         "{:<20} {:>9} {:>12} {:>9} {:>10} {:>9.0} {:>11}",
-        format!("{}/{}", l.name, f.name()),
+        format!("{}/{}", l.name, c.name()),
         rep.schedules,
         rep.sleep_blocked,
         rep.outcomes.len(),
@@ -55,7 +55,7 @@ fn explore_row(
 
     let mut row = genima_obs::Json::obj();
     row.set("litmus", genima_obs::Json::str(l.name));
-    row.set("column", genima_obs::Json::str(f.name()));
+    row.set("column", genima_obs::Json::str(c.name()));
     row.set("tier", genima_obs::Json::str(tier));
     row.set("schedules", genima_obs::Json::u64(rep.schedules));
     row.set("sleep_pruned", genima_obs::Json::u64(rep.sleep_blocked));
@@ -98,8 +98,8 @@ fn main() {
     );
     // CI corpus: every cell must exhaust on every column.
     for l in corpus() {
-        for f in FeatureSet::ALL {
-            let (row, clean) = explore_row(l, f, config, "ci");
+        for c in Column::all() {
+            let (row, clean) = explore_row(l, c, config, "ci");
             all_clean &= clean;
             rows.push(row);
         }
@@ -111,8 +111,12 @@ fn main() {
         ..config
     };
     for l in litmus::extended() {
-        for f in [FeatureSet::base(), FeatureSet::genima()] {
-            let (row, clean) = explore_row(l, f, ext_cfg, "extended");
+        for c in [
+            Column::lanai(FeatureSet::base()),
+            Column::lanai(FeatureSet::genima()),
+            Column::genima_2025(),
+        ] {
+            let (row, clean) = explore_row(l, c, ext_cfg, "extended");
             all_clean &= clean;
             rows.push(row);
         }
@@ -122,7 +126,7 @@ fn main() {
     // lock-handoff litmus, Base column — the cell where DPOR itself
     // completes an exhaustive proof.
     let lh = litmus::by_name("lock-handoff").expect("lock-handoff litmus exists");
-    let base = FeatureSet::base();
+    let base = Column::lanai(FeatureSet::base());
     let dpor = Explorer::new(lh, base, ext_cfg).run();
     let naive_cfg = Config {
         mode: Mode::Naive,
@@ -173,12 +177,12 @@ fn main() {
         ..config
     };
     let l = litmus::by_name("mp").expect("mp litmus exists");
-    let f = FeatureSet::genima();
+    let c = Column::lanai(FeatureSet::genima());
     let start = Instant::now();
-    let rep = Explorer::new(l, f, hunt_cfg).with_mutation(mutation).run();
+    let rep = Explorer::new(l, c, hunt_cfg).with_mutation(mutation).run();
     let caught = rep.violation.is_some();
     let replay_ok = rep.violation.as_ref().is_some_and(|v| {
-        ScheduleTrace::new(l.name, f.name(), Some(mutation), v)
+        ScheduleTrace::new(l.name, c.name(), Some(mutation), v)
             .verify()
             .is_ok()
     });
@@ -193,7 +197,7 @@ fn main() {
     let mut mutant = genima_obs::Json::obj();
     mutant.set("name", genima_obs::Json::str(mutation.name()));
     mutant.set("litmus", genima_obs::Json::str(l.name));
-    mutant.set("column", genima_obs::Json::str(f.name()));
+    mutant.set("column", genima_obs::Json::str(c.name()));
     mutant.set("caught", genima_obs::Json::Bool(caught));
     mutant.set("replay_ok", genima_obs::Json::Bool(replay_ok));
     mutant.set(

@@ -49,7 +49,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use genima_check::audit_traces;
-use genima_proto::{ChanKey, Choice, EventPicker, FeatureSet, Mutation, ProtoError, SvmSystem};
+use genima_proto::{ChanKey, Choice, Column, EventPicker, Mutation, ProtoError, SvmSystem};
 
 use crate::litmus::Litmus;
 
@@ -333,17 +333,18 @@ enum RunVerdict {
 /// schedule.
 pub struct Explorer {
     litmus: Litmus,
-    features: FeatureSet,
+    column: Column,
     mutation: Option<Mutation>,
     config: Config,
 }
 
 impl Explorer {
-    /// Creates an explorer for one litmus on one protocol column.
-    pub fn new(litmus: Litmus, features: FeatureSet, config: Config) -> Explorer {
+    /// Creates an explorer for one litmus on one evaluation column
+    /// (protocol feature set + hardware generation).
+    pub fn new(litmus: Litmus, column: Column, config: Config) -> Explorer {
         Explorer {
             litmus,
-            features,
+            column,
             mutation: None,
             config,
         }
@@ -363,7 +364,7 @@ impl Explorer {
         sleep_from: usize,
         use_sleep: bool,
     ) -> (DrivePicker, RunVerdict) {
-        let mut sys = self.litmus.build(self.features);
+        let mut sys = self.litmus.build_on(self.column);
         if let Some(m) = self.mutation {
             sys.set_mutation(m);
         }
@@ -390,7 +391,7 @@ impl Explorer {
             Ok(_report) => {
                 let proto = sys.take_trace();
                 let locks = sys.take_lock_trace();
-                let audit = audit_traces(self.features, self.litmus.nodes, &proto, &locks);
+                let audit = audit_traces(self.column.features, self.litmus.nodes, &proto, &locks);
                 if let Some(v) = audit.violations.first() {
                     return RunVerdict::Bad(format!("audit: {v}"));
                 }
@@ -668,6 +669,7 @@ impl Explorer {
 mod tests {
     use super::*;
     use crate::litmus;
+    use genima_proto::FeatureSet;
 
     fn mp() -> Litmus {
         litmus::by_name("mp").expect("mp litmus exists")
@@ -675,7 +677,7 @@ mod tests {
 
     #[test]
     fn mp_exhaustive_on_base_finds_exactly_the_allowed_outcomes() {
-        let rep = Explorer::new(mp(), FeatureSet::base(), Config::default()).run();
+        let rep = Explorer::new(mp(), Column::lanai(FeatureSet::base()), Config::default()).run();
         assert!(
             rep.exhaustive(),
             "mp on Base must fit in the default bounds"
@@ -691,8 +693,8 @@ mod tests {
             max_schedules: 400,
             ..Config::default()
         };
-        let a = Explorer::new(mp(), FeatureSet::base(), cfg).run();
-        let b = Explorer::new(mp(), FeatureSet::base(), cfg).run();
+        let a = Explorer::new(mp(), Column::lanai(FeatureSet::base()), cfg).run();
+        let b = Explorer::new(mp(), Column::lanai(FeatureSet::base()), cfg).run();
         assert_eq!(a.schedules, b.schedules);
         assert_eq!(a.steps_total, b.steps_total);
         assert_eq!(a.sleep_blocked, b.sleep_blocked);
@@ -701,10 +703,10 @@ mod tests {
 
     #[test]
     fn naive_outcomes_are_a_subset_of_dpor_outcomes() {
-        let dpor = Explorer::new(mp(), FeatureSet::base(), Config::default()).run();
+        let dpor = Explorer::new(mp(), Column::lanai(FeatureSet::base()), Config::default()).run();
         let naive = Explorer::new(
             mp(),
-            FeatureSet::base(),
+            Column::lanai(FeatureSet::base()),
             Config {
                 mode: Mode::Naive,
                 max_schedules: 2_000,
@@ -722,10 +724,10 @@ mod tests {
 
     #[test]
     fn preemption_bound_restricts_the_search() {
-        let full = Explorer::new(mp(), FeatureSet::base(), Config::default()).run();
+        let full = Explorer::new(mp(), Column::lanai(FeatureSet::base()), Config::default()).run();
         let bounded = Explorer::new(
             mp(),
-            FeatureSet::base(),
+            Column::lanai(FeatureSet::base()),
             Config {
                 preemption_bound: Some(0),
                 ..Config::default()
@@ -744,7 +746,7 @@ mod tests {
             max_schedules: 5_000,
             ..Config::default()
         };
-        let column = FeatureSet::genima();
+        let column = Column::lanai(FeatureSet::genima());
         let rep = Explorer::new(mp(), column, cfg)
             .with_mutation(Mutation::ReorderWriteNotice)
             .run();
@@ -767,12 +769,13 @@ mod tests {
 mod diag {
     use super::*;
     use crate::litmus;
+    use genima_proto::FeatureSet;
 
     #[test]
     #[ignore]
     fn dump_fifo_steps() {
         let l = litmus::by_name("sb").unwrap();
-        let e = Explorer::new(l, FeatureSet::base(), Config::default());
+        let e = Explorer::new(l, Column::lanai(FeatureSet::base()), Config::default());
         let (steps, _) = e.replay(&[]);
         for (i, s) in steps.iter().enumerate() {
             eprintln!("{i:3} {} {}", s.key, s.label);

@@ -21,7 +21,7 @@
 //! exploration starts.
 
 use genima_proto::{
-    ops_source, Addr, BarrierId, FeatureSet, LockId, Op, OpSource, SvmParams, SvmSystem, Topology,
+    ops_source, Addr, BarrierId, Column, FeatureSet, LockId, Op, OpSource, SvmSystem, Topology,
     PAGE_SIZE,
 };
 
@@ -337,10 +337,19 @@ pub fn by_name(name: &str) -> Option<Litmus> {
 }
 
 impl Litmus {
-    /// Builds a fresh system for one exploration run.
+    /// Builds a fresh system for one exploration run on the 1999
+    /// LANai.
     pub fn build(&self, features: FeatureSet) -> SvmSystem {
+        self.build_on(Column::lanai(features))
+    }
+
+    /// Builds a fresh system for one exploration run on an arbitrary
+    /// evaluation column (feature set + hardware generation), so the
+    /// GeNIMA-2025 RNIC column is model-checked with the same litmus
+    /// corpus as the paper's five.
+    pub fn build_on(&self, column: Column) -> SvmSystem {
         let topo = Topology::new(self.nodes, self.ppn);
-        let mut params = SvmParams::new(topo, features);
+        let mut params = column.params(topo);
         params.data_mode = true;
         params.locks = 4;
         let sources: Vec<Box<dyn OpSource>> = (self.programs)()
@@ -357,9 +366,10 @@ impl Litmus {
     }
 }
 
-/// Parses a protocol-column CLI name.
-pub fn column_by_name(name: &str) -> Option<FeatureSet> {
-    FeatureSet::ALL.into_iter().find(|f| f.name() == name)
+/// Parses an evaluation-column CLI name (`Base` … `GeNIMA`,
+/// `GeNIMA-2025`).
+pub fn column_by_name(name: &str) -> Option<Column> {
+    Column::by_name(name)
 }
 
 #[cfg(test)]
@@ -390,13 +400,13 @@ mod tests {
     #[test]
     fn fifo_outcomes_are_allowed() {
         for l in all_shapes() {
-            for f in FeatureSet::ALL {
-                let mut sys = l.build(f);
+            for c in Column::all() {
+                let mut sys = l.build_on(c);
                 sys.run();
                 let o = sys.take_observations();
                 assert!(
                     (l.allowed)(&o),
-                    "{} on {f}: FIFO outcome {o:?} forbidden",
+                    "{} on {c}: FIFO outcome {o:?} forbidden",
                     l.name
                 );
             }

@@ -17,7 +17,7 @@ use genima_sim::Dur;
 /// let d = cfg.wire_time(4096);
 /// assert!(d.as_us() > 25.0 && d.as_us() < 27.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     /// Link bandwidth in bytes per second (each direction).
     pub link_bandwidth: u64,

@@ -7,12 +7,13 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use genima_coll::{Action, CollId, CollState, ReduceOp};
 use genima_net::{Fate, FaultInjector, NetConfig, Network, NicId};
 use genima_obs::{flow_coll_id, flow_lock_id, Flow, FlowDir, ObsHandle, Recorder, SpanKind, Track};
-use genima_sim::{Dur, InlineVec, Resource, Time};
+use genima_sim::{Dur, InlineVec, Time};
 
 use crate::config::NicConfig;
 use crate::lock::{FwLock, LockId, SlotState};
+use crate::model::{LanaiModel, NiModel, NiStats};
 use crate::monitor::{Monitor, SizeClass, Stage};
-use crate::msg::{CollOp, Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
+use crate::msg::{CasWord, CollOp, Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
 use crate::trace::{LockChange, LockTrace};
 
 /// Result of a host-side communication call: when the calling host
@@ -32,6 +33,18 @@ pub struct Post {
     /// Upcalls that became known immediately (e.g. a locally granted
     /// lock); delivered to the protocol layer at the given time.
     pub upcalls: InlineVec<(Time, Upcall)>,
+}
+
+/// A masked-CAS request whose compare failed while [`CasWord::wait`]
+/// was set: the responder NIC holds it until the cell is written and
+/// then replays it as if it had just arrived.
+#[derive(Debug, Clone, Copy)]
+struct CasWaiter {
+    /// NIC awaiting the reply (may be the responder itself for a
+    /// loopback CAS).
+    src: NicId,
+    cas: CasWord,
+    tag: Tag,
 }
 
 /// Result of processing one internal event.
@@ -67,36 +80,6 @@ const COLL_HDR_BYTES: u32 = 16;
 /// coincide (e.g. the home forwarding a lock transfer to itself).
 const LOCAL_HOP: Dur = Dur::from_ns(200);
 
-/// Per-NIC mutable state.
-#[derive(Debug)]
-struct NicState {
-    /// LANai occupancy on the outgoing path.
-    lanai_send: Resource,
-    /// LANai occupancy on the incoming path.
-    lanai_recv: Resource,
-    /// Host→NI DMA engine on the I/O bus (send direction).
-    pci_send: Resource,
-    /// NI→host DMA engine on the I/O bus (receive direction). All
-    /// host-bound traffic funnels through this single FIFO — this is
-    /// where Base-protocol lock requests get stuck behind page data
-    /// (§3.3, Water-nsquared discussion).
-    pci_recv: Resource,
-    /// Pick times of requests currently occupying post-queue slots.
-    post_slots: VecDeque<Time>,
-}
-
-impl NicState {
-    fn new() -> NicState {
-        NicState {
-            lanai_send: Resource::new("lanai-send"),
-            lanai_recv: Resource::new("lanai-recv"),
-            pci_send: Resource::new("pci-send"),
-            pci_recv: Resource::new("pci-recv"),
-            post_slots: VecDeque::new(),
-        }
-    }
-}
-
 /// The cluster-wide communication system: one NI per node plus the
 /// switch fabric, the firmware lock tables, and the performance
 /// monitor.
@@ -127,7 +110,12 @@ impl NicState {
 pub struct Comm {
     cfg: NicConfig,
     net: Network,
-    nics: Vec<NicState>,
+    /// The NI hardware timing model (engine occupancies, queue
+    /// disciplines, DMA and notification costs). The protocol state
+    /// machines below are hardware-independent.
+    model: Box<dyn NiModel>,
+    /// Number of nodes/NICs in the cluster.
+    ports: usize,
     locks: Vec<FwLock>,
     /// Firmware collective instances (tree barrier / all-reduce
     /// combine tables), created lazily on first entry.
@@ -137,6 +125,9 @@ pub struct Comm {
     /// Firmware word arrays used by remote atomic operations, one per
     /// NIC (lazily grown).
     atomic_cells: Vec<Vec<u64>>,
+    /// Masked-CAS requests parked at each NIC ([`CasWord::wait`]),
+    /// keyed by cell and replayed FIFO when the cell is written.
+    cas_waiters: Vec<BTreeMap<u32, VecDeque<CasWaiter>>>,
     monitor: Monitor,
     /// Lock-ownership transitions, recorded only while tracing is on
     /// (`None` = disabled, the default: zero overhead).
@@ -154,6 +145,10 @@ pub struct Comm {
     seen: Vec<HashSet<u64>>,
     /// Loss-recovery counters.
     recovery: RecoveryStats,
+    /// Reusable buffer for collective state-machine actions (the
+    /// firmware emits at most a handful per serviced packet; reusing
+    /// one buffer keeps the service loop allocation-free).
+    coll_scratch: Vec<Action>,
     /// Observability recorder for firmware-side spans (`None` =
     /// disabled, the default: a single branch per emission site).
     obs: Option<ObsHandle>,
@@ -163,25 +158,51 @@ impl Comm {
     /// Creates a communication system for `ports` nodes and `nlocks`
     /// NI locks (homes assigned round-robin).
     pub fn new(cfg: NicConfig, net_cfg: NetConfig, ports: usize, nlocks: usize) -> Comm {
+        let model = Box::new(LanaiModel::new(cfg, ports));
+        Comm::with_model(model, cfg, net_cfg, ports, nlocks)
+    }
+
+    /// Creates a communication system running the protocol against an
+    /// explicit NI hardware model. `cfg` carries the
+    /// hardware-independent knobs the protocol still consults
+    /// (capability flags, size threshold, retry policy); all timing
+    /// lives in `model`.
+    pub fn with_model(
+        model: Box<dyn NiModel>,
+        cfg: NicConfig,
+        net_cfg: NetConfig,
+        ports: usize,
+        nlocks: usize,
+    ) -> Comm {
         let net = Network::new(net_cfg, ports);
         Comm {
-            nics: (0..ports).map(|_| NicState::new()).collect(),
+            model,
+            ports,
             locks: (0..nlocks)
                 .map(|i| FwLock::new(NicId::new(i % ports), ports))
                 .collect(),
             colls: BTreeMap::new(),
             coll_fanout: 4,
             atomic_cells: (0..ports).map(|_| Vec::new()).collect(),
+            cas_waiters: (0..ports).map(|_| BTreeMap::new()).collect(),
             monitor: Monitor::new(),
             trace: None,
             injector: None,
             seq_next: Vec::new(),
             seen: Vec::new(),
             recovery: RecoveryStats::default(),
+            coll_scratch: Vec::new(),
             obs: None,
             cfg,
             net,
         }
+    }
+
+    /// Hardware-mechanism counters of the underlying NI model
+    /// (doorbells, completion-queue entries, paging faults; all zero
+    /// on hardware without those mechanisms).
+    pub fn ni_stats(&self) -> NiStats {
+        self.model.stats()
     }
 
     /// Installs an observability recorder: firmware service spans,
@@ -207,7 +228,7 @@ impl Comm {
     /// An injector that never faults (e.g. `FaultPlan::none()`)
     /// produces timings and reports identical to the clean path.
     pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
-        let ports = self.nics.len();
+        let ports = self.ports;
         self.injector = Some(injector);
         self.seq_next = vec![0; ports * ports];
         self.seen = (0..ports * ports).map(|_| HashSet::new()).collect();
@@ -307,10 +328,20 @@ impl Comm {
     pub fn post_send(&mut self, now: Time, src: NicId, desc: SendDesc) -> Post {
         assert_ne!(src, desc.dst, "intra-node messages do not use the NI");
         let mut post = Post::default();
-        let t0 = self.acquire_post_slot(now, src);
-        let posted_at = t0 + self.cfg.post_overhead;
-        post.host_free = posted_at;
-        self.send_pipeline(posted_at, src, desc, true, &mut post.events);
+        let hp = self.model.host_post(now, src);
+        post.host_free = hp.posted_at;
+        if hp.doorbell {
+            self.obs_record(|o| {
+                o.instant(
+                    SpanKind::QpDoorbell,
+                    src.index(),
+                    Track::Host,
+                    hp.posted_at,
+                    desc.dst.index() as u64,
+                );
+            });
+        }
+        self.send_pipeline(hp.posted_at, src, desc, true, &mut post.events);
         post
     }
 
@@ -333,30 +364,18 @@ impl Comm {
         assert!(self.cfg.broadcast, "broadcast without NicConfig::broadcast");
         assert!(!dsts.is_empty(), "broadcast needs at least one destination");
         let mut post = Post::default();
-        let t0 = self.acquire_post_slot(now, src);
-        let posted_at = t0 + self.cfg.post_overhead;
+        let hp = self.model.host_post(now, src);
+        let posted_at = hp.posted_at;
         post.host_free = posted_at;
 
-        let nic = &mut self.nics[src.index()];
-        let (_, pick_done) = nic.lanai_send.reserve(posted_at, self.cfg.pick_cost);
-        let dma = self.cfg.dma_time(bytes);
-        let (_, dma_done) = nic.pci_send.reserve(pick_done, dma);
-        if !self.cfg.pipelined_sends {
-            nic.lanai_send.block_until(dma_done);
-        }
-        nic.post_slots.push_back(pick_done);
+        let (dma_done, source_expected) = self.model.bcast_source(posted_at, src, bytes);
         let class = self.size_class(bytes);
-        self.monitor.record(
-            Stage::Source,
-            class,
-            dma_done - posted_at,
-            self.cfg.pick_cost + dma,
-        );
+        self.monitor
+            .record(Stage::Source, class, dma_done - posted_at, source_expected);
         let mut cursor = dma_done;
         for &(dst, tag) in dsts {
             assert_ne!(dst, src, "broadcast to self");
-            let nic = &mut self.nics[src.index()];
-            let (_, inject_ready) = nic.lanai_send.reserve(cursor, self.cfg.inject_cost);
+            let inject_ready = self.model.bcast_inject(cursor, src);
             cursor = inject_ready;
             let pkt = Packet {
                 src,
@@ -374,13 +393,13 @@ impl Comm {
                 Stage::Lanai,
                 class,
                 timing.inject_end.saturating_since(dma_done),
-                self.cfg.inject_cost + wire,
+                self.model.inject_cost() + wire,
             );
             self.monitor.record(
                 Stage::Net,
                 class,
                 timing.deliver.saturating_since(dma_done),
-                self.cfg.inject_cost + self.net.uncontended(bytes),
+                self.model.inject_cost() + self.net.uncontended(bytes),
             );
             self.monitor.count_packet(class, bytes);
         }
@@ -390,12 +409,23 @@ impl Comm {
     /// Issues a remote fetch: `bytes` of exported memory at `from`
     /// are DMA'd out of the remote host by its NI firmware and
     /// deposited into `nic`'s host memory. Completion surfaces as
-    /// [`Upcall::FetchCompleted`] with `tag`.
+    /// [`Upcall::FetchCompleted`] with `tag`. `key` names the fetched
+    /// region for the remote NI's translation machinery (a page index,
+    /// or [`crate::ALWAYS_MAPPED`] for NI-resident metadata);
+    /// on-demand-paging hardware faults on a key's first use.
     ///
     /// # Panics
     ///
     /// Panics if `from == nic`.
-    pub fn fetch(&mut self, now: Time, nic: NicId, from: NicId, bytes: u32, tag: Tag) -> Post {
+    pub fn fetch(
+        &mut self,
+        now: Time,
+        nic: NicId,
+        from: NicId,
+        bytes: u32,
+        key: u64,
+        tag: Tag,
+    ) -> Post {
         assert_ne!(nic, from, "local memory is read directly, not fetched");
         self.post_send(
             now,
@@ -403,7 +433,10 @@ impl Comm {
             SendDesc {
                 dst: from,
                 bytes: FETCH_REQ_BYTES,
-                kind: MsgKind::FetchReq { reply_bytes: bytes },
+                kind: MsgKind::FetchReq {
+                    reply_bytes: bytes,
+                    key,
+                },
                 tag,
             },
         )
@@ -427,15 +460,17 @@ impl Comm {
         if src == target {
             // Local firmware op: no wire.
             let mut post = Post::default();
-            post.host_free = now + self.cfg.post_overhead;
-            let (_, done) = self.nics[src.index()]
-                .lanai_send
-                .reserve(post.host_free, self.cfg.lock_service);
+            post.host_free = self.model.host_ctrl(now, src);
+            let done = self.model.sync_service(post.host_free, src, true);
             let old = self.atomic_swap(target, cell, new);
             post.upcalls.push((
-                done + self.cfg.grant_notify,
+                done + self.model.notify(),
                 Upcall::AtomicCompleted { nic: src, tag, old },
             ));
+            let mut sub = Step::default();
+            self.replay_cas_waiters(done, target, cell, &mut sub);
+            post.events.extend(sub.events);
+            post.upcalls.extend(sub.upcalls);
             return post;
         }
         self.post_send(
@@ -450,12 +485,128 @@ impl Comm {
         )
     }
 
-    fn atomic_swap(&mut self, nic: NicId, cell: u32, new: u64) -> u64 {
+    /// Issues a remote masked compare-and-swap on firmware word
+    /// `cas.cell` at `target` (the RDMA verbs NI-lock primitive); the
+    /// previous value surfaces as [`Upcall::AtomicCompleted`] with
+    /// `tag`. A `target == src` operation executes locally in the NIC
+    /// without network traffic, like [`Comm::fetch_and_store`].
+    pub fn masked_cas(
+        &mut self,
+        now: Time,
+        src: NicId,
+        target: NicId,
+        cas: CasWord,
+        tag: Tag,
+    ) -> Post {
+        if src == target {
+            let mut post = Post::default();
+            post.host_free = self.model.host_ctrl(now, src);
+            let done = self.model.sync_service(post.host_free, src, true);
+            let (old, wrote) = self.atomic_cas(target, cas);
+            if cas.wait && !wrote {
+                // Parked in the local NIC; the completion surfaces
+                // when the cell is written.
+                self.park_cas(target, src, cas, tag);
+                return post;
+            }
+            post.upcalls.push((
+                done + self.model.notify(),
+                Upcall::AtomicCompleted { nic: src, tag, old },
+            ));
+            if wrote {
+                let mut sub = Step::default();
+                self.replay_cas_waiters(done, target, cas.cell, &mut sub);
+                post.events.extend(sub.events);
+                post.upcalls.extend(sub.upcalls);
+            }
+            return post;
+        }
+        self.post_send(
+            now,
+            src,
+            SendDesc {
+                dst: target,
+                bytes: 16,
+                kind: MsgKind::MaskedCas(cas),
+                tag,
+            },
+        )
+    }
+
+    fn atomic_cell(&mut self, nic: NicId, cell: u32) -> &mut u64 {
         let cells = &mut self.atomic_cells[nic.index()];
         if cells.len() <= cell as usize {
             cells.resize(cell as usize + 1, 0);
         }
-        std::mem::replace(&mut cells[cell as usize], new)
+        &mut cells[cell as usize]
+    }
+
+    fn atomic_swap(&mut self, nic: NicId, cell: u32, new: u64) -> u64 {
+        std::mem::replace(self.atomic_cell(nic, cell), new)
+    }
+
+    /// Executes a masked CAS against the firmware word, returning the
+    /// previous value and whether the swap was performed.
+    fn atomic_cas(&mut self, nic: NicId, cas: CasWord) -> (u64, bool) {
+        let word = self.atomic_cell(nic, cas.cell);
+        let old = *word;
+        let hit = (old ^ cas.expect) & cas.mask == 0;
+        if hit {
+            *word = (old & !cas.mask) | (cas.new & cas.mask);
+        }
+        (old, hit)
+    }
+
+    /// Parks a failed `wait`-mode CAS at the responder; it replays
+    /// when the cell is next written.
+    fn park_cas(&mut self, nic: NicId, src: NicId, cas: CasWord, tag: Tag) {
+        self.cas_waiters[nic.index()]
+            .entry(cas.cell)
+            .or_default()
+            .push_back(CasWaiter { src, cas, tag });
+    }
+
+    /// Replays the cell's parked CAS requests after a write, FIFO: the
+    /// head re-executes through the atomic unit like a fresh arrival
+    /// and its reply goes out on success; replay continues while heads
+    /// keep succeeding (each success writes the cell in turn) and
+    /// stops at the first compare that still fails. This is what makes
+    /// `wait`-mode lock handoff event-driven — no requester ever has
+    /// to poll a cell it already lost.
+    fn replay_cas_waiters(&mut self, now: Time, nic: NicId, cell: u32, step: &mut Step) {
+        let mut t = now;
+        loop {
+            let head = match self.cas_waiters[nic.index()].get(&cell) {
+                Some(q) => q.front().copied(),
+                None => return,
+            };
+            let Some(w) = head else {
+                self.cas_waiters[nic.index()].remove(&cell);
+                return;
+            };
+            let (old, wrote) = self.atomic_cas(nic, w.cas);
+            if !wrote {
+                return; // Head still blocked; FIFO order holds the rest.
+            }
+            if let Some(q) = self.cas_waiters[nic.index()].get_mut(&cell) {
+                q.pop_front();
+            }
+            t = self.model.sync_service(t, nic, false);
+            if w.src == nic {
+                step.upcalls.push((
+                    t + self.model.notify(),
+                    Upcall::AtomicCompleted {
+                        nic,
+                        tag: w.tag,
+                        old,
+                    },
+                ));
+            } else {
+                let (_, sub) = self.fw_send(t, nic, w.src, 16, MsgKind::AtomicReply { old }, w.tag);
+                step.events.extend(sub.events);
+                step.upcalls.extend(sub.upcalls);
+            }
+        }
     }
 
     /// Requests an NI lock. The grant surfaces as
@@ -473,12 +624,12 @@ impl Comm {
             "nic {nic} re-requested {lock} while in {slot_state:?}"
         );
         let mut post = Post::default();
-        post.host_free = now + self.cfg.post_overhead;
+        post.host_free = self.model.host_ctrl(now, nic);
         if slot_state == SlotState::Released {
             // "The last owner keeps the lock": this NIC still owns it,
             // so the firmware re-grants locally without any messages.
             self.locks[lock.index()].slots[nic.index()].state = SlotState::HeldLocal;
-            let at = post.host_free + self.cfg.lock_service + self.cfg.grant_notify;
+            let at = post.host_free + self.model.sync_cost() + self.model.notify();
             post.upcalls
                 .push((at, Upcall::LockGranted { nic, lock, tag }));
             return post;
@@ -518,7 +669,7 @@ impl Comm {
         );
         slot.state = SlotState::HeldLocal;
         let mut post = Post::default();
-        post.host_free = now + self.cfg.lock_service;
+        post.host_free = now + self.model.sync_cost();
         post
     }
 
@@ -531,10 +682,8 @@ impl Comm {
     /// Panics if the host does not hold the lock.
     pub fn lock_release(&mut self, now: Time, nic: NicId, lock: LockId) -> Post {
         let mut post = Post::default();
-        post.host_free = now + self.cfg.post_overhead;
-        let (_, done) = self.nics[nic.index()]
-            .lanai_send
-            .reserve(post.host_free, self.cfg.lock_service);
+        post.host_free = self.model.host_ctrl(now, nic);
+        let done = self.model.sync_service(post.host_free, nic, true);
         let slot = &mut self.locks[lock.index()].slots[nic.index()];
         assert_eq!(
             slot.state,
@@ -616,35 +765,36 @@ impl Comm {
         op: ReduceOp,
         vals: &[u64],
     ) -> Post {
-        let ports = self.nics.len();
+        let ports = self.ports;
         let fanout = self.coll_fanout;
         self.colls
             .entry(coll)
             .or_insert_with(|| CollState::new(ports as u32, fanout, op, vals.len()));
         let mut post = Post::default();
-        post.host_free = now + self.cfg.post_overhead;
+        post.host_free = self.model.host_ctrl(now, nic);
         // The firmware folds the local contribution into its combine
         // table on the send-side service loop.
-        let (_, svc_done) = self.nics[nic.index()]
-            .lanai_send
-            .reserve(post.host_free, self.cfg.coll_service);
-        let (_, actions) = self
-            .colls
+        let svc_done = self.model.coll_service(post.host_free, nic, true);
+        let mut actions = std::mem::take(&mut self.coll_scratch);
+        self.colls
             .get_mut(&coll)
             .expect("instance created above")
-            .local_arrive(nic.index() as u32, vals);
+            .local_arrive_into(nic.index() as u32, vals, &mut actions);
+        let host_free = post.host_free;
         self.obs_record(|o| {
             o.span(
                 SpanKind::CollCombine,
                 nic.index(),
                 Track::Firmware,
-                post.host_free,
+                host_free,
                 svc_done,
                 coll.index() as u64,
             );
         });
         let mut step = Step::default();
-        self.apply_coll_actions(svc_done, coll, actions, &mut step);
+        self.apply_coll_actions(svc_done, coll, &actions, &mut step);
+        actions.clear();
+        self.coll_scratch = actions;
         post.events = step.events;
         post.upcalls = step.upcalls;
         post
@@ -666,23 +816,23 @@ impl Comm {
             0,
             "collective broadcasts start at the tree root"
         );
-        let ports = self.nics.len();
+        let ports = self.ports;
         let fanout = self.coll_fanout;
         self.colls
             .entry(coll)
             .or_insert_with(|| CollState::new(ports as u32, fanout, ReduceOp::Max, vals.len()));
         let mut post = Post::default();
-        post.host_free = now + self.cfg.post_overhead;
-        let (_, svc_done) = self.nics[nic.index()]
-            .lanai_send
-            .reserve(post.host_free, self.cfg.coll_service);
-        let (_, actions) = self
-            .colls
+        post.host_free = self.model.host_ctrl(now, nic);
+        let svc_done = self.model.coll_service(post.host_free, nic, true);
+        let mut actions = std::mem::take(&mut self.coll_scratch);
+        self.colls
             .get_mut(&coll)
             .expect("instance created above")
-            .broadcast(vals);
+            .broadcast_into(vals, &mut actions);
         let mut step = Step::default();
-        self.apply_coll_actions(svc_done, coll, actions, &mut step);
+        self.apply_coll_actions(svc_done, coll, &actions, &mut step);
+        actions.clear();
+        self.coll_scratch = actions;
         post.events = step.events;
         post.upcalls = step.upcalls;
         post
@@ -707,22 +857,6 @@ impl Comm {
 
     // ----- internal helpers -------------------------------------------------
 
-    /// Blocks until a post-queue slot is available and claims it,
-    /// returning the time the host can write its descriptor.
-    fn acquire_post_slot(&mut self, now: Time, src: NicId) -> Time {
-        let nic = &mut self.nics[src.index()];
-        while nic.post_slots.front().is_some_and(|&t| t <= now) {
-            nic.post_slots.pop_front();
-        }
-        if nic.post_slots.len() >= self.cfg.post_queue_capacity {
-            // Stall until the oldest outstanding request is picked.
-            let idx = nic.post_slots.len() - self.cfg.post_queue_capacity;
-            nic.post_slots[idx]
-        } else {
-            now
-        }
-    }
-
     /// Runs the outgoing pipeline for one packet, pushing the resulting
     /// events (delivery, or a retransmission timer under fault
     /// injection) into `out`. `from_post_queue` distinguishes
@@ -737,18 +871,16 @@ impl Comm {
         out: &mut InlineVec<(Time, Event)>,
     ) {
         let class = self.size_class(desc.bytes);
-        let nic = &mut self.nics[src.index()];
 
-        // LANai picks the request and programs the source DMA. A
-        // scatter-gather send spends extra firmware time collecting
-        // each run from host memory.
-        let pick = match desc.kind {
+        // A scatter-gather send spends extra source-side time
+        // collecting each run from host memory.
+        let gather_runs = match desc.kind {
             MsgKind::GatherDeposit { runs } => {
                 assert!(
                     self.cfg.scatter_gather,
                     "scatter-gather send without NicConfig::scatter_gather"
                 );
-                self.cfg.pick_cost + self.cfg.gather_per_run * runs as u64
+                Some(runs)
             }
             MsgKind::Deposit
             | MsgKind::HostMsg
@@ -757,28 +889,13 @@ impl Comm {
             | MsgKind::LockMsg(_)
             | MsgKind::CollMsg(_)
             | MsgKind::FetchAndStore { .. }
-            | MsgKind::AtomicReply { .. } => self.cfg.pick_cost,
+            | MsgKind::MaskedCas(_)
+            | MsgKind::AtomicReply { .. } => None,
         };
-        let (_, pick_done) = nic.lanai_send.reserve(posted_at, pick);
-        let dma = self.cfg.dma_time(desc.bytes);
-        let (_, dma_done) = nic.pci_send.reserve(pick_done, dma);
-        let inject_ready = if self.cfg.pipelined_sends {
-            // Deep pipelining (the Windows NT firmware, §3.3 (iii)):
-            // pick, DMA and injection of successive messages overlap,
-            // so each message occupies the LANai only for its pick and
-            // is injected straight from the DMA completion.
-            dma_done
-        } else {
-            // The LANai busy-waits on the DMA and performs the
-            // injection itself before touching the next request (the
-            // Linux-version behaviour that lets the post queue fill).
-            nic.lanai_send.block_until(dma_done);
-            let (_, e) = nic.lanai_send.reserve(dma_done, self.cfg.inject_cost);
-            e
-        };
-        if from_post_queue {
-            nic.post_slots.push_back(pick_done);
-        }
+        let times = self
+            .model
+            .send_path(posted_at, src, desc.bytes, gather_runs, from_post_queue);
+        let dma_done = times.dma_done;
         // Injection into the fabric.
         let pkt = Packet {
             src,
@@ -790,7 +907,7 @@ impl Comm {
             posted_ns: posted_at.as_ns(),
             source_done_ns: dma_done.as_ns(),
         };
-        let timing = self.inject_packet(inject_ready, pkt, 0, out);
+        let timing = self.inject_packet(times.inject_ready, pkt, 0, out);
 
         // Monitor: Source / LANai / Net stages (paper §3.1 definitions).
         let wire = self.net.config().wire_time(desc.bytes);
@@ -799,20 +916,20 @@ impl Comm {
                 Stage::Source,
                 class,
                 dma_done - posted_at,
-                self.cfg.pick_cost + dma,
+                times.source_expected,
             );
         }
         self.monitor.record(
             Stage::Lanai,
             class,
             timing.inject_end.saturating_since(dma_done),
-            self.cfg.inject_cost + wire,
+            self.model.inject_cost() + wire,
         );
         self.monitor.record(
             Stage::Net,
             class,
             timing.deliver.saturating_since(dma_done),
-            self.cfg.inject_cost + self.net.uncontended(desc.bytes),
+            self.model.inject_cost() + self.net.uncontended(desc.bytes),
         );
         self.monitor.count_packet(class, desc.bytes);
     }
@@ -841,7 +958,7 @@ impl Comm {
             }
             Some(inj) => {
                 if pkt.seq == 0 {
-                    let chan = pkt.src.index() * self.nics.len() + pkt.dst.index();
+                    let chan = pkt.src.index() * self.ports + pkt.dst.index();
                     self.seq_next[chan] += 1;
                     pkt.seq = self.seq_next[chan];
                 }
@@ -922,21 +1039,20 @@ impl Comm {
         // The packet is still staged in NI memory: retransmission is a
         // pure firmware injection, like `fw_send`.
         let class = self.size_class(pkt.bytes);
-        let nic = &mut self.nics[pkt.src.index()];
-        let (_, inject_ready) = nic.lanai_send.reserve(now, self.cfg.inject_cost);
+        let inject_ready = self.model.fw_inject(now, pkt.src);
         let timing = self.inject_packet(inject_ready, pkt, attempt, &mut step.events);
         let wire = self.net.config().wire_time(pkt.bytes);
         self.monitor.record(
             Stage::Lanai,
             class,
             timing.inject_end.saturating_since(now),
-            self.cfg.inject_cost + wire,
+            self.model.inject_cost() + wire,
         );
         self.monitor.record(
             Stage::Net,
             class,
             timing.deliver.saturating_since(now),
-            self.cfg.inject_cost + self.net.uncontended(pkt.bytes),
+            self.model.inject_cost() + self.net.uncontended(pkt.bytes),
         );
         self.monitor.count_packet(class, pkt.bytes);
         step
@@ -991,8 +1107,7 @@ impl Comm {
         // Firmware-generated packets are already staged in NI memory:
         // no post queue, no pick, no source DMA — just injection.
         let class = self.size_class(bytes);
-        let nic = &mut self.nics[src.index()];
-        let (_, inject_ready) = nic.lanai_send.reserve(now, self.cfg.inject_cost);
+        let inject_ready = self.model.fw_inject(now, src);
         let pkt = Packet {
             src,
             dst,
@@ -1009,16 +1124,32 @@ impl Comm {
             Stage::Lanai,
             class,
             timing.inject_end.saturating_since(now),
-            self.cfg.inject_cost + wire,
+            self.model.inject_cost() + wire,
         );
         self.monitor.record(
             Stage::Net,
             class,
             timing.deliver.saturating_since(now),
-            self.cfg.inject_cost + self.net.uncontended(bytes),
+            self.model.inject_cost() + self.net.uncontended(bytes),
         );
         self.monitor.count_packet(class, bytes);
         (timing.deliver, step)
+    }
+
+    /// Emits a completion-queue notification instant when the model
+    /// wrote a CQE for an arrived deposit (solicited-event path).
+    fn notify_cqe(&mut self, cqe: bool, dst: NicId, at: Time, src: NicId) {
+        if cqe {
+            self.obs_record(|o| {
+                o.instant(
+                    SpanKind::CqNotify,
+                    dst.index(),
+                    Track::Firmware,
+                    at,
+                    src.index() as u64,
+                );
+            });
+        }
     }
 
     /// Destination-side processing of an arrived packet.
@@ -1032,14 +1163,12 @@ impl Comm {
             // numbers (a retransmit racing its delayed original, or a
             // fabric duplicate, must be applied exactly once), and let
             // the injector stall this firmware's receive path.
-            let chan = pkt.src.index() * self.nics.len() + pkt.dst.index();
+            let chan = pkt.src.index() * self.ports + pkt.dst.index();
             if !self.seen[chan].insert(pkt.seq) {
                 // Already processed: the firmware still spends receive
                 // time recognising and discarding the copy.
                 self.recovery.duplicates_suppressed += 1;
-                self.nics[pkt.dst.index()]
-                    .lanai_recv
-                    .reserve(now, self.cfg.recv_cost);
+                self.model.recv_discard(now, pkt.dst);
                 return step;
             }
             if let Some(inj) = self.injector.as_mut() {
@@ -1049,30 +1178,25 @@ impl Comm {
         let recv_done = if local {
             now
         } else {
-            let nic = &mut self.nics[pkt.dst.index()];
-            let (_, e) = nic.lanai_recv.reserve(now, self.cfg.recv_cost);
-            e
+            self.model.recv_accept(now, pkt.dst)
         };
 
         match pkt.kind {
             MsgKind::GatherDeposit { runs } => {
                 // Scatter on the receive side: firmware unpacks each
-                // run and issues one DMA per run.
-                let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic
-                    .lanai_recv
-                    .reserve(recv_done, self.cfg.gather_per_run * runs as u64);
-                let dma = self.cfg.dma_time(pkt.bytes)
-                    + self.cfg.dma_setup * runs.saturating_sub(1) as u64;
-                let (_, dma_done) = nic.pci_recv.reserve(svc_done, dma);
+                // run before (or while) DMA-ing the payload home.
+                let rd = self
+                    .model
+                    .deposit_dma(recv_done, pkt.dst, pkt.bytes, Some(runs));
                 self.monitor.record(
                     Stage::Dest,
                     class,
-                    dma_done - now,
-                    self.cfg.recv_cost + self.cfg.gather_per_run * runs as u64 + dma,
+                    rd.dma_done - now,
+                    self.model.recv_cost() + rd.expected,
                 );
+                self.notify_cqe(rd.cqe, pkt.dst, rd.dma_done, pkt.src);
                 step.upcalls.push((
-                    dma_done,
+                    rd.dma_done,
                     Upcall::DepositArrived {
                         nic: pkt.dst,
                         tag: pkt.tag,
@@ -1081,11 +1205,15 @@ impl Comm {
                 ));
             }
             MsgKind::Deposit | MsgKind::HostMsg | MsgKind::FetchReply => {
-                let dma = self.cfg.dma_time(pkt.bytes);
-                let nic = &mut self.nics[pkt.dst.index()];
-                let (_, dma_done) = nic.pci_recv.reserve(recv_done, dma);
-                self.monitor
-                    .record(Stage::Dest, class, dma_done - now, self.cfg.recv_cost + dma);
+                let rd = self.model.deposit_dma(recv_done, pkt.dst, pkt.bytes, None);
+                let dma_done = rd.dma_done;
+                self.monitor.record(
+                    Stage::Dest,
+                    class,
+                    dma_done - now,
+                    self.model.recv_cost() + rd.expected,
+                );
+                self.notify_cqe(rd.cqe, pkt.dst, dma_done, pkt.src);
                 let upcall = match pkt.kind {
                     MsgKind::Deposit => Upcall::DepositArrived {
                         nic: pkt.dst,
@@ -1105,21 +1233,31 @@ impl Comm {
                 };
                 step.upcalls.push((dma_done, upcall));
             }
-            MsgKind::FetchReq { reply_bytes } => {
-                // Firmware serves the fetch: look up the export table,
-                // DMA the data out of host memory, send it back. The
-                // DMA moves host→NI, i.e. the send direction of the
-                // I/O bus.
-                let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.fetch_service);
-                let dma = self.cfg.dma_time(reply_bytes);
-                let (_, dma_done) = nic.pci_send.reserve(svc_done, dma);
+            MsgKind::FetchReq { reply_bytes, key } => {
+                // The NI serves the fetch: look up the export /
+                // translation table (possibly faulting the page in,
+                // on demand-paged hardware), DMA the data out of host
+                // memory, send it back. The DMA moves host→NI, i.e.
+                // the send direction of the I/O bus.
+                let fs = self.model.serve_fetch(recv_done, pkt.dst, reply_bytes, key);
+                let dma_done = fs.data_ready;
                 self.monitor.record(
                     Stage::Dest,
                     class,
                     dma_done - now,
-                    self.cfg.recv_cost + self.cfg.fetch_service + dma,
+                    self.model.recv_cost() + fs.expected,
                 );
+                if fs.odp_fault {
+                    self.obs_record(|o| {
+                        o.instant(
+                            SpanKind::OdpFault,
+                            pkt.dst.index(),
+                            Track::Firmware,
+                            recv_done,
+                            key,
+                        );
+                    });
+                }
                 self.obs_record(|o| {
                     o.span(
                         SpanKind::FetchService,
@@ -1144,13 +1282,12 @@ impl Comm {
             MsgKind::FetchAndStore { cell, new } => {
                 // Served in firmware like a fetch: swap the word, send
                 // the old value back.
-                let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.lock_service);
+                let svc_done = self.model.sync_service(recv_done, pkt.dst, false);
                 self.monitor.record(
                     Stage::Dest,
                     class,
                     svc_done - now,
-                    self.cfg.recv_cost + self.cfg.lock_service,
+                    self.model.recv_cost() + self.model.sync_cost(),
                 );
                 let old = self.atomic_swap(pkt.dst, cell, new);
                 let (_, sub) = self.fw_send(
@@ -1163,12 +1300,44 @@ impl Comm {
                 );
                 step.events.extend(sub.events);
                 step.upcalls.extend(sub.upcalls);
+                self.replay_cas_waiters(svc_done, pkt.dst, cell, &mut step);
+            }
+            MsgKind::MaskedCas(cas) => {
+                // The masked-CAS unit runs where the atomic unit runs:
+                // compare under the mask, swap on success, and return
+                // the previous value. A failed `wait`-mode compare
+                // parks here instead of replying and replays when the
+                // cell is written.
+                let svc_done = self.model.sync_service(recv_done, pkt.dst, false);
+                self.monitor.record(
+                    Stage::Dest,
+                    class,
+                    svc_done - now,
+                    self.model.recv_cost() + self.model.sync_cost(),
+                );
+                let (old, wrote) = self.atomic_cas(pkt.dst, cas);
+                if cas.wait && !wrote {
+                    self.park_cas(pkt.dst, pkt.src, cas, pkt.tag);
+                } else {
+                    let (_, sub) = self.fw_send(
+                        svc_done,
+                        pkt.dst,
+                        pkt.src,
+                        16,
+                        MsgKind::AtomicReply { old },
+                        pkt.tag,
+                    );
+                    step.events.extend(sub.events);
+                    step.upcalls.extend(sub.upcalls);
+                    if wrote {
+                        self.replay_cas_waiters(svc_done, pkt.dst, cas.cell, &mut step);
+                    }
+                }
             }
             MsgKind::AtomicReply { old } => {
-                let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.lock_service);
+                let svc_done = self.model.sync_service(recv_done, pkt.dst, false);
                 step.upcalls.push((
-                    svc_done + self.cfg.grant_notify,
+                    svc_done + self.model.notify(),
                     Upcall::AtomicCompleted {
                         nic: pkt.dst,
                         tag: pkt.tag,
@@ -1177,13 +1346,12 @@ impl Comm {
                 ));
             }
             MsgKind::CollMsg(op) => {
-                let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.coll_service);
+                let svc_done = self.model.coll_service(recv_done, pkt.dst, false);
                 self.monitor.record(
                     Stage::Dest,
                     class,
                     svc_done - now,
-                    self.cfg.recv_cost + self.cfg.coll_service,
+                    self.model.recv_cost() + self.model.coll_cost(),
                 );
                 let (coll, epoch, kind, edge_child) = match op {
                     CollOp::Arrive { coll, epoch } => {
@@ -1220,14 +1388,13 @@ impl Comm {
                 step.upcalls.extend(sub.upcalls);
             }
             MsgKind::LockMsg(op) => {
-                let nic = &mut self.nics[pkt.dst.index()];
-                let (_, svc_done) = nic.lanai_recv.reserve(recv_done, self.cfg.lock_service);
+                let svc_done = self.model.sync_service(recv_done, pkt.dst, false);
                 if !local {
                     self.monitor.record(
                         Stage::Dest,
                         class,
                         svc_done - now,
-                        self.cfg.recv_cost + self.cfg.lock_service,
+                        self.model.recv_cost() + self.model.sync_cost(),
                     );
                 }
                 let serviced = match op {
@@ -1339,7 +1506,7 @@ impl Comm {
                         },
                     );
                 });
-                let at = now + self.cfg.grant_notify;
+                let at = now + self.model.notify();
                 step.upcalls
                     .push((at, Upcall::LockGranted { nic, lock, tag }));
             }
@@ -1351,26 +1518,28 @@ impl Comm {
     /// after a [`MsgKind::CollMsg`] packet from `src` was serviced.
     fn coll_op(&mut self, now: Time, nic: NicId, src: NicId, op: CollOp) -> Step {
         let mut step = Step::default();
-        let (coll, actions) = match op {
+        let mut actions = std::mem::take(&mut self.coll_scratch);
+        let coll = match op {
             CollOp::Arrive { coll, epoch } => {
                 let cs = self
                     .colls
                     .get_mut(&coll)
                     .unwrap_or_else(|| panic!("fan-in signal for unknown collective {coll:?}"));
-                (
-                    coll,
-                    cs.child_arrive(nic.index() as u32, src.index() as u32, epoch),
-                )
+                cs.child_arrive_into(nic.index() as u32, src.index() as u32, epoch, &mut actions);
+                coll
             }
             CollOp::Release { coll, epoch } => {
                 let cs = self
                     .colls
                     .get_mut(&coll)
                     .unwrap_or_else(|| panic!("release signal for unknown collective {coll:?}"));
-                (coll, cs.release(nic.index() as u32, epoch))
+                cs.release_into(nic.index() as u32, epoch, &mut actions);
+                coll
             }
         };
-        self.apply_coll_actions(now, coll, actions, &mut step);
+        self.apply_coll_actions(now, coll, &actions, &mut step);
+        actions.clear();
+        self.coll_scratch = actions;
         step
     }
 
@@ -1381,14 +1550,14 @@ impl Comm {
     /// [`Upcall::CollCompleted`] one `grant_notify` later — the host
     /// notices the completion flag exactly as it notices a granted
     /// lock.
-    fn apply_coll_actions(&mut self, t: Time, coll: CollId, actions: Vec<Action>, step: &mut Step) {
+    fn apply_coll_actions(&mut self, t: Time, coll: CollId, actions: &[Action], step: &mut Step) {
         let width = self
             .colls
             .get(&coll)
             .map(|cs| cs.width())
             .expect("collective instance exists");
         let bytes = COLL_HDR_BYTES + 8 * width as u32;
-        for a in actions {
+        for &a in actions {
             match a {
                 Action::SendArrive { from, to, epoch } => {
                     let id = flow_coll_id(coll.index() as u64, epoch as u64, from as u64);
@@ -1444,7 +1613,7 @@ impl Comm {
                 }
                 Action::Exit { node, epoch, .. } => {
                     step.upcalls.push((
-                        t + self.cfg.grant_notify,
+                        t + self.model.notify(),
                         Upcall::CollCompleted {
                             nic: NicId::new(node as usize),
                             coll,
@@ -1518,7 +1687,14 @@ mod tests {
     #[test]
     fn page_fetch_latency_matches_paper() {
         let mut c = comm(2, 0);
-        let post = c.fetch(Time::ZERO, NicId::new(0), NicId::new(1), 4096, Tag::new(1));
+        let post = c.fetch(
+            Time::ZERO,
+            NicId::new(0),
+            NicId::new(1),
+            4096,
+            crate::ALWAYS_MAPPED,
+            Tag::new(1),
+        );
         let ups = drain(&mut c, vec![post]);
         let (t, up) = ups[0];
         assert!(matches!(

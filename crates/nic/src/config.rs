@@ -16,7 +16,7 @@ use genima_sim::Dur;
 /// let cfg = NicConfig::default();
 /// assert_eq!(cfg.post_overhead.as_us(), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NicConfig {
     /// Host-side cost to post one asynchronous send descriptor.
     pub post_overhead: Dur,

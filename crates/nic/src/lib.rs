@@ -35,6 +35,7 @@
 mod comm;
 mod config;
 mod lock;
+mod model;
 mod monitor;
 mod msg;
 mod trace;
@@ -42,8 +43,11 @@ mod trace;
 pub use comm::{Comm, Post, RecoveryStats, Step};
 pub use config::NicConfig;
 pub use lock::LockId;
+pub use model::{
+    FetchServe, HostPost, LanaiModel, NiModel, NiStats, RecvDma, SendTimes, ALWAYS_MAPPED,
+};
 pub use monitor::{Monitor, SizeClass, Stage, StageStats};
-pub use msg::{CollOp, Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
+pub use msg::{CasWord, CollOp, Event, LockOp, MsgKind, Packet, SendDesc, Tag, Upcall};
 pub use trace::{LockChange, LockTrace};
 
 pub use genima_coll::{CollId, ReduceOp};

@@ -57,6 +57,12 @@ pub enum MsgKind {
     FetchReq {
         /// Size of the data to fetch, in bytes.
         reply_bytes: u32,
+        /// Translation key of the fetched region: a page index for
+        /// page data, or [`ALWAYS_MAPPED`](crate::ALWAYS_MAPPED) for
+        /// NI-resident metadata (timestamps, write notices). Hardware
+        /// with on-demand paging may fault on a key's first use;
+        /// pinned-memory hardware ignores it.
+        key: u64,
     },
     /// The firmware-generated reply to a [`MsgKind::FetchReq`].
     FetchReply,
@@ -76,12 +82,39 @@ pub enum MsgKind {
         /// Value to store.
         new: u64,
     },
-    /// Firmware-generated reply to a [`MsgKind::FetchAndStore`],
-    /// carrying the previous value.
+    /// Masked atomic compare-and-swap on a firmware word (the RDMA
+    /// verbs `MASKED_ATOMIC_CMP_AND_SWP` primitive): iff
+    /// `(cell & mask) == (expect & mask)` the masked bits are replaced
+    /// by `new`'s. The previous full value comes back in an
+    /// [`MsgKind::AtomicReply`], so fetch-and-store and masked CAS
+    /// share one reply path.
+    MaskedCas(CasWord),
+    /// Firmware-generated reply to a [`MsgKind::FetchAndStore`] or
+    /// [`MsgKind::MaskedCas`], carrying the previous value.
     AtomicReply {
         /// The value the cell held before the swap.
         old: u64,
     },
+}
+
+/// Operand block of a [`MsgKind::MaskedCas`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CasWord {
+    /// Index of the firmware word at the destination NIC.
+    pub cell: u32,
+    /// Comparand; only bits under `mask` participate.
+    pub expect: u64,
+    /// Replacement bits; only bits under `mask` are stored.
+    pub new: u64,
+    /// Bit mask selecting the compared and swapped lanes.
+    pub mask: u64,
+    /// When set, a failed compare parks the request in the target
+    /// NIC's per-cell wait queue instead of replying; the firmware
+    /// replays parked requests in FIFO order each time the cell is
+    /// written, so the reply arrives exactly when the compare can
+    /// succeed (the WAIT-chaining style of CORE-Direct offloads).
+    /// A plain CAS (`wait == false`) always replies immediately.
+    pub wait: bool,
 }
 
 /// Lock protocol operations carried by [`MsgKind::LockMsg`] packets.
@@ -303,8 +336,26 @@ mod tests {
         assert_eq!(MsgKind::Deposit, MsgKind::Deposit);
         assert_ne!(MsgKind::Deposit, MsgKind::HostMsg);
         assert_eq!(
-            MsgKind::FetchReq { reply_bytes: 4096 },
-            MsgKind::FetchReq { reply_bytes: 4096 }
+            MsgKind::FetchReq {
+                reply_bytes: 4096,
+                key: 7
+            },
+            MsgKind::FetchReq {
+                reply_bytes: 4096,
+                key: 7
+            }
         );
+    }
+
+    #[test]
+    fn masked_cas_carries_operands() {
+        let w = CasWord {
+            cell: 3,
+            expect: 0,
+            new: 1,
+            mask: u64::MAX,
+            wait: false,
+        };
+        assert_eq!(MsgKind::MaskedCas(w), MsgKind::MaskedCas(w));
     }
 }

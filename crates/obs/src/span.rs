@@ -93,11 +93,23 @@ pub enum SpanKind {
     /// Firmware instant: a collective release left a parent NI (flow
     /// start) or reached a child (flow end); `arg` = collective.
     CollFanOut,
+    /// Host instant: a doorbell write made a batch of queued work
+    /// requests visible to the RNIC (`arg` = destination node). Only
+    /// emitted by hardware models with doorbell batching.
+    QpDoorbell,
+    /// Firmware instant: a completion-queue entry raised a solicited
+    /// event for the host (`arg` = source node). The RDMA analogue of
+    /// a deposit's completion flag.
+    CqNotify,
+    /// Firmware instant: an on-demand-paging fault — a remote fetch
+    /// touched an unregistered page and the RNIC had to fault it in
+    /// before the DMA (`arg` = translation key).
+    OdpFault,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 19] = [
+    pub const ALL: [SpanKind; 22] = [
         SpanKind::PageFetch,
         SpanKind::FetchRetry,
         SpanKind::DiffCompute,
@@ -117,6 +129,9 @@ impl SpanKind {
         SpanKind::CollFanIn,
         SpanKind::CollCombine,
         SpanKind::CollFanOut,
+        SpanKind::QpDoorbell,
+        SpanKind::CqNotify,
+        SpanKind::OdpFault,
     ];
 
     /// Stable name used in timelines and summaries.
@@ -141,6 +156,9 @@ impl SpanKind {
             SpanKind::CollFanIn => "coll_fan_in",
             SpanKind::CollCombine => "coll_combine",
             SpanKind::CollFanOut => "coll_fan_out",
+            SpanKind::QpDoorbell => "qp_doorbell",
+            SpanKind::CqNotify => "cq_notify",
+            SpanKind::OdpFault => "odp_fault",
         }
     }
 
@@ -162,7 +180,10 @@ impl SpanKind {
             | SpanKind::Retransmit
             | SpanKind::CollFanIn
             | SpanKind::CollCombine
-            | SpanKind::CollFanOut => "nic",
+            | SpanKind::CollFanOut
+            | SpanKind::QpDoorbell
+            | SpanKind::CqNotify
+            | SpanKind::OdpFault => "nic",
             SpanKind::FaultDrop | SpanKind::FaultDup | SpanKind::FaultDelay => "fault",
         }
     }
@@ -180,7 +201,10 @@ impl SpanKind {
             | SpanKind::FaultDup
             | SpanKind::FaultDelay
             | SpanKind::CollFanIn
-            | SpanKind::CollFanOut => true,
+            | SpanKind::CollFanOut
+            | SpanKind::QpDoorbell
+            | SpanKind::CqNotify
+            | SpanKind::OdpFault => true,
             SpanKind::PageFetch
             | SpanKind::DiffCompute
             | SpanKind::LockAcquire

@@ -1,0 +1,140 @@
+//! Evaluation columns: a protocol feature set paired with a hardware
+//! generation.
+
+use std::fmt;
+
+use genima_rnic::HwProfile;
+
+use crate::config::LockImpl;
+use crate::features::FeatureSet;
+use crate::ids::Topology;
+use crate::system::SvmParams;
+
+/// One column of the evaluation: which NI mechanisms the protocol
+/// exploits, on which generation of hardware. The paper's five columns
+/// all run on the 1999 LANai; the sixth runs the full GeNIMA protocol
+/// on a 2025 RNIC — same protocol code, different [`HwProfile`] data.
+///
+/// # Example
+///
+/// ```
+/// use genima_proto::Column;
+/// let names: Vec<&str> = Column::all().iter().map(|c| c.name()).collect();
+/// assert_eq!(
+///     names,
+///     vec!["Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA", "GeNIMA-2025"]
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Column {
+    /// Which NI mechanisms the protocol exploits.
+    pub features: FeatureSet,
+    /// Hardware generation the column runs on.
+    pub hw: HwProfile,
+}
+
+impl Column {
+    /// A 1999-testbed column for the given feature set.
+    pub fn lanai(features: FeatureSet) -> Column {
+        Column {
+            features,
+            hw: HwProfile::lanai_1999(),
+        }
+    }
+
+    /// The sixth column: the full GeNIMA protocol on 2025 RDMA
+    /// hardware, with the RNIC's masked CAS as the lock primitive
+    /// (firmware lock state machines have no 2025 analogue; NIC-level
+    /// atomics do).
+    pub fn genima_2025() -> Column {
+        Column {
+            features: FeatureSet::genima(),
+            hw: HwProfile::rnic_2025(),
+        }
+    }
+
+    /// The six evaluation columns, in display order: the paper's five
+    /// on the 1999 LANai, then GeNIMA-2025.
+    pub fn all() -> [Column; 6] {
+        [
+            Column::lanai(FeatureSet::base()),
+            Column::lanai(FeatureSet::dw()),
+            Column::lanai(FeatureSet::dw_rf()),
+            Column::lanai(FeatureSet::dw_rf_dd()),
+            Column::lanai(FeatureSet::genima()),
+            Column::genima_2025(),
+        ]
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        if self.hw.is_rdma() && self.features == FeatureSet::genima() {
+            "GeNIMA-2025"
+        } else {
+            self.features.name()
+        }
+    }
+
+    /// Paper-calibrated parameters for this column on `topo`,
+    /// including the hardware profile and — on RDMA hardware — the
+    /// masked-CAS lock implementation.
+    pub fn params(&self, topo: Topology) -> SvmParams {
+        let mut p = SvmParams::new(topo, self.features);
+        p.hw = self.hw;
+        if self.hw.is_rdma() && self.features.nil {
+            p.proto.lock_impl = LockImpl::RemoteAtomics;
+        }
+        p
+    }
+
+    /// Finds a column by its display name (used by CLI tools).
+    pub fn by_name(name: &str) -> Option<Column> {
+        Column::all().into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_columns_with_unique_names() {
+        let mut names: Vec<&str> = Column::all().iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn only_the_sixth_column_is_rdma() {
+        let cols = Column::all();
+        assert!(cols[..5].iter().all(|c| !c.hw.is_rdma()));
+        assert!(cols[5].hw.is_rdma());
+        assert_eq!(cols[5].features, FeatureSet::genima());
+    }
+
+    #[test]
+    fn rdma_params_select_masked_cas_locks() {
+        let topo = Topology::new(4, 2);
+        let p = Column::genima_2025().params(topo);
+        assert_eq!(p.proto.lock_impl, LockImpl::RemoteAtomics);
+        assert!(p.hw.is_rdma());
+        // The 1999 GeNIMA column keeps the firmware lock machines.
+        let p99 = Column::lanai(FeatureSet::genima()).params(topo);
+        assert_ne!(p99.proto.lock_impl, LockImpl::RemoteAtomics);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for c in Column::all() {
+            assert_eq!(Column::by_name(c.name()), Some(c));
+        }
+        assert_eq!(Column::by_name("nope"), None);
+    }
+}

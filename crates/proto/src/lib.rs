@@ -27,6 +27,7 @@
 //! Acq-Rel / Barrier) used throughout the paper's evaluation.
 
 mod breakdown;
+mod column;
 mod config;
 mod error;
 mod features;
@@ -40,6 +41,7 @@ mod trace;
 mod vclock;
 
 pub use breakdown::{Breakdown, Counters};
+pub use column::Column;
 pub use config::{BarrierImpl, LockImpl, ProtoConfig};
 pub use error::ProtoError;
 pub use features::FeatureSet;
@@ -53,4 +55,5 @@ pub use trace::{TraceEvent, TsMap};
 pub use vclock::VClock;
 
 pub use genima_mem::{Addr, PageId, PAGE_SIZE};
-pub use genima_nic::{FaultInjector, LockChange, LockId, LockTrace, RecoveryStats};
+pub use genima_nic::{FaultInjector, LockChange, LockId, LockTrace, NiStats, RecoveryStats};
+pub use genima_rnic::HwProfile;

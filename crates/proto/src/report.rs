@@ -1,6 +1,6 @@
 //! Results of one cluster run.
 
-use genima_nic::{Monitor, RecoveryStats, SizeClass, Stage};
+use genima_nic::{Monitor, NiStats, RecoveryStats, SizeClass, Stage};
 use genima_obs::Json;
 use genima_sim::{Dur, Time};
 
@@ -29,6 +29,11 @@ pub struct RunReport {
     /// Shared pages pinned per node for incoming transfers, in bytes
     /// (the export/pin footprint remote fetch shrinks, §2).
     pub pinned_shared_bytes: Vec<u64>,
+    /// Hardware profile the run executed on ("LANai-1999", "RNIC-2025").
+    pub hw: &'static str,
+    /// Hardware-mechanism counters (doorbells, CQEs, ODP faults); all
+    /// zero on hardware without the mechanism.
+    pub ni: NiStats,
     /// Events processed by the simulator (diagnostic).
     pub events: u64,
 }
@@ -172,6 +177,12 @@ impl RunReport {
                     .collect(),
             ),
         );
+        root.set("hw", Json::str(self.hw));
+        let mut ni = Json::obj();
+        ni.set("doorbells", Json::u64(self.ni.doorbells));
+        ni.set("cqes", Json::u64(self.ni.cqes));
+        ni.set("odp_faults", Json::u64(self.ni.odp_faults));
+        root.set("ni", ni);
         root.set("events", Json::u64(self.events));
         root
     }
@@ -295,6 +306,8 @@ mod tests {
             monitor: Monitor::new(),
             recovery: RecoveryStats::default(),
             pinned_shared_bytes: vec![0, 0],
+            hw: "LANai-1999",
+            ni: NiStats::default(),
             events: 0,
         };
         assert_eq!(report.parallel_time(), Dur::from_ms(1));
@@ -327,6 +340,8 @@ mod tests {
             monitor: Monitor::new(),
             recovery: RecoveryStats::default(),
             pinned_shared_bytes: vec![4096, 0],
+            hw: "LANai-1999",
+            ni: NiStats::default(),
             events: 7,
         }
     }
@@ -407,6 +422,13 @@ mod tests {
                 .and_then(Json::as_arr)
                 .map(|a| a.len()),
             Some(2)
+        );
+        assert_eq!(v.get("hw").and_then(Json::as_str), Some("LANai-1999"));
+        assert_eq!(
+            v.get("ni")
+                .and_then(|n| n.get("odp_faults"))
+                .and_then(Json::as_u64),
+            Some(0)
         );
     }
 }

@@ -184,12 +184,22 @@ impl SvmSystem {
         let my = crate::ids::NodeId::new(node).nic();
         let hn = crate::ids::NodeId::new(home).nic();
         let ts_bytes = self.p.proto.page_ts_bytes;
-        let post = self.vmmc.fetch(now, my, hn, ts_bytes, Tag::NONE);
-        let t2 = self.absorb_post(post);
-        let tag = self.tag(Pending::FetchPage { proc: p, page });
+        // The timestamp lives in NI-resident metadata (never faults);
+        // the page fetch carries the page index so an ODP-class NIC
+        // can fault it in on first touch.
         let post = self
             .vmmc
-            .fetch(t2, my, hn, genima_mem::PAGE_SIZE as u32, tag);
+            .fetch(now, my, hn, ts_bytes, genima_nic::ALWAYS_MAPPED, Tag::NONE);
+        let t2 = self.absorb_post(post);
+        let tag = self.tag(Pending::FetchPage { proc: p, page });
+        let post = self.vmmc.fetch(
+            t2,
+            my,
+            hn,
+            genima_mem::PAGE_SIZE as u32,
+            page.index() as u64,
+            tag,
+        );
         self.absorb_post(post);
     }
 

@@ -16,8 +16,8 @@ mod tests;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use genima_mem::{Diff, MemConfig, Page, PageId, PageTable, PAGE_SIZE};
-use genima_net::NetConfig;
-use genima_nic::{Event as CommEvent, LockId, NicConfig, Post, Step, Tag, Upcall};
+use genima_nic::{Event as CommEvent, LockId, Post, Step, Tag, Upcall};
+use genima_rnic::HwProfile;
 use genima_sim::{Dur, EventQueue, Resource, Time};
 use genima_vmmc::Vmmc;
 
@@ -63,10 +63,9 @@ pub struct SvmParams {
     pub proto: ProtoConfig,
     /// Memory-system costs.
     pub mem: MemConfig,
-    /// NI timing.
-    pub nic: NicConfig,
-    /// Network timing.
-    pub net: NetConfig,
+    /// Hardware generation: NI model, NI timing and network timing as
+    /// one data axis (1999 LANai by default).
+    pub hw: HwProfile,
     /// Number of application locks.
     pub locks: usize,
     /// Barrier implementation: host-managed (node-0 manager) or the
@@ -110,8 +109,7 @@ impl SvmParams {
             barrier,
             proto: ProtoConfig::paper(),
             mem: MemConfig::pentium_pro(),
-            nic: NicConfig::lanai(),
-            net: NetConfig::myrinet(),
+            hw: HwProfile::lanai_1999(),
             locks: 64,
             data_mode: false,
             warmup_barrier: None,
@@ -478,7 +476,13 @@ impl SvmSystem {
             "need exactly one op source per processor"
         );
         let nnodes = params.topo.nodes;
-        let mut vmmc = Vmmc::new(params.nic.clone(), params.net.clone(), nnodes, params.locks);
+        let mut vmmc = Vmmc::with_model(
+            params.hw.model(nnodes),
+            params.hw.nic,
+            params.hw.net,
+            nnodes,
+            params.locks,
+        );
         if let BarrierImpl::NiTree { fanout } = params.barrier {
             vmmc.set_coll_fanout(fanout);
         }
@@ -863,6 +867,11 @@ impl SvmSystem {
                 // Atomic cells are the per-lock spin words.
                 vec![SchedObj::Lock {
                     lock: cell as usize,
+                }]
+            }
+            genima_nic::MsgKind::MaskedCas(cas) => {
+                vec![SchedObj::Lock {
+                    lock: cas.cell as usize,
                 }]
             }
             genima_nic::MsgKind::Deposit
@@ -1584,6 +1593,8 @@ impl SvmSystem {
             monitor: self.vmmc.comm().monitor().clone(),
             recovery: self.vmmc.comm().recovery_stats(),
             pinned_shared_bytes: pinned,
+            hw: self.p.hw.name,
+            ni: self.vmmc.ni_stats(),
             events: self.q.delivered(),
         }
     }

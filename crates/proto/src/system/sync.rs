@@ -157,7 +157,7 @@ impl SvmSystem {
                 if let Err(e) = self.apply_diff_at_home(cursor, p, pi.interval, page, diff) {
                     panic!("local home flush failed: {e}");
                 }
-            } else if direct && self.p.nic.scatter_gather {
+            } else if direct && self.p.hw.nic.scatter_gather {
                 // §5 extension: one scatter-gather message carries all
                 // runs plus the timestamp.
                 let hn = NodeId::new(home).nic();
@@ -339,7 +339,7 @@ impl SvmSystem {
             let rec = &self.records[p][&interval];
             rec.wire_bytes(self.p.proto.notice_header_bytes)
         };
-        if self.p.nic.broadcast && self.p.topo.nodes > 1 {
+        if self.p.hw.nic.broadcast && self.p.topo.nodes > 1 {
             // §5 extension: one posted descriptor, replicated by the NI.
             let mut dsts = Vec::new();
             for dst in 0..self.p.topo.nodes {
@@ -773,15 +773,68 @@ impl SvmSystem {
         let node = self.p.topo.node_of(ProcId::new(p)).index();
         let home = self.lock_home(l);
         let tag = self.tag(Pending::AtomicLockTry { proc: p, lock: l });
-        let post = self.vmmc.fetch_and_store(
-            t,
-            NodeId::new(node).nic(),
-            NodeId::new(home).nic(),
-            l.index() as u32,
-            1,
-            tag,
-        );
+        let post = if self.p.hw.is_rdma() {
+            // RNIC verbs offer masked CAS: acquire is CAS(0 -> 1), so
+            // a losing attempt cannot clobber the holder's bit the way
+            // an unconditional swap could. `wait` parks a losing
+            // attempt at the home NIC, which replays it when the cell
+            // is cleared — lock handoff is a single event-driven round
+            // trip with FIFO fairness, never a spin storm.
+            self.vmmc.masked_cas(
+                t,
+                NodeId::new(node).nic(),
+                NodeId::new(home).nic(),
+                genima_nic::CasWord {
+                    cell: l.index() as u32,
+                    expect: 0,
+                    new: 1,
+                    mask: u64::MAX,
+                    wait: true,
+                },
+                tag,
+            )
+        } else {
+            self.vmmc.fetch_and_store(
+                t,
+                NodeId::new(node).nic(),
+                NodeId::new(home).nic(),
+                l.index() as u32,
+                1,
+                tag,
+            )
+        };
         self.absorb_post(post);
+    }
+
+    /// Remote-atomics lock mode: clear the lock's home cell (release,
+    /// or undo of a superseded win) with the hardware's primitive —
+    /// masked CAS(1 -> 0) on RDMA NICs, a plain store elsewhere.
+    fn atomic_lock_clear(&mut self, t: Time, node: usize, l: LockId) -> genima_nic::Post {
+        let home = self.lock_home(l);
+        if self.p.hw.is_rdma() {
+            self.vmmc.masked_cas(
+                t,
+                NodeId::new(node).nic(),
+                NodeId::new(home).nic(),
+                genima_nic::CasWord {
+                    cell: l.index() as u32,
+                    expect: 1,
+                    new: 0,
+                    mask: u64::MAX,
+                    wait: false,
+                },
+                genima_nic::Tag::NONE,
+            )
+        } else {
+            self.vmmc.fetch_and_store(
+                t,
+                NodeId::new(node).nic(),
+                NodeId::new(home).nic(),
+                l.index() as u32,
+                0,
+                genima_nic::Tag::NONE,
+            )
+        }
     }
 
     /// Remote-atomics lock mode: a test-and-set attempt returned.
@@ -793,22 +846,17 @@ impl SvmSystem {
             if old == 0 {
                 // A superseded attempt must not strand the cell.
                 let node = self.p.topo.node_of(ProcId::new(p)).index();
-                let home = self.lock_home(l);
-                let post = self.vmmc.fetch_and_store(
-                    t,
-                    NodeId::new(node).nic(),
-                    NodeId::new(home).nic(),
-                    l.index() as u32,
-                    0,
-                    genima_nic::Tag::NONE,
-                );
+                let post = self.atomic_lock_clear(t, node, l);
                 self.absorb_post(post);
             }
             return;
         }
         if old != 0 {
-            // Held elsewhere: spin with backoff (each retry is a full
-            // network round trip — the cost of the simpler primitive).
+            // Held elsewhere. Only the plain fetch-and-store primitive
+            // reports failed attempts (the RDMA masked CAS parks at
+            // the home NIC and replies on success): spin with backoff,
+            // each retry a full network round trip — the cost of the
+            // simpler primitive.
             self.counters.lock_spin_retries += 1;
             self.q.push(
                 t + self.p.proto.lock_spin_backoff,
@@ -907,9 +955,16 @@ impl SvmSystem {
                 writer: q,
                 upto: want,
             });
-            let post = self
-                .vmmc
-                .fetch(t, my_nic, NodeId::new(qnode).nic(), bytes, tag);
+            // Interval records live in exported protocol metadata:
+            // always mapped, never an ODP fault.
+            let post = self.vmmc.fetch(
+                t,
+                my_nic,
+                NodeId::new(qnode).nic(),
+                bytes,
+                genima_nic::ALWAYS_MAPPED,
+                tag,
+            );
             self.absorb_post(post);
             self.counters.notice_messages += 1;
         }
@@ -1018,15 +1073,7 @@ impl SvmSystem {
                 // Clear the home cell; the store must causally follow
                 // the timestamp update above, which the in-order
                 // firmware path guarantees.
-                let home = self.lock_home(l);
-                let post = self.vmmc.fetch_and_store(
-                    cursor,
-                    NodeId::new(node).nic(),
-                    NodeId::new(home).nic(),
-                    l.index() as u32,
-                    0,
-                    genima_nic::Tag::NONE,
-                );
+                let post = self.atomic_lock_clear(cursor, node, l);
                 cursor = self.absorb_post(post);
             } else if self.p.features.nil {
                 let post = self.vmmc.lock_release(cursor, NodeId::new(node).nic(), l);

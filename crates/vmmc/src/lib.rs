@@ -22,6 +22,6 @@ pub use port::{PinClass, Vmmc};
 
 pub use genima_net::{NetConfig, NicId};
 pub use genima_nic::{
-    CollId, CollOp, Comm, Event, LockId, MsgKind, NicConfig, Post, ReduceOp, SendDesc, Step, Tag,
-    Upcall,
+    CasWord, CollId, CollOp, Comm, Event, LockId, MsgKind, NiModel, NiStats, NicConfig, Post,
+    ReduceOp, SendDesc, Step, Tag, Upcall, ALWAYS_MAPPED,
 };

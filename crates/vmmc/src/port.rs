@@ -7,7 +7,8 @@ use std::collections::HashMap;
 
 use genima_net::{NetConfig, NicId};
 use genima_nic::{
-    CollId, Comm, Event, LockId, MsgKind, NicConfig, Post, ReduceOp, SendDesc, Step, Tag, Upcall,
+    CasWord, CollId, Comm, Event, LockId, MsgKind, NiModel, NiStats, NicConfig, Post, ReduceOp,
+    SendDesc, Step, Tag, Upcall,
 };
 use genima_sim::Time;
 
@@ -56,6 +57,29 @@ impl Vmmc {
             pinned: HashMap::new(),
             next_tag: 1 << 32,
         }
+    }
+
+    /// Like [`Vmmc::new`] but with an explicit NI hardware model (the
+    /// hardware-profile axis: the 1999 LANai and the 2025 RNIC plug in
+    /// here).
+    pub fn with_model(
+        model: Box<dyn NiModel>,
+        nic: NicConfig,
+        net: NetConfig,
+        nodes: usize,
+        nlocks: usize,
+    ) -> Vmmc {
+        Vmmc {
+            comm: Comm::with_model(model, nic, net, nodes, nlocks),
+            pending: HashMap::new(),
+            pinned: HashMap::new(),
+            next_tag: 1 << 32,
+        }
+    }
+
+    /// Hardware-mechanism counters of the underlying NI model.
+    pub fn ni_stats(&self) -> NiStats {
+        self.comm.ni_stats()
     }
 
     /// The underlying NI/communication system.
@@ -187,8 +211,19 @@ impl Vmmc {
 
     /// Fetches `bytes` of exported remote memory from `from` into
     /// local host memory; completion fires [`Upcall::FetchCompleted`]
-    /// after the last fragment arrives.
-    pub fn fetch(&mut self, now: Time, nic: NicId, from: NicId, bytes: u32, tag: Tag) -> Post {
+    /// after the last fragment arrives. `key` is the translation key
+    /// served at the remote NI: a page index for page data, or
+    /// [`genima_nic::ALWAYS_MAPPED`] for NI-resident metadata. All
+    /// fragments of one fetch share the key (one ODP fault at most).
+    pub fn fetch(
+        &mut self,
+        now: Time,
+        nic: NicId,
+        from: NicId,
+        bytes: u32,
+        key: u64,
+        tag: Tag,
+    ) -> Post {
         let max = self.comm.network().config().max_packet;
         let frags = self.fragments(bytes);
         if frags > 1 && tag != Tag::NONE {
@@ -200,7 +235,7 @@ impl Vmmc {
         for _ in 0..frags {
             let b = remaining.min(max);
             remaining -= b;
-            let p = self.comm.fetch(out.host_free, nic, from, b, tag);
+            let p = self.comm.fetch(out.host_free, nic, from, b, key, tag);
             out.host_free = p.host_free;
             out.events.extend(p.events);
             out.upcalls.extend(p.upcalls);
@@ -221,6 +256,19 @@ impl Vmmc {
         tag: Tag,
     ) -> Post {
         self.comm.fetch_and_store(now, src, target, cell, new, tag)
+    }
+
+    /// Remote masked compare-and-swap on a firmware word (see
+    /// [`Comm::masked_cas`]) — the RDMA-verbs lock primitive.
+    pub fn masked_cas(
+        &mut self,
+        now: Time,
+        src: NicId,
+        target: NicId,
+        cas: CasWord,
+        tag: Tag,
+    ) -> Post {
+        self.comm.masked_cas(now, src, target, cas, tag)
     }
 
     /// Acquires an NI lock (see [`Comm::lock_acquire`]).
@@ -367,7 +415,14 @@ mod tests {
     #[test]
     fn multi_fragment_fetch_completes_once() {
         let mut v = vmmc(2);
-        let p = v.fetch(Time::ZERO, NicId::new(0), NicId::new(1), 8192, Tag::new(3));
+        let p = v.fetch(
+            Time::ZERO,
+            NicId::new(0),
+            NicId::new(1),
+            8192,
+            genima_nic::ALWAYS_MAPPED,
+            Tag::new(3),
+        );
         let ups = drain(&mut v, p);
         assert_eq!(ups.len(), 1);
         assert!(matches!(

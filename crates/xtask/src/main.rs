@@ -29,9 +29,9 @@
 //!   a Chrome-trace timeline (per span kind and per node), or the NI
 //!   monitor tables when given a `RunReport` JSON instead.
 //! * `xtask obs-schema <file>...` — checks `BENCH_breakdowns.json` /
-//!   `BENCH_fault_matrix.json` / `BENCH_barrier.json` against the
-//!   expected shape; CI fails the `obs-smoke` and `coll-smoke` jobs on
-//!   a mismatch.
+//!   `BENCH_fault_matrix.json` / `BENCH_barrier.json` /
+//!   `BENCH_rdma.json` against the expected shape; CI fails the
+//!   `obs-smoke`, `coll-smoke` and `rdma-smoke` jobs on a mismatch.
 
 use genima_obs::{monitor_tables, trace_top, Json};
 use std::path::{Path, PathBuf};
@@ -45,6 +45,11 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/mem/src/diff.rs",
     "crates/mem/src/pool.rs",
     "crates/nic/src/comm.rs",
+    "crates/nic/src/model.rs",
+    "crates/rnic/src/config.rs",
+    "crates/rnic/src/model.rs",
+    "crates/rnic/src/profile.rs",
+    "crates/rnic/src/lib.rs",
     "crates/proto/src/sched.rs",
     "crates/proto/src/system/mod.rs",
     "crates/proto/src/system/exec.rs",
@@ -72,8 +77,10 @@ const PROTOCOL_PATHS: &[&str] = &[
 /// unavoidable — prefer a scoped in-source `#[allow]` with a comment.
 const CLIPPY_ALLOW: &[(&str, &str)] = &[];
 
-/// The five protocol columns every breakdowns report must carry.
-const COLUMNS: &[&str] = &["Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA"];
+/// The six evaluation columns every breakdowns report must carry:
+/// the paper's five on the 1999 LANai, plus the full GeNIMA protocol
+/// on the 2025 RNIC.
+const COLUMNS: &[&str] = &["Base", "DW", "DW+RF", "DW+RF+DD", "GeNIMA", "GeNIMA-2025"];
 
 /// One rule violation at a source line.
 #[derive(Debug, PartialEq, Eq)]
@@ -506,6 +513,73 @@ fn check_diff_schema(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// `BENCH_rdma.json`: the 1999-vs-2025 hardware comparison. Beyond
+/// shape, this is a sanity gate on the comparison itself: every row
+/// must be interrupt-free, RNIC rows must show doorbell/CQE activity
+/// and beat their LANai counterpart, LANai rows must not report RNIC
+/// counters.
+fn check_rdma_schema(v: &Json) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".to_string());
+    }
+    let mut rnic_rows = 0usize;
+    let mut lanai_rows = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["app", "column", "hw"] {
+            if row.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("row {i}: missing string `{key}`"));
+            }
+        }
+        for key in ["time_ms", "speedup", "speedup_vs_1999"] {
+            if row.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("row {i}: missing numeric `{key}`"));
+            }
+        }
+        for key in ["interrupts", "doorbells", "cqes", "odp_faults"] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("row {i}: missing integer `{key}`"));
+            }
+        }
+        if row.get("interrupts").and_then(Json::as_u64) != Some(0) {
+            return Err(format!(
+                "row {i}: nonzero host interrupts — GeNIMA is interrupt-free on any hardware"
+            ));
+        }
+        let doorbells = row.get("doorbells").and_then(Json::as_u64);
+        let cqes = row.get("cqes").and_then(Json::as_u64);
+        if row.get("column").and_then(Json::as_str) == Some("GeNIMA-2025") {
+            rnic_rows += 1;
+            if doorbells == Some(0) || cqes == Some(0) {
+                return Err(format!("row {i}: RNIC row with flat doorbell/CQE counters"));
+            }
+            match row.get("speedup_vs_1999").and_then(Json::as_f64) {
+                Some(r) if r > 1.0 => {}
+                Some(r) => {
+                    return Err(format!(
+                        "row {i}: 2025 hardware does not beat 1999 (ratio {r:.2})"
+                    ));
+                }
+                None => return Err(format!("row {i}: missing numeric `speedup_vs_1999`")),
+            }
+        } else {
+            lanai_rows += 1;
+            if doorbells != Some(0) || cqes != Some(0) {
+                return Err(format!("row {i}: LANai row reporting RNIC counters"));
+            }
+        }
+    }
+    if rnic_rows == 0 || lanai_rows == 0 {
+        return Err(format!(
+            "need both profiles: {lanai_rows} LANai and {rnic_rows} RNIC rows"
+        ));
+    }
+    Ok(())
+}
+
 fn check_mc_schema(v: &Json) -> Result<(), String> {
     let rows = v
         .get("rows")
@@ -681,6 +755,7 @@ fn check_schema(v: &Json) -> Result<&'static str, String> {
         Some("barrier") => check_barrier_schema(v).map(|()| "barrier"),
         Some("diff") => check_diff_schema(v).map(|()| "diff"),
         Some("mc") => check_mc_schema(v).map(|()| "mc"),
+        Some("rdma") => check_rdma_schema(v).map(|()| "rdma"),
         Some(other) => Err(format!("unknown bench kind `{other}`")),
         None => Err("missing string `bench`".to_string()),
     }
@@ -902,7 +977,7 @@ mod tests {
     }
 
     #[test]
-    fn breakdowns_schema_accepts_all_five_columns() {
+    fn breakdowns_schema_accepts_all_six_columns() {
         let v = Json::parse(&minimal_breakdowns_json()).expect("fixture parses");
         assert_eq!(check_schema(&v), Ok("breakdowns"));
     }
@@ -926,6 +1001,60 @@ mod tests {
         assert_eq!(check_schema(&v), Ok("fault_matrix"));
         let broken = text.replace("\"audit_clean\":true", "\"audit_clean\":3");
         let v = Json::parse(&broken).expect("fixture parses");
+        assert!(check_schema(&v).is_err());
+    }
+
+    fn minimal_rdma_json() -> String {
+        let lanai = "{\"app\":\"FFT\",\"column\":\"GeNIMA\",\"hw\":\"LANai-1999\",\
+                     \"time_ms\":10.0,\"speedup\":5.0,\"speedup_vs_1999\":1.0,\
+                     \"interrupts\":0,\"doorbells\":0,\"cqes\":0,\"odp_faults\":0}";
+        let rnic = "{\"app\":\"FFT\",\"column\":\"GeNIMA-2025\",\"hw\":\"RNIC-2025\",\
+                    \"time_ms\":6.0,\"speedup\":8.3,\"speedup_vs_1999\":1.7,\
+                    \"interrupts\":0,\"doorbells\":900,\"cqes\":1800,\"odp_faults\":64}";
+        format!("{{\"bench\":\"rdma\",\"seed\":7,\"rows\":[{lanai},{rnic}]}}")
+    }
+
+    #[test]
+    fn rdma_schema_round_trips() {
+        let v = Json::parse(&minimal_rdma_json()).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("rdma"));
+    }
+
+    #[test]
+    fn rdma_schema_gates_the_comparison() {
+        let base = minimal_rdma_json();
+        for (broken, needle) in [
+            (
+                base.replace(
+                    "\"interrupts\":0,\"doorbells\":900",
+                    "\"interrupts\":3,\"doorbells\":900",
+                ),
+                "interrupt",
+            ),
+            (
+                base.replace(
+                    "\"doorbells\":900,\"cqes\":1800",
+                    "\"doorbells\":0,\"cqes\":1800",
+                ),
+                "flat",
+            ),
+            (
+                base.replace("\"speedup_vs_1999\":1.7", "\"speedup_vs_1999\":0.8"),
+                "beat",
+            ),
+            (
+                base.replace("\"doorbells\":0,\"cqes\":0", "\"doorbells\":5,\"cqes\":0"),
+                "LANai",
+            ),
+        ] {
+            let v = Json::parse(&broken).expect("fixture parses");
+            let err = check_schema(&v).expect_err("must fail the gate");
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+        // A report with only one profile is not a comparison.
+        let one_sided =
+            minimal_rdma_json().replace("\"column\":\"GeNIMA\",", "\"column\":\"GeNIMA-2025\",");
+        let v = Json::parse(&one_sided).expect("fixture parses");
         assert!(check_schema(&v).is_err());
     }
 

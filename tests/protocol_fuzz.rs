@@ -178,10 +178,10 @@ proptest! {
     #[test]
     fn fuzz_ni_extensions(seed in any::<u64>()) {
         run_fuzz_with(seed, FeatureSet::genima(), 2, 2, |p| {
-            p.nic.scatter_gather = true;
+            p.hw.nic.scatter_gather = true;
         });
         run_fuzz_with(seed, FeatureSet::genima(), 2, 2, |p| {
-            p.nic.broadcast = true;
+            p.hw.nic.broadcast = true;
         });
         run_fuzz_with(seed, FeatureSet::genima(), 2, 2, |p| {
             p.proto.pull_notices = true;
@@ -190,9 +190,9 @@ proptest! {
             p.proto.lock_impl = genima_proto::LockImpl::RemoteAtomics;
         });
         run_fuzz_with(seed, FeatureSet::genima(), 2, 2, |p| {
-            p.nic.scatter_gather = true;
-            p.nic.broadcast = true;
-            p.nic.pipelined_sends = true;
+            p.hw.nic.scatter_gather = true;
+            p.hw.nic.broadcast = true;
+            p.hw.nic.pipelined_sends = true;
             p.proto.pull_notices = true;
         });
     }
@@ -249,8 +249,8 @@ fn regression_fuzz_seed_3448139302961865587() {
         run_fuzz(seed, f, 2, 2);
     }
     run_fuzz_with(seed, FeatureSet::genima(), 2, 2, |p| {
-        p.nic.scatter_gather = true;
-        p.nic.broadcast = true;
+        p.hw.nic.scatter_gather = true;
+        p.hw.nic.broadcast = true;
         p.proto.pull_notices = true;
     });
 }
