@@ -1,0 +1,215 @@
+//! `critpath_bench` — causal critical-path attribution across all six
+//! protocol columns: where does each operation's latency actually go?
+//!
+//! ```text
+//! critpath_bench [--seed N] [--json PATH] [APP...]
+//! ```
+//!
+//! Every run records the full span/flow trace, reassembles per-op
+//! causal DAGs with `genima-prof`, and charges each operation's window
+//! to interrupt / firmware / wire / host-handler / queue-retry
+//! segments. With `--json PATH` the sweep is written as
+//! `BENCH_critpath.json` (one row per application × column carrying
+//! the segment totals and per-op-class p50/p95/p99 latencies);
+//! `xtask obs-schema` checks the shape.
+//!
+//! The binary is its own sanity gate and exits non-zero when the
+//! attribution stops making sense:
+//!
+//! * every audited op's per-segment attribution must sum to its
+//!   measured latency *exactly* (the sweep's core invariant),
+//! * traces must be complete — the analyzer refuses truncated
+//!   timelines, so a ring overflow is a failure, not a footnote,
+//! * the GeNIMA and GeNIMA-2025 critical paths must contain **zero**
+//!   interrupt-segment time, while Base must show a nonzero interrupt
+//!   share — the paper's thesis, visible in the attribution itself.
+
+use genima::{run_app_configured, sequential_time, Column, Json, ObsConfig, RunConfig, Topology};
+use genima_apps::{all_apps, app_by_name, App};
+use genima_obs::OpClass;
+use genima_prof::{profile, Segment};
+use genima_sim::RunSeed;
+
+struct Args {
+    seed: u64,
+    json: Option<String>,
+    apps: Vec<Box<dyn App>>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: critpath_bench [--seed N] [--json PATH] [APP...]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: RunSeed::default().value(),
+        json: None,
+        apps: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.seed = v.parse().unwrap_or_else(|_e| usage());
+            }
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            name => match app_by_name(name) {
+                Some(app) => args.apps.push(app),
+                None => {
+                    eprintln!("unknown app: {name}");
+                    usage()
+                }
+            },
+        }
+    }
+    if args.apps.is_empty() {
+        args.apps = all_apps();
+    }
+    args
+}
+
+/// Ring capacity for attribution runs: large enough that no node's
+/// timeline truncates on the benchmark suite (the analyzer refuses
+/// truncated traces, so an overflow here is a hard failure).
+const ATTRIBUTION_RING: usize = 1 << 20;
+
+fn main() {
+    let topo = Topology::new(4, 4);
+    let args = parse_args();
+    let mut failures = 0u32;
+    let mut rows = Vec::new();
+    println!(
+        "{:<22} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "app/column", "ops", "intr(us)", "fw(us)", "wire(us)", "host(us)", "queue(us)", "intr%"
+    );
+    for app in &args.apps {
+        let seq = sequential_time(app.as_ref());
+        for column in Column::all() {
+            let cfg = RunConfig::from_column(topo, column)
+                .with_seed(args.seed)
+                .with_obs(ObsConfig::with_capacity(ATTRIBUTION_RING));
+            let out = match run_app_configured(app.as_ref(), &cfg) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("FAIL {} on {}: {e}", app.name(), column.name());
+                    failures += 1;
+                    continue;
+                }
+            };
+            let prof = profile(&out.obs);
+            let audited = match prof.audited_ops() {
+                Ok(ops) => ops,
+                Err(trunc) => {
+                    eprintln!("FAIL {} on {}: {trunc}", app.name(), column.name());
+                    failures += 1;
+                    continue;
+                }
+            };
+            for op in audited {
+                if op.breakdown.total() != op.latency {
+                    eprintln!(
+                        "FAIL {} on {}: op {:#x} attribution {} ns != latency {} ns",
+                        app.name(),
+                        column.name(),
+                        op.op,
+                        op.breakdown.total().as_ns(),
+                        op.latency.as_ns()
+                    );
+                    failures += 1;
+                }
+            }
+            let total = prof.total_breakdown();
+            let sum_ns = total.total().as_ns();
+            let intr_share = if sum_ns > 0 {
+                total.interrupt.as_ns() as f64 / sum_ns as f64
+            } else {
+                0.0
+            };
+            let interrupt_free = column.features.interrupt_free();
+            if interrupt_free && total.interrupt.as_ns() != 0 {
+                eprintln!(
+                    "FAIL {} on {}: {} ns of interrupt time on a GeNIMA critical path",
+                    app.name(),
+                    column.name(),
+                    total.interrupt.as_ns()
+                );
+                failures += 1;
+            }
+            if column.features == genima::FeatureSet::base() && total.interrupt.as_ns() == 0 {
+                eprintln!(
+                    "FAIL {} on Base: zero interrupt share (asynchronous protocol \
+                     processing should dominate)",
+                    app.name()
+                );
+                failures += 1;
+            }
+            println!(
+                "{:<22} {:>5} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>6.1}%",
+                format!("{}/{}", app.name(), column.name()),
+                audited.len(),
+                total.interrupt.as_us(),
+                total.firmware.as_us(),
+                total.wire.as_us(),
+                total.host_handler.as_us(),
+                total.queue_retry.as_us(),
+                intr_share * 100.0,
+            );
+            let mut row = Json::obj();
+            row.set("app", Json::str(app.name()));
+            row.set("column", Json::str(column.name()));
+            row.set("hw", Json::str(out.report.hw));
+            row.set("time_ms", Json::num(out.report.parallel_time().as_ms()));
+            row.set("speedup", Json::num(out.report.speedup(seq)));
+            row.set("ops", Json::u64(audited.len() as u64));
+            row.set("total_ns", Json::u64(sum_ns));
+            let mut segs = Json::obj();
+            for seg in Segment::ALL {
+                segs.set(seg.name(), Json::u64(total.get(seg).as_ns()));
+            }
+            row.set("segments_ns", segs);
+            row.set("interrupt_share", Json::num(intr_share));
+            let by_class = prof.by_class();
+            let mut classes = Vec::new();
+            for class in OpClass::ALL {
+                let Some(summary) = by_class.get(&class) else {
+                    continue;
+                };
+                let mut c = Json::obj();
+                c.set("class", Json::str(class.name()));
+                c.set("count", Json::u64(summary.count));
+                c.set("p50_ns", Json::u64(summary.hist.p50().as_ns()));
+                c.set("p95_ns", Json::u64(summary.hist.p95().as_ns()));
+                c.set("p99_ns", Json::u64(summary.hist.p99().as_ns()));
+                classes.push(c);
+            }
+            row.set("classes", Json::Arr(classes));
+            rows.push(row);
+        }
+    }
+    if let Some(path) = args.json {
+        let mut root = Json::obj();
+        root.set("bench", Json::str("critpath"));
+        root.set("seed", Json::u64(args.seed));
+        let mut topo_json = Json::obj();
+        topo_json.set("nodes", Json::u64(topo.nodes as u64));
+        topo_json.set("procs_per_node", Json::u64(topo.procs_per_node as u64));
+        root.set("topo", topo_json);
+        root.set("rows", Json::Arr(rows));
+        match std::fs::write(&path, root.dump() + "\n") {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("critpath bench: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("critpath bench: attribution sane on every audited run");
+}

@@ -170,6 +170,7 @@ fn main() {
             row.set("injected_delays", Json::u64(f.delayed));
             row.set("interrupts", Json::u64(run.report.counters.interrupts));
             row.set("audit_clean", Json::Bool(run.audit.is_clean()));
+            row.set("op_latency", run.report.op_latency.json());
             rows.push(row);
         }
     }

@@ -155,6 +155,7 @@ fn main() {
             row.set("doorbells", Json::u64(r.ni.doorbells));
             row.set("cqes", Json::u64(r.ni.cqes));
             row.set("odp_faults", Json::u64(r.ni.odp_faults));
+            row.set("op_latency", r.op_latency.json());
             rows.push(row);
         }
     }

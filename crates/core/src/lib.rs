@@ -46,7 +46,7 @@ pub use genima_obs::{
     timeline_json, validate_trace, Json, ObsConfig, ObsReport, SpanKind, SpanRecord, Track,
 };
 pub use genima_proto::{
-    BarrierImpl, Breakdown, Column, Counters, FeatureSet, HwProfile, NiStats, ProtoConfig,
-    ProtoError, RecoveryStats, RunReport, SvmParams, SvmSystem, Topology,
+    BarrierImpl, Breakdown, Column, Counters, FeatureSet, HwProfile, NiStats, OpLatency,
+    ProtoConfig, ProtoError, RecoveryStats, RunReport, SvmParams, SvmSystem, Topology,
 };
 pub use genima_sim::{Dur, RunSeed, Time};

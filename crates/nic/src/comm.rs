@@ -6,7 +6,9 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use genima_coll::{Action, CollId, CollState, ReduceOp};
 use genima_net::{Fate, FaultInjector, NetConfig, Network, NicId};
-use genima_obs::{flow_coll_id, flow_lock_id, Flow, FlowDir, ObsHandle, Recorder, SpanKind, Track};
+use genima_obs::{
+    flow_coll_id, flow_lock_id, op_barrier_id, Flow, FlowDir, ObsHandle, Recorder, SpanKind, Track,
+};
 use genima_sim::{Dur, InlineVec, Time};
 
 use crate::config::NicConfig;
@@ -219,6 +221,17 @@ impl Comm {
         }
     }
 
+    /// The protocol operation bound to `tag` in the shared recorder
+    /// (zero when unbound or observability is off). Tags are globally
+    /// unique, so the binding made at the posting node resolves at any
+    /// NIC the packet visits.
+    fn obs_op(&self, tag: Tag) -> u64 {
+        match self.obs.as_ref() {
+            Some(h) => h.borrow().op_for(tag.value()),
+            None => 0,
+        }
+    }
+
     /// Installs a fault injector: from now on every wire packet is
     /// sequenced, its fate (deliver / delay / duplicate / drop) is
     /// decided by `injector` at injection time, dropped packets are
@@ -331,13 +344,15 @@ impl Comm {
         let hp = self.model.host_post(now, src);
         post.host_free = hp.posted_at;
         if hp.doorbell {
+            let op = self.obs_op(desc.tag);
             self.obs_record(|o| {
-                o.instant(
+                o.instant_op(
                     SpanKind::QpDoorbell,
                     src.index(),
                     Track::Host,
                     hp.posted_at,
                     desc.dst.index() as u64,
+                    op,
                 );
             });
         }
@@ -772,6 +787,9 @@ impl Comm {
             .or_insert_with(|| CollState::new(ports as u32, fanout, op, vals.len()));
         let mut post = Post::default();
         post.host_free = self.model.host_ctrl(now, nic);
+        // The epoch this entry joins names the barrier operation; the
+        // protocol layer derives the same id at release time.
+        let entry_epoch = self.coll_epoch(coll, nic);
         // The firmware folds the local contribution into its combine
         // table on the send-side service loop.
         let svc_done = self.model.coll_service(post.host_free, nic, true);
@@ -781,14 +799,16 @@ impl Comm {
             .expect("instance created above")
             .local_arrive_into(nic.index() as u32, vals, &mut actions);
         let host_free = post.host_free;
+        let bop = op_barrier_id(coll.index() as u64, entry_epoch as u64);
         self.obs_record(|o| {
-            o.span(
+            o.span_op(
                 SpanKind::CollCombine,
                 nic.index(),
                 Track::Firmware,
                 host_free,
                 svc_done,
                 coll.index() as u64,
+                bop,
             );
         });
         let mut step = Step::default();
@@ -1001,8 +1021,9 @@ impl Comm {
             }
         };
         if let Some(kind) = injected_fault {
+            let op = self.obs_op(pkt.tag);
             self.obs_record(|o| {
-                o.instant(kind, src_idx, Track::Firmware, inject_ready, dst_idx);
+                o.instant_op(kind, src_idx, Track::Firmware, inject_ready, dst_idx, op);
             });
         }
         timing
@@ -1027,13 +1048,15 @@ impl Comm {
             return step;
         }
         self.recovery.retransmits += 1;
+        let op = self.obs_op(pkt.tag);
         self.obs_record(|o| {
-            o.instant(
+            o.instant_op(
                 SpanKind::Retransmit,
                 pkt.src.index(),
                 Track::Firmware,
                 now,
                 pkt.dst.index() as u64,
+                op,
             );
         });
         // The packet is still staged in NI memory: retransmission is a
@@ -1074,8 +1097,9 @@ impl Comm {
         // `(lock, tag)`-derived id.
         if let MsgKind::LockMsg(LockOp::Grant { lock, tag: wtag }) = kind {
             let id = flow_lock_id(lock.index() as u64, wtag.value());
+            let op = self.obs_op(wtag);
             self.obs_record(|o| {
-                o.instant_flow(
+                o.instant_flow_op(
                     SpanKind::NiLockGrant,
                     src.index(),
                     Track::Firmware,
@@ -1085,6 +1109,7 @@ impl Comm {
                         id,
                         dir: FlowDir::Start,
                     },
+                    op,
                 );
             });
         }
@@ -1138,15 +1163,16 @@ impl Comm {
 
     /// Emits a completion-queue notification instant when the model
     /// wrote a CQE for an arrived deposit (solicited-event path).
-    fn notify_cqe(&mut self, cqe: bool, dst: NicId, at: Time, src: NicId) {
+    fn notify_cqe(&mut self, cqe: bool, dst: NicId, at: Time, src: NicId, op: u64) {
         if cqe {
             self.obs_record(|o| {
-                o.instant(
+                o.instant_op(
                     SpanKind::CqNotify,
                     dst.index(),
                     Track::Firmware,
                     at,
                     src.index() as u64,
+                    op,
                 );
             });
         }
@@ -1175,6 +1201,28 @@ impl Comm {
                 now += inj.recv_stall(pkt.dst, now);
             }
         }
+        // The operation this packet belongs to, resolved once for every
+        // receiver-side emission below.
+        let pop = self.obs_op(pkt.tag);
+        if !local && pop != 0 {
+            // Wire occupancy, charged at the receiver: from the moment
+            // the source DMA finished to the packet leaving the fabric.
+            let wire_start = Time::from_ns(pkt.source_done_ns);
+            let wire_end = now;
+            let dst_idx = pkt.dst.index();
+            let src_idx = pkt.src.index() as u64;
+            self.obs_record(|o| {
+                o.span_op(
+                    SpanKind::WireTransit,
+                    dst_idx,
+                    Track::Firmware,
+                    wire_start,
+                    wire_end,
+                    src_idx,
+                    pop,
+                );
+            });
+        }
         let recv_done = if local {
             now
         } else {
@@ -1194,7 +1242,7 @@ impl Comm {
                     rd.dma_done - now,
                     self.model.recv_cost() + rd.expected,
                 );
-                self.notify_cqe(rd.cqe, pkt.dst, rd.dma_done, pkt.src);
+                self.notify_cqe(rd.cqe, pkt.dst, rd.dma_done, pkt.src, pop);
                 step.upcalls.push((
                     rd.dma_done,
                     Upcall::DepositArrived {
@@ -1213,7 +1261,7 @@ impl Comm {
                     dma_done - now,
                     self.model.recv_cost() + rd.expected,
                 );
-                self.notify_cqe(rd.cqe, pkt.dst, dma_done, pkt.src);
+                self.notify_cqe(rd.cqe, pkt.dst, dma_done, pkt.src, pop);
                 let upcall = match pkt.kind {
                     MsgKind::Deposit => Upcall::DepositArrived {
                         nic: pkt.dst,
@@ -1249,23 +1297,25 @@ impl Comm {
                 );
                 if fs.odp_fault {
                     self.obs_record(|o| {
-                        o.instant(
+                        o.instant_op(
                             SpanKind::OdpFault,
                             pkt.dst.index(),
                             Track::Firmware,
                             recv_done,
                             key,
+                            pop,
                         );
                     });
                 }
                 self.obs_record(|o| {
-                    o.span(
+                    o.span_op(
                         SpanKind::FetchService,
                         pkt.dst.index(),
                         Track::Firmware,
                         recv_done,
                         dma_done,
                         pkt.src.index() as u64,
+                        pop,
                     );
                 });
                 let (_, sub) = self.fw_send(
@@ -1362,8 +1412,9 @@ impl Comm {
                     }
                 };
                 let id = flow_coll_id(coll.index() as u64, epoch as u64, edge_child as u64);
+                let bop = op_barrier_id(coll.index() as u64, epoch as u64);
                 self.obs_record(|o| {
-                    o.instant_flow(
+                    o.instant_flow_op(
                         kind,
                         pkt.dst.index(),
                         Track::Firmware,
@@ -1373,14 +1424,16 @@ impl Comm {
                             id,
                             dir: FlowDir::Finish,
                         },
+                        bop,
                     );
-                    o.span(
+                    o.span_op(
                         SpanKind::CollCombine,
                         pkt.dst.index(),
                         Track::Firmware,
                         recv_done,
                         svc_done,
                         coll.index() as u64,
+                        bop,
                     );
                 });
                 let sub = self.coll_op(svc_done, pkt.dst, pkt.src, op);
@@ -1403,13 +1456,14 @@ impl Comm {
                     LockOp::Grant { lock, .. } => lock,
                 };
                 self.obs_record(|o| {
-                    o.span(
+                    o.span_op(
                         SpanKind::NiLockService,
                         pkt.dst.index(),
                         Track::Firmware,
                         recv_done,
                         svc_done,
                         serviced.index() as u64,
+                        pop,
                     );
                 });
                 let sub = self.lock_op(svc_done, pkt.dst, op, pkt.tag);
@@ -1489,12 +1543,22 @@ impl Comm {
             }
             LockOp::Grant { lock, tag } => {
                 let slot = &mut self.locks[lock.index()].slots[nic.index()];
+                if slot.state == SlotState::HeldLocal {
+                    // A duplicated grant that slipped past sequence
+                    // dedupe (a local-hop copy carries no sequence
+                    // number): the lock is already held here, so the
+                    // copy is discarded without a second flow finish
+                    // or a spurious host wakeup.
+                    self.recovery.duplicates_suppressed += 1;
+                    return step;
+                }
                 debug_assert_eq!(slot.state, SlotState::AwaitingGrant);
                 slot.state = SlotState::HeldLocal;
                 self.trace_lock(now, nic, lock, LockChange::Acquired);
                 let id = flow_lock_id(lock.index() as u64, tag.value());
+                let op = self.obs_op(tag);
                 self.obs_record(|o| {
-                    o.instant_flow(
+                    o.instant_flow_op(
                         SpanKind::NiLockGrant,
                         nic.index(),
                         Track::Firmware,
@@ -1504,6 +1568,7 @@ impl Comm {
                             id,
                             dir: FlowDir::Finish,
                         },
+                        op,
                     );
                 });
                 let at = now + self.model.notify();
@@ -1561,8 +1626,9 @@ impl Comm {
             match a {
                 Action::SendArrive { from, to, epoch } => {
                     let id = flow_coll_id(coll.index() as u64, epoch as u64, from as u64);
+                    let bop = op_barrier_id(coll.index() as u64, epoch as u64);
                     self.obs_record(|o| {
-                        o.instant_flow(
+                        o.instant_flow_op(
                             SpanKind::CollFanIn,
                             from as usize,
                             Track::Firmware,
@@ -1572,6 +1638,7 @@ impl Comm {
                                 id,
                                 dir: FlowDir::Start,
                             },
+                            bop,
                         );
                     });
                     let (_, sub) = self.fw_send(
@@ -1587,8 +1654,9 @@ impl Comm {
                 }
                 Action::SendRelease { from, to, epoch } => {
                     let id = flow_coll_id(coll.index() as u64, epoch as u64, to as u64);
+                    let bop = op_barrier_id(coll.index() as u64, epoch as u64);
                     self.obs_record(|o| {
-                        o.instant_flow(
+                        o.instant_flow_op(
                             SpanKind::CollFanOut,
                             from as usize,
                             Track::Firmware,
@@ -1598,6 +1666,7 @@ impl Comm {
                                 id,
                                 dir: FlowDir::Start,
                             },
+                            bop,
                         );
                     });
                     let (_, sub) = self.fw_send(

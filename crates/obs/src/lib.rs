@@ -28,7 +28,8 @@ pub mod timeline;
 pub use json::{Json, JsonError};
 pub use ring::{ObsConfig, ObsHandle, ObsReport, Recorder};
 pub use span::{
-    flow_coll_id, flow_diff_id, flow_lock_id, Flow, FlowDir, SpanKind, SpanRecord, Track,
+    flow_coll_id, flow_diff_id, flow_lock_id, op_barrier_id, op_class, op_diff_id, op_fetch_id,
+    op_lock_id, Flow, FlowDir, OpClass, SpanKind, SpanRecord, Track,
 };
 pub use summary::{monitor_tables, trace_top, Grid};
 pub use timeline::{count_named, timeline_json, validate_trace, TraceStats};

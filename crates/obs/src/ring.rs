@@ -11,7 +11,7 @@
 use crate::span::{Flow, SpanKind, SpanRecord, Track};
 use genima_sim::{Dur, Time};
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Shared handle to a [`Recorder`]; the simulator is single-threaded,
@@ -71,10 +71,17 @@ struct Ring {
 }
 
 /// Collects [`SpanRecord`]s into bounded per-node rings.
+///
+/// The recorder also carries the run's *tag→op* binding table: the
+/// protocol layer binds each wire tag it allocates to the operation it
+/// serves, and every downstream emission site (NI firmware, wire
+/// delivery) resolves the packet's tag back to the op id without the
+/// wire formats knowing anything about tracing.
 #[derive(Debug)]
 pub struct Recorder {
     rings: Vec<Ring>,
     capacity: usize,
+    ops: HashMap<u64, u64>,
 }
 
 impl Recorder {
@@ -85,7 +92,29 @@ impl Recorder {
         for _ in 0..nodes {
             rings.push(Ring::default());
         }
-        Recorder { rings, capacity }
+        Recorder {
+            rings,
+            capacity,
+            ops: HashMap::new(),
+        }
+    }
+
+    /// Binds wire tag `tag` to operation `op`. Tag `0` (`Tag::NONE`)
+    /// and op `0` are never bound.
+    pub fn bind_op(&mut self, tag: u64, op: u64) {
+        if tag != 0 && op != 0 {
+            self.ops.insert(tag, op);
+        }
+    }
+
+    /// The operation bound to `tag`, or `0` when unbound.
+    pub fn op_for(&self, tag: u64) -> u64 {
+        self.ops.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Removes a tag binding once its pending transaction is consumed.
+    pub fn unbind_op(&mut self, tag: u64) {
+        self.ops.remove(&tag);
     }
 
     /// Creates a shared handle per `cfg`; `None` when disabled.
@@ -124,6 +153,21 @@ impl Recorder {
         end: Time,
         arg: u64,
     ) {
+        self.span_op(kind, node, track, start, end, arg, 0);
+    }
+
+    /// Records a span attributed to operation `op` (`0` = none).
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_op(
+        &mut self,
+        kind: SpanKind,
+        node: usize,
+        track: Track,
+        start: Time,
+        end: Time,
+        arg: u64,
+        op: u64,
+    ) {
         self.record(SpanRecord {
             kind,
             node,
@@ -132,11 +176,25 @@ impl Recorder {
             dur: end.saturating_since(start),
             arg,
             flow: None,
+            op,
         });
     }
 
     /// Records a zero-duration instant.
     pub fn instant(&mut self, kind: SpanKind, node: usize, track: Track, at: Time, arg: u64) {
+        self.instant_op(kind, node, track, at, arg, 0);
+    }
+
+    /// Records an instant attributed to operation `op` (`0` = none).
+    pub fn instant_op(
+        &mut self,
+        kind: SpanKind,
+        node: usize,
+        track: Track,
+        at: Time,
+        arg: u64,
+        op: u64,
+    ) {
         self.record(SpanRecord {
             kind,
             node,
@@ -145,6 +203,7 @@ impl Recorder {
             dur: Dur::ZERO,
             arg,
             flow: None,
+            op,
         });
     }
 
@@ -158,6 +217,21 @@ impl Recorder {
         arg: u64,
         flow: Flow,
     ) {
+        self.instant_flow_op(kind, node, track, at, arg, flow, 0);
+    }
+
+    /// Records a flow-endpoint instant attributed to operation `op`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instant_flow_op(
+        &mut self,
+        kind: SpanKind,
+        node: usize,
+        track: Track,
+        at: Time,
+        arg: u64,
+        flow: Flow,
+        op: u64,
+    ) {
         self.record(SpanRecord {
             kind,
             node,
@@ -166,6 +240,7 @@ impl Recorder {
             dur: Dur::ZERO,
             arg,
             flow: Some(flow),
+            op,
         });
     }
 
@@ -183,13 +258,20 @@ impl Recorder {
     pub fn take(&mut self) -> ObsReport {
         let mut spans = Vec::with_capacity(self.len());
         let mut dropped = 0;
+        let mut dropped_by_node = Vec::with_capacity(self.rings.len());
         for ring in &mut self.rings {
             spans.extend(ring.buf.drain(..));
             dropped += ring.dropped;
+            dropped_by_node.push(ring.dropped);
             ring.dropped = 0;
         }
+        self.ops.clear();
         spans.sort_by_key(|s| (s.start, s.node, s.track.tid(), s.kind.name()));
-        ObsReport { spans, dropped }
+        ObsReport {
+            spans,
+            dropped,
+            dropped_by_node,
+        }
     }
 }
 
@@ -200,6 +282,10 @@ pub struct ObsReport {
     pub spans: Vec<SpanRecord>,
     /// Records evicted because a ring overflowed.
     pub dropped: u64,
+    /// Per-node eviction counts (index = node). A non-zero entry means
+    /// that node's timeline is truncated and attribution over it is
+    /// incomplete.
+    pub dropped_by_node: Vec<u64>,
 }
 
 impl ObsReport {
@@ -232,6 +318,7 @@ mod tests {
             dur: Dur::from_ns(10),
             arg: 0,
             flow: None,
+            op: 0,
         }
     }
 
@@ -250,8 +337,20 @@ mod tests {
         let report = r.take();
         assert_eq!(report.spans.len(), 3);
         assert_eq!(report.dropped, 2);
+        assert_eq!(report.dropped_by_node, vec![2]);
         // Oldest evicted: survivors are 2, 3, 4.
         assert_eq!(report.spans[0].start, Time::from_ns(2));
+    }
+
+    #[test]
+    fn op_bindings_resolve_and_clear() {
+        let mut r = Recorder::new(1, 8);
+        r.bind_op(7, 42);
+        r.bind_op(0, 99); // Tag::NONE never binds
+        assert_eq!(r.op_for(7), 42);
+        assert_eq!(r.op_for(0), 0);
+        r.unbind_op(7);
+        assert_eq!(r.op_for(7), 0);
     }
 
     #[test]

@@ -105,11 +105,17 @@ pub enum SpanKind {
     /// touched an unregistered page and the RNIC had to fault it in
     /// before the DMA (`arg` = translation key).
     OdpFault,
+    /// Firmware span at the *receiver*: a packet's time on the wire,
+    /// from the source NI finishing injection to delivery at the
+    /// destination NI (`arg` = source node). Only emitted for records
+    /// attributed to an operation (`op != 0`); the critical-path
+    /// analyzer uses it to bridge tracks across nodes.
+    WireTransit,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 22] = [
+    pub const ALL: [SpanKind; 23] = [
         SpanKind::PageFetch,
         SpanKind::FetchRetry,
         SpanKind::DiffCompute,
@@ -132,6 +138,7 @@ impl SpanKind {
         SpanKind::QpDoorbell,
         SpanKind::CqNotify,
         SpanKind::OdpFault,
+        SpanKind::WireTransit,
     ];
 
     /// Stable name used in timelines and summaries.
@@ -159,6 +166,7 @@ impl SpanKind {
             SpanKind::QpDoorbell => "qp_doorbell",
             SpanKind::CqNotify => "cq_notify",
             SpanKind::OdpFault => "odp_fault",
+            SpanKind::WireTransit => "wire_transit",
         }
     }
 
@@ -183,7 +191,8 @@ impl SpanKind {
             | SpanKind::CollFanOut
             | SpanKind::QpDoorbell
             | SpanKind::CqNotify
-            | SpanKind::OdpFault => "nic",
+            | SpanKind::OdpFault
+            | SpanKind::WireTransit => "nic",
             SpanKind::FaultDrop | SpanKind::FaultDup | SpanKind::FaultDelay => "fault",
         }
     }
@@ -212,7 +221,8 @@ impl SpanKind {
             | SpanKind::Interrupt
             | SpanKind::NiLockService
             | SpanKind::FetchService
-            | SpanKind::CollCombine => false,
+            | SpanKind::CollCombine
+            | SpanKind::WireTransit => false,
         }
     }
 }
@@ -254,6 +264,9 @@ pub struct SpanRecord {
     pub arg: u64,
     /// Optional flow-arrow endpoint.
     pub flow: Option<Flow>,
+    /// The protocol operation this record belongs to (see
+    /// [`op_class`]); `0` means unattributed.
+    pub op: u64,
 }
 
 impl SpanRecord {
@@ -289,6 +302,91 @@ pub fn flow_coll_id(coll: u64, epoch: u64, child: u64) -> u64 {
         .wrapping_add(epoch.rotate_left(23))
         .wrapping_add(child.wrapping_mul(0x2545_f491_4f6c_dd1d))
         ^ 0x436f_6c6c)
+}
+
+/// The class of protocol operation an op id names, decoded from the
+/// id's top bits — ids are self-describing, so the profiler needs no
+/// side table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// A page fetch: fault to copy installed.
+    Fetch,
+    /// A lock acquire or handoff: request to grant.
+    Lock,
+    /// One barrier epoch: last arrival decision to releases applied.
+    Barrier,
+    /// One diff's journey: computed at the writer, applied at the home.
+    Diff,
+}
+
+impl OpClass {
+    /// Every class, in display order.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Fetch,
+        OpClass::Lock,
+        OpClass::Barrier,
+        OpClass::Diff,
+    ];
+
+    /// Stable name used in reports and folded stacks.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Fetch => "fetch",
+            OpClass::Lock => "lock",
+            OpClass::Barrier => "barrier",
+            OpClass::Diff => "diff",
+        }
+    }
+}
+
+const OP_CLASS_SHIFT: u32 = 61;
+const OP_BODY_MASK: u64 = (1 << OP_CLASS_SHIFT) - 1;
+
+/// Op id for the `seq`-th page-fetch operation of a run.
+pub fn op_fetch_id(seq: u64) -> u64 {
+    (1 << OP_CLASS_SHIFT) | (seq & OP_BODY_MASK)
+}
+
+/// Op id for the `seq`-th lock acquire/handoff operation of a run.
+pub fn op_lock_id(seq: u64) -> u64 {
+    (2 << OP_CLASS_SHIFT) | (seq & OP_BODY_MASK)
+}
+
+/// Op id for one barrier epoch, computed structurally from
+/// `(barrier, epoch)` so the host manager, the NI collective tree,
+/// and every releasing node derive the same id independently.
+pub fn op_barrier_id(barrier: u64, epoch: u64) -> u64 {
+    let body = mix(barrier
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(epoch.rotate_left(29))
+        ^ 0x4261_7272);
+    (3 << OP_CLASS_SHIFT) | (body & OP_BODY_MASK)
+}
+
+/// Op id for one diff's deposit→apply journey, computed structurally
+/// from `(writer, interval, page)` at the writer and the home alike —
+/// the same tuple that names the flow arrow ([`flow_diff_id`]).
+pub fn op_diff_id(writer: u64, interval: u64, page: u64) -> u64 {
+    let body = mix(writer
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(interval.rotate_left(11))
+        .wrapping_add(page.wrapping_mul(0x2545_f491_4f6c_dd1d))
+        ^ 0x4f70_4464);
+    (4 << OP_CLASS_SHIFT) | (body & OP_BODY_MASK)
+}
+
+/// Decodes the class of an op id; `None` for `0` (unattributed) and
+/// for bit patterns no constructor produces.
+pub fn op_class(op: u64) -> Option<OpClass> {
+    match op >> OP_CLASS_SHIFT {
+        1 => Some(OpClass::Fetch),
+        2 => Some(OpClass::Lock),
+        3 => Some(OpClass::Barrier),
+        4 => Some(OpClass::Diff),
+        // An integer tag match cannot be exhaustive; anything a
+        // constructor never produces is simply unattributed.
+        _ => None, // lint: allow-wildcard
+    }
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -337,8 +435,25 @@ mod tests {
             dur: Dur::from_ns(50),
             arg: 7,
             flow: None,
+            op: 0,
         };
         assert_eq!(r.end(), Time::from_ns(150));
         assert_eq!(Track::Firmware.tid(), 1);
+    }
+
+    #[test]
+    fn op_ids_are_self_describing() {
+        assert_eq!(op_class(op_fetch_id(7)), Some(OpClass::Fetch));
+        assert_eq!(op_class(op_lock_id(7)), Some(OpClass::Lock));
+        assert_eq!(op_class(op_barrier_id(2, 5)), Some(OpClass::Barrier));
+        assert_eq!(op_class(op_diff_id(1, 2, 3)), Some(OpClass::Diff));
+        assert_eq!(op_class(0), None);
+        // Same seq, different class → different id.
+        assert_ne!(op_fetch_id(7), op_lock_id(7));
+        // Structural ids agree across independent derivations.
+        assert_eq!(op_barrier_id(2, 5), op_barrier_id(2, 5));
+        assert_ne!(op_barrier_id(2, 5), op_barrier_id(2, 6));
+        assert_eq!(op_diff_id(1, 2, 3), op_diff_id(1, 2, 3));
+        assert_ne!(op_diff_id(1, 2, 3), op_diff_id(1, 3, 3));
     }
 }

@@ -59,6 +59,9 @@ pub fn timeline_json(spans: &[SpanRecord]) -> String {
             ev.set("s", Json::str("t"));
             let mut args = Json::obj();
             args.set("arg", Json::u64(rec.arg));
+            if rec.op != 0 {
+                args.set("op", Json::u64(rec.op));
+            }
             ev.set("args", args);
             events.push(ev);
         } else {
@@ -66,6 +69,9 @@ pub fn timeline_json(spans: &[SpanRecord]) -> String {
             ev.set("dur", Json::num(rec.dur.as_us()));
             let mut args = Json::obj();
             args.set("arg", Json::u64(rec.arg));
+            if rec.op != 0 {
+                args.set("op", Json::u64(rec.op));
+            }
             ev.set("args", args);
             events.push(ev);
         }

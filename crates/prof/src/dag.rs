@@ -1,0 +1,294 @@
+//! Per-operation causal DAGs and the critical-path sweep.
+//!
+//! All records carrying the same op id — host envelope spans, firmware
+//! service occupancies, wire transits, interrupt handlers, across every
+//! node and track — form one [`OpDag`]. Its *window* runs from the
+//! earliest record to the latest; the critical-path sweep partitions
+//! that window into [`Segment`]s: at every instant the highest-priority
+//! covering activity claims the time, and uncovered time is queueing /
+//! retry slack. The partition is exhaustive and disjoint, so the
+//! per-segment breakdown sums to the operation's latency *exactly* —
+//! not approximately — which is what lets the bench self-gate on it.
+
+use crate::segment::{Breakdown, Segment};
+use genima_obs::{op_class, OpClass, SpanRecord};
+use genima_sim::{Dur, Time};
+
+/// One maximal run of the operation's window attributed to a single
+/// segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    /// Who owned this stretch of wall-clock time.
+    pub segment: Segment,
+    /// Stretch start.
+    pub start: Time,
+    /// Stretch end (exclusive).
+    pub end: Time,
+}
+
+impl PathStep {
+    /// Length of the stretch.
+    pub fn dur(&self) -> Dur {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// All records of one protocol operation, ready for critical-path
+/// extraction.
+#[derive(Clone, Debug)]
+pub struct OpDag {
+    /// The operation id (see [`genima_obs::op_class`]).
+    pub op: u64,
+    /// Decoded operation class.
+    pub class: OpClass,
+    /// Every record attributed to the op, in recorder order.
+    pub records: Vec<SpanRecord>,
+}
+
+impl OpDag {
+    /// Builds a DAG from the records of one operation. Returns `None`
+    /// when `op` decodes to no class or `records` is empty — an op the
+    /// profiler cannot attribute.
+    pub fn new(op: u64, records: Vec<SpanRecord>) -> Option<OpDag> {
+        let class = op_class(op)?;
+        if records.is_empty() {
+            return None;
+        }
+        Some(OpDag { op, class, records })
+    }
+
+    /// The operation's wall-clock window: earliest record start to
+    /// latest record end.
+    pub fn window(&self) -> (Time, Time) {
+        let mut lo = Time::from_ns(u64::MAX);
+        let mut hi = Time::ZERO;
+        for r in &self.records {
+            lo = lo.min(r.start);
+            hi = hi.max(r.end());
+        }
+        (lo, hi)
+    }
+
+    /// The operation's measured latency (window length).
+    pub fn latency(&self) -> Dur {
+        let (lo, hi) = self.window();
+        hi.saturating_since(lo)
+    }
+
+    /// Extracts the critical path: a disjoint, exhaustive partition of
+    /// the window into segment-attributed stretches, adjacent
+    /// same-segment stretches merged.
+    pub fn critical_path(&self) -> Vec<PathStep> {
+        let (lo, hi) = self.window();
+        if lo >= hi {
+            return Vec::new();
+        }
+        // Coverage candidates: duration records mapping to a segment,
+        // clipped to the window.
+        let mut cands: Vec<(u64, u64, Segment)> = Vec::new();
+        for r in &self.records {
+            if r.dur == Dur::ZERO {
+                continue;
+            }
+            if let Some(seg) = Segment::of_span(r.kind, r.track) {
+                let a = r.start.max(lo).as_ns();
+                let b = r.end().min(hi).as_ns();
+                if a < b {
+                    cands.push((a, b, seg));
+                }
+            }
+        }
+        // Elementary slices between consecutive boundaries.
+        let mut bounds: Vec<u64> = Vec::with_capacity(cands.len() * 2 + 2);
+        bounds.push(lo.as_ns());
+        bounds.push(hi.as_ns());
+        for &(a, b, _) in &cands {
+            bounds.push(a);
+            bounds.push(b);
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut path: Vec<PathStep> = Vec::new();
+        for w in bounds.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let seg = cands
+                .iter()
+                .filter(|&&(ca, cb, _)| ca <= a && b <= cb)
+                .map(|&(_, _, s)| s)
+                .min_by_key(|s| s.priority())
+                .unwrap_or(Segment::QueueRetry);
+            match path.last_mut() {
+                Some(prev) if prev.segment == seg && prev.end.as_ns() == a => {
+                    prev.end = Time::from_ns(b);
+                }
+                Some(_) | None => path.push(PathStep {
+                    segment: seg,
+                    start: Time::from_ns(a),
+                    end: Time::from_ns(b),
+                }),
+            }
+        }
+        path
+    }
+
+    /// Per-segment attribution of the whole window. Always sums to
+    /// [`OpDag::latency`].
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for step in self.critical_path() {
+            b.add(step.segment, step.dur());
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_obs::{op_fetch_id, op_lock_id, SpanKind, Track};
+    use proptest::prelude::*;
+
+    fn span(kind: SpanKind, track: Track, start: u64, end: u64, op: u64) -> SpanRecord {
+        SpanRecord {
+            kind,
+            node: 0,
+            track,
+            start: Time::from_ns(start),
+            dur: Dur::from_ns(end - start),
+            arg: 0,
+            flow: None,
+            op,
+        }
+    }
+
+    /// Chain: envelope 0..100, wire 10..30, firmware 30..50, wire
+    /// 50..70 — the uncovered head and tail are queueing.
+    #[test]
+    fn chain_attributes_in_order() {
+        let op = op_fetch_id(1);
+        let dag = OpDag::new(
+            op,
+            vec![
+                span(SpanKind::PageFetch, Track::Host, 0, 100, op),
+                span(SpanKind::WireTransit, Track::Firmware, 10, 30, op),
+                span(SpanKind::FetchService, Track::Firmware, 30, 50, op),
+                span(SpanKind::WireTransit, Track::Firmware, 50, 70, op),
+            ],
+        )
+        .expect("valid dag");
+        assert_eq!(dag.latency(), Dur::from_ns(100));
+        let path = dag.critical_path();
+        let segs: Vec<(Segment, u64, u64)> = path
+            .iter()
+            .map(|s| (s.segment, s.start.as_ns(), s.end.as_ns()))
+            .collect();
+        assert_eq!(
+            segs,
+            vec![
+                (Segment::QueueRetry, 0, 10),
+                (Segment::Wire, 10, 30),
+                (Segment::Firmware, 30, 50),
+                (Segment::Wire, 50, 70),
+                (Segment::QueueRetry, 70, 100),
+            ]
+        );
+        let b = dag.breakdown();
+        assert_eq!(b.wire, Dur::from_ns(40));
+        assert_eq!(b.firmware, Dur::from_ns(20));
+        assert_eq!(b.queue_retry, Dur::from_ns(40));
+        assert_eq!(b.total(), dag.latency());
+    }
+
+    /// Fan-in: two overlapping activities — the higher-priority
+    /// interrupt claims the overlap, the wire keeps the rest.
+    #[test]
+    fn fan_in_overlap_resolves_by_priority() {
+        let op = op_lock_id(2);
+        let dag = OpDag::new(
+            op,
+            vec![
+                span(SpanKind::LockAcquire, Track::Host, 0, 60, op),
+                span(SpanKind::WireTransit, Track::Firmware, 10, 50, op),
+                span(SpanKind::Interrupt, Track::Host, 30, 40, op),
+            ],
+        )
+        .expect("valid dag");
+        let b = dag.breakdown();
+        assert_eq!(b.interrupt, Dur::from_ns(10));
+        assert_eq!(b.wire, Dur::from_ns(30)); // 10..30 and 40..50
+        assert_eq!(b.queue_retry, Dur::from_ns(20)); // 0..10 and 50..60
+        assert_eq!(b.total(), dag.latency());
+    }
+
+    /// Retry loop: two service bursts separated by backoff — the gap
+    /// between them lands in queue/retry.
+    #[test]
+    fn retry_loop_gap_is_queue_retry() {
+        let op = op_fetch_id(3);
+        let dag = OpDag::new(
+            op,
+            vec![
+                span(SpanKind::PageFetch, Track::Host, 0, 200, op),
+                span(SpanKind::FetchService, Track::Firmware, 20, 40, op),
+                // Retry fires much later; second service attempt.
+                span(SpanKind::FetchService, Track::Firmware, 140, 160, op),
+            ],
+        )
+        .expect("valid dag");
+        let b = dag.breakdown();
+        assert_eq!(b.firmware, Dur::from_ns(40));
+        assert_eq!(b.queue_retry, Dur::from_ns(160));
+        assert_eq!(b.total(), Dur::from_ns(200));
+        // The merged path has exactly one stretch per alternation.
+        let path = dag.critical_path();
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn unattributable_ops_are_rejected() {
+        assert!(OpDag::new(0, vec![]).is_none());
+        let op = op_fetch_id(1);
+        assert!(OpDag::new(op, vec![]).is_none());
+        // An id with an unknown class tag decodes to no class.
+        assert!(OpDag::new(
+            u64::MAX,
+            vec![span(SpanKind::PageFetch, Track::Host, 0, 1, u64::MAX)]
+        )
+        .is_none());
+    }
+
+    proptest! {
+        /// The sum invariant: for arbitrary activity soups inside an
+        /// arbitrary envelope, per-segment attribution sums exactly to
+        /// the op's measured latency.
+        #[test]
+        fn attribution_sums_to_latency(
+            env_len in 1u64..1000,
+            spans in proptest::collection::vec((0u64..1000, 0u64..300, 0usize..4), 0..12)
+        ) {
+            let op = op_fetch_id(7);
+            let mut records = vec![span(SpanKind::PageFetch, Track::Host, 0, env_len, op)];
+            for (start, len, kind_ix) in spans {
+                let (kind, track) = match kind_ix {
+                    0 => (SpanKind::WireTransit, Track::Firmware),
+                    1 => (SpanKind::FetchService, Track::Firmware),
+                    2 => (SpanKind::Interrupt, Track::Host),
+                    _ => (SpanKind::DiffCompute, Track::Host),
+                };
+                records.push(span(kind, track, start, start + len, op));
+            }
+            let dag = OpDag::new(op, records).expect("valid dag");
+            let b = dag.breakdown();
+            prop_assert_eq!(b.total(), dag.latency());
+            // The path is a disjoint exhaustive partition.
+            let path = dag.critical_path();
+            let (lo, hi) = dag.window();
+            prop_assert_eq!(path.first().map(|s| s.start), Some(lo));
+            prop_assert_eq!(path.last().map(|s| s.end), Some(hi));
+            for w in path.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+                prop_assert_ne!(w[0].segment, w[1].segment);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! genima-prof: causal op-tracer and critical-path profiler.
+//!
+//! Layered on the `genima-obs` span/flow machinery: every protocol
+//! operation (page fetch, lock acquire/handoff, barrier epoch, direct
+//! diff) carries a deterministic op id through host handlers, NI
+//! firmware, and the wire. This crate reassembles those records into
+//! per-op causal DAGs ([`OpDag`]), extracts each op's critical path as
+//! an exhaustive partition of its latency window into [`Segment`]s,
+//! and summarizes per class ([`Profile`], [`ClassSummary`]) — with an
+//! inferno-compatible folded-stack export ([`folded_stacks`]).
+//!
+//! The central invariant, audited by the bench gate: per-segment
+//! attribution sums to the op's measured latency *exactly*, and over a
+//! truncated timeline (ring eviction) the analyzer refuses to make
+//! complete-attribution claims ([`Profile::audited_ops`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dag;
+mod folded;
+mod profile;
+mod segment;
+
+pub use dag::{OpDag, PathStep};
+pub use folded::folded_stacks;
+pub use profile::{build_dags, profile, ClassSummary, OpProfile, Profile, Truncated};
+pub use segment::{Breakdown, Segment};

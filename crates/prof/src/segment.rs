@@ -1,0 +1,214 @@
+//! The segment taxonomy: where an operation's wall-clock time went.
+//!
+//! Every nanosecond of an operation's latency window is attributed to
+//! exactly one [`Segment`], so a [`Breakdown`]'s total always equals
+//! the operation's measured latency — the invariant the bench gate
+//! audits on every run.
+
+use genima_obs::{SpanKind, Track};
+use genima_sim::Dur;
+
+/// One attribution category on an operation's critical path.
+///
+/// When categories overlap in time (an interrupt handler running while
+/// a packet sits on the wire), the higher-priority category wins the
+/// overlap: `Interrupt > Firmware > Wire > HostHandler`. Time covered
+/// by none of them is queueing, backoff, or retry slack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Segment {
+    /// Asynchronous protocol interrupt occupancy on a host processor —
+    /// the cost GeNIMA exists to eliminate.
+    Interrupt,
+    /// NI firmware service occupancy (fetch serving, lock state
+    /// machine, collective combine).
+    Firmware,
+    /// Wire transit: source DMA done to delivery at the destination NI.
+    Wire,
+    /// Synchronous host-side protocol work (diff computation).
+    HostHandler,
+    /// Remainder of the window: queueing, retry backoff, waiting on
+    /// peers — time no recorded activity covers.
+    QueueRetry,
+}
+
+impl Segment {
+    /// Every segment, in attribution-priority order (highest first).
+    pub const ALL: [Segment; 5] = [
+        Segment::Interrupt,
+        Segment::Firmware,
+        Segment::Wire,
+        Segment::HostHandler,
+        Segment::QueueRetry,
+    ];
+
+    /// Stable name used in tables and folded stacks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Segment::Interrupt => "interrupt",
+            Segment::Firmware => "firmware",
+            Segment::Wire => "wire",
+            Segment::HostHandler => "host_handler",
+            Segment::QueueRetry => "queue_retry",
+        }
+    }
+
+    /// Overlap priority: lower wins ties ([`Segment::Interrupt`] beats
+    /// everything, [`Segment::QueueRetry`] is never a candidate — it is
+    /// the uncovered remainder).
+    pub fn priority(self) -> usize {
+        match self {
+            Segment::Interrupt => 0,
+            Segment::Firmware => 1,
+            Segment::Wire => 2,
+            Segment::HostHandler => 3,
+            Segment::QueueRetry => 4,
+        }
+    }
+
+    /// The segment a recorded activity span contributes to, or `None`
+    /// for records that do not cover time (instants), or that *are*
+    /// the wait being attributed (the host-side envelope spans
+    /// `PageFetch` / `LockAcquire` / `BarrierWait`).
+    pub fn of_span(kind: SpanKind, track: Track) -> Option<Segment> {
+        match kind {
+            SpanKind::Interrupt => Some(Segment::Interrupt),
+            SpanKind::NiLockService | SpanKind::FetchService | SpanKind::CollCombine => {
+                Some(Segment::Firmware)
+            }
+            SpanKind::WireTransit => Some(Segment::Wire),
+            SpanKind::DiffCompute => {
+                debug_assert_eq!(track, Track::Host);
+                Some(Segment::HostHandler)
+            }
+            SpanKind::PageFetch
+            | SpanKind::LockAcquire
+            | SpanKind::BarrierWait
+            | SpanKind::FetchRetry
+            | SpanKind::DirectDiffDeposit
+            | SpanKind::DiffApply
+            | SpanKind::LockRelease
+            | SpanKind::NiLockGrant
+            | SpanKind::Retransmit
+            | SpanKind::FaultDrop
+            | SpanKind::FaultDup
+            | SpanKind::FaultDelay
+            | SpanKind::CollFanIn
+            | SpanKind::CollFanOut
+            | SpanKind::QpDoorbell
+            | SpanKind::CqNotify
+            | SpanKind::OdpFault => None,
+        }
+    }
+}
+
+/// Per-segment time of one operation (or a sum over many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Interrupt occupancy.
+    pub interrupt: Dur,
+    /// NI firmware service.
+    pub firmware: Dur,
+    /// Wire transit.
+    pub wire: Dur,
+    /// Synchronous host handler work.
+    pub host_handler: Dur,
+    /// Uncovered remainder (queueing / retry / waiting).
+    pub queue_retry: Dur,
+}
+
+impl Breakdown {
+    /// Time attributed to `seg`.
+    pub fn get(&self, seg: Segment) -> Dur {
+        match seg {
+            Segment::Interrupt => self.interrupt,
+            Segment::Firmware => self.firmware,
+            Segment::Wire => self.wire,
+            Segment::HostHandler => self.host_handler,
+            Segment::QueueRetry => self.queue_retry,
+        }
+    }
+
+    /// Adds `d` to `seg`'s bucket.
+    pub fn add(&mut self, seg: Segment, d: Dur) {
+        match seg {
+            Segment::Interrupt => self.interrupt += d,
+            Segment::Firmware => self.firmware += d,
+            Segment::Wire => self.wire += d,
+            Segment::HostHandler => self.host_handler += d,
+            Segment::QueueRetry => self.queue_retry += d,
+        }
+    }
+
+    /// Accumulates another breakdown bucket-wise.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for seg in Segment::ALL {
+            self.add(seg, other.get(seg));
+        }
+    }
+
+    /// Sum over all buckets — equals the operation's latency by
+    /// construction of the sweep.
+    pub fn total(&self) -> Dur {
+        let mut t = Dur::ZERO;
+        for seg in Segment::ALL {
+            t += self.get(seg);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_priorities_ordered() {
+        let mut names: Vec<&str> = Segment::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Segment::ALL.len());
+        for w in Segment::ALL.windows(2) {
+            assert!(w[0].priority() < w[1].priority());
+        }
+    }
+
+    #[test]
+    fn span_mapping_matches_taxonomy() {
+        assert_eq!(
+            Segment::of_span(SpanKind::Interrupt, Track::Host),
+            Some(Segment::Interrupt)
+        );
+        assert_eq!(
+            Segment::of_span(SpanKind::FetchService, Track::Firmware),
+            Some(Segment::Firmware)
+        );
+        assert_eq!(
+            Segment::of_span(SpanKind::WireTransit, Track::Firmware),
+            Some(Segment::Wire)
+        );
+        assert_eq!(
+            Segment::of_span(SpanKind::DiffCompute, Track::Host),
+            Some(Segment::HostHandler)
+        );
+        // Envelope waits and instants are never coverage candidates.
+        assert_eq!(Segment::of_span(SpanKind::PageFetch, Track::Host), None);
+        assert_eq!(
+            Segment::of_span(SpanKind::NiLockGrant, Track::Firmware),
+            None
+        );
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = Breakdown::default();
+        b.add(Segment::Wire, Dur::from_ns(10));
+        b.add(Segment::Wire, Dur::from_ns(5));
+        b.add(Segment::Interrupt, Dur::from_ns(3));
+        assert_eq!(b.get(Segment::Wire), Dur::from_ns(15));
+        assert_eq!(b.total(), Dur::from_ns(18));
+        let mut c = Breakdown::default();
+        c.merge(&b);
+        c.merge(&b);
+        assert_eq!(c.total(), Dur::from_ns(36));
+    }
+}

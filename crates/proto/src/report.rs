@@ -2,11 +2,53 @@
 
 use genima_nic::{Monitor, NiStats, RecoveryStats, SizeClass, Stage};
 use genima_obs::Json;
-use genima_sim::{Dur, Time};
+use genima_sim::{Dur, Histogram, Time};
 
 use crate::breakdown::{Breakdown, Counters};
 use crate::error::ProtoError;
 use crate::features::FeatureSet;
+
+/// Per-operation-kind wait-latency histograms.
+///
+/// Each histogram records the *blocked wait* of one completed protocol
+/// operation: page-fetch waits (fault trap to copy installed), lock
+/// waits (acquire request to grant) and barrier waits (arrival to
+/// release). Recorded unconditionally — the histograms use power-of-two
+/// buckets and cost one increment per completion — and reset at the
+/// warmup barrier alongside the protocol counters, so trajectories
+/// carry tail latency (p50/p95/p99), not just means.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Remote/home page-fetch waits.
+    pub fetch: Histogram,
+    /// Lock acquire waits.
+    pub lock: Histogram,
+    /// Barrier waits (arrival to release, per process).
+    pub barrier: Histogram,
+}
+
+impl OpLatency {
+    /// Per-op-kind tail latency as JSON: `{fetch|lock|barrier:
+    /// {n, p50_us, p95_us, p99_us}}`. Used both inside the
+    /// [`RunReport`] JSON (under `op_latency`) and by bench
+    /// trajectories (`fault_matrix`, `rdma_bench`) so every row
+    /// carries p50/p95/p99 per op kind, not just means.
+    pub fn json(&self) -> Json {
+        let hist = |h: &Histogram| {
+            let mut row = Json::obj();
+            row.set("n", Json::u64(h.count()));
+            row.set("p50_us", Json::num(h.p50().as_us()));
+            row.set("p95_us", Json::num(h.p95().as_us()));
+            row.set("p99_us", Json::num(h.p99().as_us()));
+            row
+        };
+        let mut o = Json::obj();
+        o.set("fetch", hist(&self.fetch));
+        o.set("lock", hist(&self.lock));
+        o.set("barrier", hist(&self.barrier));
+        o
+    }
+}
 
 /// Everything measured during one [`SvmSystem`](crate::SvmSystem) run.
 #[derive(Debug, Clone)]
@@ -34,6 +76,8 @@ pub struct RunReport {
     /// Hardware-mechanism counters (doorbells, CQEs, ODP faults); all
     /// zero on hardware without the mechanism.
     pub ni: NiStats,
+    /// Per-op-kind wait-latency histograms (tail latency).
+    pub op_latency: OpLatency,
     /// Events processed by the simulator (diagnostic).
     pub events: u64,
 }
@@ -183,6 +227,7 @@ impl RunReport {
         ni.set("cqes", Json::u64(self.ni.cqes));
         ni.set("odp_faults", Json::u64(self.ni.odp_faults));
         root.set("ni", ni);
+        root.set("op_latency", self.op_latency.json());
         root.set("events", Json::u64(self.events));
         root
     }
@@ -308,6 +353,7 @@ mod tests {
             pinned_shared_bytes: vec![0, 0],
             hw: "LANai-1999",
             ni: NiStats::default(),
+            op_latency: OpLatency::default(),
             events: 0,
         };
         assert_eq!(report.parallel_time(), Dur::from_ms(1));
@@ -342,6 +388,7 @@ mod tests {
             pinned_shared_bytes: vec![4096, 0],
             hw: "LANai-1999",
             ni: NiStats::default(),
+            op_latency: OpLatency::default(),
             events: 7,
         }
     }
@@ -430,5 +477,13 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(0)
         );
+        for kind in ["fetch", "lock", "barrier"] {
+            let row = v
+                .get("op_latency")
+                .and_then(|l| l.get(kind))
+                .expect("op_latency row");
+            assert_eq!(row.get("n").and_then(Json::as_u64), Some(0));
+            assert_eq!(row.get("p99_us").and_then(Json::as_f64), Some(0.0));
+        }
     }
 }

@@ -70,14 +70,26 @@ impl SvmSystem {
                 }
                 return Flow::Continue;
             }
-            // Wait for missing diffs to reach the home copy.
+            // Wait for missing diffs to reach the home copy. Waiters
+            // joining an existing wait share the first waiter's op so
+            // the whole group traces as one operation.
             self.procs[p].clock += trap;
             self.procs[p].bd.data += trap;
             self.procs[p].cur = Some((op, prog));
+            let fetch_op = match self
+                .home_pages
+                .get(&page)
+                .and_then(|h| h.waiters.first())
+                .copied()
+            {
+                Some(lead) => self.fetch_op_of(lead),
+                None => self.next_fetch_op(),
+            };
             self.procs[p].state = ProcState::Blocked(Block::PageFault {
                 page,
                 write,
                 started: now,
+                op: fetch_op,
             });
             self.home_pages.entry(page).or_default().waiters.push(p);
             return Flow::Stop;
@@ -107,14 +119,26 @@ impl SvmSystem {
             }
         }
 
-        // Remote fetch needed.
+        // Remote fetch needed. A process joining an in-flight fetch
+        // shares the initiator's op; the initiator allocates a fresh
+        // one.
         self.procs[p].clock += trap;
         self.procs[p].bd.data += trap;
         self.procs[p].cur = Some((op, prog));
+        let fetch_op = match self.nodes[node]
+            .inflight
+            .get(&page)
+            .and_then(|w| w.first())
+            .copied()
+        {
+            Some(lead) => self.fetch_op_of(lead),
+            None => self.next_fetch_op(),
+        };
         self.procs[p].state = ProcState::Blocked(Block::PageFault {
             page,
             write,
             started: now,
+            op: fetch_op,
         });
         if let Some(waiters) = self.nodes[node].inflight.get_mut(&page) {
             waiters.push(p);
@@ -124,11 +148,14 @@ impl SvmSystem {
         if self.p.features.rf {
             self.issue_rf(now, p, page);
         } else {
-            let tag = self.tag(Pending::PageRequestMsg {
-                requester: node,
-                page,
-                required,
-            });
+            let tag = self.tag_op(
+                Pending::PageRequestMsg {
+                    requester: node,
+                    page,
+                    required,
+                },
+                fetch_op,
+            );
             let bytes = self.p.proto.control_msg_bytes;
             let post = self.vmmc.host_msg(
                 now,
@@ -191,7 +218,8 @@ impl SvmSystem {
             .vmmc
             .fetch(now, my, hn, ts_bytes, genima_nic::ALWAYS_MAPPED, Tag::NONE);
         let t2 = self.absorb_post(post);
-        let tag = self.tag(Pending::FetchPage { proc: p, page });
+        let fetch_op = self.fetch_op_of(p);
+        let tag = self.tag_op(Pending::FetchPage { proc: p, page }, fetch_op);
         let post = self.vmmc.fetch(
             t2,
             my,
@@ -214,6 +242,7 @@ impl SvmSystem {
         page: PageId,
         ts: ReqMap,
         data: Option<Page>,
+        op: u64,
     ) {
         let need = self.inflight_required(node, page);
         if Self::covered(&ts, &need) {
@@ -224,20 +253,24 @@ impl SvmSystem {
         // requirement (served once the missing diffs are applied).
         self.counters.fetch_retries += 1;
         self.obs_record(|o| {
-            o.instant(
+            o.instant_op(
                 genima_obs::SpanKind::FetchRetry,
                 node,
                 genima_obs::Track::Host,
                 t,
                 page.index() as u64,
+                op,
             );
         });
         let home = self.home_of(page).index();
-        let tag = self.tag(Pending::PageRequestMsg {
-            requester: node,
-            page,
-            required: need,
-        });
+        let tag = self.tag_op(
+            Pending::PageRequestMsg {
+                requester: node,
+                page,
+                required: need,
+            },
+            op,
+        );
         let bytes = self.p.proto.control_msg_bytes;
         let post = self.vmmc.host_msg(
             t,
@@ -269,7 +302,7 @@ impl SvmSystem {
 
     /// A remote-fetched page arrived; validate its timestamp against
     /// every waiter's requirement and either install it or retry.
-    pub(crate) fn rf_completed(&mut self, t: Time, proc: usize, page: PageId) {
+    pub(crate) fn rf_completed(&mut self, t: Time, proc: usize, page: PageId, op: u64) {
         let node = self.p.topo.node_of(ProcId::new(proc)).index();
         if !self.nodes[node].inflight.contains_key(&page) {
             return; // superseded
@@ -290,12 +323,13 @@ impl SvmSystem {
         } else {
             self.counters.fetch_retries += 1;
             self.obs_record(|o| {
-                o.instant(
+                o.instant_op(
                     genima_obs::SpanKind::FetchRetry,
                     node,
                     genima_obs::Track::Host,
                     t,
                     page.index() as u64,
+                    op,
                 );
             });
             self.q.push(
@@ -385,12 +419,13 @@ impl SvmSystem {
 
     /// Finishes a blocked page fault for `p` at time `t`.
     pub(crate) fn complete_fault(&mut self, t: Time, p: usize, page: PageId) {
-        let (write, started) = match &self.procs[p].state {
+        let (write, started, fetch_op) = match &self.procs[p].state {
             ProcState::Blocked(Block::PageFault {
                 page: pg,
                 write,
                 started,
-            }) if *pg == page => (*write, *started),
+                op,
+            }) if *pg == page => (*write, *started, *op),
             other => panic!("p{p} woken for {page} but in state {other:?}"),
         };
         let node = self.p.topo.node_of(ProcId::new(p)).index();
@@ -429,14 +464,16 @@ impl SvmSystem {
         self.procs[p].bd.acqrel += twin_cost;
         self.procs[p].bd.mprotect += mpro;
         self.counters.mprotect_calls += 1;
+        self.op_hist.fetch.record(t.saturating_since(started));
         self.obs_record(|o| {
-            o.span(
+            o.span_op(
                 genima_obs::SpanKind::PageFetch,
                 node,
                 genima_obs::Track::Host,
                 started,
                 end,
                 page.index() as u64,
+                fetch_op,
             );
         });
         if write {
@@ -458,6 +495,7 @@ impl SvmSystem {
         requester: usize,
         page: PageId,
         required: ReqMap,
+        op: u64,
     ) {
         let hp = self.home_pages.entry(page).or_default();
         if Self::covered(&hp.applied, &required) {
@@ -470,12 +508,15 @@ impl SvmSystem {
             } else {
                 None
             };
-            let tag = self.tag(Pending::PageReply {
-                node: requester,
-                page,
-                ts,
-                data,
-            });
+            let tag = self.tag_op(
+                Pending::PageReply {
+                    node: requester,
+                    page,
+                    ts,
+                    data,
+                },
+                op,
+            );
             let bytes = genima_mem::PAGE_SIZE as u32 + self.p.proto.page_ts_bytes;
             let post = self.vmmc.deposit(
                 t,
@@ -486,7 +527,7 @@ impl SvmSystem {
             );
             self.absorb_post(post);
         } else {
-            hp.pending_reqs.push((requester, required));
+            hp.pending_reqs.push((requester, required, op));
         }
     }
 
@@ -542,6 +583,7 @@ impl SvmSystem {
         interval: u32,
         page: PageId,
         diff: Option<Diff>,
+        deposited: bool,
     ) -> Result<(), ProtoError> {
         let stale = self
             .home_pages
@@ -558,22 +600,38 @@ impl SvmSystem {
             interval,
         });
         let home = self.home_of(page).index();
+        let dop = genima_obs::op_diff_id(writer as u64, interval as u64, page.index() as u64);
         self.obs_record(|o| {
-            o.instant_flow(
-                genima_obs::SpanKind::DiffApply,
-                home,
-                genima_obs::Track::Host,
-                t,
-                page.index() as u64,
-                genima_obs::Flow {
-                    id: genima_obs::flow_diff_id(
-                        writer as u64,
-                        interval as u64,
-                        page.index() as u64,
-                    ),
-                    dir: genima_obs::FlowDir::Finish,
-                },
-            );
+            if deposited {
+                // The apply completes a deposit arrow started at the
+                // writer; local flushes and packed host-message diffs
+                // never started one, so they stay flowless instants.
+                o.instant_flow_op(
+                    genima_obs::SpanKind::DiffApply,
+                    home,
+                    genima_obs::Track::Host,
+                    t,
+                    page.index() as u64,
+                    genima_obs::Flow {
+                        id: genima_obs::flow_diff_id(
+                            writer as u64,
+                            interval as u64,
+                            page.index() as u64,
+                        ),
+                        dir: genima_obs::FlowDir::Finish,
+                    },
+                    dop,
+                );
+            } else {
+                o.instant_op(
+                    genima_obs::SpanKind::DiffApply,
+                    home,
+                    genima_obs::Track::Host,
+                    t,
+                    page.index() as u64,
+                    dop,
+                );
+            }
         });
         let data_mode = self.p.data_mode;
         let hp = self.home_pages.entry(page).or_default();
@@ -615,11 +673,11 @@ impl SvmSystem {
 
         // Serve deferred Base requests that are now satisfiable.
         let mut still_pending = Vec::new();
-        for (req_node, req) in pending {
+        for (req_node, req, req_op) in pending {
             if Self::covered(&applied, &req) {
-                self.home_serve_page_request(t, home, req_node, page, req);
+                self.home_serve_page_request(t, home, req_node, page, req, req_op);
             } else {
-                still_pending.push((req_node, req));
+                still_pending.push((req_node, req, req_op));
             }
         }
 

@@ -223,13 +223,16 @@ pub(crate) enum Pending {
 }
 
 /// Actions performed when a host protocol handler finishes servicing
-/// an interrupt (Base-protocol paths only).
+/// an interrupt (Base-protocol paths only). Variants whose follow-up
+/// emits attributed records or messages carry the operation id (`op`)
+/// resolved from the triggering message's tag.
 #[derive(Debug)]
 pub(crate) enum Job {
     PageRequest {
         requester: usize,
         page: PageId,
         required: ReqMap,
+        op: u64,
     },
     ApplyDiff {
         writer: usize,
@@ -241,11 +244,13 @@ pub(crate) enum Job {
         lock: LockId,
         proc: usize,
         requester: usize,
+        op: u64,
     },
     LockOwner {
         lock: LockId,
         proc: usize,
         requester: usize,
+        op: u64,
     },
     BarrierArrive {
         barrier: BarrierId,
@@ -258,20 +263,26 @@ pub(crate) enum Job {
         node: usize,
         vc: VClock,
         upto: Option<Vec<u32>>,
+        op: u64,
     },
 }
 
-/// Why a process is blocked.
+/// Why a process is blocked. Fault and lock waits carry the operation
+/// id allocated when the wait began, so the completion site can emit
+/// the root span (and any retries rebind their tags) without threading
+/// the id through every intermediate message.
 #[derive(Debug)]
 pub(crate) enum Block {
     PageFault {
         page: PageId,
         write: bool,
         started: Time,
+        op: u64,
     },
     LockWait {
         lock: LockId,
         started: Time,
+        op: u64,
     },
     NoticeWait {
         started: Time,
@@ -331,7 +342,7 @@ pub(crate) struct ProcRt {
 pub(crate) struct NodeLock {
     pub(crate) holder: Option<usize>,
     pub(crate) local_waiters: VecDeque<usize>,
-    pub(crate) remote_waiters: VecDeque<(usize, usize)>, // (node, proc)
+    pub(crate) remote_waiters: VecDeque<(usize, usize, u64)>, // (node, proc, op)
     /// Whether this node currently possesses the lock token.
     pub(crate) owned: bool,
     /// A remote request from this node is in flight; later local
@@ -376,8 +387,9 @@ pub(crate) struct HomePage {
     /// Per writer: latest interval whose diffs are applied here.
     pub(crate) applied: ReqMap,
     pub(crate) data: Option<Page>,
-    /// Base: deferred page requests awaiting diffs.
-    pub(crate) pending_reqs: Vec<(usize, ReqMap)>,
+    /// Base: deferred page requests awaiting diffs, with the fetch op
+    /// each serves.
+    pub(crate) pending_reqs: Vec<(usize, ReqMap, u64)>,
     /// Home-local processes waiting for diffs.
     pub(crate) waiters: Vec<usize>,
 }
@@ -394,6 +406,9 @@ pub(crate) struct LockRt {
 pub(crate) struct BarrierRt {
     pub(crate) arrived: usize,
     pub(crate) joined: VClock,
+    /// Completed episodes of this barrier (incremented at each release
+    /// decision); episode N's records share `op_barrier_id(b, N)`.
+    pub(crate) epoch: u64,
 }
 
 /// The complete simulated SVM cluster.
@@ -433,6 +448,12 @@ pub struct SvmSystem {
     pub(crate) shared_extent: usize,
     pub(crate) tags: HashMap<u64, Pending>,
     pub(crate) next_tag: u64,
+    /// Monotonic sequence feeding fetch/lock operation ids (barrier
+    /// and diff ids are structural — see `genima_obs::op_barrier_id`).
+    pub(crate) op_seq: u64,
+    /// Per-op-kind wait-latency histograms, recorded unconditionally
+    /// and reset at the warmup barrier with the counters.
+    pub(crate) op_hist: crate::report::OpLatency,
     pub(crate) counters: Counters,
     pub(crate) done_count: usize,
     pub(crate) measure_from: Time,
@@ -546,6 +567,8 @@ impl SvmSystem {
             shared_extent: 0,
             tags: HashMap::new(),
             next_tag: 1,
+            op_seq: 0,
+            op_hist: crate::report::OpLatency::default(),
             counters: Counters::default(),
             done_count: 0,
             measure_from: Time::ZERO,
@@ -1244,6 +1267,55 @@ impl SvmSystem {
         Tag::new(t)
     }
 
+    /// Allocates a tag bound to `pending` and, when observing, binds
+    /// the wire tag to operation `op` so the NI firmware and wire
+    /// emission sites can resolve the packet back to its op.
+    pub(crate) fn tag_op(&mut self, pending: Pending, op: u64) -> Tag {
+        let t = self.tag(pending);
+        self.obs_record(|o| o.bind_op(t.value(), op));
+        t
+    }
+
+    /// Allocates the next page-fetch operation id.
+    pub(crate) fn next_fetch_op(&mut self) -> u64 {
+        self.op_seq += 1;
+        genima_obs::op_fetch_id(self.op_seq)
+    }
+
+    /// Allocates the next lock-acquire operation id.
+    pub(crate) fn next_lock_op(&mut self) -> u64 {
+        self.op_seq += 1;
+        genima_obs::op_lock_id(self.op_seq)
+    }
+
+    /// Resolves the op bound to `tag` and removes the binding (the
+    /// pending transaction is being consumed). Returns 0 when
+    /// unobserved or unbound.
+    pub(crate) fn take_op(&mut self, tag: Tag) -> u64 {
+        match self.obs.as_ref() {
+            Some(h) => {
+                let mut r = h.borrow_mut();
+                let op = r.op_for(tag.value());
+                r.unbind_op(tag.value());
+                op
+            }
+            None => 0,
+        }
+    }
+
+    /// The fetch op of a process currently blocked on a page fault
+    /// (0 otherwise).
+    pub(crate) fn fetch_op_of(&self, p: usize) -> u64 {
+        match &self.procs[p].state {
+            ProcState::Blocked(Block::PageFault { op, .. }) => *op,
+            ProcState::Runnable
+            | ProcState::Done
+            | ProcState::Blocked(
+                Block::LockWait { .. } | Block::NoticeWait { .. } | Block::BarrierWait { .. },
+            ) => 0,
+        }
+    }
+
     /// Marks a page as part of the shared extent; under first-touch
     /// home allocation, an unplaced page is homed at the toucher.
     pub(crate) fn note_extent(&mut self, page: PageId) {
@@ -1268,9 +1340,10 @@ impl SvmSystem {
     }
 
     /// Charges an interrupt on `node` at `t` with handler service
-    /// `svc`; returns the handler completion time. Also accrues the
-    /// steal penalty the interrupted compute processor suffers.
-    pub(crate) fn interrupt(&mut self, node: usize, t: Time, svc: Dur) -> Time {
+    /// `svc`, attributed to operation `op` (0 = unattributed); returns
+    /// the handler completion time. Also accrues the steal penalty the
+    /// interrupted compute processor suffers.
+    pub(crate) fn interrupt(&mut self, node: usize, t: Time, svc: Dur, op: u64) -> Time {
         debug_assert!(
             !self.p.features.interrupt_free(),
             "GeNIMA must never take an interrupt"
@@ -1281,13 +1354,14 @@ impl SvmSystem {
         let node_rt = &mut self.nodes[node];
         let (start, done) = node_rt.handler.reserve(t + lat, svc);
         self.obs_record(|o| {
-            o.span(
+            o.span_op(
                 genima_obs::SpanKind::Interrupt,
                 node,
                 genima_obs::Track::Host,
                 start,
                 done,
                 svc.as_ns(),
+                op,
             );
         });
         let node_rt = &mut self.nodes[node];
@@ -1303,16 +1377,19 @@ impl SvmSystem {
     fn upcall(&mut self, t: Time, up: Upcall) {
         match up {
             Upcall::DepositArrived { tag, .. } | Upcall::FetchCompleted { tag, .. } => {
+                let op = self.take_op(tag);
                 if let Some(pending) = self.tags.remove(&tag.value()) {
-                    self.pending_arrived(t, pending, false);
+                    self.pending_arrived(t, pending, false, op);
                 }
             }
             Upcall::HostMsgArrived { tag, .. } => {
+                let op = self.take_op(tag);
                 if let Some(pending) = self.tags.remove(&tag.value()) {
-                    self.pending_arrived(t, pending, true);
+                    self.pending_arrived(t, pending, true, op);
                 }
             }
             Upcall::LockGranted { lock, tag, .. } => {
+                let _grant_op = self.take_op(tag);
                 if let Some(Pending::NiLockWait { proc }) = self.tags.remove(&tag.value()) {
                     self.ni_lock_granted(t, proc, lock);
                 }
@@ -1324,6 +1401,7 @@ impl SvmSystem {
                 self.coll_completed(t, nic.index(), coll, epoch);
             }
             Upcall::AtomicCompleted { tag, old, .. } => {
+                let _try_op = self.take_op(tag);
                 if let Some(Pending::AtomicLockTry { proc, lock }) = self.tags.remove(&tag.value())
                 {
                     self.atomic_lock_result(t, proc, lock, old);
@@ -1333,6 +1411,7 @@ impl SvmSystem {
                 // Drop whatever completion the abandoned send was
                 // carrying and abort the run: the peer is presumed
                 // dead, so the completion will never arrive.
+                let _lost_op = self.take_op(tag);
                 self.tags.remove(&tag.value());
                 self.fatal = Some(ProtoError::PeerUnreachable {
                     node: nic.index(),
@@ -1344,8 +1423,10 @@ impl SvmSystem {
 
     /// Routes an arrived message to its protocol action. `host` is
     /// `true` when the message landed via the host-message (interrupt)
-    /// path.
-    fn pending_arrived(&mut self, t: Time, pending: Pending, host: bool) {
+    /// path. `op` is the operation the consumed tag was bound to
+    /// (0 = unattributed), forwarded so downstream handlers keep the
+    /// causal chain.
+    fn pending_arrived(&mut self, t: Time, pending: Pending, host: bool, op: u64) {
         match pending {
             Pending::PageRequestMsg {
                 requester,
@@ -1354,7 +1435,7 @@ impl SvmSystem {
             } => {
                 debug_assert!(host);
                 let home = self.home_of(page).index();
-                let done = self.interrupt(home, t, self.p.proto.svc_page_request);
+                let done = self.interrupt(home, t, self.p.proto.svc_page_request, op);
                 self.q.push(
                     done,
                     SysEvent::Job(
@@ -1363,6 +1444,7 @@ impl SvmSystem {
                             requester,
                             page,
                             required,
+                            op,
                         },
                     ),
                 );
@@ -1372,8 +1454,8 @@ impl SvmSystem {
                 page,
                 ts,
                 data,
-            } => self.base_reply_arrived(t, node, page, ts, data),
-            Pending::FetchPage { proc, page } => self.rf_completed(t, proc, page),
+            } => self.base_reply_arrived(t, node, page, ts, data, op),
+            Pending::FetchPage { proc, page } => self.rf_completed(t, proc, page, op),
             Pending::Notice {
                 node,
                 writer,
@@ -1396,7 +1478,7 @@ impl SvmSystem {
             } => {
                 debug_assert!(host);
                 let home = self.home_of(page).index();
-                let done = self.interrupt(home, t, self.p.mem.diff_apply);
+                let done = self.interrupt(home, t, self.p.mem.diff_apply, op);
                 self.q.push(
                     done,
                     SysEvent::Job(
@@ -1416,7 +1498,7 @@ impl SvmSystem {
                 page,
                 diff,
             } => {
-                if let Err(e) = self.apply_diff_at_home(t, writer, interval, page, diff) {
+                if let Err(e) = self.apply_diff_at_home(t, writer, interval, page, diff, true) {
                     panic!("direct-diff timestamp update failed: {e}");
                 }
             }
@@ -1427,7 +1509,7 @@ impl SvmSystem {
             } => {
                 debug_assert!(host);
                 let home = self.lock_home(lock);
-                let done = self.interrupt(home, t, self.p.proto.svc_lock_forward);
+                let done = self.interrupt(home, t, self.p.proto.svc_lock_forward, op);
                 self.q.push(
                     done,
                     SysEvent::Job(
@@ -1436,6 +1518,7 @@ impl SvmSystem {
                             lock,
                             proc,
                             requester,
+                            op,
                         },
                     ),
                 );
@@ -1449,7 +1532,7 @@ impl SvmSystem {
                 debug_assert!(host);
                 // Delivered to the last owner; the handler there
                 // services the grant.
-                let done = self.interrupt(owner, t, self.p.proto.svc_lock_grant);
+                let done = self.interrupt(owner, t, self.p.proto.svc_lock_grant, op);
                 self.q.push(
                     done,
                     SysEvent::Job(
@@ -1458,6 +1541,7 @@ impl SvmSystem {
                             lock,
                             proc,
                             requester,
+                            op,
                         },
                     ),
                 );
@@ -1478,7 +1562,7 @@ impl SvmSystem {
             } => {
                 if host {
                     let mgr = 0;
-                    let done = self.interrupt(mgr, t, self.p.proto.svc_barrier_arrival);
+                    let done = self.interrupt(mgr, t, self.p.proto.svc_barrier_arrival, op);
                     self.q.push(
                         done,
                         SysEvent::Job(
@@ -1502,7 +1586,7 @@ impl SvmSystem {
                 upto,
             } => {
                 if host {
-                    let done = self.interrupt(node, t, self.p.proto.svc_barrier_release);
+                    let done = self.interrupt(node, t, self.p.proto.svc_barrier_release, op);
                     self.q.push(
                         done,
                         SysEvent::Job(
@@ -1512,11 +1596,12 @@ impl SvmSystem {
                                 node,
                                 vc,
                                 upto,
+                                op,
                             },
                         ),
                     );
                 } else {
-                    self.release_at_node(t, barrier, node, vc, upto);
+                    self.release_at_node(t, barrier, node, vc, upto, op);
                 }
             }
         }
@@ -1528,14 +1613,15 @@ impl SvmSystem {
                 requester,
                 page,
                 required,
-            } => self.home_serve_page_request(t, node, requester, page, required),
+                op,
+            } => self.home_serve_page_request(t, node, requester, page, required, op),
             Job::ApplyDiff {
                 writer,
                 interval,
                 page,
                 diff,
             } => {
-                if let Err(e) = self.apply_diff_at_home(t, writer, interval, page, diff) {
+                if let Err(e) = self.apply_diff_at_home(t, writer, interval, page, diff, false) {
                     panic!("home diff-apply job failed: {e}");
                 }
             }
@@ -1543,12 +1629,14 @@ impl SvmSystem {
                 lock,
                 proc,
                 requester,
-            } => self.home_forward_lock(t, lock, proc, requester),
+                op,
+            } => self.home_forward_lock(t, lock, proc, requester, op),
             Job::LockOwner {
                 lock,
                 proc,
                 requester,
-            } => self.owner_service_lock(t, node, lock, proc, requester),
+                op,
+            } => self.owner_service_lock(t, node, lock, proc, requester, op),
             Job::BarrierArrive {
                 barrier,
                 proc,
@@ -1560,7 +1648,8 @@ impl SvmSystem {
                 node,
                 vc,
                 upto,
-            } => self.release_at_node(t, barrier, node, vc, upto),
+                op,
+            } => self.release_at_node(t, barrier, node, vc, upto, op),
         }
     }
 
@@ -1595,6 +1684,7 @@ impl SvmSystem {
             pinned_shared_bytes: pinned,
             hw: self.p.hw.name,
             ni: self.vmmc.ni_stats(),
+            op_latency: self.op_hist.clone(),
             events: self.q.delivered(),
         }
     }

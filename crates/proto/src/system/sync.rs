@@ -126,6 +126,10 @@ impl SvmSystem {
         let my_nic = NodeId::new(node).nic();
         for (page, mut dp) in pi.pages {
             self.counters.diffs += 1;
+            // The diff operation's id is structural — any observer of
+            // (writer, interval, page) derives the same id, so deposit
+            // and apply sides agree without a handshake.
+            let dop = genima_obs::op_diff_id(p as u64, pi.interval as u64, page.index() as u64);
             {
                 // A future fetch of this page by this node must not
                 // install a version older than this flush.
@@ -138,13 +142,14 @@ impl SvmSystem {
             let diff_start = cursor;
             cursor += cost;
             self.obs_record(|o| {
-                o.span(
+                o.span_op(
                     genima_obs::SpanKind::DiffCompute,
                     node,
                     genima_obs::Track::Host,
                     diff_start,
                     diff_start + cost,
                     page.index() as u64,
+                    dop,
                 );
             });
             let diff = self.materialise_diff(node, page, &dp);
@@ -154,7 +159,7 @@ impl SvmSystem {
                 let apply = self.p.mem.diff_apply;
                 self.charge(sink, apply);
                 cursor += apply;
-                if let Err(e) = self.apply_diff_at_home(cursor, p, pi.interval, page, diff) {
+                if let Err(e) = self.apply_diff_at_home(cursor, p, pi.interval, page, diff, false) {
                     panic!("local home flush failed: {e}");
                 }
             } else if direct && self.p.hw.nic.scatter_gather {
@@ -162,19 +167,22 @@ impl SvmSystem {
                 // runs plus the timestamp.
                 let hn = NodeId::new(home).nic();
                 let runs = dp.runs() as u32;
-                let tag = self.tag(Pending::DiffTsUpdate {
-                    writer: p,
-                    interval: pi.interval,
-                    page,
-                    diff,
-                });
+                let tag = self.tag_op(
+                    Pending::DiffTsUpdate {
+                        writer: p,
+                        interval: pi.interval,
+                        page,
+                        diff,
+                    },
+                    dop,
+                );
                 let post = self
                     .vmmc
                     .deposit_gather(cursor, my_nic, hn, dp.bytes() + 16, runs, tag);
                 cursor = self.absorb_post(post);
                 self.counters.diff_run_messages += 1;
                 self.obs_record(|o| {
-                    o.instant_flow(
+                    o.instant_flow_op(
                         genima_obs::SpanKind::DirectDiffDeposit,
                         node,
                         genima_obs::Track::Host,
@@ -188,6 +196,7 @@ impl SvmSystem {
                             ),
                             dir: genima_obs::FlowDir::Start,
                         },
+                        dop,
                     );
                 });
             } else if direct {
@@ -199,16 +208,19 @@ impl SvmSystem {
                     cursor = self.absorb_post(post);
                     self.counters.diff_run_messages += 1;
                 }
-                let tag = self.tag(Pending::DiffTsUpdate {
-                    writer: p,
-                    interval: pi.interval,
-                    page,
-                    diff,
-                });
+                let tag = self.tag_op(
+                    Pending::DiffTsUpdate {
+                        writer: p,
+                        interval: pi.interval,
+                        page,
+                        diff,
+                    },
+                    dop,
+                );
                 let post = self.vmmc.deposit(cursor, my_nic, hn, 16, tag);
                 cursor = self.absorb_post(post);
                 self.obs_record(|o| {
-                    o.instant_flow(
+                    o.instant_flow_op(
                         genima_obs::SpanKind::DirectDiffDeposit,
                         node,
                         genima_obs::Track::Host,
@@ -222,18 +234,22 @@ impl SvmSystem {
                             ),
                             dir: genima_obs::FlowDir::Start,
                         },
+                        dop,
                     );
                 });
             } else {
                 // Packed diff in one host message (interrupts the home).
                 let hn = NodeId::new(home).nic();
                 let bytes = 16 + dp.bytes();
-                let tag = self.tag(Pending::DiffMsg {
-                    writer: p,
-                    interval: pi.interval,
-                    page,
-                    diff,
-                });
+                let tag = self.tag_op(
+                    Pending::DiffMsg {
+                        writer: p,
+                        interval: pi.interval,
+                        page,
+                        diff,
+                    },
+                    dop,
+                );
                 let post = self.vmmc.host_msg(cursor, my_nic, hn, bytes, tag);
                 cursor = self.absorb_post(post);
             }
@@ -573,9 +589,11 @@ impl SvmSystem {
         let nl = &mut self.nodes[node].locks[l.index()];
         if nl.holder.is_some() || !nl.local_waiters.is_empty() || nl.requesting {
             nl.local_waiters.push_back(p);
+            let lop = self.next_lock_op();
             self.procs[p].state = ProcState::Blocked(Block::LockWait {
                 lock: l,
                 started: now,
+                op: lop,
             });
             return Flow::Stop;
         }
@@ -611,29 +629,34 @@ impl SvmSystem {
         }
         // Remote acquire.
         self.counters.remote_lock_acquires += 1;
+        let lop = self.next_lock_op();
         let nl = &mut self.nodes[node].locks[l.index()];
         nl.requesting = true;
         self.procs[p].state = ProcState::Blocked(Block::LockWait {
             lock: l,
             started: now,
+            op: lop,
         });
         if atomics {
             self.atomic_lock_try(now, p, l);
         } else if self.p.features.nil {
-            let tag = self.tag(Pending::NiLockWait { proc: p });
+            let tag = self.tag_op(Pending::NiLockWait { proc: p }, lop);
             let post = self.vmmc.lock_acquire(now, NodeId::new(node).nic(), l, tag);
             self.absorb_post(post);
         } else {
             let home = self.lock_home(l);
             if home == node {
                 // The home structures are in local memory.
-                self.home_forward_lock(now + EPS, l, p, node);
+                self.home_forward_lock(now + EPS, l, p, node, lop);
             } else {
-                let tag = self.tag(Pending::LockRequestMsg {
-                    lock: l,
-                    proc: p,
-                    requester: node,
-                });
+                let tag = self.tag_op(
+                    Pending::LockRequestMsg {
+                        lock: l,
+                        proc: p,
+                        requester: node,
+                    },
+                    lop,
+                );
                 let bytes = self.p.proto.control_msg_bytes;
                 let post = self.vmmc.host_msg(
                     now,
@@ -649,7 +672,14 @@ impl SvmSystem {
     }
 
     /// Base: the lock home forwards the request to the chain tail.
-    pub(crate) fn home_forward_lock(&mut self, t: Time, l: LockId, proc: usize, requester: usize) {
+    pub(crate) fn home_forward_lock(
+        &mut self,
+        t: Time,
+        l: LockId,
+        proc: usize,
+        requester: usize,
+        op: u64,
+    ) {
         let prev = self.locks[l.index()].last_owner;
         self.locks[l.index()].last_owner = requester;
         let home = self.lock_home(l);
@@ -663,16 +693,20 @@ impl SvmSystem {
                         lock: l,
                         proc,
                         requester,
+                        op,
                     },
                 ),
             );
         } else {
-            let tag = self.tag(Pending::LockForwardMsg {
-                lock: l,
-                proc,
-                requester,
-                owner: prev,
-            });
+            let tag = self.tag_op(
+                Pending::LockForwardMsg {
+                    lock: l,
+                    proc,
+                    requester,
+                    owner: prev,
+                },
+                op,
+            );
             let bytes = self.p.proto.control_msg_bytes;
             let post = self.vmmc.host_msg(
                 t,
@@ -694,17 +728,19 @@ impl SvmSystem {
         l: LockId,
         proc: usize,
         requester: usize,
+        op: u64,
     ) {
         let nl = &mut self.nodes[node].locks[l.index()];
         if nl.owned && nl.holder.is_none() && nl.local_waiters.is_empty() {
-            self.base_grant_from(t, node, l, proc, requester, Sink::Handler(node));
+            self.base_grant_from(t, node, l, proc, requester, Sink::Handler(node), op);
         } else {
-            nl.remote_waiters.push_back((requester, proc));
+            nl.remote_waiters.push_back((requester, proc, op));
         }
     }
 
     /// Base: builds and sends a lock grant (flushing lazy diffs
     /// first), handing the token to `requester`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn base_grant_from(
         &mut self,
         mut cursor: Time,
@@ -713,6 +749,7 @@ impl SvmSystem {
         proc: usize,
         requester: usize,
         sink: Sink,
+        op: u64,
     ) -> Time {
         if !self.p.features.dd {
             // Lazy diffs flush when the lock leaves the node.
@@ -726,12 +763,15 @@ impl SvmSystem {
         };
         self.nodes[owner].locks[l.index()].owned = false;
         let bytes = self.p.proto.control_msg_bytes + vc.wire_bytes() + rec_bytes;
-        let tag = self.tag(Pending::LockGrantMsg {
-            lock: l,
-            proc,
-            vc,
-            upto,
-        });
+        let tag = self.tag_op(
+            Pending::LockGrantMsg {
+                lock: l,
+                proc,
+                vc,
+                upto,
+            },
+            op,
+        );
         let post = self.vmmc.host_msg(
             cursor,
             NodeId::new(owner).nic(),
@@ -764,15 +804,19 @@ impl SvmSystem {
     /// Remote-atomics lock mode: issue one test-and-set attempt on the
     /// lock's home cell.
     pub(crate) fn atomic_lock_try(&mut self, t: Time, p: usize, l: LockId) {
-        if !matches!(
-            self.procs[p].state,
-            ProcState::Blocked(Block::LockWait { .. })
-        ) {
-            return; // superseded (e.g. a local handoff won the race)
-        }
+        let lop = match &self.procs[p].state {
+            ProcState::Blocked(Block::LockWait { op, .. }) => *op,
+            ProcState::Runnable
+            | ProcState::Done
+            | ProcState::Blocked(
+                Block::PageFault { .. } | Block::NoticeWait { .. } | Block::BarrierWait { .. },
+            ) => {
+                return; // superseded (e.g. a local handoff won the race)
+            }
+        };
         let node = self.p.topo.node_of(ProcId::new(p)).index();
         let home = self.lock_home(l);
-        let tag = self.tag(Pending::AtomicLockTry { proc: p, lock: l });
+        let tag = self.tag_op(Pending::AtomicLockTry { proc: p, lock: l }, lop);
         let post = if self.p.hw.is_rdma() {
             // RNIC verbs offer masked CAS: acquire is CAS(0 -> 1), so
             // a losing attempt cannot clobber the holder's bit the way
@@ -887,20 +931,24 @@ impl SvmSystem {
     /// Common tail of a remote lock grant: charge the wait, join the
     /// carried timestamp, then wait for notices / apply invalidations.
     fn finish_lock_wait(&mut self, t: Time, proc: usize, l: LockId, vc: &VClock) {
-        let started = match &self.procs[proc].state {
-            ProcState::Blocked(Block::LockWait { lock, started }) if *lock == l => *started,
+        let (started, lop) = match &self.procs[proc].state {
+            ProcState::Blocked(Block::LockWait { lock, started, op }) if *lock == l => {
+                (*started, *op)
+            }
             other => panic!("p{proc} granted {l} while in state {other:?}"),
         };
         self.procs[proc].bd.lock += t.saturating_since(started);
+        self.op_hist.lock.record(t.saturating_since(started));
         let wait_node = self.p.topo.node_of(ProcId::new(proc)).index();
         self.obs_record(|o| {
-            o.span(
+            o.span_op(
                 genima_obs::SpanKind::LockAcquire,
                 wait_node,
                 genima_obs::Track::Host,
                 started,
                 t,
                 l.index() as u64,
+                lop,
             );
         });
         self.procs[proc].vc.join(vc);
@@ -1045,19 +1093,21 @@ impl SvmSystem {
             nl.holder = Some(next);
             self.counters.local_lock_acquires += 1;
             let t = cursor + self.p.proto.local_lock;
-            let started = match &self.procs[next].state {
-                ProcState::Blocked(Block::LockWait { started, .. }) => *started,
+            let (started, lop) = match &self.procs[next].state {
+                ProcState::Blocked(Block::LockWait { started, op, .. }) => (*started, *op),
                 other => panic!("local waiter p{next} in state {other:?}"),
             };
             self.procs[next].bd.lock += t.saturating_since(started);
+            self.op_hist.lock.record(t.saturating_since(started));
             self.obs_record(|o| {
-                o.span(
+                o.span_op(
                     genima_obs::SpanKind::LockAcquire,
                     node,
                     genima_obs::Track::Host,
                     started,
                     t,
                     l.index() as u64,
+                    lop,
                 );
             });
             let lvc = self.locks[l.index()].vc.clone();
@@ -1081,7 +1131,7 @@ impl SvmSystem {
                 // Firmware state is ground truth; mirror it now.
                 let owned = self.vmmc.lock_owned_by(NodeId::new(node).nic(), l);
                 self.nodes[node].locks[l.index()].owned = owned;
-            } else if let Some((rnode, rproc)) =
+            } else if let Some((rnode, rproc, rop)) =
                 self.nodes[node].locks[l.index()].remote_waiters.pop_front()
             {
                 cursor = self.base_grant_from(
@@ -1091,6 +1141,7 @@ impl SvmSystem {
                     rproc,
                     rnode,
                     Sink::Proc(p, Bucket::AcqRel),
+                    rop,
                 );
             }
             // else: keep the token ("the last owner keeps the lock").
@@ -1136,14 +1187,22 @@ impl SvmSystem {
             self.manager_note_arrival(cursor + EPS, b, p, vc, None);
         } else {
             self.counters.barrier_manager_msgs += 1;
+            // Arrivals for episode N happen before its release bumps
+            // the epoch, so they name epoch+1 — the same id the release
+            // side derives after incrementing.
+            let ep = self.barriers.get(&b).map(|r| r.epoch).unwrap_or(0);
+            let bop = genima_obs::op_barrier_id(b.index() as u64, ep + 1);
             let my_nic = NodeId::new(node).nic();
             if self.p.features.dw {
-                let tag = self.tag(Pending::BarrierArriveMsg {
-                    barrier: b,
-                    proc: p,
-                    vc,
-                    upto: None,
-                });
+                let tag = self.tag_op(
+                    Pending::BarrierArriveMsg {
+                        barrier: b,
+                        proc: p,
+                        vc,
+                        upto: None,
+                    },
+                    bop,
+                );
                 let post = self
                     .vmmc
                     .deposit(cursor, my_nic, NodeId::new(0).nic(), 64, tag);
@@ -1152,12 +1211,15 @@ impl SvmSystem {
                 let (upto, rec_bytes) = self.piggyback(node, 0);
                 let bytes =
                     self.p.proto.control_msg_bytes + self.procs[p].vc.wire_bytes() + rec_bytes;
-                let tag = self.tag(Pending::BarrierArriveMsg {
-                    barrier: b,
-                    proc: p,
-                    vc,
-                    upto: Some(upto),
-                });
+                let tag = self.tag_op(
+                    Pending::BarrierArriveMsg {
+                        barrier: b,
+                        proc: p,
+                        vc,
+                        upto: Some(upto),
+                    },
+                    bop,
+                );
                 let post = self
                     .vmmc
                     .host_msg(cursor, my_nic, NodeId::new(0).nic(), bytes, tag);
@@ -1246,6 +1308,7 @@ impl SvmSystem {
             if self.p.warmup_barrier == Some(b) {
                 self.measure_from = t;
                 self.counters = Default::default();
+                self.op_hist = Default::default();
                 self.vmmc.reset_monitor();
                 for p in 0..nprocs {
                     self.procs[p].warmup_reset = true;
@@ -1258,7 +1321,8 @@ impl SvmSystem {
             barrier: b.index(),
             epoch,
         });
-        self.release_at_node(t, b, node, joined, Some(upto));
+        let bop = genima_obs::op_barrier_id(b.index() as u64, epoch as u64);
+        self.release_at_node(t, b, node, joined, Some(upto), bop);
     }
 
     /// Manager-side barrier bookkeeping (runs at node 0, either as a
@@ -1279,6 +1343,7 @@ impl SvmSystem {
         let bar = self.barriers.entry(b).or_insert_with(|| super::BarrierRt {
             arrived: 0,
             joined: VClock::new(nprocs),
+            epoch: 0,
         });
         bar.joined.join(&vc);
         bar.arrived += 1;
@@ -1288,11 +1353,14 @@ impl SvmSystem {
         // Everyone is here: release.
         let joined = std::mem::replace(&mut bar.joined, VClock::new(nprocs));
         bar.arrived = 0;
+        bar.epoch += 1;
+        let bop = genima_obs::op_barrier_id(b.index() as u64, bar.epoch);
         self.counters.barriers += 1;
         let warmup = self.p.warmup_barrier == Some(b);
         if warmup {
             self.measure_from = t;
             self.counters = Default::default();
+            self.op_hist = Default::default();
             self.vmmc.reset_monitor();
             for p in 0..nprocs {
                 self.procs[p].warmup_reset = true;
@@ -1301,17 +1369,20 @@ impl SvmSystem {
         let mut cursor = t + EPS;
         for node in 0..self.p.topo.nodes {
             if node == 0 {
-                self.release_at_node(cursor, b, 0, joined.clone(), None);
+                self.release_at_node(cursor, b, 0, joined.clone(), None, bop);
                 continue;
             }
             self.counters.barrier_manager_msgs += 1;
             if self.p.features.dw {
-                let tag = self.tag(Pending::BarrierReleaseMsg {
-                    barrier: b,
-                    node,
-                    vc: joined.clone(),
-                    upto: None,
-                });
+                let tag = self.tag_op(
+                    Pending::BarrierReleaseMsg {
+                        barrier: b,
+                        node,
+                        vc: joined.clone(),
+                        upto: None,
+                    },
+                    bop,
+                );
                 let bytes = 32 + joined.wire_bytes();
                 let post = self.vmmc.deposit(
                     cursor,
@@ -1324,12 +1395,15 @@ impl SvmSystem {
             } else {
                 let (upto, rec_bytes) = self.piggyback(0, node);
                 let bytes = self.p.proto.control_msg_bytes + joined.wire_bytes() + rec_bytes;
-                let tag = self.tag(Pending::BarrierReleaseMsg {
-                    barrier: b,
-                    node,
-                    vc: joined.clone(),
-                    upto: Some(upto),
-                });
+                let tag = self.tag_op(
+                    Pending::BarrierReleaseMsg {
+                        barrier: b,
+                        node,
+                        vc: joined.clone(),
+                        upto: Some(upto),
+                    },
+                    bop,
+                );
                 let post = self.vmmc.host_msg(
                     cursor,
                     NodeId::new(0).nic(),
@@ -1350,6 +1424,7 @@ impl SvmSystem {
         node: usize,
         joined: VClock,
         upto: Option<Vec<u32>>,
+        op: u64,
     ) {
         if let Some(u) = upto {
             self.merge_upto(t, node, &u);
@@ -1375,14 +1450,16 @@ impl SvmSystem {
                 ) => continue,
             };
             self.procs[p].bd.barrier += t.saturating_since(started);
+            self.op_hist.barrier.record(t.saturating_since(started));
             self.obs_record(|o| {
-                o.span(
+                o.span_op(
                     genima_obs::SpanKind::BarrierWait,
                     node,
                     genima_obs::Track::Host,
                     started,
                     t,
                     b.index() as u64,
+                    op,
                 );
             });
             self.procs[p].vc.join(&joined);

@@ -30,10 +30,14 @@
 //!   monitor tables when given a `RunReport` JSON instead.
 //! * `xtask obs-schema <file>...` — checks `BENCH_breakdowns.json` /
 //!   `BENCH_fault_matrix.json` / `BENCH_barrier.json` /
-//!   `BENCH_rdma.json` against the expected shape; CI fails the
-//!   `obs-smoke`, `coll-smoke` and `rdma-smoke` jobs on a mismatch.
+//!   `BENCH_rdma.json` / `BENCH_critpath.json` against the expected
+//!   shape; CI fails the `obs-smoke`, `coll-smoke`, `rdma-smoke` and
+//!   `critpath-smoke` jobs on a mismatch.
+//! * `xtask prof-summary <BENCH_critpath.json>` — validates a
+//!   critical-path report and renders the per-(app, column) segment
+//!   breakdown table.
 
-use genima_obs::{monitor_tables, trace_top, Json};
+use genima_obs::{monitor_tables, trace_top, Grid, Json};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -69,6 +73,11 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/obs/src/summary.rs",
     "crates/obs/src/timeline.rs",
     "crates/obs/src/lib.rs",
+    "crates/prof/src/dag.rs",
+    "crates/prof/src/folded.rs",
+    "crates/prof/src/profile.rs",
+    "crates/prof/src/segment.rs",
+    "crates/prof/src/lib.rs",
 ];
 
 /// Clippy lints deliberately allowed workspace-wide by `xtask clippy`,
@@ -388,6 +397,30 @@ fn check_breakdowns_schema(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Every bench-trajectory row carries per-op-kind tail latency under
+/// `op_latency`: `{fetch|lock|barrier: {n, p50_us, p95_us, p99_us}}`.
+fn check_op_latency(row: &Json, i: usize) -> Result<(), String> {
+    let ol = row
+        .get("op_latency")
+        .ok_or_else(|| format!("row {i}: missing `op_latency` object"))?;
+    for class in ["fetch", "lock", "barrier"] {
+        let c = ol
+            .get(class)
+            .ok_or_else(|| format!("row {i}: op_latency missing `{class}`"))?;
+        if c.get("n").and_then(Json::as_u64).is_none() {
+            return Err(format!("row {i}: op_latency.{class}: missing integer `n`"));
+        }
+        for key in ["p50_us", "p95_us", "p99_us"] {
+            if c.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!(
+                    "row {i}: op_latency.{class}: missing numeric `{key}`"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check_fault_matrix_schema(v: &Json) -> Result<(), String> {
     let rows = v
         .get("rows")
@@ -420,6 +453,7 @@ fn check_fault_matrix_schema(v: &Json) -> Result<(), String> {
         if row.get("audit_clean").and_then(Json::as_bool).is_none() {
             return Err(format!("row {i}: missing boolean `audit_clean`"));
         }
+        check_op_latency(row, i)?;
     }
     Ok(())
 }
@@ -544,6 +578,7 @@ fn check_rdma_schema(v: &Json) -> Result<(), String> {
                 return Err(format!("row {i}: missing integer `{key}`"));
             }
         }
+        check_op_latency(row, i)?;
         if row.get("interrupts").and_then(Json::as_u64) != Some(0) {
             return Err(format!(
                 "row {i}: nonzero host interrupts — GeNIMA is interrupt-free on any hardware"
@@ -575,6 +610,104 @@ fn check_rdma_schema(v: &Json) -> Result<(), String> {
     if rnic_rows == 0 || lanai_rows == 0 {
         return Err(format!(
             "need both profiles: {lanai_rows} LANai and {rnic_rows} RNIC rows"
+        ));
+    }
+    Ok(())
+}
+
+/// The five attribution segments every critpath row must carry.
+const SEGMENTS: &[&str] = &[
+    "interrupt",
+    "firmware",
+    "wire",
+    "host_handler",
+    "queue_retry",
+];
+
+/// `BENCH_critpath.json`: per-op critical-path attribution across all
+/// six columns. Beyond shape, this re-checks the bench's own gates
+/// from the written report: segment totals must sum to `total_ns`
+/// exactly, the GeNIMA columns must carry zero interrupt-segment time,
+/// and Base must show a nonzero interrupt share.
+fn check_critpath_schema(v: &Json) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".to_string());
+    }
+    let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["app", "column", "hw"] {
+            if row.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("row {i}: missing string `{key}`"));
+            }
+        }
+        for key in ["time_ms", "speedup", "interrupt_share"] {
+            if row.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("row {i}: missing numeric `{key}`"));
+            }
+        }
+        for key in ["ops", "total_ns"] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("row {i}: missing integer `{key}`"));
+            }
+        }
+        let segs = row
+            .get("segments_ns")
+            .ok_or_else(|| format!("row {i}: missing `segments_ns`"))?;
+        let mut sum = 0u64;
+        for seg in SEGMENTS {
+            let ns = segs
+                .get(seg)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("row {i}: segments_ns missing integer `{seg}`"))?;
+            sum += ns;
+        }
+        if Some(sum) != row.get("total_ns").and_then(Json::as_u64) {
+            return Err(format!(
+                "row {i}: segment attribution does not sum to `total_ns`"
+            ));
+        }
+        let column = row
+            .get("column")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing string `column`"))?;
+        if let Some(c) = COLUMNS.iter().find(|c| **c == column) {
+            seen.insert(c);
+        }
+        let interrupt_ns = segs.get("interrupt").and_then(Json::as_u64);
+        if column.starts_with("GeNIMA") && interrupt_ns != Some(0) {
+            return Err(format!(
+                "row {i}: interrupt time on a {column} critical path"
+            ));
+        }
+        if column == "Base" && interrupt_ns == Some(0) {
+            return Err(format!(
+                "row {i}: Base critical path shows zero interrupt time"
+            ));
+        }
+        let classes = row
+            .get("classes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("row {i}: missing `classes` array"))?;
+        for (j, c) in classes.iter().enumerate() {
+            if c.get("class").and_then(Json::as_str).is_none() {
+                return Err(format!("row {i} class {j}: missing string `class`"));
+            }
+            for key in ["count", "p50_ns", "p95_ns", "p99_ns"] {
+                if c.get(key).and_then(Json::as_u64).is_none() {
+                    return Err(format!("row {i} class {j}: missing integer `{key}`"));
+                }
+            }
+        }
+    }
+    if seen.len() != COLUMNS.len() {
+        return Err(format!(
+            "only {}/{} evaluation columns present",
+            seen.len(),
+            COLUMNS.len()
         ));
     }
     Ok(())
@@ -756,8 +889,80 @@ fn check_schema(v: &Json) -> Result<&'static str, String> {
         Some("diff") => check_diff_schema(v).map(|()| "diff"),
         Some("mc") => check_mc_schema(v).map(|()| "mc"),
         Some("rdma") => check_rdma_schema(v).map(|()| "rdma"),
+        Some("critpath") => check_critpath_schema(v).map(|()| "critpath"),
         Some(other) => Err(format!("unknown bench kind `{other}`")),
         None => Err("missing string `bench`".to_string()),
+    }
+}
+
+/// Renders one `BENCH_critpath.json` as the per-(app, column) segment
+/// breakdown table: microseconds per attribution segment plus the
+/// interrupt share of the summed critical paths.
+fn critpath_grid(v: &Json) -> Result<Grid, String> {
+    check_critpath_schema(v)?;
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    let mut grid = Grid::new(vec![
+        "app",
+        "column",
+        "ops",
+        "interrupt(us)",
+        "firmware(us)",
+        "wire(us)",
+        "host(us)",
+        "queue(us)",
+        "intr%",
+    ]);
+    for row in rows {
+        let cell = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let segs = row
+            .get("segments_ns")
+            .ok_or_else(|| "missing `segments_ns`".to_string())?;
+        let us = |seg: &str| {
+            let ns = segs.get(seg).and_then(Json::as_u64).unwrap_or_default();
+            format!("{:.1}", ns as f64 / 1e3)
+        };
+        let share = row
+            .get("interrupt_share")
+            .and_then(Json::as_f64)
+            .unwrap_or_default();
+        grid.row(vec![
+            cell("app"),
+            cell("column"),
+            row.get("ops")
+                .and_then(Json::as_u64)
+                .unwrap_or_default()
+                .to_string(),
+            us("interrupt"),
+            us("firmware"),
+            us("wire"),
+            us("host_handler"),
+            us("queue_retry"),
+            format!("{:.1}%", share * 100.0),
+        ]);
+    }
+    Ok(grid)
+}
+
+/// `xtask prof-summary <BENCH_critpath.json>`: validates the report
+/// and prints the critical-path breakdown table.
+fn run_prof_summary(path: &str) -> ExitCode {
+    match load_json(path).and_then(|v| critpath_grid(&v).map(|g| g.render())) {
+        Ok(table) => {
+            println!("{table}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask prof-summary: {path}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -813,7 +1018,8 @@ fn run_clippy() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: xtask lint | clippy | obs-summary <file> [top] | obs-schema <file>...";
+const USAGE: &str = "usage: xtask lint | clippy | obs-summary <file> [top] | \
+                     obs-schema <file>... | prof-summary <file>";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -832,6 +1038,13 @@ fn main() -> ExitCode {
             run_obs_summary(&path, top)
         }
         Some("obs-schema") => run_obs_schema(&args.collect::<Vec<_>>()),
+        Some("prof-summary") => match args.next() {
+            Some(path) => run_prof_summary(&path),
+            None => {
+                eprintln!("usage: xtask prof-summary <BENCH_critpath.json>");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`\n{USAGE}");
             ExitCode::FAILURE
@@ -990,27 +1203,50 @@ mod tests {
         assert!(err.contains("GeNIMA"), "{err}");
     }
 
+    /// Per-op-kind tail-latency fragment every trajectory row carries.
+    const OP_LATENCY_FRAG: &str = "\"op_latency\":{\
+         \"fetch\":{\"n\":10,\"p50_us\":4.0,\"p95_us\":9.0,\"p99_us\":12.0},\
+         \"lock\":{\"n\":5,\"p50_us\":2.0,\"p95_us\":3.0,\"p99_us\":3.5},\
+         \"barrier\":{\"n\":8,\"p50_us\":20.0,\"p95_us\":40.0,\"p99_us\":55.0}}";
+
     #[test]
     fn fault_matrix_schema_round_trips() {
-        let row = "{\"drop_rate\":0.05,\"column\":\"Base\",\"time_ms\":3.5,\
-                   \"retransmits\":2,\"duplicates_suppressed\":1,\
-                   \"injected_drops\":4,\"injected_dups\":1,\"injected_delays\":2,\
-                   \"interrupts\":0,\"audit_clean\":true}";
+        let row = format!(
+            "{{\"drop_rate\":0.05,\"column\":\"Base\",\"time_ms\":3.5,\
+             \"retransmits\":2,\"duplicates_suppressed\":1,\
+             \"injected_drops\":4,\"injected_dups\":1,\"injected_delays\":2,\
+             \"interrupts\":0,\"audit_clean\":true,{OP_LATENCY_FRAG}}}"
+        );
         let text = format!("{{\"bench\":\"fault_matrix\",\"seed\":7,\"rows\":[{row}]}}");
         let v = Json::parse(&text).expect("fixture parses");
         assert_eq!(check_schema(&v), Ok("fault_matrix"));
         let broken = text.replace("\"audit_clean\":true", "\"audit_clean\":3");
         let v = Json::parse(&broken).expect("fixture parses");
         assert!(check_schema(&v).is_err());
+        // Tail latency is part of the trajectory contract.
+        let no_tail = text.replace("\"op_latency\"", "\"op_lat\"");
+        let v = Json::parse(&no_tail).expect("fixture parses");
+        let err = check_schema(&v).expect_err("rows must carry op_latency");
+        assert!(err.contains("op_latency"), "{err}");
+        let no_p99 = text.replacen("\"p99_us\":12.0", "\"p99\":12.0", 1);
+        let v = Json::parse(&no_p99).expect("fixture parses");
+        let err = check_schema(&v).expect_err("classes must carry p99_us");
+        assert!(err.contains("p99_us"), "{err}");
     }
 
     fn minimal_rdma_json() -> String {
-        let lanai = "{\"app\":\"FFT\",\"column\":\"GeNIMA\",\"hw\":\"LANai-1999\",\
-                     \"time_ms\":10.0,\"speedup\":5.0,\"speedup_vs_1999\":1.0,\
-                     \"interrupts\":0,\"doorbells\":0,\"cqes\":0,\"odp_faults\":0}";
-        let rnic = "{\"app\":\"FFT\",\"column\":\"GeNIMA-2025\",\"hw\":\"RNIC-2025\",\
-                    \"time_ms\":6.0,\"speedup\":8.3,\"speedup_vs_1999\":1.7,\
-                    \"interrupts\":0,\"doorbells\":900,\"cqes\":1800,\"odp_faults\":64}";
+        let lanai = format!(
+            "{{\"app\":\"FFT\",\"column\":\"GeNIMA\",\"hw\":\"LANai-1999\",\
+             \"time_ms\":10.0,\"speedup\":5.0,\"speedup_vs_1999\":1.0,\
+             \"interrupts\":0,\"doorbells\":0,\"cqes\":0,\"odp_faults\":0,\
+             {OP_LATENCY_FRAG}}}"
+        );
+        let rnic = format!(
+            "{{\"app\":\"FFT\",\"column\":\"GeNIMA-2025\",\"hw\":\"RNIC-2025\",\
+             \"time_ms\":6.0,\"speedup\":8.3,\"speedup_vs_1999\":1.7,\
+             \"interrupts\":0,\"doorbells\":900,\"cqes\":1800,\"odp_faults\":64,\
+             {OP_LATENCY_FRAG}}}"
+        );
         format!("{{\"bench\":\"rdma\",\"seed\":7,\"rows\":[{lanai},{rnic}]}}")
     }
 
@@ -1088,6 +1324,84 @@ mod tests {
         let v = Json::parse(&wrong).expect("fixture parses");
         let err = check_schema(&v).expect_err("non-identical output must fail");
         assert!(err.contains("identical"), "{err}");
+    }
+
+    fn minimal_critpath_json() -> String {
+        let row = |column: &str, intr: u64| {
+            format!(
+                "{{\"app\":\"FFT\",\"column\":\"{column}\",\"hw\":\"LANai-1999\",\
+                 \"time_ms\":4.2,\"speedup\":5.0,\"ops\":120,\"total_ns\":{},\
+                 \"segments_ns\":{{\"interrupt\":{intr},\"firmware\":200,\"wire\":300,\
+                 \"host_handler\":100,\"queue_retry\":400}},\
+                 \"interrupt_share\":0.1,\
+                 \"classes\":[{{\"class\":\"fetch\",\"count\":80,\
+                 \"p50_ns\":900,\"p95_ns\":2100,\"p99_ns\":3000}}]}}",
+                intr + 1000
+            )
+        };
+        let rows: Vec<String> = COLUMNS
+            .iter()
+            .map(|c| row(c, if c.starts_with("GeNIMA") { 0 } else { 50 }))
+            .collect();
+        format!(
+            "{{\"bench\":\"critpath\",\"seed\":7,\"rows\":[{}]}}",
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn critpath_schema_round_trips() {
+        let v = Json::parse(&minimal_critpath_json()).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("critpath"));
+    }
+
+    #[test]
+    fn critpath_schema_gates_attribution_and_interrupts() {
+        let base = minimal_critpath_json();
+        for (broken, needle) in [
+            // Segment sums must reproduce total_ns exactly.
+            (
+                base.replacen("\"queue_retry\":400", "\"queue_retry\":401", 1),
+                "sum",
+            ),
+            // A GeNIMA row with interrupt time fails the thesis gate.
+            (
+                base.replace(
+                    "\"column\":\"GeNIMA\",\"hw\":\"LANai-1999\",\
+                     \"time_ms\":4.2,\"speedup\":5.0,\"ops\":120,\"total_ns\":1000,\
+                     \"segments_ns\":{\"interrupt\":0",
+                    "\"column\":\"GeNIMA\",\"hw\":\"LANai-1999\",\
+                     \"time_ms\":4.2,\"speedup\":5.0,\"ops\":120,\"total_ns\":1005,\
+                     \"segments_ns\":{\"interrupt\":5",
+                ),
+                "GeNIMA",
+            ),
+            // A Base row with zero interrupt time is equally wrong.
+            (
+                base.replacen("\"interrupt\":50", "\"interrupt\":0", 1)
+                    .replacen("\"total_ns\":1050", "\"total_ns\":1000", 1),
+                "Base",
+            ),
+        ] {
+            let v = Json::parse(&broken).expect("fixture parses");
+            let err = check_schema(&v).expect_err("must fail the gate");
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+        // Dropping a column breaks the six-column requirement.
+        let missing = base.replace("\"column\":\"DW\",", "\"column\":\"DW-typo\",");
+        let v = Json::parse(&missing).expect("fixture parses");
+        let err = check_schema(&v).expect_err("must require all six columns");
+        assert!(err.contains("columns"), "{err}");
+    }
+
+    #[test]
+    fn critpath_grid_renders_every_row() {
+        let v = Json::parse(&minimal_critpath_json()).expect("fixture parses");
+        let table = critpath_grid(&v).expect("valid report").render();
+        for col in COLUMNS {
+            assert!(table.contains(col), "missing {col} in:\n{table}");
+        }
+        assert!(table.contains("intr%"));
     }
 
     #[test]

@@ -4,11 +4,11 @@
 //! timeline is interrupt-free.
 
 use genima::{
-    run_app, run_app_configured, timeline_json, validate_trace, FaultPlan, FeatureSet, ObsConfig,
-    RunConfig, SpanKind, Topology, Track,
+    run_app, run_app_configured, timeline_json, validate_trace, BarrierImpl, FaultPlan, FeatureSet,
+    ObsConfig, RunConfig, SpanKind, Topology, Track,
 };
 use genima_apps::OceanRowwise;
-use genima_obs::{count_named, Recorder, SpanRecord};
+use genima_obs::{count_named, FlowDir, Recorder, SpanRecord};
 use genima_proto::Addr;
 use genima_proto::{ops_source, BarrierId, LockId, Op, OpSource, SvmParams, SvmSystem, PAGE_SIZE};
 use genima_sim::{Dur, SplitMix64};
@@ -151,6 +151,110 @@ fn fault_events_reconcile_with_recovery_counters() {
     let trace = timeline_json(&out.obs.spans);
     validate_trace(&trace).expect("faulty trace still validates");
     assert_eq!(count_named(&trace, "fault_drop") as u64, out.faults.dropped);
+}
+
+/// Groups flow endpoints per flow id in time order, tie-broken Start
+/// before Finish.
+fn flows_by_id(spans: &[SpanRecord]) -> std::collections::BTreeMap<u64, Vec<(u64, FlowDir)>> {
+    let mut by_id: std::collections::BTreeMap<u64, Vec<(u64, FlowDir)>> =
+        std::collections::BTreeMap::new();
+    for s in spans {
+        if let Some(flow) = s.flow {
+            by_id
+                .entry(flow.id)
+                .or_default()
+                .push((s.start.as_ns(), flow.dir));
+        }
+    }
+    for events in by_id.values_mut() {
+        events.sort_by_key(|&(t, dir)| (t, matches!(dir, FlowDir::Finish)));
+    }
+    by_id
+}
+
+/// Every `FlowDir::Start` must pair with exactly one later `Finish`:
+/// per flow id, the time-ordered endpoints alternate Start, Finish,
+/// Start, Finish… (a collective's fan-in and fan-out edges share one
+/// id, so an id may carry several consecutive pairs; lock grants and
+/// diff deposits carry exactly one).
+fn assert_flows_pair(spans: &[SpanRecord]) {
+    for (id, events) in flows_by_id(spans) {
+        assert_eq!(
+            events.len() % 2,
+            0,
+            "flow {id:#x}: odd endpoint count {events:?}"
+        );
+        for (i, &(_, dir)) in events.iter().enumerate() {
+            let expect = if i % 2 == 0 {
+                FlowDir::Start
+            } else {
+                FlowDir::Finish
+            };
+            assert_eq!(
+                dir, expect,
+                "flow {id:#x}: endpoints do not alternate start/finish: {events:?}"
+            );
+        }
+    }
+}
+
+/// Flow-arrow integrity: in a fault-free run, every `FlowDir::Start`
+/// has exactly one matching `Finish` — across lock grants, direct
+/// diff deposits, and NI-tree collective hops.
+#[test]
+fn flow_arrows_pair_exactly_in_fault_free_runs() {
+    let app = small_app();
+    let topo = Topology::new(4, 2);
+    let cfg = RunConfig::new(topo, FeatureSet::genima())
+        .with_barrier(BarrierImpl::NiTree { fanout: 2 })
+        .with_obs(ObsConfig::on());
+    let out = run_app_configured(&app, &cfg).expect("clean run");
+    let coll_flows = out
+        .obs
+        .spans
+        .iter()
+        .filter(|s| {
+            s.flow.is_some() && matches!(s.kind, SpanKind::CollFanIn | SpanKind::CollFanOut)
+        })
+        .count();
+    assert!(coll_flows > 0, "NiTree run must carry collective flows");
+    assert_flows_pair(&out.obs.spans);
+
+    // Lock handoffs and remote diff deposits, via a lock-heavy program
+    // on the same column.
+    let report = record_run(
+        lock_heavy_programs(23, 3)(),
+        Topology::new(3, 1),
+        FeatureSet::genima(),
+    );
+    for (kind, what) in [
+        (SpanKind::NiLockGrant, "grant flows"),
+        (SpanKind::DirectDiffDeposit, "diff-deposit flows"),
+    ] {
+        let n = report
+            .spans
+            .iter()
+            .filter(|s| s.flow.is_some() && s.kind == kind)
+            .count();
+        assert!(n > 0, "lock program must carry {what}");
+    }
+    assert_flows_pair(&report.spans);
+}
+
+/// Duplicate-injection does not double a flow's finish: a redelivered
+/// grant or deposit that slips past sequence dedupe is discarded
+/// before its finish would be re-emitted, so the arrows still pair.
+#[test]
+fn duplicated_grants_do_not_double_flow_finishes() {
+    let app = small_app();
+    let topo = Topology::new(4, 1);
+    let cfg = RunConfig::new(topo, FeatureSet::genima())
+        .with_seed(0xDEC0DE)
+        .with_faults(FaultPlan::new().duplicate_rate(0.10))
+        .with_obs(ObsConfig::on());
+    let out = run_app_configured(&app, &cfg).expect("recovery completes the run");
+    assert!(out.faults.duplicated > 0, "the plan must actually inject");
+    assert_flows_pair(&out.obs.spans);
 }
 
 /// Builds per-process programs of lock-protected writes separated by
