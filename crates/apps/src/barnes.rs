@@ -18,7 +18,7 @@
 
 use genima_proto::Topology;
 
-use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{proc_rng, Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// Bytes per body record.
@@ -127,6 +127,7 @@ impl App for BarnesOriginal {
             locks: nlocks,
             bus_demand_per_proc: 25_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }
@@ -254,6 +255,7 @@ impl App for BarnesSpatial {
             locks: nlocks,
             bus_demand_per_proc: 25_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

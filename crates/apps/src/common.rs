@@ -1,12 +1,14 @@
 //! Shared infrastructure for workload generators.
 
 use genima_proto::{
-    ops_source, Addr, BarrierId, LockId, NodeId, Op, OpSource, PageId, ProcId, Topology, PAGE_SIZE,
+    ops_source, Addr, BarrierId, LockId, NodeId, Op, OpSource, PageId, ProcId, ServeClass,
+    Topology, PAGE_SIZE,
 };
-use genima_sim::Dur;
+use genima_sim::{Dur, Time};
 
 /// Everything a workload hands to the runner: per-process operation
-/// streams, page-home layout, and protocol sizing hints.
+/// streams, page-home layout, protocol sizing hints, and the arrival
+/// discipline its streams were generated under.
 pub struct WorkloadSpec {
     /// One stream per processor, in processor order.
     pub sources: Vec<Box<dyn OpSource>>,
@@ -19,6 +21,49 @@ pub struct WorkloadSpec {
     /// The barrier that ends initialization (statistics reset there,
     /// per SPLASH-2 measurement guidelines).
     pub warmup_barrier: Option<BarrierId>,
+    /// Arrival discipline of the op streams (closed-loop SPLASH phases
+    /// vs open-loop paced serving traffic).
+    pub arrival: Arrival,
+}
+
+/// How a workload's operations arrive at the processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Closed-loop: each process issues its next operation the moment
+    /// the previous one completes, so slow ops throttle the load (the
+    /// SPLASH-2 scientific-phase model).
+    Closed,
+    /// Open-loop: operations were assigned pre-generated arrival times
+    /// ([`genima_proto::Op::WaitUntil`] pacing off simulated time), so
+    /// load keeps arriving while earlier ops are stuck and queueing
+    /// delay shows up in end-to-end latency — the serving model.
+    Open {
+        /// Total simulated span the arrival process covers.
+        horizon: Dur,
+        /// Operations offered across the whole cluster within
+        /// `horizon`.
+        offered_ops: u64,
+    },
+}
+
+impl Arrival {
+    /// Offered load in million operations per second, or zero for
+    /// closed-loop workloads (their rate is completion-driven).
+    pub fn offered_mops(&self) -> f64 {
+        match *self {
+            Arrival::Closed => 0.0,
+            Arrival::Open {
+                horizon,
+                offered_ops,
+            } => {
+                if horizon == Dur::ZERO {
+                    0.0
+                } else {
+                    offered_ops as f64 / (horizon.as_ns() as f64 * 1e-9) / 1e6
+                }
+            }
+        }
+    }
 }
 
 /// A contiguous region of the shared address space.
@@ -196,6 +241,21 @@ impl OpsBuilder {
     /// Barrier by index.
     pub fn barrier(&mut self, b: usize) -> &mut Self {
         self.ops.push(Op::Barrier(BarrierId::new(b)));
+        self
+    }
+
+    /// Open-loop pacing: idle until absolute simulated time `t`
+    /// (no-op if the process is already past it).
+    pub fn wait_until(&mut self, t: Time) -> &mut Self {
+        self.ops.push(Op::WaitUntil(t));
+        self
+    }
+
+    /// Records the end of a serving operation that arrived (open-loop)
+    /// at `issued`; end-to-end latency includes queueing behind
+    /// earlier ops.
+    pub fn serve_end(&mut self, class: ServeClass, issued: Time) -> &mut Self {
+        self.ops.push(Op::ServeEnd { class, issued });
         self
     }
 

@@ -15,7 +15,7 @@
 
 use genima_proto::Topology;
 
-use crate::common::{Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// Bytes per complex double-precision point.
@@ -122,6 +122,7 @@ impl App for Fft {
             // FFT streams memory: high per-processor bus demand.
             bus_demand_per_proc: 60_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

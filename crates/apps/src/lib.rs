@@ -36,7 +36,7 @@ mod volrend;
 mod water;
 
 pub use barnes::{BarnesOriginal, BarnesSpatial};
-pub use common::{Layout, OpsBuilder, Region, WorkloadSpec};
+pub use common::{Arrival, Layout, OpsBuilder, Region, WorkloadSpec};
 pub use fft::Fft;
 pub use lu::LuContiguous;
 pub use ocean::OceanRowwise;

@@ -16,7 +16,7 @@
 
 use genima_proto::{ProcId, Topology};
 
-use crate::common::{Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// The LU workload.
@@ -174,6 +174,7 @@ impl App for LuContiguous {
             locks: 1,
             bus_demand_per_proc: 35_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use genima_proto::Topology;
 
-use crate::common::{Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// The Ocean workload.
@@ -124,6 +124,7 @@ impl App for OceanRowwise {
             // (the paper notes Ocean's compute inflates on the SMP bus).
             bus_demand_per_proc: 55_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

@@ -12,7 +12,7 @@
 
 use genima_proto::Topology;
 
-use crate::common::{Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// The radix-sort workload.
@@ -134,6 +134,7 @@ impl App for RadixLocal {
             locks: 1,
             bus_demand_per_proc: 45_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

@@ -12,7 +12,7 @@
 
 use genima_proto::Topology;
 
-use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{proc_rng, Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// The Raytrace workload.
@@ -124,6 +124,7 @@ impl App for Raytrace {
             locks: p.max(1),
             bus_demand_per_proc: 30_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

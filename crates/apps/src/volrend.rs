@@ -13,7 +13,7 @@
 
 use genima_proto::Topology;
 
-use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{proc_rng, Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// The Volrend workload.
@@ -122,6 +122,7 @@ impl App for VolrendStealing {
             locks: p.max(1),
             bus_demand_per_proc: 30_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use genima_proto::{Topology, PAGE_SIZE};
 
-use crate::common::{proc_rng, Layout, OpsBuilder, WorkloadSpec};
+use crate::common::{proc_rng, Arrival, Layout, OpsBuilder, WorkloadSpec};
 use crate::App;
 
 /// Bytes per molecule record.
@@ -128,6 +128,7 @@ impl App for WaterNsquared {
             locks: nlocks,
             bus_demand_per_proc: 25_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }
@@ -243,6 +244,7 @@ impl App for WaterSpatial {
             locks: nlocks,
             bus_demand_per_proc: 25_000_000,
             warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

@@ -34,7 +34,7 @@
 use genima::{
     run_app_configured, BarrierImpl, FeatureSet, RunConfig, RunReport, TextTable, Topology,
 };
-use genima_apps::{App, Layout, OpsBuilder, WorkloadSpec};
+use genima_apps::{App, Arrival, Layout, OpsBuilder, WorkloadSpec};
 use genima_obs::Json;
 use genima_proto::BarrierId;
 use genima_sim::RunSeed;
@@ -113,6 +113,7 @@ impl App for BarrierStorm {
             locks: 1,
             bus_demand_per_proc: 0,
             warmup_barrier: Some(BarrierId::new(0)),
+            arrival: Arrival::Closed,
         }
     }
 }

@@ -327,6 +327,9 @@ pub fn detect_races(programs: &[Vec<Op>]) -> Result<Vec<Race>, ScheduleError> {
                 let i = cursor[p];
                 match &programs[p][i] {
                     Op::Compute(_) => {}
+                    // Pure timing / bookkeeping markers: no shared
+                    // accesses, no synchronization edges.
+                    Op::WaitUntil(_) | Op::ServeEnd { .. } => {}
                     Op::Read { addr, len } => {
                         det.access(p, i, addr.value(), *len as u64, false);
                     }

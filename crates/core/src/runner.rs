@@ -47,6 +47,13 @@ pub struct RunConfig {
     /// manager everywhere else). Benches use this to isolate the
     /// host-barrier vs NI-barrier axis on an otherwise identical run.
     pub barrier: Option<BarrierImpl>,
+    /// Degraded-mode fault handling: when a peer exhausts its
+    /// retransmission budget, recover per-transaction (fail the waiting
+    /// op into the latency histogram, heal token-bearing protocol
+    /// messages over the management channel) instead of aborting the
+    /// whole run. Off by default so existing callers keep the
+    /// fail-stop `Err(PeerUnreachable)` contract.
+    pub degraded: bool,
 }
 
 impl RunConfig {
@@ -60,6 +67,7 @@ impl RunConfig {
             faults: FaultPlan::none(),
             obs: ObsConfig::off(),
             barrier: None,
+            degraded: false,
         }
     }
 
@@ -96,6 +104,12 @@ impl RunConfig {
     /// Forces a barrier implementation regardless of the feature set.
     pub fn with_barrier(mut self, barrier: BarrierImpl) -> RunConfig {
         self.barrier = Some(barrier);
+        self
+    }
+
+    /// Enables or disables degraded-mode fault handling.
+    pub fn with_degraded(mut self, degraded: bool) -> RunConfig {
+        self.degraded = degraded;
         self
     }
 }
@@ -176,6 +190,7 @@ pub fn run_app_configured(app: &dyn App, cfg: &RunConfig) -> Result<ConfiguredOu
     if let Some(b) = cfg.barrier {
         params.barrier = b;
     }
+    params.degraded = cfg.degraded;
     let mut sys = SvmSystem::new(params, spec.sources);
     for (start, count, node) in spec.homes {
         sys.assign_homes(start, count, node);

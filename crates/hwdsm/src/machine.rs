@@ -230,6 +230,10 @@ impl HwDsm {
                 Op::WriteData { addr, data } => self.access(p, addr, data.len() as u32, true),
                 Op::Validate { .. } => {}
                 Op::Observe { addr, len } => self.access(p, addr, len, false),
+                Op::WaitUntil(until) => {
+                    self.procs[p].clock = self.procs[p].clock.max(until);
+                }
+                Op::ServeEnd { .. } => {}
                 Op::Acquire(l) => {
                     if self.procs[p].clock > now {
                         // Resync is cheap for the hardware machine:

@@ -70,6 +70,9 @@ pub struct RecoveryStats {
     /// Sends abandoned after exhausting every attempt
     /// ([`Upcall::PeerUnreachable`] surfaced).
     pub unreachable: u64,
+    /// Untagged control packets handed to the out-of-band management
+    /// channel after exhausting every attempt (degraded mode only).
+    pub mgmt_deliveries: u64,
 }
 
 /// Small on-wire sizes (bytes) for firmware-generated control packets.
@@ -154,6 +157,13 @@ pub struct Comm {
     /// Observability recorder for firmware-side spans (`None` =
     /// disabled, the default: a single branch per emission site).
     obs: Option<ObsHandle>,
+    /// Degraded-mode retransmission policy: when a send to a peer
+    /// exhausts every attempt, *untagged* firmware control traffic
+    /// (collective fan-in/fan-out, timestamp prefetches) is delivered
+    /// over a modeled out-of-band management channel instead of
+    /// surfacing [`Upcall::PeerUnreachable`]. Tagged packets still
+    /// surface, so the protocol layer can fail the owning transaction.
+    degraded: bool,
 }
 
 impl Comm {
@@ -195,6 +205,7 @@ impl Comm {
             recovery: RecoveryStats::default(),
             coll_scratch: Vec::new(),
             obs: None,
+            degraded: false,
             cfg,
             net,
         }
@@ -250,6 +261,12 @@ impl Comm {
     /// Returns `true` when a fault injector is installed.
     pub fn fault_injection_enabled(&self) -> bool {
         self.injector.is_some()
+    }
+
+    /// Enables or disables the degraded-mode retransmission policy
+    /// (see the `degraded` field).
+    pub fn set_degraded(&mut self, on: bool) {
+        self.degraded = on;
     }
 
     /// The firmware's loss-recovery counters (all zero without faults).
@@ -1036,6 +1053,25 @@ impl Comm {
     fn retransmit(&mut self, now: Time, pkt: Packet, attempt: u32) -> Step {
         let mut step = Step::default();
         if attempt >= self.cfg.max_send_attempts {
+            let token_bearing =
+                pkt.tag == Tag::NONE || matches!(pkt.kind, MsgKind::AtomicReply { .. });
+            if self.degraded && token_bearing {
+                // Two packet classes must not die. Untagged packets are
+                // firmware-internal control traffic (collective fan-in/
+                // fan-out, timestamp prefetches) whose episode state
+                // lives only in the message itself — no host transaction
+                // exists to fail. Atomic replies report a swap that
+                // already executed at the responder: the cell change
+                // cannot be rolled back, and for a wait-mode CAS the
+                // reply *is* the lock token — losing it would strand
+                // every waiter parked behind the orphaned cell.
+                // Degraded mode hands both to the reliable management
+                // channel: one slow out-of-band hop, injector bypassed.
+                self.recovery.mgmt_deliveries += 1;
+                step.events
+                    .push((now + self.cfg.retry_timeout, Event::Delivered(pkt)));
+                return step;
+            }
             self.recovery.unreachable += 1;
             step.upcalls.push((
                 now,

@@ -47,8 +47,8 @@ pub use error::ProtoError;
 pub use features::FeatureSet;
 pub use ids::{BarrierId, NodeId, ProcId, Topology};
 pub use interval::IntervalRecord;
-pub use ops::{ops_source, Op, OpSource, OpVec};
-pub use report::{OpLatency, RunReport};
+pub use ops::{ops_source, Op, OpSource, OpVec, ServeClass};
+pub use report::{OpLatency, RunReport, ServeLatency};
 pub use sched::{ChanKey, Choice, EventPicker, FifoPicker, Mutation, SchedObj};
 pub use system::{SvmParams, SvmSystem};
 pub use trace::{TraceEvent, TsMap};

@@ -2,10 +2,36 @@
 //! system.
 
 use genima_mem::Addr;
-use genima_sim::Dur;
+use genima_sim::{Dur, Time};
 
 use crate::ids::BarrierId;
 use genima_nic::LockId;
+
+/// The class of a serving-workload request, used to select the
+/// latency histogram an [`Op::ServeEnd`] marker records into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServeClass {
+    /// A key-value GET.
+    Read,
+    /// A key-value PUT (lock-protected read-modify-write).
+    Write,
+    /// A graph random-walk query.
+    Walk,
+}
+
+impl ServeClass {
+    /// All classes, in reporting order.
+    pub const ALL: [ServeClass; 3] = [ServeClass::Read, ServeClass::Write, ServeClass::Walk];
+
+    /// Stable lower-case label (JSON keys, table columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeClass::Read => "read",
+            ServeClass::Write => "write",
+            ServeClass::Walk => "walk",
+        }
+    }
+}
 
 /// One operation issued by a simulated application process.
 ///
@@ -74,6 +100,21 @@ pub enum Op {
         addr: Addr,
         /// Bytes observed (1..=8).
         len: u32,
+    },
+    /// Idle until the absolute simulation time `t` (no-op if the
+    /// process clock already passed it). Open-loop traffic generators
+    /// use this to pace request arrivals off simulated time, so the
+    /// offered load is independent of how fast the system drains it.
+    WaitUntil(Time),
+    /// Marks the completion of one serving request that arrived
+    /// (open-loop) at `issued`: records `now - issued` — service time
+    /// plus any queueing delay behind earlier requests of the same
+    /// client — into the run's per-class serve-latency histogram.
+    ServeEnd {
+        /// Request class (selects the histogram).
+        class: ServeClass,
+        /// Generated arrival time of the request.
+        issued: Time,
     },
 }
 

@@ -50,6 +50,79 @@ impl OpLatency {
     }
 }
 
+/// Per-class end-to-end latency histograms for serving workloads.
+///
+/// Each histogram records one completed [`Op::ServeEnd`] marker: the
+/// time from a request's *generated arrival* (open-loop) to its
+/// completion, so queueing delay behind earlier requests of the same
+/// client is included — the quantity an outside observer of a serving
+/// system sees. Empty on batch (closed-loop) runs; reset at the warmup
+/// barrier alongside the op-latency histograms.
+///
+/// [`Op::ServeEnd`]: crate::Op::ServeEnd
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeLatency {
+    /// Key-value GETs.
+    pub read: Histogram,
+    /// Key-value PUTs (lock-protected).
+    pub write: Histogram,
+    /// Graph random-walk queries.
+    pub walk: Histogram,
+}
+
+impl ServeLatency {
+    /// The histogram for one request class.
+    pub fn of(&self, class: crate::ops::ServeClass) -> &Histogram {
+        match class {
+            crate::ops::ServeClass::Read => &self.read,
+            crate::ops::ServeClass::Write => &self.write,
+            crate::ops::ServeClass::Walk => &self.walk,
+        }
+    }
+
+    /// Records one completed request of `class`.
+    pub fn record(&mut self, class: crate::ops::ServeClass, wait: Dur) {
+        match class {
+            crate::ops::ServeClass::Read => self.read.record(wait),
+            crate::ops::ServeClass::Write => self.write.record(wait),
+            crate::ops::ServeClass::Walk => self.walk.record(wait),
+        }
+    }
+
+    /// All classes merged into one histogram (whole-workload tail).
+    pub fn merged(&self) -> Histogram {
+        let mut all = self.read.clone();
+        all.merge(&self.write);
+        all.merge(&self.walk);
+        all
+    }
+
+    /// Completed requests across every class.
+    pub fn total(&self) -> u64 {
+        self.read.count() + self.write.count() + self.walk.count()
+    }
+
+    /// Per-class tails as JSON: `{read|write|walk: {n, p50_us, p95_us,
+    /// p99_us, p999_us}}`. Serving tails go one decade deeper than the
+    /// op-latency rows — open-loop gates are stated on p99/p99.9.
+    pub fn json(&self) -> Json {
+        let hist = |h: &Histogram| {
+            let mut row = Json::obj();
+            row.set("n", Json::u64(h.count()));
+            row.set("p50_us", Json::num(h.p50().as_us()));
+            row.set("p95_us", Json::num(h.p95().as_us()));
+            row.set("p99_us", Json::num(h.p99().as_us()));
+            row.set("p999_us", Json::num(h.p999().as_us()));
+            row
+        };
+        let mut o = Json::obj();
+        o.set("read", hist(&self.read));
+        o.set("write", hist(&self.write));
+        o.set("walk", hist(&self.walk));
+        o
+    }
+}
+
 /// Everything measured during one [`SvmSystem`](crate::SvmSystem) run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -78,6 +151,9 @@ pub struct RunReport {
     pub ni: NiStats,
     /// Per-op-kind wait-latency histograms (tail latency).
     pub op_latency: OpLatency,
+    /// Per-class serving-request latency histograms (empty unless the
+    /// workload issued [`Op::ServeEnd`](crate::Op::ServeEnd) markers).
+    pub serve: ServeLatency,
     /// Events processed by the simulator (diagnostic).
     pub events: u64,
 }
@@ -210,6 +286,7 @@ impl RunReport {
             Json::u64(self.recovery.duplicates_suppressed),
         );
         rec.set("unreachable", Json::u64(self.recovery.unreachable));
+        rec.set("mgmt_deliveries", Json::u64(self.recovery.mgmt_deliveries));
         root.set("recovery", rec);
 
         root.set(
@@ -228,6 +305,7 @@ impl RunReport {
         ni.set("odp_faults", Json::u64(self.ni.odp_faults));
         root.set("ni", ni);
         root.set("op_latency", self.op_latency.json());
+        root.set("serve_latency", self.serve.json());
         root.set("events", Json::u64(self.events));
         root
     }
@@ -286,6 +364,9 @@ fn counters_json(c: &Counters) -> Json {
     o.set("barrier_manager_msgs", Json::u64(c.barrier_manager_msgs));
     o.set("mprotect_calls", Json::u64(c.mprotect_calls));
     o.set("invalidations", Json::u64(c.invalidations));
+    o.set("failed_ops", Json::u64(c.failed_ops));
+    o.set("degraded_heals", Json::u64(c.degraded_heals));
+    o.set("degraded_lost_msgs", Json::u64(c.degraded_lost_msgs));
     o
 }
 
@@ -354,6 +435,7 @@ mod tests {
             hw: "LANai-1999",
             ni: NiStats::default(),
             op_latency: OpLatency::default(),
+            serve: ServeLatency::default(),
             events: 0,
         };
         assert_eq!(report.parallel_time(), Dur::from_ms(1));
@@ -389,6 +471,7 @@ mod tests {
             hw: "LANai-1999",
             ni: NiStats::default(),
             op_latency: OpLatency::default(),
+            serve: ServeLatency::default(),
             events: 7,
         }
     }
@@ -485,5 +568,34 @@ mod tests {
             assert_eq!(row.get("n").and_then(Json::as_u64), Some(0));
             assert_eq!(row.get("p99_us").and_then(Json::as_f64), Some(0.0));
         }
+        for class in ["read", "write", "walk"] {
+            let row = v
+                .get("serve_latency")
+                .and_then(|l| l.get(class))
+                .expect("serve_latency row");
+            assert_eq!(row.get("n").and_then(Json::as_u64), Some(0));
+            assert_eq!(row.get("p999_us").and_then(Json::as_f64), Some(0.0));
+        }
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("failed_ops"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn serve_latency_merged_pools_all_classes() {
+        use crate::ops::ServeClass;
+        let mut s = ServeLatency::default();
+        s.record(ServeClass::Read, Dur::from_us(10));
+        s.record(ServeClass::Write, Dur::from_us(100));
+        s.record(ServeClass::Walk, Dur::from_us(1000));
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.merged().count(), 3);
+        assert_eq!(s.of(ServeClass::Write).count(), 1);
+        let j = s.json();
+        let w = j.get("walk").expect("walk row");
+        assert_eq!(w.get("n").and_then(Json::as_u64), Some(1));
     }
 }

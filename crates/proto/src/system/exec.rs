@@ -36,6 +36,41 @@ impl SvmSystem {
                     }
                 },
             };
+            // Degraded mode: a failed acquire skips its critical
+            // section — consume ops without executing until the
+            // matching release closes the section.
+            if let Some((dead, depth)) = self.procs[p].skipping {
+                match &op {
+                    Op::Acquire(l) if *l == dead => {
+                        self.procs[p].skipping = Some((dead, depth + 1));
+                        continue;
+                    }
+                    Op::Release(l) if *l == dead => {
+                        self.procs[p].skipping = if depth > 1 {
+                            Some((dead, depth - 1))
+                        } else {
+                            None
+                        };
+                        continue;
+                    }
+                    Op::Barrier(_) => {
+                        // A barrier inside a skipped section would
+                        // wedge every other process if skipped; close
+                        // the skip and execute it.
+                        self.procs[p].skipping = None;
+                    }
+                    Op::Compute(_)
+                    | Op::Read { .. }
+                    | Op::Write { .. }
+                    | Op::WriteData { .. }
+                    | Op::Validate { .. }
+                    | Op::Observe { .. }
+                    | Op::WaitUntil(_)
+                    | Op::ServeEnd { .. }
+                    | Op::Acquire(_)
+                    | Op::Release(_) => continue,
+                }
+            }
             match self.exec_op(now, p, op, prog) {
                 Flow::Continue => {}
                 Flow::Stop => return,
@@ -162,6 +197,23 @@ impl SvmSystem {
                 }
                 self.barrier_arrive(now, p, b);
                 Flow::Stop
+            }
+            Op::WaitUntil(until) => {
+                // Open-loop pacing: idle until the absolute sim time.
+                // The gap is charged to compute (the client is "free"),
+                // keeping the breakdown accounting closed.
+                let clock = self.procs[p].clock;
+                if until > clock {
+                    let idle = until.saturating_since(clock);
+                    self.procs[p].clock = until;
+                    self.procs[p].bd.compute += idle;
+                }
+                Flow::Continue
+            }
+            Op::ServeEnd { class, issued } => {
+                let done = self.procs[p].clock;
+                self.serve_hist.record(class, done.saturating_since(issued));
+                Flow::Continue
             }
         }
     }

@@ -6,6 +6,7 @@
 //! [`fault`]; intervals, write notices, locks and barriers live in
 //! [`sync`].
 
+mod degraded;
 mod exec;
 mod fault;
 mod sync;
@@ -85,6 +86,14 @@ pub struct SvmParams {
     /// (first-touch home allocation, the usual HLRC default) instead
     /// of striping them round-robin.
     pub first_touch_homes: bool,
+    /// Degraded mode for serving workloads: when a peer becomes
+    /// unreachable (retransmission gave up), recover per-transaction —
+    /// fail the blocked operations fast or heal the lost message in
+    /// place — instead of aborting the whole run with
+    /// [`ProtoError::PeerUnreachable`]. Failed operations surface in
+    /// the latency histograms and [`Counters::failed_ops`]. Off by
+    /// default: batch runs treat an unreachable peer as fatal.
+    pub degraded: bool,
     /// Safety valve: abort if the event count exceeds this bound.
     pub max_events: u64,
 }
@@ -115,6 +124,7 @@ impl SvmParams {
             warmup_barrier: None,
             bus_demand_per_proc: ProtoConfig::paper().bus_demand_per_proc,
             first_touch_homes: false,
+            degraded: false,
             max_events: 200_000_000,
         }
     }
@@ -334,6 +344,11 @@ pub(crate) struct ProcRt {
     /// Set when the warmup barrier released; the breakdown is zeroed
     /// when this process exits the barrier.
     pub(crate) warmup_reset: bool,
+    /// Degraded mode: a lock acquire failed fast and the critical
+    /// section it guarded must be skipped. Holds the failed lock and
+    /// the acquire nesting depth; ops are consumed without executing
+    /// until the matching release brings the depth to zero.
+    pub(crate) skipping: Option<(LockId, u32)>,
     pub(crate) finished_at: Option<Time>,
 }
 
@@ -454,6 +469,13 @@ pub struct SvmSystem {
     /// Per-op-kind wait-latency histograms, recorded unconditionally
     /// and reset at the warmup barrier with the counters.
     pub(crate) op_hist: crate::report::OpLatency,
+    /// Per-class serving-request latency histograms, fed by
+    /// [`Op::ServeEnd`] markers; reset with `op_hist`.
+    pub(crate) serve_hist: crate::report::ServeLatency,
+    /// Degraded mode: locks whose token may be lost (an NI lock or
+    /// atomics transaction was abandoned mid-flight). Later acquires
+    /// fail fast instead of re-entering the firmware state machine.
+    pub(crate) dead_locks: Vec<bool>,
     pub(crate) counters: Counters,
     pub(crate) done_count: usize,
     pub(crate) measure_from: Time,
@@ -507,6 +529,7 @@ impl SvmSystem {
         if let BarrierImpl::NiTree { fanout } = params.barrier {
             vmmc.set_coll_fanout(fanout);
         }
+        vmmc.comm_mut().set_degraded(params.degraded);
         let procs = sources
             .into_iter()
             .map(|src| ProcRt {
@@ -524,6 +547,7 @@ impl SvmSystem {
                 bd: Breakdown::default(),
                 steal: Dur::ZERO,
                 warmup_reset: false,
+                skipping: None,
                 finished_at: None,
             })
             .collect();
@@ -569,6 +593,8 @@ impl SvmSystem {
             next_tag: 1,
             op_seq: 0,
             op_hist: crate::report::OpLatency::default(),
+            serve_hist: crate::report::ServeLatency::default(),
+            dead_locks: vec![false; params.locks],
             counters: Counters::default(),
             done_count: 0,
             measure_from: Time::ZERO,
@@ -608,6 +634,14 @@ impl SvmSystem {
     /// injector implementations.
     pub fn set_fault_injector(&mut self, injector: Box<dyn genima_nic::FaultInjector>) {
         self.vmmc.comm_mut().set_fault_injector(injector);
+    }
+
+    /// Enables or disables degraded-mode fault handling (see
+    /// [`SvmParams::degraded`]): an exhausted retransmission budget
+    /// fails the affected transaction instead of aborting the run.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.p.degraded = on;
+        self.vmmc.comm_mut().set_degraded(on);
     }
 
     /// Turns protocol *and* NI event tracing on or off. Turning it on
@@ -932,7 +966,7 @@ impl SvmSystem {
                     Some(prog) => {
                         for op in prog {
                             let obj = match op {
-                                Op::Compute(_) => None,
+                                Op::Compute(_) | Op::WaitUntil(_) | Op::ServeEnd { .. } => None,
                                 Op::Read { addr, .. }
                                 | Op::Write { addr, .. }
                                 | Op::WriteData { addr, .. }
@@ -1408,15 +1442,19 @@ impl SvmSystem {
                 }
             }
             Upcall::PeerUnreachable { nic, peer, tag } => {
-                // Drop whatever completion the abandoned send was
-                // carrying and abort the run: the peer is presumed
-                // dead, so the completion will never arrive.
-                let _lost_op = self.take_op(tag);
-                self.tags.remove(&tag.value());
-                self.fatal = Some(ProtoError::PeerUnreachable {
-                    node: nic.index(),
-                    peer: peer.index(),
-                });
+                if self.p.degraded {
+                    self.degraded_give_up(t, nic, peer, tag);
+                } else {
+                    // Drop whatever completion the abandoned send was
+                    // carrying and abort the run: the peer is presumed
+                    // dead, so the completion will never arrive.
+                    let _lost_op = self.take_op(tag);
+                    self.tags.remove(&tag.value());
+                    self.fatal = Some(ProtoError::PeerUnreachable {
+                        node: nic.index(),
+                        peer: peer.index(),
+                    });
+                }
             }
         }
     }
@@ -1685,6 +1723,7 @@ impl SvmSystem {
             hw: self.p.hw.name,
             ni: self.vmmc.ni_stats(),
             op_latency: self.op_hist.clone(),
+            serve: self.serve_hist.clone(),
             events: self.q.delivered(),
         }
     }

@@ -585,6 +585,15 @@ impl SvmSystem {
     /// Starts a lock acquire for `p`. Returns [`Flow::Stop`] when the
     /// process blocked.
     pub(crate) fn start_acquire(&mut self, now: Time, p: usize, l: LockId) -> Flow {
+        if self.p.degraded && self.dead_locks[l.index()] {
+            // Poisoned in an earlier degraded recovery (its firmware
+            // slot or home cell cannot be safely re-entered): fail
+            // fast and skip the guarded section.
+            self.counters.failed_ops += 1;
+            self.op_hist.lock.record(Dur::ZERO);
+            self.procs[p].skipping = Some((l, 1));
+            return Flow::Continue;
+        }
         let node = self.p.topo.node_of(ProcId::new(p)).index();
         let nl = &mut self.nodes[node].locks[l.index()];
         if nl.holder.is_some() || !nl.local_waiters.is_empty() || nl.requesting {
@@ -1309,6 +1318,7 @@ impl SvmSystem {
                 self.measure_from = t;
                 self.counters = Default::default();
                 self.op_hist = Default::default();
+                self.serve_hist = Default::default();
                 self.vmmc.reset_monitor();
                 for p in 0..nprocs {
                     self.procs[p].warmup_reset = true;
@@ -1361,6 +1371,7 @@ impl SvmSystem {
             self.measure_from = t;
             self.counters = Default::default();
             self.op_hist = Default::default();
+            self.serve_hist = Default::default();
             self.vmmc.reset_monitor();
             for p in 0..nprocs {
                 self.procs[p].warmup_reset = true;

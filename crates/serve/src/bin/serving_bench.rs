@@ -1,0 +1,327 @@
+//! `serving_bench` — open-loop serving workloads under concurrent
+//! churn, with a self-gating tail-latency report.
+//!
+//! ```text
+//! serving_bench [--seed N] [--nodes NODES] [--ops OPS] [--json PATH]
+//! ```
+//!
+//! Runs the two `genima-serve` workloads — the Zipf partitioned
+//! key-value store and the graph-walk service — on all six evaluation
+//! columns while a churn fault plan is live: **10% packet drop** for
+//! the whole run plus **cycling per-node outage windows** (4 ms of
+//! total silence per window, round-robin over the non-manager nodes).
+//! The windows sit far below the ~38 ms retransmission give-up
+//! budget, so churn manifests as retry storms and multi-millisecond
+//! stalls, not peer death; degraded mode is armed anyway so an
+//! unlucky seed degrades instead of aborting.
+//!
+//! Self-gates (exit 1 on violation, so CI runs this as a smoke gate):
+//!
+//! * every column completes under churn;
+//! * GeNIMA and GeNIMA-2025 take **zero host interrupts** and keep
+//!   merged p99 under a per-column bound ([`P99_BOUND_GENIMA`],
+//!   [`P99_BOUND_2025`]) — bounded tails without any asynchronous
+//!   protocol processing;
+//! * Base's merged p99 is at least [`TAIL_RATIO`]× GeNIMA's on the
+//!   same stream — the visible tail collapse of interrupt-driven
+//!   protocol processing under churn;
+//! * the generated op stream hashes identically across all six
+//!   columns (the workload seam leaks nothing protocol-specific);
+//! * a repeated GeNIMA run is bit-identical (seeded determinism).
+//!
+//! With `--json PATH` the sweep is written as `BENCH_serving.json`;
+//! `xtask obs-schema` re-checks the shape and the gates.
+
+use genima::{run_app_configured, ConfiguredOutcome, RunConfig, TextTable};
+use genima_apps::App;
+use genima_fault::FaultPlan;
+use genima_nic::NicId;
+use genima_obs::Json;
+use genima_proto::{Column, Topology};
+use genima_serve::{GraphWalk, KvServe};
+use genima_sim::{Dur, RunSeed, Time};
+
+/// Merged-p99 gate for GeNIMA (1999 NI). An outage window freezes a
+/// victim node for 4 ms and the firmware's retransmission backoff
+/// (150 µs doubling per attempt) overshoots the window's end by up to
+/// ~9.6 ms before the next retry, so ops queued behind a blackout
+/// legally see tens of milliseconds. The gate — one power-of-two
+/// histogram bucket above that recovery overshoot — says the tail
+/// stays on the scale of the injected disturbance instead of
+/// collapsing open-loop the way Base does.
+const P99_BOUND_GENIMA: Dur = Dur::from_ns(1 << 25); // 33.6 ms
+
+/// Merged-p99 gate for GeNIMA-2025: the modern RNIC recovers from the
+/// same blackouts at finer timeout granularity, so its tail must stay
+/// a bucket tighter.
+const P99_BOUND_2025: Dur = Dur::from_ns(1 << 24); // 16.8 ms
+
+/// Base must be at least this many times worse than GeNIMA at p99.
+const TAIL_RATIO: f64 = 2.0;
+
+/// Arrival window the ops are spread over.
+const HORIZON: Dur = Dur::from_ms(40);
+
+/// First arrival (leaves room for warmup on every column).
+const START: Time = Time::from_ns(500_000);
+
+struct Args {
+    seed: u64,
+    nodes: usize,
+    ops: u64,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: serving_bench [--seed N] [--nodes NODES] [--ops OPS] [--json PATH]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: RunSeed::default().value(),
+        nodes: 4,
+        ops: 800,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| usage());
+        if flag.as_str() == "--json" {
+            args.json = Some(value);
+            continue;
+        }
+        let parsed: u64 = value.parse().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--seed" => args.seed = parsed,
+            "--nodes" => args.nodes = parsed as usize,
+            "--ops" => args.ops = parsed,
+            _ => usage(), // unknown flag; lint: allow-wildcard
+        }
+    }
+    args
+}
+
+/// The churn plan: 10% drop for the whole run, plus 4 ms outage
+/// windows cycling round-robin over nodes 1..n (node 0 hosts the
+/// barrier manager and the first page homes, so it stays up — churn
+/// hits the replicas, as maintenance drains do). Every window is far
+/// below the ~38 ms give-up budget.
+fn churn_plan(nodes: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new().drop_rate(0.10);
+    if nodes < 2 {
+        return plan;
+    }
+    let window = Dur::from_ms(4);
+    let gap = Dur::from_ms(4);
+    let mut from = START + Dur::from_ms(2);
+    let mut victim = 1usize;
+    while from + window < START + HORIZON {
+        plan = plan.outage(NicId::new(victim), from, from + window);
+        from = from + window + gap;
+        victim = victim % (nodes - 1) + 1;
+    }
+    plan
+}
+
+/// FNV-1a over the Debug rendering of every op in every stream: a
+/// cheap, stable fingerprint of the generated traffic.
+fn stream_hash(app: &dyn App, topo: Topology) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for mut src in app.spec(topo).sources {
+        while let Some(op) = src.next_op() {
+            for b in format!("{op:?}").bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h = (h ^ 0xff).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn run_one(
+    app: &dyn App,
+    topo: Topology,
+    column: Column,
+    seed: u64,
+) -> Result<ConfiguredOutcome, genima::ProtoError> {
+    let cfg = RunConfig::from_column(topo, column)
+        .with_seed(seed)
+        .with_faults(churn_plan(topo.nodes))
+        .with_degraded(true);
+    run_app_configured(app, &cfg)
+}
+
+fn main() {
+    let args = parse_args();
+    let topo = Topology::new(args.nodes, 1);
+    let kv = KvServe::new(4_096, 0.99, 90, args.ops, HORIZON)
+        .with_seed(args.seed)
+        .with_start(START);
+    let walk = GraphWalk::new(8_192, 6, 0.99, args.ops / 2, HORIZON)
+        .with_seed(args.seed)
+        .with_start(START);
+    println!(
+        "serving bench: {} nodes, seed {:#x}, 10% drop + cycling 4ms outages",
+        args.nodes, args.seed
+    );
+    println!("  kv:   {}", kv.problem());
+    println!("  walk: {}", walk.problem());
+
+    let mut table = TextTable::new(vec![
+        "workload", "column", "time(ms)", "Mops", "p50us", "p99us", "p999us", "failed", "retrans",
+        "intr",
+    ]);
+    let mut failures = 0u32;
+    let mut rows = Vec::new();
+    let workloads: [(&str, &dyn App); 2] = [("kv", &kv), ("walk", &walk)];
+    for (wname, app) in workloads {
+        let hash = stream_hash(app, topo);
+        let mut genima_p99_us = 0.0f64;
+        let mut base_p99_us = 0.0f64;
+        for column in Column::all() {
+            // The workload seam must leak nothing protocol-specific:
+            // the same app generates bit-identical traffic no matter
+            // which column will consume it.
+            let rehash = stream_hash(app, topo);
+            if rehash != hash {
+                eprintln!("FAIL {wname}/{}: op stream hash drifted", column.name());
+                failures += 1;
+            }
+            let out = match run_one(app, topo, column, args.seed) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("FAIL {wname}/{}: run aborted: {e}", column.name());
+                    failures += 1;
+                    continue;
+                }
+            };
+            let report = &out.report;
+            let merged = report.serve.merged();
+            let p99_us = merged.p99().as_us();
+            let par = report.parallel_time();
+            let mops = if par > Dur::ZERO {
+                merged.count() as f64 / (par.as_ns() as f64 * 1e-9) / 1e6
+            } else {
+                0.0
+            };
+            let interrupt_free = column.features.interrupt_free();
+            let p99_bound = if !interrupt_free {
+                None
+            } else if column.name() == "GeNIMA-2025" {
+                Some(P99_BOUND_2025)
+            } else {
+                Some(P99_BOUND_GENIMA)
+            };
+            if interrupt_free && report.counters.interrupts != 0 {
+                eprintln!(
+                    "FAIL {wname}/{}: {} host interrupts under churn (must be 0)",
+                    column.name(),
+                    report.counters.interrupts
+                );
+                failures += 1;
+            }
+            if let Some(bound) = p99_bound {
+                if merged.p99() > bound {
+                    eprintln!(
+                        "FAIL {wname}/{}: p99 {:.0}us exceeds the {:.0}us gate",
+                        column.name(),
+                        p99_us,
+                        bound.as_us()
+                    );
+                    failures += 1;
+                }
+            }
+            if column.name() == "GeNIMA" {
+                genima_p99_us = p99_us;
+                // Seeded determinism: the same configuration must
+                // reproduce the run bit-for-bit.
+                match run_one(app, topo, column, args.seed) {
+                    Ok(again) => {
+                        if again.report.finish != report.finish
+                            || again.report.serve != report.serve
+                        {
+                            eprintln!("FAIL {wname}/GeNIMA: repeat run not bit-identical");
+                            failures += 1;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("FAIL {wname}/GeNIMA: repeat run aborted: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            if column.name() == "Base" {
+                base_p99_us = p99_us;
+            }
+            table.row(vec![
+                wname.to_string(),
+                column.name().to_string(),
+                format!("{:.2}", report.parallel_time().as_ms()),
+                format!("{mops:.3}"),
+                format!("{:.0}", merged.p50().as_us()),
+                format!("{p99_us:.0}"),
+                format!("{:.0}", merged.p999().as_us()),
+                report.counters.failed_ops.to_string(),
+                report.recovery.retransmits.to_string(),
+                report.counters.interrupts.to_string(),
+            ]);
+            let mut row = Json::obj();
+            row.set("workload", Json::str(wname));
+            row.set("column", Json::str(column.name()));
+            row.set("time_ms", Json::num(report.parallel_time().as_ms()));
+            row.set(
+                "mops_offered",
+                Json::num(app.spec(topo).arrival.offered_mops()),
+            );
+            row.set("mops_sustained", Json::num(mops));
+            row.set("p50_us", Json::num(merged.p50().as_us()));
+            row.set("p99_us", Json::num(p99_us));
+            row.set("p999_us", Json::num(merged.p999().as_us()));
+            row.set(
+                "p99_bound_us",
+                Json::num(p99_bound.map_or(0.0, |b| b.as_us())),
+            );
+            row.set("interrupts", Json::u64(report.counters.interrupts));
+            row.set("failed_ops", Json::u64(report.counters.failed_ops));
+            row.set("retransmits", Json::u64(report.recovery.retransmits));
+            row.set(
+                "mgmt_deliveries",
+                Json::u64(report.recovery.mgmt_deliveries),
+            );
+            row.set("outage_drops", Json::u64(out.faults.outage_drops));
+            row.set("stream_hash", Json::str(format!("{hash:016x}")));
+            row.set("serve_latency", report.serve.json());
+            rows.push(row);
+        }
+        if base_p99_us < TAIL_RATIO * genima_p99_us {
+            eprintln!(
+                "FAIL {wname}: Base p99 {base_p99_us:.0}us is not {TAIL_RATIO}x worse than \
+                 GeNIMA's {genima_p99_us:.0}us — no visible tail collapse"
+            );
+            failures += 1;
+        }
+    }
+    println!("{table}");
+    if let Some(path) = args.json {
+        let mut root = Json::obj();
+        root.set("bench", Json::str("serving"));
+        root.set("seed", Json::u64(args.seed));
+        root.set("nodes", Json::u64(args.nodes as u64));
+        root.set("ops", Json::u64(args.ops));
+        root.set("horizon_ms", Json::num(HORIZON.as_ms()));
+        root.set("rows", Json::Arr(rows));
+        match std::fs::write(&path, root.dump()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("serving bench: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("serving bench: all columns completed; tails gated");
+}

@@ -1,0 +1,227 @@
+//! Random graph walks over adjacency rows laid out across SVM pages.
+//!
+//! The graph is synthetic and arithmetic: vertex `v`'s adjacency row
+//! lives at a fixed offset in the shared region, and the walk's next
+//! hop is a seeded hash of the current vertex — the *data* never
+//! drives control flow (the simulator does not model values), but the
+//! *page access pattern* is exactly that of a pointer-chasing walk:
+//! `walk_len` dependent reads that each may fault on a different home
+//! node. Walk start vertices are Zipf-skewed (hot vertices), so
+//! popular rows stay cached while the tail of each walk wanders cold
+//! pages.
+//!
+//! The graph is read-only after initialization, so walks take no
+//! locks and the workload is race-free by construction.
+
+use genima_apps::{App, Arrival, Layout, OpsBuilder, WorkloadSpec};
+use genima_proto::{ServeClass, Topology, PAGE_SIZE};
+use genima_sim::{Dur, SplitMix64, Time};
+
+use crate::arrival::{OpenLoop, Pacing};
+use crate::zipf::{scatter, Zipf};
+
+/// Bytes per adjacency row (vertex id + a handful of neighbor ids).
+pub const ROW_BYTES: usize = 64;
+
+/// Open-loop random-walk serving workload.
+///
+/// # Example
+///
+/// ```
+/// use genima_serve::GraphWalk;
+/// use genima_proto::Topology;
+/// use genima_apps::App;
+///
+/// let gw = GraphWalk::new(4096, 8, 0.99, 200, genima_sim::Dur::from_ms(2));
+/// let spec = gw.spec(Topology::new(2, 2));
+/// assert_eq!(spec.sources.len(), 4);
+/// assert_eq!(spec.locks, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphWalk {
+    /// Vertices; must be a power of two of at least one page of rows.
+    vertices: usize,
+    /// Reads per walk (dependent hops).
+    walk_len: usize,
+    /// Zipf skew of walk start vertices.
+    zipf_s: f64,
+    /// Walks offered across the whole cluster.
+    walks: u64,
+    /// Simulated span the arrival process covers.
+    horizon: Dur,
+    /// Absolute time the first arrival may occur (after warmup).
+    start: Time,
+    /// Inter-arrival distribution.
+    pacing: Pacing,
+    /// Host-side compute per hop (neighbor pick), µs.
+    hop_us: f64,
+    /// Seed for arrivals, start vertices and hop choices.
+    seed: u64,
+}
+
+impl GraphWalk {
+    /// A walk workload with the given shape; arrivals default to
+    /// Poisson starting at 500 µs, 0.1 µs per hop, seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vertices` is a power of two covering at least
+    /// one page of rows, or if `walk_len` is zero.
+    pub fn new(
+        vertices: usize,
+        walk_len: usize,
+        zipf_s: f64,
+        walks: u64,
+        horizon: Dur,
+    ) -> GraphWalk {
+        let per_page = PAGE_SIZE / ROW_BYTES;
+        assert!(
+            vertices.is_power_of_two() && vertices >= per_page,
+            "vertices must be a power of two filling at least one page"
+        );
+        assert!(walk_len > 0, "walks must take at least one hop");
+        GraphWalk {
+            vertices,
+            walk_len,
+            zipf_s,
+            walks,
+            horizon,
+            start: Time::from_ns(500_000),
+            pacing: Pacing::Poisson,
+            hop_us: 0.1,
+            seed: 0,
+        }
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> GraphWalk {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the inter-arrival distribution.
+    pub fn with_pacing(mut self, pacing: Pacing) -> GraphWalk {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Replaces the arrival-window start time.
+    pub fn with_start(mut self, start: Time) -> GraphWalk {
+        self.start = start;
+        self
+    }
+}
+
+/// The seeded hash stepping a walk from vertex `v` (mask = vertices-1).
+fn next_hop(v: usize, salt: u64, mask: usize) -> usize {
+    (v as u64)
+        .wrapping_mul(0x5851_F42D_4C95_7F2D)
+        .wrapping_add(salt)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+        & mask
+}
+
+impl App for GraphWalk {
+    fn name(&self) -> &'static str {
+        "GraphWalk"
+    }
+
+    fn problem(&self) -> String {
+        format!(
+            "{} vertices, {}-hop walks, Zipf {:.2}, {} walks over {:.1}ms",
+            self.vertices,
+            self.walk_len,
+            self.zipf_s,
+            self.walks,
+            self.horizon.as_ms()
+        )
+    }
+
+    fn spec(&self, topo: Topology) -> WorkloadSpec {
+        let nprocs = topo.procs();
+        let rows_per_page = PAGE_SIZE / ROW_BYTES;
+        let pages = self.vertices / rows_per_page;
+        let mut layout = Layout::new();
+        let adj = layout.alloc_pages(pages);
+        let zipf = Zipf::new(self.vertices, self.zipf_s);
+        let mask = self.vertices - 1;
+
+        let base_walks = self.walks / nprocs as u64;
+        let extra = (self.walks % nprocs as u64) as usize;
+        let mut sources = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            let walks_pp = base_walks + u64::from(p < extra);
+            let mut rng =
+                SplitMix64::new(self.seed ^ 0x6777_616c_6b00_0000u64.wrapping_add(p as u64));
+            let arr_rng = rng.split();
+            let mut b = OpsBuilder::new();
+            b.barrier(0);
+            if let Some(gap) = self.horizon.as_ns().checked_div(walks_pp) {
+                let mean_gap = Dur::from_ns(gap.max(1));
+                let mut arr = OpenLoop::new(self.start, mean_gap, self.pacing, arr_rng);
+                for _ in 0..walks_pp {
+                    let t = arr.next_arrival();
+                    let mut v = scatter(zipf.sample(&mut rng), self.vertices);
+                    b.wait_until(t);
+                    for _ in 0..self.walk_len {
+                        b.read(adj.addr((v * ROW_BYTES) as u64), ROW_BYTES as u32);
+                        b.compute_us(self.hop_us);
+                        v = next_hop(v, rng.next_u64(), mask);
+                    }
+                    b.serve_end(ServeClass::Walk, t);
+                }
+            }
+            sources.push(b.into_source());
+        }
+
+        WorkloadSpec {
+            sources,
+            homes: adj.homes_blocked(topo),
+            locks: 0,
+            bus_demand_per_proc: 25_000_000,
+            warmup_barrier: Some(genima_proto::BarrierId::new(0)),
+            arrival: Arrival::Open {
+                horizon: self.horizon,
+                offered_ops: self.walks,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genima_proto::Op;
+
+    #[test]
+    fn walks_are_dependent_reads_with_no_locks() {
+        let gw = GraphWalk::new(4096, 6, 0.99, 40, Dur::from_ms(1)).with_seed(2);
+        let spec = gw.spec(Topology::new(2, 1));
+        let mut walks = 0;
+        for mut src in spec.sources {
+            let mut reads_since_wait = 0;
+            while let Some(op) = src.next_op() {
+                match op {
+                    Op::Acquire(_) | Op::Release(_) => panic!("walks take no locks"),
+                    Op::WaitUntil(_) => reads_since_wait = 0,
+                    Op::Read { .. } => reads_since_wait += 1,
+                    Op::ServeEnd { .. } => {
+                        assert_eq!(reads_since_wait, 6, "every walk takes walk_len hops");
+                        walks += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(walks, 40);
+    }
+
+    #[test]
+    fn hop_function_stays_in_range() {
+        for v in [0usize, 1, 4095] {
+            for salt in [0u64, 7, u64::MAX] {
+                assert!(next_hop(v, salt, 4095) < 4096);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Seeded Zipf-distributed popularity sampling.
+
+use genima_sim::SplitMix64;
+
+/// A Zipf(s) distribution over ranks `0..n` (rank 0 most popular),
+/// sampled by binary search over a precomputed CDF.
+///
+/// Skew `s = 0` degenerates to uniform; web-style key popularity is
+/// usually quoted around `s ≈ 0.99`.
+///
+/// # Example
+///
+/// ```
+/// use genima_serve::Zipf;
+/// use genima_sim::SplitMix64;
+///
+/// let z = Zipf::new(1024, 0.99);
+/// let mut rng = SplitMix64::new(3);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with skew `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf skew must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The configured skew.
+    pub fn skew(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability mass of rank `r` (0-indexed).
+    pub fn mass(&self, r: usize) -> f64 {
+        let lo = if r == 0 { 0.0 } else { self.cdf[r - 1] };
+        self.cdf[r] - lo
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // First rank whose CDF reaches u. partition_point avoids the
+        // NaN hazard of a comparator-based binary search on floats.
+        let i = self.cdf.partition_point(|&c| c < u);
+        i.min(self.cdf.len() - 1)
+    }
+}
+
+/// Bijectively scatters a popularity rank onto a key id so that hot
+/// ranks land on different shards/pages instead of clustering at the
+/// front of the address space. Requires `n` to be a power of two; the
+/// odd multiplier makes the map invertible mod `n`.
+pub fn scatter(rank: usize, n: usize) -> usize {
+    debug_assert!(n.is_power_of_two());
+    rank.wrapping_mul(0x9E37_79B9) & (n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masses_sum_to_one_and_decrease() {
+        let z = Zipf::new(64, 1.0);
+        let total: f64 = (0..64).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(63));
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = Zipf::new(16, 0.0);
+        for r in 0..16 {
+            assert!((z.mass(r) - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_favor_the_head() {
+        let z = Zipf::new(256, 0.99);
+        let mut rng = SplitMix64::new(11);
+        let mut head = 0u32;
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 256);
+            if r < 26 {
+                head += 1;
+            }
+        }
+        // Zipf(0.99) over 256 ranks puts well over a third of the mass
+        // on the top 10% of ranks; uniform would put 10% there.
+        assert!(head > 3_000, "head hits {head}/10000");
+    }
+
+    #[test]
+    fn scatter_is_a_bijection() {
+        let n = 1024;
+        let mut seen = vec![false; n];
+        for r in 0..n {
+            let k = scatter(r, n);
+            assert!(!seen[k], "collision at {k}");
+            seen[k] = true;
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Serving workloads must survive concurrent churn (drop + outages)
+//! on every evaluation column.
+
+use genima::{run_app_configured, RunConfig};
+use genima_apps::App;
+use genima_fault::FaultPlan;
+use genima_nic::NicId;
+use genima_obs::Json;
+use genima_proto::{Column, Topology};
+use genima_serve::{GraphWalk, KvServe};
+use genima_sim::{Dur, Time};
+
+const START: Time = Time::from_ns(500_000);
+const HORIZON: Dur = Dur::from_ms(20);
+
+fn churn() -> FaultPlan {
+    FaultPlan::new()
+        .drop_rate(0.10)
+        .outage(
+            NicId::new(1),
+            START + Dur::from_ms(2),
+            START + Dur::from_ms(6),
+        )
+        .outage(
+            NicId::new(2),
+            START + Dur::from_ms(8),
+            START + Dur::from_ms(12),
+        )
+        .outage(
+            NicId::new(3),
+            START + Dur::from_ms(14),
+            START + Dur::from_ms(18),
+        )
+}
+
+fn run_all_columns(app: &dyn App) {
+    let topo = Topology::new(4, 1);
+    for column in Column::all() {
+        let cfg = RunConfig::from_column(topo, column)
+            .with_seed(11)
+            .with_faults(churn())
+            .with_degraded(true);
+        let out = run_app_configured(app, &cfg)
+            .unwrap_or_else(|e| panic!("{} aborted under churn: {e}", column.name()));
+        let merged = out.report.serve.merged();
+        assert!(
+            merged.count() > 0,
+            "{}: no serve ops recorded",
+            column.name()
+        );
+        if column.features.interrupt_free() {
+            assert_eq!(
+                out.report.counters.interrupts,
+                0,
+                "{}: host interrupts under churn",
+                column.name()
+            );
+        }
+        // The serve histogram must survive the JSON path too.
+        let j = out.report.to_json_value().dump();
+        assert!(
+            j.contains("serve_latency"),
+            "report json misses serve_latency"
+        );
+        let _ = Json::parse(&j).expect("report json must parse");
+    }
+}
+
+#[test]
+fn kv_survives_churn_on_every_column() {
+    run_all_columns(
+        &KvServe::new(1_024, 0.99, 90, 600, HORIZON)
+            .with_seed(3)
+            .with_start(START),
+    );
+}
+
+#[test]
+fn walk_survives_churn_on_every_column() {
+    run_all_columns(
+        &GraphWalk::new(4_096, 4, 0.99, 300, HORIZON)
+            .with_seed(3)
+            .with_start(START),
+    );
+}

@@ -1,0 +1,178 @@
+//! Property tests for the serving workload generators: seeded
+//! determinism, Zipf skew sanity and open-loop arrival monotonicity.
+
+use genima_apps::App;
+use genima_proto::{Op, Topology};
+use genima_serve::{GraphWalk, KvServe, OpenLoop, Pacing, Zipf};
+use genima_sim::{Dur, SplitMix64, Time};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Drains every source of `app`'s spec into plain op vectors.
+fn streams_of(app: &dyn App, topo: Topology) -> Vec<Vec<Op>> {
+    app.spec(topo)
+        .sources
+        .into_iter()
+        .map(|mut s| {
+            let mut v = Vec::new();
+            while let Some(op) = s.next_op() {
+                v.push(op);
+            }
+            v
+        })
+        .collect()
+}
+
+/// Checks the open-loop invariants on one generated stream: the
+/// `WaitUntil` pacing marks never move backwards and never before the
+/// window start, and every `ServeEnd` echoes the issue time of the
+/// arrival it closes.
+fn assert_open_loop_shape(stream: &[Op], start: Time) -> Result<(), TestCaseError> {
+    let mut last = start;
+    let mut issued = None;
+    for op in stream {
+        match *op {
+            Op::WaitUntil(t) => {
+                prop_assert!(t >= start, "arrival {t:?} before the window start");
+                prop_assert!(t >= last, "arrivals must be monotone: {t:?} < {last:?}");
+                last = t;
+                issued = Some(t);
+            }
+            Op::ServeEnd { issued: t, .. } => {
+                prop_assert_eq!(Some(t), issued, "ServeEnd must echo its arrival time");
+                issued = None;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same `(seed, shape)` produces bit-identical op streams on
+    /// every call — the property the bench's cross-column stream-hash
+    /// gate relies on — and a different seed shuffles the traffic.
+    #[test]
+    fn kv_streams_are_seed_deterministic(
+        seed in any::<u64>(),
+        keys_bits in 6u32..=12,
+        ops in 1u64..300,
+        read_pct in 0u32..=100,
+    ) {
+        let topo = Topology::new(2, 2);
+        let mk = |s| {
+            KvServe::new(1 << keys_bits, 0.99, read_pct, ops, Dur::from_ms(2)).with_seed(s)
+        };
+        let a = streams_of(&mk(seed), topo);
+        prop_assert_eq!(&a, &streams_of(&mk(seed), topo));
+        prop_assert_ne!(&a, &streams_of(&mk(seed ^ 0x5bd1_e995), topo));
+        let total: usize = a
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::ServeEnd { .. }))
+            .count();
+        prop_assert_eq!(total as u64, ops, "every offered op must be generated");
+    }
+
+    /// Same determinism property for the graph-walk generator.
+    #[test]
+    fn walk_streams_are_seed_deterministic(
+        seed in any::<u64>(),
+        walk_len in 1usize..8,
+        walks in 1u64..200,
+    ) {
+        let topo = Topology::new(4, 1);
+        let mk = |s| GraphWalk::new(4096, walk_len, 0.99, walks, Dur::from_ms(2)).with_seed(s);
+        let a = streams_of(&mk(seed), topo);
+        prop_assert_eq!(&a, &streams_of(&mk(seed), topo));
+        prop_assert_ne!(&a, &streams_of(&mk(seed ^ 0x5bd1_e995), topo));
+    }
+
+    /// Open-loop arrivals are monotone from the window start and every
+    /// `ServeEnd` carries its own arrival's timestamp, for both
+    /// workloads and both pacing disciplines.
+    #[test]
+    fn generated_arrivals_are_monotone(
+        seed in any::<u64>(),
+        ops in 1u64..300,
+        uniform in any::<bool>(),
+    ) {
+        let start = Time::from_ns(500_000);
+        let pacing = if uniform { Pacing::Uniform } else { Pacing::Poisson };
+        let topo = Topology::new(2, 2);
+        let kv = KvServe::new(1024, 0.99, 90, ops, Dur::from_ms(4))
+            .with_seed(seed)
+            .with_pacing(pacing)
+            .with_start(start);
+        for stream in streams_of(&kv, topo) {
+            assert_open_loop_shape(&stream, start)?;
+        }
+        let gw = GraphWalk::new(4096, 4, 0.99, ops, Dur::from_ms(4))
+            .with_seed(seed)
+            .with_pacing(pacing)
+            .with_start(start);
+        for stream in streams_of(&gw, topo) {
+            assert_open_loop_shape(&stream, start)?;
+        }
+    }
+
+    /// Raw `OpenLoop` schedules are strictly ordered and respect the
+    /// window start for any mean gap.
+    #[test]
+    fn raw_open_loop_is_monotone(
+        seed in any::<u64>(),
+        gap_ns in 1u64..100_000,
+        uniform in any::<bool>(),
+    ) {
+        let start = Time::from_ns(1_000);
+        let pacing = if uniform { Pacing::Uniform } else { Pacing::Poisson };
+        let mut arr = OpenLoop::new(start, Dur::from_ns(gap_ns), pacing, SplitMix64::new(seed));
+        let mut last = start;
+        for _ in 0..256 {
+            let t = arr.next_arrival();
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Chi-square-style sanity bound on the sampler: over coarse
+    /// rank-decade bins, the observed histogram of a large sample stays
+    /// close to the analytic Zipf mass. With 4000 draws the per-bin
+    /// standard error is well under 1%, so the 5% slack catches a
+    /// broken sampler (uniform, shifted, or inverted CDF) without ever
+    /// flaking on an honest one — the RNG is deterministic per seed.
+    #[test]
+    fn zipf_sampler_matches_its_analytic_mass(
+        seed in any::<u64>(),
+        s_centi in 40u32..=140,
+        n_bits in 6u32..=12,
+    ) {
+        let n = 1usize << n_bits;
+        let z = Zipf::new(n, f64::from(s_centi) / 100.0);
+        let mut rng = SplitMix64::new(seed);
+        const DRAWS: usize = 4_000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..DRAWS {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n, "sampled rank out of range");
+            counts[r] += 1;
+        }
+        // Coarse bins: [0,1), [1,2), [2,4), ... doubling up to n.
+        let mut lo = 0usize;
+        let mut width = 1usize;
+        while lo < n {
+            let hi = (lo + width).min(n);
+            let observed = counts[lo..hi].iter().map(|&c| c as f64).sum::<f64>()
+                / DRAWS as f64;
+            let expected: f64 = (lo..hi).map(|r| z.mass(r)).sum();
+            prop_assert!(
+                (observed - expected).abs() < 0.05,
+                "bin [{lo},{hi}): observed {observed:.4} vs analytic {expected:.4}"
+            );
+            lo = hi;
+            width *= 2;
+        }
+    }
+}

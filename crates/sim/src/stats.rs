@@ -219,6 +219,13 @@ impl Histogram {
         self.percentile(0.99).unwrap_or(Dur::ZERO)
     }
 
+    /// 99.9th-percentile sample, or [`Dur::ZERO`] when empty. The
+    /// extra decade matters for open-loop serving tails, where p99
+    /// can stay flat while the extreme tail collapses.
+    pub fn p999(&self) -> Dur {
+        self.percentile(0.999).unwrap_or(Dur::ZERO)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -313,6 +320,51 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.buckets()[2], 2);
+    }
+
+    #[test]
+    fn histogram_merge_equals_pooled() {
+        // Merging per-shard histograms must be indistinguishable from
+        // recording every sample into one pooled histogram: identical
+        // buckets, count, and every percentile accessor.
+        let samples: Vec<Dur> = (0..500u64)
+            .map(|i| Dur::from_ns((i * i * 2654435761) % (1 << 22)))
+            .collect();
+        let mut pooled = Histogram::new();
+        let mut shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &s) in samples.iter().enumerate() {
+            pooled.record(s);
+            shards[i % 3].record(s);
+        }
+        let mut merged = Histogram::new();
+        for sh in &shards {
+            merged.merge(sh);
+        }
+        assert_eq!(merged, pooled);
+        assert_eq!(merged.count(), pooled.count());
+        assert_eq!(merged.buckets(), pooled.buckets());
+        for p in [0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.percentile(p), pooled.percentile(p));
+        }
+        assert_eq!(merged.p50(), pooled.p50());
+        assert_eq!(merged.p95(), pooled.p95());
+        assert_eq!(merged.p99(), pooled.p99());
+        assert_eq!(merged.p999(), pooled.p999());
+    }
+
+    #[test]
+    fn histogram_p999_resolves_extreme_tail() {
+        // 2 samples in 1000 out in the millisecond range: p99 stays in
+        // the body, p999 must land in the tail bucket.
+        let mut h = Histogram::new();
+        for _ in 0..998 {
+            h.record(Dur::from_ns(200));
+        }
+        h.record(Dur::from_ms(4));
+        h.record(Dur::from_ms(4));
+        assert!(h.p99() <= Dur::from_ns(512));
+        assert!(h.p999() >= Dur::from_ms(4));
+        assert_eq!(Histogram::new().p999(), Dur::ZERO);
     }
 
     #[test]

@@ -78,6 +78,12 @@ const PROTOCOL_PATHS: &[&str] = &[
     "crates/prof/src/profile.rs",
     "crates/prof/src/segment.rs",
     "crates/prof/src/lib.rs",
+    "crates/serve/src/arrival.rs",
+    "crates/serve/src/kv.rs",
+    "crates/serve/src/walk.rs",
+    "crates/serve/src/zipf.rs",
+    "crates/serve/src/lib.rs",
+    "crates/serve/src/bin/serving_bench.rs",
 ];
 
 /// Clippy lints deliberately allowed workspace-wide by `xtask clippy`,
@@ -454,6 +460,131 @@ fn check_fault_matrix_schema(v: &Json) -> Result<(), String> {
             return Err(format!("row {i}: missing boolean `audit_clean`"));
         }
         check_op_latency(row, i)?;
+    }
+    Ok(())
+}
+
+/// `BENCH_serving.json`: every (workload, column) cell of the
+/// open-loop serving sweep, with the bench's own gates re-checked —
+/// interrupt-free columns take zero host interrupts and keep merged
+/// p99 under their per-column bound, the op-stream hash is identical
+/// across a workload's columns, and Base's tail is never better than
+/// GeNIMA's.
+fn check_serving_schema(v: &Json) -> Result<(), String> {
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `rows` array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".to_string());
+    }
+    let mut hashes: std::collections::BTreeMap<&str, &str> = std::collections::BTreeMap::new();
+    let mut seen: std::collections::BTreeMap<&str, std::collections::BTreeSet<&str>> =
+        std::collections::BTreeMap::new();
+    let mut p99s: std::collections::BTreeMap<(&str, &str), f64> = std::collections::BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["workload", "column", "stream_hash"] {
+            if row.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("row {i}: missing string `{key}`"));
+            }
+        }
+        for key in [
+            "time_ms",
+            "mops_offered",
+            "mops_sustained",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "p99_bound_us",
+        ] {
+            if row.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("row {i}: missing numeric `{key}`"));
+            }
+        }
+        for key in [
+            "interrupts",
+            "failed_ops",
+            "retransmits",
+            "mgmt_deliveries",
+            "outage_drops",
+        ] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("row {i}: missing integer `{key}`"));
+            }
+        }
+        let serve = row
+            .get("serve_latency")
+            .ok_or_else(|| format!("row {i}: missing `serve_latency`"))?;
+        let mut completed = 0u64;
+        for class in ["read", "write", "walk"] {
+            let c = serve
+                .get(class)
+                .ok_or_else(|| format!("row {i}: serve_latency missing class `{class}`"))?;
+            completed += c
+                .get("n")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("row {i} class {class}: missing integer `n`"))?;
+            for key in ["p50_us", "p95_us", "p99_us", "p999_us"] {
+                if c.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!("row {i} class {class}: missing numeric `{key}`"));
+                }
+            }
+        }
+        if completed == 0 {
+            return Err(format!("row {i}: no completed serve ops in any class"));
+        }
+        let workload = row.get("workload").and_then(Json::as_str).unwrap_or("");
+        let column = row.get("column").and_then(Json::as_str).unwrap_or("");
+        let hash = row.get("stream_hash").and_then(Json::as_str).unwrap_or("");
+        if let Some(first) = hashes.get(workload) {
+            if *first != hash {
+                return Err(format!(
+                    "row {i}: `{workload}` op-stream hash differs across columns — \
+                     the workload seam leaked protocol state"
+                ));
+            }
+        } else {
+            hashes.insert(workload, hash);
+        }
+        if let Some(c) = COLUMNS.iter().find(|c| **c == column) {
+            seen.entry(workload).or_default().insert(c);
+        }
+        let p99 = row.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0);
+        p99s.insert((workload, column), p99);
+        let bound = row
+            .get("p99_bound_us")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if column.starts_with("GeNIMA") {
+            if row.get("interrupts").and_then(Json::as_u64) != Some(0) {
+                return Err(format!("row {i}: host interrupts on {column} under churn"));
+            }
+            if bound <= 0.0 {
+                return Err(format!("row {i}: {column} row carries no p99 gate"));
+            }
+        }
+        if bound > 0.0 && p99 > bound {
+            return Err(format!(
+                "row {i}: {workload}/{column} p99 {p99:.0}us exceeds its {bound:.0}us gate"
+            ));
+        }
+    }
+    for (workload, columns) in &seen {
+        if columns.len() != COLUMNS.len() {
+            return Err(format!(
+                "workload `{workload}`: only {}/{} evaluation columns present",
+                columns.len(),
+                COLUMNS.len()
+            ));
+        }
+        let base = p99s.get(&(*workload, "Base")).copied().unwrap_or(0.0);
+        let genima = p99s.get(&(*workload, "GeNIMA")).copied().unwrap_or(0.0);
+        if base < genima {
+            return Err(format!(
+                "workload `{workload}`: Base p99 {base:.0}us beats GeNIMA's {genima:.0}us — \
+                 no interrupt-processing tail visible"
+            ));
+        }
     }
     Ok(())
 }
@@ -885,6 +1016,7 @@ fn check_schema(v: &Json) -> Result<&'static str, String> {
     match v.get("bench").and_then(Json::as_str) {
         Some("breakdowns") => check_breakdowns_schema(v).map(|()| "breakdowns"),
         Some("fault_matrix") => check_fault_matrix_schema(v).map(|()| "fault_matrix"),
+        Some("serving") => check_serving_schema(v).map(|()| "serving"),
         Some("barrier") => check_barrier_schema(v).map(|()| "barrier"),
         Some("diff") => check_diff_schema(v).map(|()| "diff"),
         Some("mc") => check_mc_schema(v).map(|()| "mc"),
@@ -1232,6 +1364,90 @@ mod tests {
         let v = Json::parse(&no_p99).expect("fixture parses");
         let err = check_schema(&v).expect_err("classes must carry p99_us");
         assert!(err.contains("p99_us"), "{err}");
+    }
+
+    fn minimal_serving_json() -> String {
+        let serve = "\"serve_latency\":{\
+             \"read\":{\"n\":90,\"p50_us\":40.0,\"p95_us\":300.0,\"p99_us\":900.0,\"p999_us\":2000.0},\
+             \"write\":{\"n\":10,\"p50_us\":60.0,\"p95_us\":400.0,\"p99_us\":1100.0,\"p999_us\":2600.0},\
+             \"walk\":{\"n\":0,\"p50_us\":0.0,\"p95_us\":0.0,\"p99_us\":0.0,\"p999_us\":0.0}}";
+        let rows: Vec<String> = COLUMNS
+            .iter()
+            .map(|column| {
+                let interrupt_free = column.starts_with("GeNIMA");
+                let (p99, bound, intr) = if interrupt_free {
+                    (8389.0, 33554.0, 0)
+                } else {
+                    (67109.0, 0.0, 900)
+                };
+                format!(
+                    "{{\"workload\":\"kv\",\"column\":\"{column}\",\"time_ms\":55.0,\
+                     \"mops_offered\":0.02,\"mops_sustained\":0.012,\
+                     \"p50_us\":500.0,\"p99_us\":{p99:.1},\"p999_us\":{p99:.1},\
+                     \"p99_bound_us\":{bound:.1},\"interrupts\":{intr},\
+                     \"failed_ops\":2,\"retransmits\":300,\"mgmt_deliveries\":1,\
+                     \"outage_drops\":80,\"stream_hash\":\"00c0ffee00c0ffee\",{serve}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"serving\",\"seed\":7,\"nodes\":4,\"ops\":800,\
+             \"horizon_ms\":40.0,\"rows\":[{}]}}",
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn serving_schema_round_trips() {
+        let v = Json::parse(&minimal_serving_json()).expect("fixture parses");
+        assert_eq!(check_schema(&v), Ok("serving"));
+    }
+
+    #[test]
+    fn serving_schema_gates_the_tails() {
+        let base = minimal_serving_json();
+        for (broken, needle) in [
+            // An interrupt-free column taking host interrupts.
+            (
+                base.replace(
+                    "\"p99_bound_us\":33554.0,\"interrupts\":0",
+                    "\"p99_bound_us\":33554.0,\"interrupts\":5",
+                ),
+                "interrupt",
+            ),
+            // A gated row whose p99 breaks its own bound.
+            (
+                base.replace("\"p99_us\":8389.0", "\"p99_us\":67109.0"),
+                "gate",
+            ),
+            // A column whose op stream drifted from its siblings.
+            (
+                base.replacen("00c0ffee00c0ffee", "deadbeefdeadbeef", 1),
+                "hash",
+            ),
+            // Per-class tails are part of the contract.
+            (
+                base.replace("\"p999_us\":2000.0", "\"p999\":2000.0"),
+                "p999_us",
+            ),
+            // A report missing one of the six evaluation columns.
+            (
+                base.replace("\"column\":\"DW\"", "\"column\":\"DWX\""),
+                "columns present",
+            ),
+        ] {
+            let v = Json::parse(&broken).expect("fixture parses");
+            let err = check_schema(&v).expect_err("must fail the serving gate");
+            assert!(err.contains(needle), "`{err}` misses `{needle}`");
+        }
+        // Base beating GeNIMA means the interrupt tail vanished.
+        let inverted = base.replace(
+            "\"p50_us\":500.0,\"p99_us\":67109.0",
+            "\"p50_us\":500.0,\"p99_us\":4000.0",
+        );
+        let v = Json::parse(&inverted).expect("fixture parses");
+        let err = check_schema(&v).expect_err("Base must not beat GeNIMA");
+        assert!(err.contains("tail"), "{err}");
     }
 
     fn minimal_rdma_json() -> String {
